@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: embedding-table partitioning strategy. The paper warns that
+ * "differences in access ratios might create imbalances among servers
+ * if not carefully partitioned" — this bench quantifies it by sharding
+ * M3's 127 tables across 8 sparse parameter servers three ways and
+ * measuring the resulting load imbalance and PS-capped throughput.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "cost/iteration_model.h"
+#include "placement/partitioner.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::BalanceObjective;
+
+int
+main()
+{
+    bench::banner("Ablation: table partitioning",
+                  "Sec III-A 'imbalances among servers'",
+                  "M3_prod's 127 tables across 8 sparse parameter "
+                  "servers.");
+
+    const auto m3 = model::DlrmConfig::m3Prod();
+    placement::TableCosts costs(m3.sparse, m3.emb_dim, 1.25);
+    const double cap = 256e9 * 0.55;
+
+    util::TextTable table;
+    table.header({"partitioner", "access imbalance", "bytes imbalance",
+                  "shards used", "rel. PS capacity"});
+
+    struct Strategy
+    {
+        const char* name;
+        placement::Partition partition;
+    };
+    const Strategy strategies[] = {
+        {"greedy by access (default)",
+         placement::greedyPartition(costs, 8, cap,
+                                    BalanceObjective::AccessBytes)},
+        {"greedy by bytes",
+         placement::greedyPartition(costs, 8, cap,
+                                    BalanceObjective::Bytes)},
+        {"sequential fill",
+         placement::sequentialPartition(costs, 8, cap)},
+    };
+
+    // PS-capped throughput scales inversely with the access imbalance
+    // (the hottest shard saturates first).
+    const double best_imbalance =
+        strategies[0].partition.accessImbalance();
+    for (const auto& s : strategies) {
+        table.row({
+            s.name,
+            util::fixed(s.partition.accessImbalance(), 2),
+            util::fixed(s.partition.bytesImbalance(), 2),
+            std::to_string(s.partition.shardsUsed()),
+            s.partition.feasible
+                ? bench::ratio(best_imbalance /
+                               s.partition.accessImbalance())
+                : std::string("infeasible"),
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    // Row-wise alternative for the single largest table.
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < m3.sparse.size(); ++i) {
+        if (m3.sparse[i].hash_size > m3.sparse[largest].hash_size)
+            largest = i;
+    }
+    const double big_bytes = static_cast<double>(
+        m3.sparse[largest].hash_size) * m3.emb_dim * 4;
+    const auto row_wise = placement::rowWisePartition(
+        big_bytes, m3.sparse[largest].effectiveMeanLength() *
+            m3.emb_dim * 4, 8, cap);
+    std::cout << "Row-wise split of the largest table ("
+              << util::bytesToString(big_bytes) << ", "
+              << util::countToString(static_cast<double>(
+                     m3.sparse[largest].hash_size))
+              << " rows): per-shard "
+              << util::bytesToString(row_wise.shard_bytes[0])
+              << ", access imbalance "
+              << util::fixed(row_wise.accessImbalance(), 2) << "\n\n";
+
+    std::cout <<
+        "Takeaway: access-aware greedy packing keeps shard load within "
+        "a few percent of even;\nsize-only packing leaves hot shards "
+        "~“imbalance”x hotter, directly cutting the sparse-PS\n"
+        "capacity that bounds M3 — the paper's careful-partitioning "
+        "warning, quantified.\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: consistent headers and
+ * number formatting so every binary prints paper-style rows.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string& experiment, const std::string& paper_ref,
+       const std::string& what)
+{
+    std::cout << "=== " << experiment << " — " << paper_ref << " ===\n"
+              << what << "\n\n";
+}
+
+/** Format a throughput in k examples/s. */
+inline std::string
+kexps(double examples_per_second)
+{
+    return util::fixed(examples_per_second / 1000.0, 1) + "k";
+}
+
+/** Format a ratio like "2.25x". */
+inline std::string
+ratio(double value)
+{
+    return util::fixed(value, 2) + "x";
+}
+
+/** Format a percentage. */
+inline std::string
+pct(double fraction)
+{
+    return util::fixed(fraction * 100.0, 1) + "%";
+}
+
+} // namespace bench
+} // namespace recsim

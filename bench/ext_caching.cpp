@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension: trainer-side hot-row caching for remote embedding
+ * placement ("The characterization results ... open up new
+ * optimization opportunities as well, such as caching [58]",
+ * Section III-A). Zipf-skewed lookups mean a small cache absorbs a
+ * large share of the remote pulls; gradient pushes write through.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "cost/iteration_model.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::EmbeddingPlacement;
+
+int
+main()
+{
+    bench::banner("Extension: hot-row caching",
+                  "Remote-placement cache (paper Sec III-A opportunity)",
+                  "M3_prod on one Big Basin with remote sparse PS and a "
+                  "trainer-side row cache.");
+
+    const auto m3 = model::DlrmConfig::m3Prod();
+
+    util::TextTable table;
+    table.header({"cache size", "hit fraction", "throughput",
+                  "vs no cache", "bottleneck"});
+    double baseline = 0.0;
+    for (double gb : {0.0, 0.25, 1.0, 4.0, 16.0, 64.0}) {
+        auto sys = cost::SystemConfig::bigBasinSetup(
+            EmbeddingPlacement::RemotePs, 800, 8);
+        sys.hogwild_threads = 4;
+        sys.remote_cache_bytes = gb * 1e9;
+        cost::IterationModel im(m3, sys);
+        const auto est = im.estimate();
+        if (gb == 0.0)
+            baseline = est.throughput;
+        table.row({
+            gb == 0.0 ? "none" : util::fixed(gb, 2) + " GB",
+            bench::pct(im.remoteCacheHitFraction()),
+            bench::kexps(est.throughput),
+            bench::ratio(est.throughput / baseline),
+            est.bottleneck,
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Cache effectiveness vs access skew (4 GB cache):\n";
+    util::TextTable skew;
+    skew.header({"zipf exponent", "hit fraction", "throughput"});
+    for (double exponent : {0.0, 0.6, 0.9, 1.05, 1.3}) {
+        auto skewed = m3;
+        for (auto& spec : skewed.sparse)
+            spec.zipf_exponent = exponent;
+        auto sys = cost::SystemConfig::bigBasinSetup(
+            EmbeddingPlacement::RemotePs, 800, 8);
+        sys.hogwild_threads = 4;
+        sys.remote_cache_bytes = 4e9;
+        cost::IterationModel im(skewed, sys);
+        skew.row({util::fixed(exponent, 2),
+                  bench::pct(im.remoteCacheHitFraction()),
+                  bench::kexps(im.estimate().throughput)});
+    }
+    std::cout << skew.render() << "\n";
+
+    std::cout <<
+        "Takeaway: with production-like skew a ~1 GB cache absorbs most "
+        "remote pulls and\nroughly triples M3's Big Basin throughput; "
+        "returns saturate once write-through\ngradient pushes dominate. "
+        "With uniform access (exponent 0) the cache is useless —\nthe "
+        "benefit comes entirely from the skew the paper characterizes.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension: multi-node scale-out for multi-terabyte models — the
+ * paper's closing challenge ("model sizes grow into multiple terabytes
+ * which requires scaling out on multiple Zion servers") and the
+ * multi-Big-Basin mode it could not test ("Due to the lack of this
+ * capability, we were not able to test this model setup on multiple
+ * Big Basins").
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "cost/iteration_model.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::EmbeddingPlacement;
+
+int
+main()
+{
+    bench::banner("Extension: multi-node scale-out",
+                  "Multi-TB models on N Zions vs N Big Basins",
+                  "M3-like model with 8x hash sizes (~1 TB of "
+                  "embeddings), data-parallel GPU servers,\ntables "
+                  "sharded across the gang.");
+
+    auto big = model::DlrmConfig::m3Prod();
+    for (auto& spec : big.sparse)
+        spec.hash_size *= 8;
+    big.name = "M3_prod x8 tables";
+    std::cout << big.summary() << "\n\n";
+
+    util::TextTable table;
+    table.header({"nodes", "Zion host_memory", "Zion eff (ex/s/W)",
+                  "BigBasin gpu_memory", "BB eff (ex/s/W)"});
+    for (std::size_t nodes : {1, 2, 4, 8, 16, 32}) {
+        auto zion = cost::SystemConfig::zionSetup(
+            EmbeddingPlacement::HostMemory, 800);
+        zion.num_trainers = nodes;
+        const auto ze = cost::IterationModel(big, zion).estimate();
+
+        auto bb = cost::SystemConfig::bigBasinSetup(
+            EmbeddingPlacement::GpuMemory, 800);
+        bb.num_trainers = nodes;
+        const auto be = cost::IterationModel(big, bb).estimate();
+
+        table.row({
+            std::to_string(nodes),
+            ze.feasible ? bench::kexps(ze.throughput)
+                        : "infeasible (capacity)",
+            ze.feasible ? util::fixed(ze.perfPerWatt(), 1) : "-",
+            be.feasible ? bench::kexps(be.throughput)
+                        : "infeasible (capacity)",
+            be.feasible ? util::fixed(be.perfPerWatt(), 1) : "-",
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    // Scaling efficiency of the Zion gang.
+    std::cout << "Zion scale-out efficiency (throughput vs N x "
+                 "first-feasible-node rate):\n";
+    double per_node = 0.0;
+    std::size_t first = 0;
+    for (std::size_t nodes : {2, 4, 8, 16, 32}) {
+        auto zion = cost::SystemConfig::zionSetup(
+            EmbeddingPlacement::HostMemory, 800);
+        zion.num_trainers = nodes;
+        const auto est = cost::IterationModel(big, zion).estimate();
+        if (!est.feasible)
+            continue;
+        if (per_node == 0.0) {
+            per_node = est.throughput / static_cast<double>(nodes);
+            first = nodes;
+        }
+        std::cout << "  " << nodes << " nodes: "
+                  << bench::pct(est.throughput /
+                                (per_node * static_cast<double>(nodes)))
+                  << " of linear (vs " << first << "-node rate)\n";
+    }
+
+    std::cout <<
+        "\nTakeaway: the 1 TB model fits nowhere on a single server; "
+        "Zion gangs host it from\n2 nodes on and scale near-linearly "
+        "(inter-node traffic is pooled vectors over fat IB).\nBig "
+        "Basins need many more nodes just to *hold* the tables in HBM "
+        "and pay cross-node\nall-to-all on 100 GbE — the capability "
+        "gap the paper predicted, now quantified.\n";
+    return 0;
+}

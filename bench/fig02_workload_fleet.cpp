@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 2 reproduction: training frequency vs duration of the fleet's
+ * machine-learning workloads, plus the 7x / 18-month growth of
+ * recommendation training the paper reports.
+ */
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "fleet/workload.h"
+#include "stats/sample_set.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 2",
+                  "Frequency and duration of ML training workloads",
+                  "One month of sampled fleet runs per workload class.");
+
+    util::Rng rng(2024);
+    const auto classes = fleet::defaultWorkloads();
+    const auto runs = fleet::sampleFleet(classes, 30.0, rng);
+
+    std::map<std::string, stats::SampleSet> durations;
+    std::map<std::string, int> counts;
+    for (const auto& run : runs) {
+        durations[run.workload].add(run.duration_hours);
+        ++counts[run.workload];
+    }
+
+    util::TextTable table;
+    table.header({"Workload", "Family", "Runs/30d", "Runs/day",
+                  "Mean dur (h)", "p95 dur (h)"});
+    for (const auto& cls : classes) {
+        const auto& d = durations[cls.name];
+        table.row({
+            cls.name,
+            cls.family == fleet::ModelFamily::Recommendation
+                ? "recommendation"
+                : cls.family == fleet::ModelFamily::Rnn ? "rnn" : "cnn",
+            std::to_string(counts[cls.name]),
+            util::fixed(counts[cls.name] / 30.0, 1),
+            util::fixed(d.mean(), 1),
+            util::fixed(d.quantile(0.95), 1),
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Recommendation training growth (paper: 7x over 18 "
+                 "months):\n";
+    util::TextTable growth;
+    growth.header({"Months", "Relative recommendation runs/day"});
+    for (double month : {0.0, 6.0, 12.0, 18.0}) {
+        growth.row({util::fixed(month, 0),
+                    bench::ratio(fleet::recommendationGrowth(1.0,
+                                                             month))});
+    }
+    std::cout << growth.render() << "\n";
+    std::cout << "Shape check: recommendation (news_feed, search) "
+                 "dominates run counts;\nvision/translation run far "
+                 "less frequently but longer per run.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 5 reproduction: run-to-run utilization distributions of a ranking
+ * model at fixed scale — trainer servers hot and narrow, parameter
+ * servers cooler with a wide, long-tailed spread.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "fleet/fleet_sim.h"
+#include "stats/histogram.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 5",
+                  "Utilization distribution at fixed training scale",
+                  "500 simulated runs of an M1-like ranking model on "
+                  "its production CPU setup,\nwith per-run config "
+                  "jitter and system-level noise.");
+
+    fleet::UtilizationStudyConfig cfg;
+    cfg.num_runs = 500;
+    const auto dists = fleet::utilizationStudy(cfg);
+
+    util::TextTable table;
+    table.header({"Resource", "mean", "sd", "p25", "p50", "p75", "p95"});
+    const char* order[] = {
+        "trainer_cpu", "trainer_mem_bw", "trainer_mem_capacity",
+        "trainer_network", "ps_cpu", "ps_mem_bw", "ps_mem_capacity",
+        "ps_network",
+    };
+    for (const char* key : order) {
+        const auto s = dists.at(key).summarize();
+        table.row({key, bench::pct(s.mean), bench::pct(s.stddev),
+                   bench::pct(s.p25), bench::pct(s.median),
+                   bench::pct(s.p75), bench::pct(s.p95)});
+    }
+    std::cout << table.render() << "\n";
+
+    for (const char* key : {"trainer_cpu", "ps_cpu"}) {
+        std::cout << key << " distribution:\n";
+        stats::Histogram h(0.0, 1.0, 10);
+        for (double v : dists.at(key).values())
+            h.add(v);
+        std::cout << h.render(40) << "\n";
+    }
+
+    std::cout <<
+        "Shape check (paper): trainers run at high utilization with "
+        "small variation;\nparameter servers have lower means and "
+        "wider, longer-tailed distributions.\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig 6 reproduction: hash size vs mean feature length per embedding
+ * table for M1/M2/M3. Prints the scatter (binned) plus the population
+ * means and the (weak) hash-length correlation the paper highlights.
+ */
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "util/logging.h"
+#include "model/config.h"
+#include "stats/sample_set.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 6",
+                  "Hash size vs mean feature length per table",
+                  "Per-table (hash size, mean lookups) for the three "
+                  "production model configs.");
+
+    const model::DlrmConfig models[] = {
+        model::DlrmConfig::m1Prod(),
+        model::DlrmConfig::m2Prod(),
+        model::DlrmConfig::m3Prod(),
+    };
+    const double paper_mean_hash[] = {5.7e6, 7.3e6, 3.7e6};
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto& m = models[i];
+        std::vector<double> hashes, lengths;
+        uint64_t min_hash = ~0ULL, max_hash = 0;
+        for (const auto& s : m.sparse) {
+            hashes.push_back(
+                std::log10(static_cast<double>(s.hash_size)));
+            lengths.push_back(s.mean_length);
+            min_hash = std::min(min_hash, s.hash_size);
+            max_hash = std::max(max_hash, s.hash_size);
+        }
+        double mean_hash = 0.0, mean_len = 0.0;
+        for (const auto& s : m.sparse) {
+            mean_hash += static_cast<double>(s.hash_size);
+            mean_len += s.mean_length;
+        }
+        mean_hash /= static_cast<double>(m.numSparse());
+        mean_len /= static_cast<double>(m.numSparse());
+
+        std::cout << m.name << ": " << m.numSparse() << " tables\n";
+        util::TextTable table;
+        table.header({"metric", "generated", "paper"});
+        table.row({"mean hash size", util::countToString(mean_hash),
+                   util::countToString(paper_mean_hash[i])});
+        table.row({"hash size range",
+                   util::format("{} .. {}",
+                                util::countToString(
+                                    static_cast<double>(min_hash)),
+                                util::countToString(
+                                    static_cast<double>(max_hash))),
+                   "30 .. 20M"});
+        table.row({"mean feature length", util::fixed(mean_len, 1),
+                   i == 0 ? "28" : i == 1 ? "17" : "49"});
+        table.row({"spearman(hash, length)",
+                   util::fixed(stats::spearman(hashes, lengths), 2),
+                   "weakly negative"});
+        std::cout << table.render();
+
+        // Scatter rendered as a coarse character grid: rows = length
+        // deciles, columns = hash-size decades.
+        std::cout << "scatter (rows: mean length; cols: hash size "
+                     "decade 10^1..10^8):\n";
+        for (double len_lo : {100.0, 50.0, 20.0, 10.0, 5.0, 0.0}) {
+            std::string line = util::padLeft(
+                util::fixed(len_lo, 0) + "+ ", 6);
+            for (int decade = 1; decade <= 8; ++decade) {
+                int count = 0;
+                for (const auto& s : m.sparse) {
+                    const double log_hash = std::log10(
+                        static_cast<double>(s.hash_size));
+                    const bool len_ok = s.mean_length >= len_lo &&
+                        (len_lo == 100.0 || s.mean_length <
+                             (len_lo == 0.0 ? 5.0
+                              : len_lo == 5.0 ? 10.0
+                              : len_lo == 10.0 ? 20.0
+                              : len_lo == 20.0 ? 50.0 : 100.0));
+                    if (len_ok && log_hash >= decade &&
+                        log_hash < decade + 1) {
+                        ++count;
+                    }
+                }
+                line += count == 0 ? "   ."
+                    : util::padLeft(std::to_string(count), 4);
+            }
+            std::cout << line << "\n";
+        }
+        std::cout << "\n";
+    }
+
+    std::cout <<
+        "Shape check (paper): hash sizes span 30..20M with the stated "
+        "means; access frequency\ndoes not strongly correlate with "
+        "table size — some of the most accessed tables are small.\n";
+    return 0;
+}

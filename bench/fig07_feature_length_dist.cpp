@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig 7 reproduction: mean sparse-feature-length distributions for
+ * M1/M2/M3 with Gaussian-KDE curves — the power-law-like long tails of
+ * per-table lookup counts.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/config.h"
+#include "stats/histogram.h"
+#include "stats/sample_set.h"
+#include "stats/kde.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 7",
+                  "Mean sparse feature length distributions (with KDE)",
+                  "Distribution of per-table mean lookup counts for the "
+                  "production model configs.");
+
+    for (const auto& m : {model::DlrmConfig::m1Prod(),
+                          model::DlrmConfig::m2Prod(),
+                          model::DlrmConfig::m3Prod()}) {
+        std::vector<double> lengths;
+        for (const auto& s : m.sparse)
+            lengths.push_back(s.mean_length);
+
+        std::cout << m.name << " (" << lengths.size() << " tables):\n";
+        stats::Histogram h(0.0, 200.0, 10);
+        for (double l : lengths)
+            h.add(l);
+        std::cout << h.render(36);
+
+        const stats::GaussianKde kde(lengths);
+        std::cout << "KDE (density x 1000 at length):";
+        for (double x : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+            std::cout << "  " << util::fixed(x, 0) << ":"
+                      << util::fixed(kde.density(x) * 1000.0, 2);
+        }
+        const stats::SampleSet samples(lengths);
+        std::cout << "\nsummary: " << samples.describe(1) << "\n\n";
+    }
+
+    std::cout <<
+        "Shape check (paper): long-tailed (power-law-like) "
+        "distributions; a few tables are\naccessed much more often "
+        "than the rest; means ~28 / ~17 / ~49 for M1/M2/M3.\n";
+    return 0;
+}

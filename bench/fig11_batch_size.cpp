@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig 11 reproduction: batch-size scaling of training throughput on the
+ * CPU and GPU setups for several sparse/dense feature mixes. Fixed MLP
+ * 512^3 and hash size 100k, as in the paper.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 11", "Batch-size scaling on CPU and GPU",
+                  "Fixed MLP 512^3, hash 100k. CPU: single trainer + "
+                  "PS. GPU: one Big Basin, EMB on GPU memory.");
+
+    core::DesignSpaceExplorer explorer;
+    const std::vector<std::size_t> batches =
+        {50, 100, 200, 400, 800, 1600, 3200, 6400, 12800};
+
+    struct Mix
+    {
+        std::size_t dense, sparse;
+    };
+    for (const Mix mix : {Mix{256, 8}, Mix{256, 32}, Mix{1024, 64}}) {
+        std::cout << "dense=" << mix.dense << ", sparse=" << mix.sparse
+                  << ":\n";
+        const auto rows =
+            explorer.batchSweep(mix.dense, mix.sparse, batches, batches);
+        util::TextTable table;
+        table.header({"batch", "CPU thr", "GPU thr", "CPU bottleneck",
+                      "GPU bottleneck"});
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            table.row({std::to_string(batches[i]),
+                       bench::kexps(rows[i].cpu.throughput),
+                       bench::kexps(rows[i].gpu.throughput),
+                       rows[i].cpu.bottleneck, rows[i].gpu.bottleneck});
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    std::cout <<
+        "Shape check (paper): CPU throughput peaks at a moderate batch "
+        "and declines beyond it\n(cache pressure); GPU throughput rises "
+        "roughly linearly while launch overheads amortize,\nthen "
+        "saturates once communication/compute dominate.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig 12 reproduction: embedding-table hash-size scaling. CPU training
+ * (single 256 GB parameter server) stays flat until the capacity wall;
+ * GPU training slows as tables fall out of cache and spread over more
+ * GPUs, then hits the 8x16 GB capacity cliff.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "cost/iteration_model.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 12", "Hash-size scaling on CPU and GPU",
+                  "64 sparse features, MLP 512^3; one 256 GB CPU PS vs "
+                  "one Big Basin (8x16 GB HBM2).");
+
+    core::DesignSpaceExplorer explorer;
+    const std::vector<uint64_t> hashes = {
+        10000, 30000, 100000, 300000, 1000000, 3000000, 10000000,
+        30000000, 100000000,
+    };
+    const auto rows = explorer.hashSweep(256, 64, hashes);
+
+    const double cpu_base = rows[0].cpu.throughput;
+    const double gpu_base = rows[0].gpu.throughput;
+
+    util::TextTable table;
+    table.header({"hash size", "table GB", "CPU rel", "GPU rel",
+                  "mode", "GPU note"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto m = model::DlrmConfig::testSuite(256, 64, hashes[i]);
+        const double gb = m.embeddingBytes() / 1e9;
+        const auto& row = rows[i];
+        std::string mode = "-", note;
+        if (row.gpu.feasible) {
+            cost::IterationModel im(
+                m, core::TestSuiteParams{}.gpuSystem());
+            mode = im.plan().replicated
+                ? "replicated"
+                : util::format("sharded x{}", im.plan().gpus_used);
+            note = row.gpu.bottleneck;
+        } else {
+            note = "infeasible: exceeds GPU memory";
+        }
+        table.row({
+            util::countToString(static_cast<double>(hashes[i])),
+            util::fixed(gb, 1),
+            row.cpu.feasible
+                ? bench::ratio(row.cpu.throughput / cpu_base)
+                : std::string("infeasible"),
+            row.gpu.feasible
+                ? bench::ratio(row.gpu.throughput / gpu_base)
+                : std::string("infeasible"),
+            mode, note,
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout <<
+        "Shape check (paper): CPU throughput is ~flat in hash size "
+        "(until tables exceed the PS\nmemory); GPU throughput drops as "
+        "tables leave cache and must spread across GPUs, and\nthe "
+        "placement becomes infeasible once the total exceeds the HBM "
+        "capacity.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig 15 reproduction (functional): train a scaled-down DLRM on a fixed
+ * synthetic dataset at increasing batch sizes, re-tuning the learning
+ * rate for every batch size (the paper's AutoML sweep), and report the
+ * normalized-entropy gap versus the small-batch baseline. Despite the
+ * retuning, the gap grows with batch size.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/config.h"
+#include "train/sweep.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Fig 15",
+                  "Accuracy (NE) gap vs batch size after LR retuning",
+                  "Scaled-down DLRM on a fixed synthetic dataset; one "
+                  "pass over the data per run;\nLR grid retuned per "
+                  "batch size.");
+
+    const auto m = model::DlrmConfig::tinyReplica(6, 12, 1000, 8);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = m.num_dense;
+    ds_cfg.sparse = m.sparse;
+    ds_cfg.seed = 2021;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(34000);
+
+    const std::vector<float> lr_grid = {0.02f, 0.05f, 0.1f, 0.2f};
+    const std::vector<std::size_t> batches =
+        {64, 256, 1024, 4096, 8192};
+
+    util::TextTable table;
+    table.header({"batch size", "best LR", "steps", "eval NE",
+                  "NE gap vs baseline", "accuracy"});
+
+    double baseline_ne = 0.0;
+    for (std::size_t batch : batches) {
+        train::TrainConfig cfg;
+        cfg.batch_size = batch;
+        cfg.epochs = 1;
+        cfg.optimizer = train::OptimizerKind::Adagrad;
+        const auto sweep = train::sweepLearningRate(m, ds, cfg, lr_grid,
+                                                    2000);
+        const auto& best = sweep.best();
+        if (batch == batches.front())
+            baseline_ne = best.result.eval_ne;
+        const double gap_pct =
+            (best.result.eval_ne - baseline_ne) / baseline_ne * 100.0;
+        table.row({
+            std::to_string(batch),
+            util::fixed(best.learning_rate, 2),
+            std::to_string(best.result.steps),
+            util::fixed(best.result.eval_ne, 4),
+            (gap_pct >= 0 ? "+" : "") + util::fixed(gap_pct, 2) + "%",
+            bench::pct(best.result.eval_accuracy),
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout <<
+        "Shape check (paper): the NE gap versus the small-batch "
+        "baseline grows with batch size\neven though the learning rate "
+        "is re-tuned per batch size; gaps of ~0.1-0.2% already\nmatter "
+        "for production recommendation models.\n";
+    return 0;
+}

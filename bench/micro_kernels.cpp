@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot kernels: GEMM,
+ * embedding-bag lookup, full DLRM forward/backward, the Zipf sampler
+ * and the DES event queue. These measure the *library itself* (the
+ * functional substrate), not the modeled hardware.
+ */
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.h"
+#include "des/event_queue.h"
+#include "model/dlrm.h"
+#include "nn/embedding_bag.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+using namespace recsim;
+
+namespace {
+
+void
+BM_Gemm(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(1);
+    tensor::Tensor a(n, n), b(n, n), out;
+    a.fillNormal(rng, 1.0f);
+    b.fillNormal(rng, 1.0f);
+    for (auto _ : state) {
+        tensor::matmul(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_EmbeddingLookup(benchmark::State& state)
+{
+    const auto hash = static_cast<uint64_t>(state.range(0));
+    util::Rng rng(2);
+    nn::EmbeddingBag bag(hash, 64, rng);
+    util::ZipfSampler zipf(hash * 4, 1.05);
+
+    nn::SparseBatch batch;
+    batch.offsets.push_back(0);
+    for (int ex = 0; ex < 256; ++ex) {
+        for (int k = 0; k < 8; ++k)
+            batch.indices.push_back(zipf(rng));
+        batch.offsets.push_back(batch.indices.size());
+    }
+    tensor::Tensor out;
+    for (auto _ : state) {
+        bag.forward(batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(batch.totalLookups()));
+}
+BENCHMARK(BM_EmbeddingLookup)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void
+BM_DlrmForwardBackward(benchmark::State& state)
+{
+    const auto batch_size = static_cast<std::size_t>(state.range(0));
+    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    model::Dlrm dlrm(cfg, 1);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = cfg.num_dense;
+    ds_cfg.sparse = cfg.sparse;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    const auto batch = ds.nextBatch(batch_size);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dlrm.forwardBackward(batch));
+        dlrm.zeroGrad();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_DlrmForwardBackward)->Arg(64)->Arg(256);
+
+void
+BM_ZipfSampler(benchmark::State& state)
+{
+    util::Rng rng(3);
+    util::ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.05);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSampler)->Arg(1000)->Arg(10000000);
+
+void
+BM_EventQueue(benchmark::State& state)
+{
+    for (auto _ : state) {
+        des::EventQueue eq;
+        uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<des::Tick>((i * 7919) % 10000),
+                        [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+} // namespace
+
+BENCHMARK_MAIN();

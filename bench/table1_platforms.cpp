@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table I reproduction: hardware platform details for the dual-socket
+ * CPU server, Big Basin and the prototype Zion, as encoded in
+ * recsim::hw. Prints the same rows as the paper plus the derived
+ * quantities the cost models consume.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+
+#include "util/logging.h"
+#include "hw/platform.h"
+#include "util/string_utils.h"
+#include "util/units.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    bench::banner("Table I", "Hardware platform details",
+                  "Paper rows plus the derived rates the cost models "
+                  "use.");
+
+    const hw::Platform platforms[] = {
+        hw::Platform::dualSocketCpu(),
+        hw::Platform::bigBasin(),
+        hw::Platform::zionPrototype(),
+    };
+
+    util::TextTable table;
+    table.header({"", "CPU System", "Big Basin GPU", "Prototype Zion"});
+    auto row = [&](const std::string& label, auto getter) {
+        std::vector<std::string> cells = {label};
+        for (const auto& p : platforms)
+            cells.push_back(getter(p));
+        table.row(cells);
+    };
+
+    row("Accelerators", [](const hw::Platform& p) {
+        return p.num_gpus == 0 ? std::string("-")
+            : util::format("{} NVIDIA V100", p.num_gpus);
+    });
+    row("Accelerator Memory", [](const hw::Platform& p) {
+        return p.num_gpus == 0 ? std::string("-")
+            : util::format("{} GB", p.gpu.mem_capacity / util::kGB);
+    });
+    row("System Memory", [](const hw::Platform& p) {
+        return util::format("{} GB", p.host.mem_capacity / util::kGB);
+    });
+    row("System Mem BW", [](const hw::Platform& p) {
+        return util::rateToString(p.host.mem_bandwidth);
+    });
+    row("CPU", [](const hw::Platform& p) {
+        return util::format("{} sockets", p.num_cpu_sockets);
+    });
+    row("Interconnect", [](const hw::Platform& p) {
+        return p.network.name;
+    });
+    row("GPU-GPU link", [](const hw::Platform& p) {
+        return p.num_gpus == 0 ? std::string("-")
+            : util::format("{} ({})", p.gpu_interconnect.name,
+                           util::rateToString(
+                               p.gpu_interconnect.bandwidth));
+    });
+    row("Power (provisioned)", [](const hw::Platform& p) {
+        return util::format("{} W", p.power_watts);
+    });
+    row("GPU FP32 peak", [](const hw::Platform& p) {
+        return p.num_gpus == 0 ? std::string("-")
+            : util::format("{} TF/s x{}",
+                           p.gpu.peak_flops / util::kTFLOPS, p.num_gpus);
+    });
+    row("HBM2 bandwidth", [](const hw::Platform& p) {
+        return p.num_gpus == 0 ? std::string("-")
+            : util::rateToString(p.gpu.mem_bandwidth);
+    });
+
+    std::cout << table.render() << "\n";
+    std::cout << "Paper reference: CPU 256 GB / 25 Gbps; Big Basin 8x "
+                 "V100 16/32 GB, 256 GB host, 100 Gbps;\n"
+                 "Zion 8-socket ~2 TB @ ~1 TB/s, 4x IB 100 Gbps; Big "
+                 "Basin power = 7.3x CPU server.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Capacity planner: given a production model and a target training
+ * throughput, size the CPU fleet (trainers + parameter servers) and
+ * compare it against GPU-server alternatives on throughput-per-watt —
+ * the datacenter-provisioning question behind the paper's Section IV
+ * ("Number of Servers") and Table III.
+ *
+ * Usage: capacity_planner [target_kexamples_per_s]
+ */
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/recsim.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::EmbeddingPlacement;
+
+int
+main(int argc, char** argv)
+{
+    const double target =
+        (argc > 1 ? std::strtod(argv[1], nullptr) : 500.0) * 1000.0;
+    const auto m = model::DlrmConfig::m1Prod();
+
+    std::cout << "Capacity plan for " << m.name << " at "
+              << util::fixed(target / 1000.0, 0)
+              << "k examples/s\n" << m.summary() << "\n\n";
+
+    core::Estimator estimator;
+
+    // --- CPU fleet: grow trainers until the target is met, adding ----
+    // --- sparse PS whenever they become the bottleneck. --------------
+    std::size_t trainers = 1, sparse_ps = 4, dense_ps = 1;
+    cost::IterationEstimate cpu_est;
+    for (int step = 0; step < 200; ++step) {
+        const auto sys = cost::SystemConfig::cpuSetup(
+            trainers, sparse_ps, dense_ps, 200, 1);
+        cpu_est = estimator.estimate(m, sys);
+        if (!cpu_est.feasible) {
+            ++sparse_ps;
+            continue;
+        }
+        if (cpu_est.throughput >= target)
+            break;
+        if (cpu_est.bottleneck == "sparse_ps")
+            ++sparse_ps;
+        else if (cpu_est.bottleneck == "dense_ps")
+            ++dense_ps;
+        else
+            ++trainers;
+    }
+
+    util::TextTable table;
+    table.header({"setup", "servers", "throughput", "power",
+                  "examples/s/W"});
+    table.row({
+        util::format("CPU fleet ({} tr, {} sPS, {} dPS)", trainers,
+                     sparse_ps, dense_ps),
+        std::to_string(trainers + sparse_ps + dense_ps),
+        util::fixed(cpu_est.throughput / 1000.0, 0) + "k",
+        util::fixed(cpu_est.power_watts / 1000.0, 1) + " kW",
+        util::fixed(cpu_est.perfPerWatt(), 1),
+    });
+
+    // --- GPU alternatives: how many Big Basins / Zions? --------------
+    auto gpu_row = [&](const std::string& label,
+                       const cost::SystemConfig& one_server) {
+        const auto est = estimator.estimate(m, one_server);
+        if (!est.feasible) {
+            table.row({label, "-", "infeasible", "-", "-"});
+            return;
+        }
+        const auto servers = static_cast<std::size_t>(
+            std::ceil(target / est.throughput));
+        table.row({
+            label, std::to_string(servers),
+            util::fixed(est.throughput * servers / 1000.0, 0) + "k",
+            util::fixed(est.power_watts * servers / 1000.0, 1) + " kW",
+            util::fixed(est.perfPerWatt(), 1),
+        });
+    };
+    gpu_row("Big Basin (EMB=gpu_memory)",
+            cost::SystemConfig::bigBasinSetup(
+                EmbeddingPlacement::GpuMemory, 1600));
+    gpu_row("Zion (EMB=host_memory)",
+            cost::SystemConfig::zionSetup(
+                EmbeddingPlacement::HostMemory, 1600));
+
+    std::cout << table.render() << "\n";
+    std::cout <<
+        "Data-parallel GPU servers scale by replication (model quality "
+        "permitting); the CPU\nfleet scales trainers until the sparse "
+        "parameter servers saturate, then must grow PS\ntoo. For "
+        "embedding-friendly models the GPU servers win per-watt — "
+        "Table III's story.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Placement advisor: the workflow an ML engineer faces in Section IV —
+ * "my model grew; where should the embedding tables live, and on which
+ * platform should I train?"
+ *
+ * Sweeps a model's embedding hash size from small to production scale
+ * and, at every point, reports each platform's best feasible placement
+ * and throughput. Shows the placement *shifting* exactly as Fig 1's
+ * annotations describe: GPU memory while tables fit, then hybrid/remote
+ * on Big Basin, host memory on Zion.
+ *
+ * Usage: placement_advisor [num_sparse] [num_dense]
+ */
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/recsim.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::EmbeddingPlacement;
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t num_sparse =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+    const std::size_t num_dense =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 512;
+
+    std::cout << "Placement advisor: " << num_sparse << " sparse / "
+              << num_dense << " dense features, d=64, MLP 512^3\n\n";
+
+    core::Estimator estimator;
+    util::TextTable table;
+    table.header({"hash size", "emb size", "BigBasin best",
+                  "BB thr", "Zion best", "Zion thr", "CPU fleet thr"});
+
+    for (uint64_t hash : {10000ULL, 100000ULL, 1000000ULL, 4000000ULL,
+                          10000000ULL, 20000000ULL}) {
+        const auto m = model::DlrmConfig::testSuite(num_dense, num_sparse,
+                                                    hash);
+
+        auto best_of = [&](const cost::SystemConfig& base)
+            -> std::pair<std::string, std::string> {
+            auto ranked = estimator.rankPlacements(m, base);
+            // Fall back to remote PS with extra servers when on-box
+            // placements are infeasible.
+            if (ranked.empty()) {
+                auto remote = base;
+                remote.placement = EmbeddingPlacement::RemotePs;
+                remote.num_sparse_ps = 16;
+                const auto est = estimator.estimate(m, remote);
+                if (!est.feasible)
+                    return {"none", "-"};
+                return {"remote_ps(16)",
+                        util::fixed(est.throughput / 1000.0, 0) + "k"};
+            }
+            return {placement::toString(ranked.front().system.placement),
+                    util::fixed(
+                        ranked.front().estimate.throughput / 1000.0, 0) +
+                        "k"};
+        };
+
+        const auto bb = best_of(cost::SystemConfig::bigBasinSetup(
+            EmbeddingPlacement::GpuMemory, 1600));
+        const auto zion = best_of(cost::SystemConfig::zionSetup(
+            EmbeddingPlacement::GpuMemory, 1600));
+
+        // CPU fleet sized to hold the tables: one sparse PS per 140 GB.
+        const double emb_gb = m.embeddingBytes() / 1e9;
+        const auto sparse_ps = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(emb_gb * 1.25 / 140.0)));
+        const auto cpu_est = estimator.estimate(
+            m, cost::SystemConfig::cpuSetup(8, sparse_ps, 2, 200, 1));
+
+        table.row({
+            util::countToString(static_cast<double>(hash)),
+            util::fixed(emb_gb, 1) + " GB",
+            bb.first, bb.second, zion.first, zion.second,
+            cpu_est.feasible
+                ? util::fixed(cpu_est.throughput / 1000.0, 0) + "k"
+                : std::string("n/f"),
+        });
+    }
+    std::cout << table.render() << "\n";
+    std::cout <<
+        "Reading the table: while tables fit in HBM, Big Basin wants "
+        "them in GPU memory; once\nthey outgrow it, the advisor shifts "
+        "to hybrid/remote and the throughput advantage fades.\nZion "
+        "keeps everything in its 2 TB host memory and degrades "
+        "gracefully — the paper's\ncentral capacity argument.\n";
+    return 0;
+}

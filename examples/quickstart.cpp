@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the recsim public API.
+ *
+ *  1. Describe a DLRM model architecture (or use a Table II factory).
+ *  2. Describe a training system (platform + placement + servers).
+ *  3. Ask the Estimator for throughput, bottleneck and power efficiency.
+ *  4. Compare setups the way the paper's Table III does.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/recsim.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main()
+{
+    // --- 1. A model: 26 sparse features, 256 dense, DLRM-style. ----
+    model::DlrmConfig m = model::DlrmConfig::testSuite(
+        /*num_dense=*/256, /*num_sparse=*/26, /*hash_size=*/1000000);
+    m.name = "quickstart_model";
+    std::cout << m.summary() << "\n\n";
+
+    // --- 2. Two systems: a CPU fleet slice and one Big Basin. ------
+    const auto cpu = cost::SystemConfig::cpuSetup(
+        /*trainers=*/4, /*sparse_ps=*/4, /*dense_ps=*/1,
+        /*batch=*/200);
+    const auto gpu = cost::SystemConfig::bigBasinSetup(
+        placement::EmbeddingPlacement::GpuMemory, /*batch_per_gpu=*/1600);
+
+    // --- 3. Estimate. -----------------------------------------------
+    core::Estimator estimator;
+    for (const auto& [label, sys] : {std::pair{"CPU fleet", cpu},
+                                     std::pair{"Big Basin", gpu}}) {
+        const auto est = estimator.estimate(m, sys);
+        std::cout << label << ": " << sys.summary() << "\n";
+        if (!est.feasible) {
+            std::cout << "  infeasible: " << est.infeasible_reason
+                      << "\n";
+            continue;
+        }
+        std::cout << "  throughput  "
+                  << util::fixed(est.throughput / 1000.0, 1)
+                  << "k examples/s  (bottleneck: " << est.bottleneck
+                  << ")\n"
+                  << "  power       " << est.power_watts << " W  ->  "
+                  << util::fixed(est.perfPerWatt(), 1)
+                  << " examples/s/W\n";
+        std::cout << "  iteration breakdown:";
+        for (const auto& phase : est.breakdown) {
+            if (phase.seconds > 1e-6) {
+                std::cout << "  " << phase.name << "="
+                          << util::fixed(phase.seconds * 1e3, 2) << "ms";
+            }
+        }
+        std::cout << "\n\n";
+    }
+
+    // --- 4. Relative comparison (Table III style). -------------------
+    const auto cmp = estimator.compare(m, cpu, gpu);
+    std::cout << "GPU vs CPU: "
+              << util::fixed(cmp.relative_throughput, 2)
+              << "x throughput, "
+              << util::fixed(cmp.relative_power_efficiency, 2)
+              << "x power efficiency\n";
+
+    // --- Bonus: let the advisor pick the placement. ------------------
+    const auto ranked = estimator.rankPlacements(m, gpu);
+    std::cout << "\nPlacement ranking on Big Basin:\n";
+    for (const auto& setup : ranked) {
+        std::cout << "  " << placement::toString(setup.system.placement)
+                  << ": "
+                  << util::fixed(setup.estimate.throughput / 1000.0, 1)
+                  << "k examples/s\n";
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional training demo: build a synthetic click-through dataset,
+ * train a small DLRM three ways — single-threaded, Hogwild, and EASGD
+ * (the paper's production sync modes) — and compare convergence by
+ * normalized entropy on a held-out split.
+ *
+ * Usage: train_ctr_model [examples] [threads]
+ */
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/recsim.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t examples =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24000;
+    const std::size_t threads =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+
+    const auto m = model::DlrmConfig::tinyReplica(
+        /*num_sparse=*/8, /*num_dense=*/13, /*hash_size=*/2000,
+        /*emb_dim=*/16);
+    std::cout << "Model: " << m.summary() << "\n";
+
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = m.num_dense;
+    ds_cfg.sparse = m.sparse;
+    ds_cfg.seed = 7;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(examples);
+    std::cout << "Dataset: " << examples << " synthetic examples, base "
+              << "CTR " << util::fixed(ds.baseCtr() * 100.0, 1)
+              << "%\n\n";
+
+    util::TextTable table;
+    table.header({"trainer", "steps", "train loss", "eval NE",
+                  "accuracy", "wall (s)"});
+
+    auto timed = [&](const std::string& label, auto run) {
+        const auto start = std::chrono::steady_clock::now();
+        const train::TrainResult result = run();
+        const double secs = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+        table.row({label, std::to_string(result.steps),
+                   util::fixed(result.final_train_loss, 4),
+                   util::fixed(result.eval_ne, 4),
+                   util::fixed(result.eval_accuracy * 100.0, 1) + "%",
+                   util::fixed(secs, 2)});
+    };
+
+    train::TrainConfig base;
+    base.batch_size = 64;
+    base.learning_rate = 0.05f;
+    base.epochs = 1;
+
+    timed("single-thread", [&] {
+        return train::trainSingleThread(m, ds, base, 4000);
+    });
+    timed(util::format("hogwild x{}", threads), [&] {
+        train::HogwildConfig cfg;
+        cfg.base = base;
+        cfg.num_threads = threads;
+        return train::trainHogwild(m, ds, cfg, 4000);
+    });
+    timed(util::format("easgd x{} (tau=4)", threads), [&] {
+        train::EasgdConfig cfg;
+        cfg.base = base;
+        cfg.num_workers = threads;
+        cfg.sync_period = 4;
+        return train::trainEasgd(m, ds, cfg, 4000);
+    });
+    timed(util::format("shadow_sync x{}", threads), [&] {
+        train::ShadowSyncConfig cfg;
+        cfg.base = base;
+        cfg.num_workers = threads;
+        return train::trainShadowSync(m, ds, cfg, 4000);
+    });
+
+    std::cout << table.render() << "\n";
+    std::cout << "NE < 1.0 beats always-predicting-the-base-rate; the "
+                 "asynchronous schemes trade a\nlittle NE for "
+                 "parallelism, as Section VI-C discusses.\n";
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * What-if CLI: estimate any model/system combination from the command
+ * line — the interactive version of the paper's design-space study,
+ * including the extension knobs (quantization, caching, scale-out).
+ *
+ * Usage:
+ *   whatif [--model m1|m2|m3|test] [--dense N] [--sparse N] [--hash N]
+ *          [--platform cpu|bigbasin|zion] [--placement gpu|host|remote|hybrid]
+ *          [--batch N] [--trainers N] [--sparse-ps N] [--hogwild N]
+ *          [--bpe 4|2|1|0.5] [--cache-gb X]
+ *
+ * Examples:
+ *   whatif --model m3 --platform bigbasin --placement remote --sparse-ps 8 --hogwild 4
+ *   whatif --model m3 --platform bigbasin --placement gpu --bpe 2
+ *   whatif --model test --dense 1024 --sparse 64 --platform zion --placement host
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/recsim.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+using namespace recsim;
+using placement::EmbeddingPlacement;
+
+namespace {
+
+std::map<std::string, std::string>
+parseArgs(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            util::fatal("expected --flag value pairs, got '{}'",
+                        argv[i]);
+        args[argv[i] + 2] = argv[i + 1];
+    }
+    return args;
+}
+
+std::string
+get(const std::map<std::string, std::string>& args,
+    const std::string& key, const std::string& fallback)
+{
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = parseArgs(argc, argv);
+
+    // ---- Model. ------------------------------------------------------
+    const std::string model_name = get(args, "model", "m1");
+    model::DlrmConfig m;
+    if (model_name == "m1") {
+        m = model::DlrmConfig::m1Prod();
+    } else if (model_name == "m2") {
+        m = model::DlrmConfig::m2Prod();
+    } else if (model_name == "m3") {
+        m = model::DlrmConfig::m3Prod();
+    } else if (model_name == "test") {
+        m = model::DlrmConfig::testSuite(
+            std::strtoul(get(args, "dense", "256").c_str(), nullptr, 10),
+            std::strtoul(get(args, "sparse", "32").c_str(), nullptr, 10),
+            std::strtoull(get(args, "hash", "100000").c_str(), nullptr,
+                          10));
+    } else {
+        util::fatal("unknown --model '{}' (m1|m2|m3|test)", model_name);
+    }
+
+    // ---- System. -----------------------------------------------------
+    const std::string platform = get(args, "platform", "bigbasin");
+    const std::string placement_name = get(args, "placement", "gpu");
+    const std::size_t batch = std::strtoul(
+        get(args, "batch", platform == "cpu" ? "200" : "1600").c_str(),
+        nullptr, 10);
+    const std::size_t trainers =
+        std::strtoul(get(args, "trainers", "1").c_str(), nullptr, 10);
+    const std::size_t sparse_ps =
+        std::strtoul(get(args, "sparse-ps", "8").c_str(), nullptr, 10);
+    const std::size_t hogwild =
+        std::strtoul(get(args, "hogwild", "1").c_str(), nullptr, 10);
+
+    EmbeddingPlacement placement;
+    if (placement_name == "gpu")
+        placement = EmbeddingPlacement::GpuMemory;
+    else if (placement_name == "host")
+        placement = EmbeddingPlacement::HostMemory;
+    else if (placement_name == "remote")
+        placement = EmbeddingPlacement::RemotePs;
+    else if (placement_name == "hybrid")
+        placement = EmbeddingPlacement::Hybrid;
+    else
+        util::fatal("unknown --placement '{}' (gpu|host|remote|hybrid)",
+                    placement_name);
+
+    cost::SystemConfig sys;
+    if (platform == "cpu") {
+        sys = cost::SystemConfig::cpuSetup(trainers, sparse_ps, 2, batch,
+                                           hogwild);
+    } else if (platform == "bigbasin") {
+        sys = cost::SystemConfig::bigBasinSetup(
+            placement, batch,
+            placement == EmbeddingPlacement::RemotePs ? sparse_ps : 0);
+        sys.num_trainers = trainers;
+        sys.hogwild_threads = hogwild;
+    } else if (platform == "zion") {
+        sys = cost::SystemConfig::zionSetup(
+            placement, batch,
+            placement == EmbeddingPlacement::RemotePs ? sparse_ps : 0);
+        sys.num_trainers = trainers;
+        sys.hogwild_threads = hogwild;
+    } else {
+        util::fatal("unknown --platform '{}' (cpu|bigbasin|zion)",
+                    platform);
+    }
+    sys.emb_bytes_per_element =
+        std::strtod(get(args, "bpe", "4").c_str(), nullptr);
+    sys.remote_cache_bytes =
+        std::strtod(get(args, "cache-gb", "0").c_str(), nullptr) * 1e9;
+
+    // ---- Estimate and report. ----------------------------------------
+    std::cout << m.summary() << "\n" << sys.summary() << "\n\n";
+
+    cost::IterationModel im(m, sys);
+    const auto est = im.estimate();
+    if (!est.feasible) {
+        std::cout << "INFEASIBLE: " << est.infeasible_reason << "\n";
+        std::cout << "\nFeasible placements on this platform:\n";
+        core::Estimator estimator;
+        for (const auto& option : estimator.rankPlacements(m, sys)) {
+            std::cout << "  "
+                      << placement::toString(option.system.placement)
+                      << ": "
+                      << util::fixed(
+                             option.estimate.throughput / 1000.0, 0)
+                      << "k examples/s\n";
+        }
+        return 1;
+    }
+
+    util::TextTable table;
+    table.header({"metric", "value"});
+    table.row({"throughput",
+               util::fixed(est.throughput / 1000.0, 1) +
+                   "k examples/s"});
+    table.row({"iteration time",
+               util::fixed(est.iteration_seconds * 1e3, 2) + " ms"});
+    table.row({"bottleneck", est.bottleneck});
+    table.row({"power", util::fixed(est.power_watts / 1000.0, 2) +
+                   " kW"});
+    table.row({"efficiency",
+               util::fixed(est.perfPerWatt(), 1) + " examples/s/W"});
+    if (im.plan().replicated)
+        table.row({"tables", "replicated per GPU"});
+    else
+        table.row({"tables", util::format(
+                       "sharded across {} device(s)",
+                       std::max<std::size_t>(
+                           im.plan().partition.shardsUsed(), 1))});
+    if (sys.remote_cache_bytes > 0.0) {
+        table.row({"cache hit fraction",
+                   util::fixed(im.remoteCacheHitFraction() * 100.0, 1) +
+                       "%"});
+    }
+    std::cout << table.render() << "\nbreakdown:";
+    for (const auto& phase : est.breakdown) {
+        if (phase.seconds > 1e-6) {
+            std::cout << "  " << phase.name << "="
+                      << util::fixed(phase.seconds * 1e3, 2) << "ms";
+        }
+    }
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace core {
+
+Estimator::Estimator(cost::CostParams params)
+    : params_(params)
+{
+}
+
+cost::IterationEstimate
+Estimator::estimate(const model::DlrmConfig& model,
+                    const cost::SystemConfig& system) const
+{
+    return cost::IterationModel(model, system, params_).estimate();
+}
+
+SetupComparison
+Estimator::compare(const model::DlrmConfig& model,
+                   const cost::SystemConfig& baseline,
+                   const cost::SystemConfig& candidate) const
+{
+    SetupComparison cmp;
+    cmp.baseline = estimate(model, baseline);
+    cmp.candidate = estimate(model, candidate);
+    if (cmp.baseline.throughput > 0.0) {
+        cmp.relative_throughput =
+            cmp.candidate.throughput / cmp.baseline.throughput;
+    }
+    const double base_eff = cmp.baseline.perfPerWatt();
+    if (base_eff > 0.0) {
+        cmp.relative_power_efficiency =
+            cmp.candidate.perfPerWatt() / base_eff;
+    }
+    return cmp;
+}
+
+RankedSetup
+Estimator::optimalBatch(const model::DlrmConfig& model,
+                        cost::SystemConfig system,
+                        const std::vector<std::size_t>& batch_candidates,
+                        double saturation_tolerance) const
+{
+    RECSIM_ASSERT(!batch_candidates.empty(), "no batch candidates");
+    std::vector<RankedSetup> setups;
+    double peak = 0.0;
+    for (std::size_t batch : batch_candidates) {
+        system.batch_size = batch;
+        RankedSetup setup{system, estimate(model, system)};
+        peak = std::max(peak, setup.estimate.throughput);
+        setups.push_back(std::move(setup));
+    }
+    // Smallest batch whose throughput is within tolerance of the peak:
+    // beyond the saturation point extra batch only costs model quality.
+    for (auto& setup : setups) {
+        if (setup.estimate.feasible &&
+            setup.estimate.throughput >=
+                peak * (1.0 - saturation_tolerance)) {
+            return setup;
+        }
+    }
+    return setups.back();
+}
+
+std::vector<RankedSetup>
+Estimator::rankPlacements(const model::DlrmConfig& model,
+                          const cost::SystemConfig& system) const
+{
+    std::vector<placement::EmbeddingPlacement> strategies;
+    if (system.platform.num_gpus > 0) {
+        strategies = {placement::EmbeddingPlacement::GpuMemory,
+                      placement::EmbeddingPlacement::HostMemory,
+                      placement::EmbeddingPlacement::Hybrid,
+                      placement::EmbeddingPlacement::RemotePs};
+    } else {
+        strategies = {placement::EmbeddingPlacement::CpuLocal};
+    }
+    std::vector<RankedSetup> ranked;
+    for (auto strategy : strategies) {
+        cost::SystemConfig candidate = system;
+        candidate.placement = strategy;
+        if (strategy == placement::EmbeddingPlacement::RemotePs &&
+            candidate.num_sparse_ps == 0) {
+            candidate.num_sparse_ps = 8;
+        }
+        RankedSetup setup{candidate, estimate(model, candidate)};
+        if (setup.estimate.feasible)
+            ranked.push_back(std::move(setup));
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedSetup& a, const RankedSetup& b) {
+                         return a.estimate.throughput >
+                             b.estimate.throughput;
+                     });
+    return ranked;
+}
+
+} // namespace core
+} // namespace recsim

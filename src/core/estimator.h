@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Top-level estimation API: one object that answers the questions the
+ * paper asks — "what throughput and power efficiency does model M get
+ * on system S?", "what is the optimal batch size?", "which placement
+ * and platform should this model use?". Thin façade over the cost
+ * model, the placement planner and (optionally) the DES.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/iteration_model.h"
+#include "cost/system_config.h"
+#include "model/config.h"
+#include "placement/placement.h"
+
+namespace recsim {
+namespace core {
+
+/** A (system, estimate) pair returned by search helpers. */
+struct RankedSetup
+{
+    cost::SystemConfig system;
+    cost::IterationEstimate estimate;
+};
+
+/** Relative comparison of two setups for the same model (Table III). */
+struct SetupComparison
+{
+    cost::IterationEstimate baseline;
+    cost::IterationEstimate candidate;
+    /** candidate / baseline throughput. */
+    double relative_throughput = 0.0;
+    /** candidate / baseline examples-per-joule. */
+    double relative_power_efficiency = 0.0;
+};
+
+/**
+ * The estimator. Holds the calibration constants so alternative
+ * calibrations (ablations) can be compared side by side.
+ */
+class Estimator
+{
+  public:
+    explicit Estimator(cost::CostParams params = {});
+
+    /** Throughput/power/utilization estimate for one setup. */
+    cost::IterationEstimate estimate(
+        const model::DlrmConfig& model,
+        const cost::SystemConfig& system) const;
+
+    /** Candidate vs baseline (Table III rows). */
+    SetupComparison compare(const model::DlrmConfig& model,
+                            const cost::SystemConfig& baseline,
+                            const cost::SystemConfig& candidate) const;
+
+    /**
+     * Scan @p batch_candidates and return the smallest batch within
+     * @p saturation_tolerance of the peak throughput — the paper's
+     * "optimal batch size" criterion (beyond the saturation point,
+     * larger batches only hurt model quality).
+     */
+    RankedSetup optimalBatch(const model::DlrmConfig& model,
+                             cost::SystemConfig system,
+                             const std::vector<std::size_t>&
+                                 batch_candidates,
+                             double saturation_tolerance = 0.05) const;
+
+    /**
+     * Try every placement on @p system's platform and return feasible
+     * setups sorted by throughput, best first.
+     */
+    std::vector<RankedSetup> rankPlacements(
+        const model::DlrmConfig& model,
+        const cost::SystemConfig& system) const;
+
+    const cost::CostParams& params() const { return params_; }
+
+  private:
+    cost::CostParams params_;
+};
+
+} // namespace core
+} // namespace recsim

@@ -1,0 +1,130 @@
+#include "core/explorer.h"
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace core {
+
+cost::SystemConfig
+TestSuiteParams::cpuSystem() const
+{
+    return cost::SystemConfig::cpuSetup(1, 1, 1, cpu_batch, 1);
+}
+
+cost::SystemConfig
+TestSuiteParams::gpuSystem() const
+{
+    return cost::SystemConfig::bigBasinSetup(
+        placement::EmbeddingPlacement::GpuMemory, gpu_batch);
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(Estimator estimator,
+                                         TestSuiteParams params)
+    : estimator_(std::move(estimator)), params_(params)
+{
+}
+
+SweepRow
+DesignSpaceExplorer::evaluate(const model::DlrmConfig& model,
+                              std::string label, double axis,
+                              cost::SystemConfig cpu_sys,
+                              cost::SystemConfig gpu_sys) const
+{
+    SweepRow row;
+    row.label = std::move(label);
+    row.axis_value = axis;
+    row.cpu = estimator_.estimate(model, cpu_sys);
+    row.gpu = estimator_.estimate(model, gpu_sys);
+    return row;
+}
+
+std::vector<SweepRow>
+DesignSpaceExplorer::featureSweep(
+    const std::vector<std::size_t>& dense_counts,
+    const std::vector<std::size_t>& sparse_counts) const
+{
+    std::vector<SweepRow> rows;
+    for (std::size_t dense : dense_counts) {
+        for (std::size_t sparse : sparse_counts) {
+            const auto model = model::DlrmConfig::testSuite(
+                dense, sparse, params_.hash_size, params_.mlp_width,
+                params_.mlp_layers, params_.mean_length,
+                params_.truncation);
+            rows.push_back(evaluate(
+                model, util::format("d{}/s{}", dense, sparse),
+                static_cast<double>(dense), params_.cpuSystem(),
+                params_.gpuSystem()));
+        }
+    }
+    return rows;
+}
+
+std::vector<SweepRow>
+DesignSpaceExplorer::batchSweep(
+    std::size_t num_dense, std::size_t num_sparse,
+    const std::vector<std::size_t>& cpu_batches,
+    const std::vector<std::size_t>& gpu_batches) const
+{
+    RECSIM_ASSERT(cpu_batches.size() == gpu_batches.size(),
+                  "batch sweep lists must align");
+    const auto model = model::DlrmConfig::testSuite(
+        num_dense, num_sparse, params_.hash_size, params_.mlp_width,
+        params_.mlp_layers, params_.mean_length, params_.truncation);
+    std::vector<SweepRow> rows;
+    for (std::size_t i = 0; i < cpu_batches.size(); ++i) {
+        cost::SystemConfig cpu_sys = params_.cpuSystem();
+        cpu_sys.batch_size = cpu_batches[i];
+        cost::SystemConfig gpu_sys = params_.gpuSystem();
+        gpu_sys.batch_size = gpu_batches[i];
+        rows.push_back(evaluate(
+            model,
+            util::format("cpu_b{}/gpu_b{}", cpu_batches[i],
+                         gpu_batches[i]),
+            static_cast<double>(gpu_batches[i]), cpu_sys, gpu_sys));
+    }
+    return rows;
+}
+
+std::vector<SweepRow>
+DesignSpaceExplorer::hashSweep(
+    std::size_t num_dense, std::size_t num_sparse,
+    const std::vector<uint64_t>& hash_sizes) const
+{
+    std::vector<SweepRow> rows;
+    for (uint64_t hash : hash_sizes) {
+        const auto model = model::DlrmConfig::testSuite(
+            num_dense, num_sparse, hash, params_.mlp_width,
+            params_.mlp_layers, params_.mean_length, params_.truncation);
+        rows.push_back(evaluate(model,
+                                util::countToString(
+                                    static_cast<double>(hash)),
+                                static_cast<double>(hash),
+                                params_.cpuSystem(),
+                                params_.gpuSystem()));
+    }
+    return rows;
+}
+
+std::vector<SweepRow>
+DesignSpaceExplorer::mlpSweep(
+    std::size_t num_dense, std::size_t num_sparse,
+    const std::vector<std::pair<std::size_t, std::size_t>>& width_layers)
+    const
+{
+    std::vector<SweepRow> rows;
+    for (const auto& [width, layers] : width_layers) {
+        const auto model = model::DlrmConfig::testSuite(
+            num_dense, num_sparse, params_.hash_size, width, layers,
+            params_.mean_length, params_.truncation);
+        rows.push_back(evaluate(model,
+                                util::format("{}^{}", width, layers),
+                                static_cast<double>(width),
+                                params_.cpuSystem(),
+                                params_.gpuSystem()));
+    }
+    return rows;
+}
+
+} // namespace core
+} // namespace recsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Design-space exploration helpers: the programmable "test suite" of
+ * Section V. Each sweep fixes everything except one axis (feature
+ * counts, batch size, hash size, MLP dimensions) and evaluates a CPU
+ * setup and a GPU setup side by side, exactly as Figs 10-13 do.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace recsim {
+namespace core {
+
+/** One row of a sweep: the axis value plus both estimates. */
+struct SweepRow
+{
+    std::string label;
+    double axis_value = 0.0;
+    cost::IterationEstimate cpu;
+    cost::IterationEstimate gpu;
+
+    /** GPU/CPU throughput ratio (0 when CPU infeasible). */
+    double throughputRatio() const
+    {
+        return cpu.throughput > 0.0
+            ? gpu.throughput / cpu.throughput : 0.0;
+    }
+
+    /** GPU/CPU perf-per-watt ratio. */
+    double efficiencyRatio() const
+    {
+        const double c = cpu.perfPerWatt();
+        return c > 0.0 ? gpu.perfPerWatt() / c : 0.0;
+    }
+};
+
+/** Shared fixed parameters of the Section V test suite. */
+struct TestSuiteParams
+{
+    /** Fixed hash size for every sparse feature (Fig 10/11/13). */
+    uint64_t hash_size = 100000;
+    /** MLP width and depth (512^3 unless the sweep varies them). */
+    std::size_t mlp_width = 512;
+    std::size_t mlp_layers = 3;
+    /** Mean lookups per sparse feature, truncated at 32 (Sec V). */
+    double mean_length = 8.0;
+    uint64_t truncation = 32;
+    /** Fixed batch sizes: 200 for CPU, 1600 per GPU (Fig 10 caption). */
+    std::size_t cpu_batch = 200;
+    std::size_t gpu_batch = 1600;
+    /** CPU setup: single trainer, one dense and one sparse PS. */
+    cost::SystemConfig cpuSystem() const;
+    /** GPU setup: one Big Basin, embeddings in GPU memory. */
+    cost::SystemConfig gpuSystem() const;
+};
+
+/** The Section V explorer. */
+class DesignSpaceExplorer
+{
+  public:
+    explicit DesignSpaceExplorer(Estimator estimator = Estimator{},
+                                 TestSuiteParams params = {});
+
+    /**
+     * Fig 10: grid over dense x sparse feature counts. Returns one row
+     * per (dense, sparse) pair, labeled "d<dense>/s<sparse>".
+     */
+    std::vector<SweepRow> featureSweep(
+        const std::vector<std::size_t>& dense_counts,
+        const std::vector<std::size_t>& sparse_counts) const;
+
+    /** Fig 11: batch-size scaling at fixed features. */
+    std::vector<SweepRow> batchSweep(
+        std::size_t num_dense, std::size_t num_sparse,
+        const std::vector<std::size_t>& cpu_batches,
+        const std::vector<std::size_t>& gpu_batches) const;
+
+    /** Fig 12: hash-size scaling (capacity frontier included). */
+    std::vector<SweepRow> hashSweep(
+        std::size_t num_dense, std::size_t num_sparse,
+        const std::vector<uint64_t>& hash_sizes) const;
+
+    /** Fig 13: MLP width^layers scaling. */
+    std::vector<SweepRow> mlpSweep(
+        std::size_t num_dense, std::size_t num_sparse,
+        const std::vector<std::pair<std::size_t, std::size_t>>&
+            width_layers) const;
+
+    const TestSuiteParams& params() const { return params_; }
+    const Estimator& estimator() const { return estimator_; }
+
+  private:
+    SweepRow evaluate(const model::DlrmConfig& model, std::string label,
+                      double axis, cost::SystemConfig cpu_sys,
+                      cost::SystemConfig gpu_sys) const;
+
+    Estimator estimator_;
+    TestSuiteParams params_;
+};
+
+} // namespace core
+} // namespace recsim

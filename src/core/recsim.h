@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Umbrella header: include this to get the whole recsim public API.
+ *
+ *  - model/config.h      model architecture configuration (Table II)
+ *  - hw/platform.h       hardware platforms (Table I)
+ *  - placement/...       embedding-table placement (Fig 8)
+ *  - cost/...            analytical iteration cost model
+ *  - sim/dist_sim.h      discrete-event distributed-training sim
+ *  - train/...           functional training (Fig 15)
+ *  - fleet/...           fleet-level studies (Figs 2, 5, 9)
+ *  - core/estimator.h    top-level estimation API
+ *  - core/explorer.h     Section V design-space explorer
+ */
+#pragma once
+
+#include "core/estimator.h"
+#include "core/explorer.h"
+#include "cost/iteration_model.h"
+#include "cost/system_config.h"
+#include "data/dataset.h"
+#include "data/spec.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/workload.h"
+#include "hw/platform.h"
+#include "model/config.h"
+#include "model/dlrm.h"
+#include "placement/placement.h"
+#include "sim/dist_sim.h"
+#include "train/easgd.h"
+#include "train/hogwild.h"
+#include "train/shadow_sync.h"
+#include "train/sweep.h"
+#include "train/trainer.h"

@@ -1,0 +1,27 @@
+#include "cost/cache_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace cost {
+
+double
+gatherEfficiency(double resident_bytes, double cache_bytes,
+                 double random_eff, double cached_eff)
+{
+    RECSIM_ASSERT(random_eff > 0.0 && cached_eff >= random_eff,
+                  "inconsistent gather efficiencies");
+    if (resident_bytes <= cache_bytes || resident_bytes <= 0.0)
+        return cached_eff;
+    // Hit fraction under Zipf-skewed access: the cache holds the hottest
+    // rows, serving roughly cache/resident of *capacity* but a larger
+    // share of *traffic*; the sqrt soft-skew captures that.
+    const double hit = std::min(1.0, cache_bytes / resident_bytes);
+    const double traffic_hit = std::min(1.0, 1.8 * hit + 0.2 * hit * hit);
+    return random_eff + (cached_eff - random_eff) * traffic_hit;
+}
+
+} // namespace cost
+} // namespace recsim

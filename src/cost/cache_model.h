@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Cache-residency model for embedding gathers. Small tables stay
+ * resident in the on-chip cache and gather near streaming bandwidth;
+ * terabyte-scale tables are pure random access. This is one of the two
+ * mechanisms behind the hash-size scaling result (Fig 12): growing the
+ * hash size pushes tables out of cache *and* across more GPUs.
+ */
+#pragma once
+
+namespace recsim {
+namespace cost {
+
+/** Last-level cache sizes used by the gather model, bytes. */
+inline constexpr double kGpuL2Bytes = 6.0e6;     ///< V100 L2.
+inline constexpr double kCpuLlcBytesPerSocket = 27.5e6;  ///< SKL 20c LLC.
+
+/**
+ * Effective gather efficiency (fraction of streaming bandwidth) for a
+ * working set of @p resident_bytes against a cache of @p cache_bytes.
+ *
+ * Cache-resident working sets achieve @p cached_eff; far larger ones
+ * decay toward @p random_eff with the cache hit fraction
+ * cache_bytes / resident_bytes (Zipf-skewed access keeps hot rows
+ * cached, so the decay is hyperbolic rather than a step).
+ */
+double gatherEfficiency(double resident_bytes, double cache_bytes,
+                        double random_eff, double cached_eff = 0.9);
+
+} // namespace cost
+} // namespace recsim

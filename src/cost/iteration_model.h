@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Analytical iteration cost model: the substitute for measuring on the
+ * real fleet. Given a model architecture (DlrmConfig), a system
+ * configuration (SystemConfig) and calibration constants (CostParams),
+ * it produces steady-state training throughput, the per-phase time
+ * breakdown, the binding bottleneck, per-resource utilizations and
+ * power efficiency — everything the paper's evaluation figures plot.
+ *
+ * The model is a roofline-plus-bottleneck analysis:
+ *  - every phase (MLP compute, embedding gather, collective or PS
+ *    communication, input) is costed as max(work/rate) over the
+ *    resources it exercises;
+ *  - shared services (sparse/dense parameter servers, readers) impose
+ *    system-wide throughput caps;
+ *  - throughput = min(trainer-side rate, service caps), and
+ *    utilization = demand / capacity at the achieved throughput.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/system_config.h"
+#include "model/config.h"
+#include "placement/placement.h"
+
+namespace recsim {
+namespace cost {
+
+/**
+ * Calibration constants of the cost model. Defaults are calibrated so
+ * the Table III relative-throughput shape holds (see EXPERIMENTS.md);
+ * they absorb framework inefficiency the hardware specs alone cannot
+ * express (Caffe2-era op dispatch, RPC serialization, imperfect
+ * overlap).
+ */
+struct CostParams
+{
+    /** Backward pass cost relative to forward (dW and dX GEMMs). */
+    double backward_flops_multiplier = 2.0;
+    /** Embedding traffic multiplier in training: forward read plus
+     *  backward read-modify-write of rows and optimizer state. */
+    double emb_train_bytes_multiplier = 2.0;
+
+    /** Per-iteration framework overhead on a CPU trainer, seconds. */
+    double cpu_iteration_overhead = 0.3e-3;
+    /** Per-example host-seconds of feature transform / op dispatch. */
+    double cpu_per_example_overhead = 1.5e-6;
+    /** Per-lookup host-seconds on the trainer (id marshalling, pooled
+     *  vector copies); dominates for lookup-heavy models like M1/M3. */
+    double cpu_per_lookup_overhead = 8.0e-9;
+    /** Achievable fraction of CPU peak for trainer GEMMs (calibrated
+     *  to production per-trainer throughput; overrides the platform's
+     *  generic value inside the model). */
+    double cpu_mlp_efficiency = 0.5;
+    /** Activation working-set bytes per example per MLP-width unit;
+     *  past the LLC this derates GEMM efficiency (Fig 11 CPU roll-off). */
+    double cpu_cache_pressure_exponent = 0.35;
+
+    /** Per-iteration host-side dispatch/sync overhead on a GPU server. */
+    double gpu_iteration_overhead = 1.5e-3;
+    /** Achievable fraction of GPU peak for DLRM-scale GEMMs. */
+    double gpu_mlp_efficiency = 0.35;
+    /** Socket-seconds of host CPU work per example on a GPU server
+     *  (input pipeline, batching, H2D staging). The paper repeatedly
+     *  observes the dual-socket Big Basin host becoming the bottleneck;
+     *  Zion's 8 sockets quarter this cost. */
+    double host_cpu_per_example = 0.8e-6;
+    /** Socket-seconds of host CPU per embedding lookup on a GPU server
+     *  (id batching in the input pipeline). */
+    double host_cpu_per_lookup = 0.5e-9;
+    /** Kernel launches per MLP layer (fwd + dgrad + wgrad). */
+    double gpu_kernels_per_layer = 3.0;
+    /** Fixed kernels per iteration (loss, optimizer, interaction...). */
+    double gpu_fixed_kernels = 30.0;
+
+    /** RPC serialization bandwidth per CPU socket, B/s. */
+    double serialization_bw_per_socket = 5.0e9;
+    /** Fraction of NIC line rate achieved as RPC goodput. */
+    double network_goodput = 0.85;
+    /** Extra bytes per lookup for index/request framing. */
+    double request_bytes_per_lookup = 4.0;
+    /** Concurrent outstanding embedding RPCs a trainer sustains. */
+    double remote_inflight_rpcs = 384.0;
+    /** Parameter-server request service time, seconds. */
+    double ps_service_time = 20.0e-6;
+
+    /** Gather efficiency when the working set is cache-resident. */
+    double cached_gather_efficiency = 0.9;
+
+    /** Fraction of host FLOPs usable for PS-side pooling. */
+    double ps_pooling_flops_fraction = 0.5;
+};
+
+/** One named time component of an iteration, seconds. */
+struct PhaseTime
+{
+    std::string name;
+    double seconds = 0.0;
+};
+
+/** Per-resource utilization in [0, 1] at the achieved throughput. */
+struct Utilizations
+{
+    double trainer_cpu = 0.0;
+    double trainer_mem_bw = 0.0;
+    double trainer_mem_capacity = 0.0;
+    double trainer_network = 0.0;
+    double gpu_compute = 0.0;
+    double gpu_mem_bw = 0.0;
+    double gpu_interconnect = 0.0;
+    double host_mem_bw = 0.0;
+    double pcie = 0.0;
+    double sparse_ps_cpu = 0.0;
+    double sparse_ps_mem_bw = 0.0;
+    double sparse_ps_mem_capacity = 0.0;
+    double sparse_ps_network = 0.0;
+    double dense_ps_network = 0.0;
+    double reader_network = 0.0;
+
+    /** (name, value) pairs for reporting. */
+    std::vector<std::pair<std::string, double>> asList() const;
+};
+
+/** Full result of one estimate. */
+struct IterationEstimate
+{
+    bool feasible = true;
+    std::string infeasible_reason;
+
+    /** Wall time of one trainer iteration, seconds. */
+    double iteration_seconds = 0.0;
+    /** Examples consumed per system iteration. */
+    double examples_per_iteration = 0.0;
+    /** System training throughput, examples/second. */
+    double throughput = 0.0;
+    /** The resource that binds. */
+    std::string bottleneck;
+
+    std::vector<PhaseTime> breakdown;
+    Utilizations util;
+
+    double power_watts = 0.0;
+    /** examples / second / watt. */
+    double perfPerWatt() const
+    {
+        return power_watts > 0.0 ? throughput / power_watts : 0.0;
+    }
+};
+
+/**
+ * The estimator. Construction plans the embedding placement; estimate()
+ * is pure and cheap, so sweeps construct one model per design point.
+ */
+class IterationModel
+{
+  public:
+    IterationModel(model::DlrmConfig model_config,
+                   SystemConfig system_config, CostParams params = {});
+
+    /** Steady-state estimate for the configured system. */
+    IterationEstimate estimate() const;
+
+    const placement::PlacementPlan& plan() const { return plan_; }
+    const model::DlrmConfig& modelConfig() const { return model_; }
+    const SystemConfig& systemConfig() const { return system_; }
+
+    /**
+     * Fraction of remote lookup traffic served by the trainer-side
+     * hot-row cache (0 when no cache is configured). Analytic: Zipf
+     * top-k mass with the cache split across tables by access share.
+     */
+    double remoteCacheHitFraction() const;
+
+  private:
+    IterationEstimate estimateCpu() const;
+    IterationEstimate estimateGpu() const;
+
+    /** Sparse-PS aggregate serving capacity, examples/s (0 = none). */
+    double sparsePsCapacity() const;
+
+    model::DlrmConfig model_;
+    SystemConfig system_;
+    CostParams params_;
+    placement::PlacementPlan plan_;
+    model::ExampleFootprint fp_;
+};
+
+} // namespace cost
+} // namespace recsim

@@ -1,0 +1,114 @@
+#include "cost/system_config.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace cost {
+
+std::string
+toString(SyncMode mode)
+{
+    switch (mode) {
+      case SyncMode::Easgd:
+        return "easgd";
+      case SyncMode::Sync:
+        return "sync";
+    }
+    util::panic("unknown sync mode");
+}
+
+std::size_t
+SystemConfig::globalBatch() const
+{
+    if (platform.num_gpus > 0) {
+        return batch_size * static_cast<std::size_t>(platform.num_gpus) *
+            std::max<std::size_t>(num_trainers, 1);
+    }
+    return batch_size * num_trainers * hogwild_threads;
+}
+
+double
+SystemConfig::totalPowerWatts() const
+{
+    const double cpu_server =
+        hw::Platform::dualSocketCpu().power_watts;
+    double watts = 0.0;
+    if (platform.num_gpus > 0) {
+        watts += platform.power_watts *
+            static_cast<double>(std::max<std::size_t>(num_trainers, 1));
+        // Remote sparse PS for a GPU trainer are CPU servers.
+        if (placement == placement::EmbeddingPlacement::RemotePs)
+            watts += static_cast<double>(num_sparse_ps) * cpu_server;
+    } else {
+        watts += static_cast<double>(num_trainers) * platform.power_watts;
+        watts += static_cast<double>(num_sparse_ps + num_dense_ps) *
+            cpu_server;
+    }
+    if (count_reader_power)
+        watts += static_cast<double>(num_readers) * cpu_server;
+    return watts;
+}
+
+std::string
+SystemConfig::summary() const
+{
+    return util::format(
+        "{} x{} trainers, {} sparse PS, {} dense PS, emb on {}, "
+        "batch {}, {} ({} hogwild)",
+        platform.name, num_trainers, num_sparse_ps, num_dense_ps,
+        placement::toString(placement), batch_size, toString(sync_mode),
+        hogwild_threads);
+}
+
+SystemConfig
+SystemConfig::cpuSetup(std::size_t trainers, std::size_t sparse_ps,
+                       std::size_t dense_ps, std::size_t batch,
+                       std::size_t hogwild)
+{
+    SystemConfig cfg;
+    cfg.platform = hw::Platform::dualSocketCpu();
+    cfg.placement = placement::EmbeddingPlacement::CpuLocal;
+    cfg.num_trainers = trainers;
+    cfg.num_sparse_ps = sparse_ps;
+    cfg.num_dense_ps = dense_ps;
+    cfg.batch_size = batch;
+    cfg.hogwild_threads = hogwild;
+    cfg.sync_mode = SyncMode::Easgd;
+    cfg.placement_options.num_sparse_ps = sparse_ps;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::bigBasinSetup(placement::EmbeddingPlacement placement,
+                            std::size_t batch_per_gpu,
+                            std::size_t remote_sparse_ps)
+{
+    SystemConfig cfg;
+    cfg.platform = hw::Platform::bigBasin();
+    cfg.placement = placement;
+    cfg.num_trainers = 1;
+    cfg.num_dense_ps = 0;
+    cfg.num_sparse_ps = remote_sparse_ps;
+    cfg.batch_size = batch_per_gpu;
+    cfg.sync_mode = SyncMode::Sync;
+    cfg.placement_options.num_sparse_ps =
+        remote_sparse_ps ? remote_sparse_ps : 1;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::zionSetup(placement::EmbeddingPlacement placement,
+                        std::size_t batch_per_gpu,
+                        std::size_t remote_sparse_ps)
+{
+    SystemConfig cfg = bigBasinSetup(placement, batch_per_gpu,
+                                     remote_sparse_ps);
+    cfg.platform = hw::Platform::zionPrototype();
+    return cfg;
+}
+
+} // namespace cost
+} // namespace recsim

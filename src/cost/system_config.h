@@ -1,0 +1,116 @@
+/**
+ * @file
+ * System-side training configuration (Section IV-B of the paper): which
+ * platform, where the embedding tables live, how many trainer /
+ * parameter-server / reader servers, batch size, and the gradient
+ * synchronization mode.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hw/platform.h"
+#include "placement/placement.h"
+
+namespace recsim {
+namespace cost {
+
+/** Gradient synchronization method (Section III-A.6). */
+enum class SyncMode
+{
+    Easgd,  ///< Elastic-averaging SGD with a center dense PS.
+    Sync    ///< Fully synchronous allreduce (GPU-local training).
+};
+
+std::string toString(SyncMode mode);
+
+/** Complete system configuration for one training run. */
+struct SystemConfig
+{
+    hw::Platform platform = hw::Platform::dualSocketCpu();
+    placement::EmbeddingPlacement placement =
+        placement::EmbeddingPlacement::CpuLocal;
+
+    /**
+     * Trainer servers. For CPU platforms: the trainer fleet size. For
+     * GPU platforms: the number of identical GPU servers ganged
+     * data-parallel (the scale-out extension; 1 = the paper's
+     * single-server setups).
+     */
+    std::size_t num_trainers = 1;
+    /** Dense parameter servers holding MLP parameters. */
+    std::size_t num_dense_ps = 1;
+    /** Sparse parameter servers holding embedding tables. */
+    std::size_t num_sparse_ps = 1;
+    /**
+     * Reader servers streaming examples from the warehouse. 0 means
+     * auto-scaled: the paper notes readers are provisioned so that data
+     * reading never bottlenecks training, so no reader cap is applied.
+     */
+    std::size_t num_readers = 0;
+
+    /**
+     * Batch size per trainer (CPU platforms) or per GPU (accelerated
+     * platforms), matching the paper's "optimal batch size per GPU".
+     */
+    std::size_t batch_size = 200;
+
+    /** Asynchronous Hogwild worker threads per trainer. */
+    std::size_t hogwild_threads = 1;
+
+    SyncMode sync_mode = SyncMode::Easgd;
+    /** Iterations between EASGD syncs with the dense PS. */
+    std::size_t easgd_sync_period = 16;
+
+    /** Include reader servers in the power accounting. */
+    bool count_reader_power = false;
+
+    /**
+     * Serving precision of the embedding tables, bytes per element
+     * (4 = fp32, 2 = fp16, 1 = int8 row-wise) — the quantization
+     * extension. Scales table capacity and lookup bandwidth in the
+     * cost model; nn::QuantizedEmbeddingBag measures the accuracy side.
+     */
+    double emb_bytes_per_element = 4.0;
+
+    /**
+     * Trainer-side hot-row cache for remote (parameter-server)
+     * placements, bytes — the caching extension. Zipf-skewed access
+     * means a small cache absorbs a large lookup fraction.
+     */
+    double remote_cache_bytes = 0.0;
+
+    placement::PlacementOptions placement_options;
+
+    /** Global examples per iteration across the whole system. */
+    std::size_t globalBatch() const;
+
+    /** Total provisioned power of the setup, watts. */
+    double totalPowerWatts() const;
+
+    /** One-line summary for reports. */
+    std::string summary() const;
+
+    // ---- Named setups (Table III "CPU Setup" / "GPU Setup" rows) ----
+
+    /** N-trainer CPU setup with dense+sparse PS split. */
+    static SystemConfig cpuSetup(std::size_t trainers,
+                                 std::size_t sparse_ps,
+                                 std::size_t dense_ps,
+                                 std::size_t batch = 200,
+                                 std::size_t hogwild = 1);
+
+    /** Single Big Basin with a chosen placement. */
+    static SystemConfig bigBasinSetup(
+        placement::EmbeddingPlacement placement, std::size_t batch_per_gpu,
+        std::size_t remote_sparse_ps = 0);
+
+    /** Single prototype Zion with a chosen placement. */
+    static SystemConfig zionSetup(placement::EmbeddingPlacement placement,
+                                  std::size_t batch_per_gpu,
+                                  std::size_t remote_sparse_ps = 0);
+};
+
+} // namespace cost
+} // namespace recsim

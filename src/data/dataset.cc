@@ -1,0 +1,153 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace data {
+
+std::size_t
+MiniBatch::totalLookups() const
+{
+    std::size_t total = 0;
+    for (const auto& s : sparse)
+        total += s.totalLookups();
+    return total;
+}
+
+/** One fully drawn example (pre-batching representation). */
+struct SyntheticCtrDataset::Example
+{
+    std::vector<float> dense;
+    std::vector<std::vector<uint64_t>> sparse;
+    float label;
+};
+
+SyntheticCtrDataset::SyntheticCtrDataset(DatasetConfig config)
+    : config_(std::move(config))
+{
+    RECSIM_ASSERT(config_.num_dense > 0, "dataset needs dense features");
+    rng_ = std::make_unique<util::Rng>(config_.seed);
+    util::Rng teacher_rng = rng_->fork(0x7eac4e6ULL);
+    teacher_ = std::make_unique<TeacherModel>(
+        config_.num_dense, config_.sparse, teacher_rng,
+        config_.label_noise, config_.teacher_bias);
+    index_samplers_.reserve(config_.sparse.size());
+    for (const auto& spec : config_.sparse) {
+        index_samplers_.push_back(std::make_unique<util::ZipfSampler>(
+            spec.rawSpace(), spec.zipf_exponent));
+    }
+}
+
+SyntheticCtrDataset::~SyntheticCtrDataset() = default;
+
+SyntheticCtrDataset::Example
+SyntheticCtrDataset::drawExample()
+{
+    Example ex;
+    ex.dense.resize(config_.num_dense);
+    for (auto& v : ex.dense)
+        v = static_cast<float>(rng_->normal());
+
+    ex.sparse.resize(config_.sparse.size());
+    for (std::size_t f = 0; f < config_.sparse.size(); ++f) {
+        const auto& spec = config_.sparse[f];
+        uint64_t len = std::max<uint64_t>(
+            1, rng_->poisson(spec.mean_length));
+        if (spec.truncation > 0)
+            len = std::min(len, spec.truncation);
+        ex.sparse[f].reserve(len);
+        for (uint64_t k = 0; k < len; ++k)
+            ex.sparse[f].push_back((*index_samplers_[f])(*rng_));
+    }
+
+    const double p = teacher_->clickProbability(ex.dense, ex.sparse,
+                                                *rng_);
+    ex.label = rng_->bernoulli(p) ? 1.0f : 0.0f;
+    return ex;
+}
+
+MiniBatch
+SyntheticCtrDataset::assemble(const std::vector<const Example*>& rows)
+    const
+{
+    const std::size_t b = rows.size();
+    MiniBatch batch;
+    batch.dense = tensor::Tensor(b, config_.num_dense);
+    batch.labels.resize(b);
+    batch.sparse.resize(config_.sparse.size());
+    for (auto& sb : batch.sparse)
+        sb.offsets.assign(1, 0);
+
+    for (std::size_t i = 0; i < b; ++i) {
+        const Example& ex = *rows[i];
+        std::copy(ex.dense.begin(), ex.dense.end(), batch.dense.row(i));
+        batch.labels[i] = ex.label;
+        for (std::size_t f = 0; f < ex.sparse.size(); ++f) {
+            auto& sb = batch.sparse[f];
+            sb.indices.insert(sb.indices.end(), ex.sparse[f].begin(),
+                              ex.sparse[f].end());
+            sb.offsets.push_back(sb.indices.size());
+        }
+    }
+    return batch;
+}
+
+MiniBatch
+SyntheticCtrDataset::nextBatch(std::size_t batch_size)
+{
+    RECSIM_ASSERT(batch_size > 0, "empty batch requested");
+    std::vector<Example> drawn;
+    drawn.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i)
+        drawn.push_back(drawExample());
+    std::vector<const Example*> rows;
+    rows.reserve(batch_size);
+    for (const auto& ex : drawn)
+        rows.push_back(&ex);
+    return assemble(rows);
+}
+
+void
+SyntheticCtrDataset::materialize(std::size_t n)
+{
+    RECSIM_ASSERT(n > 0, "materialize of zero examples");
+    materialized_.clear();
+    materialized_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        materialized_.push_back(drawExample());
+}
+
+std::size_t
+SyntheticCtrDataset::materializedSize() const
+{
+    return materialized_.size();
+}
+
+MiniBatch
+SyntheticCtrDataset::epochBatch(std::size_t start,
+                                std::size_t batch_size) const
+{
+    RECSIM_ASSERT(!materialized_.empty(),
+                  "epochBatch before materialize()");
+    std::vector<const Example*> rows;
+    rows.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i)
+        rows.push_back(&materialized_[(start + i) % materialized_.size()]);
+    return assemble(rows);
+}
+
+double
+SyntheticCtrDataset::baseCtr() const
+{
+    RECSIM_ASSERT(!materialized_.empty(), "baseCtr before materialize()");
+    double total = 0.0;
+    for (const auto& ex : materialized_)
+        total += ex.label;
+    return total / static_cast<double>(materialized_.size());
+}
+
+} // namespace data
+} // namespace recsim

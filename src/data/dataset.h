@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic click-through-rate dataset: the stand-in for the production
+ * Hive training tables the paper's reader servers stream. Generates
+ * dense vectors, multi-hot sparse features with Zipfian index popularity
+ * and Poisson lengths, and teacher-model labels.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/spec.h"
+#include "data/teacher.h"
+#include "nn/embedding_bag.h"
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace util {
+class Rng;
+class ZipfSampler;
+} // namespace util
+
+namespace data {
+
+/** One training mini-batch in the layout the DLRM model consumes. */
+struct MiniBatch
+{
+    tensor::Tensor dense;                 ///< [B, num_dense]
+    std::vector<nn::SparseBatch> sparse;  ///< One CSR batch per feature.
+    std::vector<float> labels;            ///< B labels in {0, 1}.
+
+    std::size_t batchSize() const { return labels.size(); }
+
+    /** Total embedding lookups across all features. */
+    std::size_t totalLookups() const;
+};
+
+/** Configuration of the synthetic stream. */
+struct DatasetConfig
+{
+    std::size_t num_dense = 64;
+    std::vector<SparseFeatureSpec> sparse;
+    /** Stddev of Gaussian label noise in the teacher logit. */
+    double label_noise = 0.5;
+    /** Teacher logit bias (controls base CTR). */
+    double teacher_bias = -1.0;
+    uint64_t seed = 42;
+};
+
+/**
+ * Deterministic synthetic CTR stream.
+ *
+ * Two usage modes:
+ *  - streaming: nextBatch(b) draws fresh examples (infinite stream);
+ *  - materialized: materialize(n) fixes an n-example dataset that
+ *    epochBatch() then serves in order, so runs with different batch
+ *    sizes train on *identical* data — required for the Fig 15
+ *    accuracy-vs-batch-size comparison.
+ */
+class SyntheticCtrDataset
+{
+  public:
+    explicit SyntheticCtrDataset(DatasetConfig config);
+    ~SyntheticCtrDataset();
+
+    SyntheticCtrDataset(const SyntheticCtrDataset&) = delete;
+    SyntheticCtrDataset& operator=(const SyntheticCtrDataset&) = delete;
+
+    /** Draw a fresh batch from the stream. */
+    MiniBatch nextBatch(std::size_t batch_size);
+
+    /** Fix an n-example in-memory dataset for epoch-based training. */
+    void materialize(std::size_t n);
+
+    /** Number of materialized examples (0 if streaming only). */
+    std::size_t materializedSize() const;
+
+    /**
+     * Batch [start, start + b) of the materialized set; wraps around.
+     * @pre materialize() was called.
+     */
+    MiniBatch epochBatch(std::size_t start, std::size_t batch_size) const;
+
+    const DatasetConfig& config() const { return config_; }
+    const TeacherModel& teacher() const { return *teacher_; }
+
+    /** Empirical base CTR of the materialized data (label mean). */
+    double baseCtr() const;
+
+  private:
+    struct Example;
+    Example drawExample();
+    MiniBatch assemble(const std::vector<const Example*>& rows) const;
+
+    DatasetConfig config_;
+    std::unique_ptr<TeacherModel> teacher_;
+    std::unique_ptr<util::Rng> rng_;
+    std::vector<std::unique_ptr<util::ZipfSampler>> index_samplers_;
+    std::vector<Example> materialized_;
+};
+
+} // namespace data
+} // namespace recsim

@@ -1,0 +1,118 @@
+#include "data/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace data {
+
+double
+SparseFeatureSpec::effectiveMeanLength() const
+{
+    if (truncation == 0)
+        return mean_length;
+    return std::min(mean_length, static_cast<double>(truncation));
+}
+
+std::vector<SparseFeatureSpec>
+generateTablePopulation(const TablePopulationParams& params,
+                        util::Rng& rng)
+{
+    RECSIM_ASSERT(params.num_tables > 0, "empty table population");
+    RECSIM_ASSERT(std::abs(params.hash_length_correlation) <= 1.0,
+                  "correlation out of range");
+
+    // Lognormal parameters hitting the requested arithmetic means:
+    // E[lognormal(mu, s)] = exp(mu + s^2/2).
+    const double mu_h = std::log(params.mean_hash_size) -
+        0.5 * params.hash_sigma * params.hash_sigma;
+    const double mu_l = std::log(params.mean_length) -
+        0.5 * params.length_sigma * params.length_sigma;
+    const double rho = params.hash_length_correlation;
+
+    std::vector<double> hashes(params.num_tables);
+    std::vector<double> lengths(params.num_tables);
+    for (std::size_t i = 0; i < params.num_tables; ++i) {
+        // Gaussian copula: z2 correlated with z1 by rho.
+        const double z1 = rng.normal();
+        const double z2 = rho * z1 +
+            std::sqrt(1.0 - rho * rho) * rng.normal();
+        hashes[i] = std::exp(mu_h + params.hash_sigma * z1);
+        lengths[i] = std::exp(mu_l + params.length_sigma * z2);
+    }
+
+    // Clipping to [min, max] biases the sample mean below the lognormal
+    // mean; rescale iteratively so the population hits the Table II /
+    // Fig 6 targets (e.g. mean hash 5.7 M for M1) exactly enough.
+    auto rescale = [](std::vector<double>& v, double target, double lo,
+                      double hi) {
+        for (int pass = 0; pass < 6; ++pass) {
+            double mean = 0.0;
+            for (double& x : v) {
+                x = std::clamp(x, lo, hi);
+                mean += x;
+            }
+            mean /= static_cast<double>(v.size());
+            const double factor = target / mean;
+            if (std::abs(factor - 1.0) < 1e-3)
+                break;
+            for (double& x : v)
+                x = std::clamp(x * factor, lo, hi);
+        }
+    };
+    rescale(hashes, params.mean_hash_size,
+            static_cast<double>(params.min_hash),
+            static_cast<double>(params.max_hash));
+    rescale(lengths, params.mean_length, params.min_length,
+            params.max_length);
+
+    std::vector<SparseFeatureSpec> specs;
+    specs.reserve(params.num_tables);
+    for (std::size_t i = 0; i < params.num_tables; ++i) {
+        SparseFeatureSpec spec;
+        spec.name = "table_" + std::to_string(i);
+        spec.hash_size = static_cast<uint64_t>(hashes[i]);
+        spec.mean_length = lengths[i];
+        spec.zipf_exponent = params.zipf_exponent;
+        spec.truncation = params.truncation;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+double
+totalEmbeddingBytes(const std::vector<SparseFeatureSpec>& specs,
+                    std::size_t emb_dim)
+{
+    double bytes = 0.0;
+    for (const auto& s : specs)
+        bytes += static_cast<double>(s.hash_size) *
+            static_cast<double>(emb_dim) * sizeof(float);
+    return bytes;
+}
+
+double
+meanHashSize(const std::vector<SparseFeatureSpec>& specs)
+{
+    RECSIM_ASSERT(!specs.empty(), "mean of empty population");
+    double total = 0.0;
+    for (const auto& s : specs)
+        total += static_cast<double>(s.hash_size);
+    return total / static_cast<double>(specs.size());
+}
+
+double
+meanFeatureLength(const std::vector<SparseFeatureSpec>& specs)
+{
+    RECSIM_ASSERT(!specs.empty(), "mean of empty population");
+    double total = 0.0;
+    for (const auto& s : specs)
+        total += s.mean_length;
+    return total / static_cast<double>(specs.size());
+}
+
+} // namespace data
+} // namespace recsim

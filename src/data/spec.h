@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sparse-feature (embedding-table) specifications and generators that
+ * reproduce the per-table populations the paper characterizes: hash
+ * sizes spanning 30 to 20 M with model-specific means (Fig 6) and
+ * long-tailed mean feature lengths (Fig 7).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace data {
+
+/**
+ * Static description of one sparse feature and its embedding table
+ * (the paper's X_i with hash size m_i).
+ */
+struct SparseFeatureSpec
+{
+    std::string name;
+    /** Rows in the embedding table after hashing (m_i). */
+    uint64_t hash_size = 100000;
+    /** Mean number of activated indices (lookups) per example. */
+    double mean_length = 1.0;
+    /** Zipf skew of index popularity; 0 = uniform. */
+    double zipf_exponent = 1.05;
+    /** Cap on lookups per example; 0 disables truncation. */
+    uint64_t truncation = 0;
+    /**
+     * Size of the raw (pre-hash) ID space. Larger than hash_size means
+     * hash collisions occur, as in production. 0 defaults to
+     * 4 * hash_size.
+     */
+    uint64_t raw_id_space = 0;
+    /**
+     * Mixed-dimension embeddings (Ginart et al., the paper's memory-
+     * efficiency citation [17]): a per-table embedding width override.
+     * 0 keeps the model's shared dimension; smaller values shrink this
+     * table and add a learned projection up to the shared dimension.
+     */
+    std::size_t dim_override = 0;
+
+    /** Effective embedding width given the model's shared dim. */
+    std::size_t effectiveDim(std::size_t model_dim) const
+    {
+        return dim_override ? dim_override : model_dim;
+    }
+
+    /** Effective raw space (applies the default rule). */
+    uint64_t rawSpace() const
+    {
+        return raw_id_space ? raw_id_space : 4 * hash_size;
+    }
+
+    /** Expected lookups per example after truncation (approximate). */
+    double effectiveMeanLength() const;
+};
+
+/**
+ * Parameters of a synthetic table population mimicking one production
+ * model. Hash sizes are lognormal (clipped to [min_hash, max_hash]);
+ * mean lengths are lognormal with a configurable rank correlation to the
+ * hash sizes (the paper notes access frequency does *not* strongly
+ * correlate with table size — some of the most accessed tables are
+ * small — so production-like populations use a weak negative value).
+ */
+struct TablePopulationParams
+{
+    std::size_t num_tables = 32;
+    /** Target arithmetic mean of hash sizes (e.g. 5.7e6 for M1). */
+    double mean_hash_size = 5.7e6;
+    /** Lognormal shape of hash sizes; larger = more spread. */
+    double hash_sigma = 2.2;
+    uint64_t min_hash = 30;
+    uint64_t max_hash = 20000000;
+    /** Target mean of per-table mean lengths (e.g. 28 for M1). */
+    double mean_length = 28.0;
+    /** Lognormal shape of mean lengths. */
+    double length_sigma = 1.0;
+    double min_length = 1.0;
+    double max_length = 200.0;
+    /** Gaussian-copula correlation between hash size and length. */
+    double hash_length_correlation = -0.2;
+    /** Zipf skew applied to every generated table. */
+    double zipf_exponent = 1.05;
+    /** Truncation applied to every generated table (0 = none). */
+    uint64_t truncation = 0;
+};
+
+/**
+ * Draw a correlated (hash size, mean length) population of table specs.
+ * Deterministic for a given @p rng state.
+ */
+std::vector<SparseFeatureSpec>
+generateTablePopulation(const TablePopulationParams& params,
+                        util::Rng& rng);
+
+/** Sum of table parameter bytes for an embedding dim @p d (FP32). */
+double totalEmbeddingBytes(const std::vector<SparseFeatureSpec>& specs,
+                           std::size_t emb_dim);
+
+/** Arithmetic mean of the specs' hash sizes. */
+double meanHashSize(const std::vector<SparseFeatureSpec>& specs);
+
+/** Arithmetic mean of the specs' mean lengths. */
+double meanFeatureLength(const std::vector<SparseFeatureSpec>& specs);
+
+} // namespace data
+} // namespace recsim

@@ -1,0 +1,89 @@
+#include "data/teacher.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace data {
+
+namespace {
+
+/** Teacher score tables are capped to keep memory bounded. */
+constexpr uint64_t kMaxScoreTable = 1 << 20;
+
+} // namespace
+
+TeacherModel::TeacherModel(std::size_t num_dense,
+                           const std::vector<SparseFeatureSpec>& specs,
+                           util::Rng& rng, double label_noise, double bias)
+    : label_noise_(label_noise), bias_(bias)
+{
+    dense_w_.resize(num_dense);
+    for (auto& w : dense_w_)
+        w = static_cast<float>(rng.normal(0.0, 1.0 /
+            std::sqrt(std::max<std::size_t>(num_dense, 1))));
+
+    id_scores_.reserve(specs.size());
+    for (const auto& spec : specs) {
+        const uint64_t n = std::min(spec.rawSpace(), kMaxScoreTable);
+        std::vector<float> scores(n);
+        for (auto& s : scores)
+            s = static_cast<float>(rng.normal(0.0, 0.5));
+        id_scores_.push_back(std::move(scores));
+    }
+
+    // A handful of dense x sparse cross terms to make the ground truth
+    // non-additive (so the interaction layer has something to learn).
+    const std::size_t num_crosses =
+        std::min<std::size_t>(specs.size(), 8);
+    for (std::size_t c = 0; c < num_crosses && num_dense > 0; ++c) {
+        crosses_.push_back({
+            static_cast<std::size_t>(rng.uniformInt(num_dense)),
+            static_cast<std::size_t>(rng.uniformInt(specs.size())),
+            static_cast<float>(rng.normal(0.0, 0.5))});
+    }
+}
+
+double
+TeacherModel::clickProbability(
+    const std::vector<float>& dense,
+    const std::vector<std::vector<uint64_t>>& sparse,
+    util::Rng& noise_rng) const
+{
+    RECSIM_ASSERT(dense.size() == dense_w_.size(),
+                  "teacher dense width mismatch");
+    RECSIM_ASSERT(sparse.size() == id_scores_.size(),
+                  "teacher sparse count mismatch");
+
+    double z = bias_;
+    for (std::size_t i = 0; i < dense.size(); ++i)
+        z += dense_w_[i] * dense[i];
+
+    // Per-feature mean of the activated IDs' scores.
+    std::vector<double> feature_scores(sparse.size(), 0.0);
+    for (std::size_t f = 0; f < sparse.size(); ++f) {
+        if (sparse[f].empty())
+            continue;
+        const auto& tbl = id_scores_[f];
+        double acc = 0.0;
+        for (uint64_t id : sparse[f])
+            acc += tbl[id % tbl.size()];
+        feature_scores[f] = acc / static_cast<double>(sparse[f].size());
+        z += feature_scores[f];
+    }
+
+    for (const auto& cross : crosses_)
+        z += cross.weight * dense[cross.dense_idx] *
+            feature_scores[cross.sparse_idx];
+
+    if (label_noise_ > 0.0)
+        z += noise_rng.normal(0.0, label_noise_);
+
+    return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                    : std::exp(z) / (1.0 + std::exp(z));
+}
+
+} // namespace data
+} // namespace recsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hidden "teacher" scoring model that labels the synthetic CTR stream.
+ *
+ * Production click data is unavailable, so labels are drawn from a fixed
+ * random ground-truth function of the features. The student DLRM can
+ * therefore *learn* (loss and NE genuinely decrease), which is all the
+ * accuracy experiments (Fig 15) require.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/spec.h"
+#include "nn/embedding_bag.h"
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace data {
+
+/**
+ * Linear-plus-cross teacher: the click logit is a weighted sum of the
+ * dense features, per-ID scores for every sparse lookup, a few random
+ * dense x sparse cross terms, and Gaussian label noise.
+ */
+class TeacherModel
+{
+  public:
+    /**
+     * @param num_dense     Width of the dense feature vector.
+     * @param specs         Sparse feature specs (uses rawSpace() scores).
+     * @param rng           Parameter stream (fixes the ground truth).
+     * @param label_noise   Stddev of Gaussian noise added to the logit.
+     * @param bias          Logit offset controlling the base CTR.
+     */
+    TeacherModel(std::size_t num_dense,
+                 const std::vector<SparseFeatureSpec>& specs,
+                 util::Rng& rng, double label_noise = 0.5,
+                 double bias = -1.0);
+
+    /**
+     * Ground-truth click probability for one example.
+     * @param dense  num_dense feature values.
+     * @param sparse Per-feature activated raw indices.
+     */
+    double clickProbability(
+        const std::vector<float>& dense,
+        const std::vector<std::vector<uint64_t>>& sparse,
+        util::Rng& noise_rng) const;
+
+    std::size_t numDense() const { return dense_w_.size(); }
+    std::size_t numSparse() const { return id_scores_.size(); }
+
+  private:
+    std::vector<float> dense_w_;
+    /** Per-feature score table indexed by raw ID modulo its size. */
+    std::vector<std::vector<float>> id_scores_;
+    /** (dense index, sparse feature, weight) cross terms. */
+    struct Cross
+    {
+        std::size_t dense_idx;
+        std::size_t sparse_idx;
+        float weight;
+    };
+    std::vector<Cross> crosses_;
+    double label_noise_;
+    double bias_;
+};
+
+} // namespace data
+} // namespace recsim

@@ -1,0 +1,89 @@
+#include "des/event_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace des {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Handler handler, int priority)
+{
+    RECSIM_ASSERT(when >= now_, "scheduling event in the past: {} < {}",
+                  when, now_);
+    const EventId id = next_id_++;
+    pq_.push({when, priority, id, std::move(handler)});
+    ++pending_;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(Tick delay, Handler handler, int priority)
+{
+    return schedule(now_ + delay, std::move(handler), priority);
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    if (id == 0 || id >= next_id_)
+        return false;
+    if (std::find(cancelled_.begin(), cancelled_.end(), id) !=
+        cancelled_.end()) {
+        return false;
+    }
+    cancelled_.push_back(id);
+    if (pending_ > 0)
+        --pending_;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    cancelled_.erase(it);
+    return true;
+}
+
+bool
+EventQueue::empty() const
+{
+    return pending_ == 0;
+}
+
+bool
+EventQueue::step(Tick limit)
+{
+    while (!pq_.empty()) {
+        if (pq_.top().when > limit)
+            return false;
+        Entry entry = pq_.top();
+        pq_.pop();
+        if (isCancelled(entry.id))
+            continue;
+        now_ = entry.when;
+        --pending_;
+        ++executed_;
+        entry.handler();
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+EventQueue::run(Tick limit)
+{
+    uint64_t count = 0;
+    while (step(limit))
+        ++count;
+    if (!pq_.empty() && pq_.top().when > limit && now_ < limit)
+        now_ = limit;
+    return count;
+}
+
+} // namespace des
+} // namespace recsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Discrete-event simulation kernel, gem5-flavoured: a global event
+ * queue ordered by (tick, priority, sequence), where ticks are
+ * nanoseconds of simulated time. The distributed-training simulation
+ * (src/sim) runs on top of this kernel to capture the queueing and
+ * pipelining behaviour the closed-form cost model abstracts away.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace recsim {
+namespace des {
+
+/** Simulated time in nanoseconds. */
+using Tick = uint64_t;
+
+/** One tick per nanosecond. */
+inline constexpr Tick kTicksPerSecond = 1000000000ULL;
+
+/** Convert seconds to ticks (rounding to nearest). */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(
+        kTicksPerSecond) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) /
+        static_cast<double>(kTicksPerSecond);
+}
+
+/**
+ * The event queue and simulated clock.
+ *
+ * Events are closures scheduled at absolute ticks. Ties break by
+ * priority (lower runs first), then strictly by schedule order, so
+ * simulations are fully deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Opaque id usable with deschedule(). */
+    using EventId = uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p handler at absolute time @p when (>= now()).
+     * @param priority Tie-break priority; lower runs first.
+     * @return Id for deschedule().
+     */
+    EventId schedule(Tick when, Handler handler, int priority = 0);
+
+    /** Schedule @p handler @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, Handler handler, int priority = 0);
+
+    /** Cancel a pending event. Returns false if already run/cancelled. */
+    bool deschedule(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return pending_; }
+
+    /**
+     * Run events until the queue is empty or the clock passes @p limit.
+     * @return Number of events executed.
+     */
+    uint64_t run(Tick limit = ~0ULL);
+
+    /** Execute at most one event. Returns false if none runnable. */
+    bool step(Tick limit = ~0ULL);
+
+    /** Total events executed since construction. */
+    uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        Handler handler;
+
+        bool operator>(const Entry& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return id > other.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+    std::vector<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId next_id_ = 1;
+    uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+
+    bool isCancelled(EventId id);
+};
+
+} // namespace des
+} // namespace recsim

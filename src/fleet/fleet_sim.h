@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fleet-level studies behind the paper's distribution figures:
+ *  - utilizationStudy(): run-to-run resource-utilization distributions
+ *    of a fixed-scale ranking model (Fig 5), produced by jittering the
+ *    model configuration and injecting system-level noise into the
+ *    cost model / DES;
+ *  - serverCountStudy(): distributions of trainer and parameter-server
+ *    counts across a month of CPU workflows (Fig 9).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cost/system_config.h"
+#include "model/config.h"
+#include "stats/sample_set.h"
+
+namespace recsim {
+namespace fleet {
+
+/** Knobs of the Fig 5 study. */
+struct UtilizationStudyConfig
+{
+    /** Base model; defaults to an M1-like ranking model. */
+    model::DlrmConfig base_model = model::DlrmConfig::m1Prod();
+    /** Fixed-scale system (same server counts for every run). */
+    cost::SystemConfig system =
+        cost::SystemConfig::cpuSetup(6, 8, 2, 200, 1);
+    /** Number of training runs to sample (a week of retrains). */
+    std::size_t num_runs = 500;
+    /** Relative jitter of per-run model configuration (lengths, batch). */
+    double config_jitter = 0.25;
+    /** Lognormal sigma of system-level noise on service rates. */
+    double system_noise_sigma = 0.15;
+    uint64_t seed = 7;
+};
+
+/**
+ * Result of the Fig 5 study: per resource, the distribution of
+ * utilization across runs. Keys: "trainer_cpu", "trainer_mem_bw",
+ * "trainer_mem_capacity", "trainer_network", "ps_cpu", "ps_mem_bw",
+ * "ps_mem_capacity", "ps_network".
+ */
+using UtilizationDistributions = std::map<std::string, stats::SampleSet>;
+
+/** Run the Fig 5 study. */
+UtilizationDistributions utilizationStudy(
+    const UtilizationStudyConfig& config);
+
+/** Knobs of the Fig 9 study. */
+struct ServerCountStudyConfig
+{
+    /** Number of workflows in the sampled month. */
+    std::size_t num_workflows = 2000;
+    /**
+     * Fraction of workflows using the de-facto standard trainer count
+     * (the paper reports over 40% reuse the same number).
+     */
+    double modal_trainer_fraction = 0.42;
+    std::size_t modal_trainers = 10;
+    uint64_t seed = 9;
+};
+
+/** Result of the Fig 9 study. */
+struct ServerCountDistributions
+{
+    stats::SampleSet trainers;
+    stats::SampleSet parameter_servers;
+};
+
+/**
+ * Run the Fig 9 study: trainer counts concentrate on a modal value
+ * (throughput requirements change rarely); parameter-server counts
+ * derive from each workflow's embedding-memory footprint, which varies
+ * widely as engineers add and remove features.
+ */
+ServerCountDistributions serverCountStudy(
+    const ServerCountStudyConfig& config);
+
+} // namespace fleet
+} // namespace recsim

@@ -1,0 +1,67 @@
+#include "fleet/workload.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace fleet {
+
+std::vector<WorkloadClass>
+defaultWorkloads()
+{
+    // Relative frequencies/durations follow Fig 2's qualitative layout:
+    // recommendation ranking models retrain continuously (hours-long
+    // runs, many per day); translation RNNs and vision CNNs train far
+    // less frequently but for longer.
+    return {
+        {"news_feed", ModelFamily::Recommendation, 96.0, 5.0, 0.5},
+        {"search", ModelFamily::Recommendation, 48.0, 4.0, 0.5},
+        {"language_translation", ModelFamily::Rnn, 4.0, 24.0, 0.6},
+        {"facer", ModelFamily::Cnn, 2.0, 12.0, 0.6},
+        {"object_detection", ModelFamily::Cnn, 1.0, 48.0, 0.7},
+    };
+}
+
+std::vector<WorkloadRun>
+sampleFleet(const std::vector<WorkloadClass>& classes, double days,
+            util::Rng& rng)
+{
+    RECSIM_ASSERT(days > 0.0, "fleet sample over non-positive horizon");
+    std::vector<WorkloadRun> runs;
+    for (const auto& cls : classes) {
+        const auto whole_days = static_cast<uint64_t>(days);
+        for (uint64_t day = 0; day <= whole_days; ++day) {
+            const double span =
+                std::min(1.0, days - static_cast<double>(day));
+            if (span <= 0.0)
+                break;
+            const uint64_t count =
+                rng.poisson(cls.runs_per_day * span);
+            for (uint64_t i = 0; i < count; ++i) {
+                WorkloadRun run;
+                run.workload = cls.name;
+                run.day = static_cast<double>(day) +
+                    rng.uniform() * span;
+                run.duration_hours = cls.mean_duration_hours *
+                    rng.lognormal(-0.5 * cls.duration_sigma *
+                                      cls.duration_sigma,
+                                  cls.duration_sigma);
+                runs.push_back(std::move(run));
+            }
+        }
+    }
+    return runs;
+}
+
+double
+recommendationGrowth(double base_runs_per_day, double months)
+{
+    // 7x over 18 months, i.e. exp growth rate ln(7)/18 per month.
+    const double rate = std::log(7.0) / 18.0;
+    return base_runs_per_day * std::exp(rate * months);
+}
+
+} // namespace fleet
+} // namespace recsim

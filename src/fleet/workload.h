@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fleet workload classes (Fig 2 of the paper): each ML use case trains
+ * with a characteristic frequency and duration. Recommendation models
+ * (News Feed, Search) are the most frequently trained; translation and
+ * vision workloads train less often. The constants follow the paper and
+ * its companion datacenter study (Hazelwood et al., HPCA 2018).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace fleet {
+
+/** Category of model a workload trains. */
+enum class ModelFamily { Recommendation, Rnn, Cnn };
+
+/** One training workload class. */
+struct WorkloadClass
+{
+    std::string name;
+    ModelFamily family = ModelFamily::Recommendation;
+    /** Mean training runs per day, fleet-wide. */
+    double runs_per_day = 1.0;
+    /** Mean duration of one training run, hours. */
+    double mean_duration_hours = 1.0;
+    /** Lognormal sigma of run durations. */
+    double duration_sigma = 0.4;
+};
+
+/** One sampled training run. */
+struct WorkloadRun
+{
+    std::string workload;
+    double day = 0.0;             ///< Start time, days since epoch.
+    double duration_hours = 0.0;
+};
+
+/** The Fig 2 workload mix. */
+std::vector<WorkloadClass> defaultWorkloads();
+
+/**
+ * Sample every run the fleet executes over @p days days: per class,
+ * Poisson run counts per day with lognormal durations.
+ */
+std::vector<WorkloadRun> sampleFleet(
+    const std::vector<WorkloadClass>& classes, double days,
+    util::Rng& rng);
+
+/**
+ * Growth model: the paper reports recommendation training workflows
+ * grew 7x over 18 months. Returns runs/day for a recommendation class
+ * @p months after the reference point.
+ */
+double recommendationGrowth(double base_runs_per_day, double months);
+
+} // namespace fleet
+} // namespace recsim

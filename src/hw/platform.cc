@@ -1,0 +1,130 @@
+#include "hw/platform.h"
+
+#include "util/units.h"
+
+namespace recsim {
+namespace hw {
+
+using util::gbps;
+using util::gBps;
+using util::kGB;
+using util::kTFLOPS;
+
+namespace {
+
+/**
+ * One Skylake socket: 20 cores x 2.0 GHz AVX-512 x 32 FLOP/cycle
+ * ~= 1.28 TF/s peak; six DDR4-2666 channels ~= 85 GB/s stream.
+ */
+ComputeDevice
+skylakeSocket()
+{
+    ComputeDevice d;
+    d.name = "skylake_socket";
+    d.peak_flops = 1.28 * kTFLOPS;
+    d.mlp_efficiency = 0.40;
+    d.mem_bandwidth = gBps(85.0);
+    d.mem_capacity = 128.0 * kGB;
+    d.random_access_efficiency = 0.35;
+    d.kernel_launch_overhead = 0.0;
+    return d;
+}
+
+/** Aggregate @p n sockets into one host device. */
+ComputeDevice
+hostOf(int n_sockets, double total_mem_bytes, double total_bw,
+       double random_eff = 0.35)
+{
+    ComputeDevice d = skylakeSocket();
+    d.name = "host_x" + std::to_string(n_sockets);
+    d.peak_flops *= n_sockets;
+    d.mem_bandwidth = total_bw;
+    d.mem_capacity = total_mem_bytes;
+    d.random_access_efficiency = random_eff;
+    return d;
+}
+
+/** NVIDIA Tesla V100: 15.7 TF FP32, 900 GB/s HBM2 (Table I / Sec IV-A). */
+ComputeDevice
+v100(double mem_gb)
+{
+    ComputeDevice d;
+    d.name = "v100";
+    d.peak_flops = 15.7 * kTFLOPS;
+    d.mlp_efficiency = 0.45;
+    d.mem_bandwidth = gBps(900.0);
+    d.mem_capacity = mem_gb * kGB;
+    d.random_access_efficiency = 0.35;
+    d.kernel_launch_overhead = 8e-6;
+    return d;
+}
+
+/** Baseline dual-socket server power envelope, watts. */
+constexpr double kCpuServerWatts = 450.0;
+
+} // namespace
+
+Platform
+Platform::dualSocketCpu()
+{
+    Platform p;
+    p.name = "dual_socket_cpu";
+    p.kind = PlatformKind::CpuServer;
+    p.num_cpu_sockets = 2;
+    p.host = hostOf(2, 256.0 * kGB, gBps(170.0));
+    p.num_gpus = 0;
+    p.network = {"25GbE", gbps(25.0), 20e-6};
+    p.power_watts = kCpuServerWatts;
+    return p;
+}
+
+Platform
+Platform::bigBasin(double gpu_mem_gb)
+{
+    Platform p;
+    p.name = "big_basin";
+    p.kind = PlatformKind::BigBasin;
+    p.num_cpu_sockets = 2;
+    p.host = hostOf(2, 256.0 * kGB, gBps(170.0));
+    p.num_gpus = 8;
+    p.gpu = v100(gpu_mem_gb);
+    // Hybrid cube mesh: 6 NVLink lanes x ~25 GB/s per GPU; effective
+    // all-to-all bandwidth per GPU derated for multi-hop routes.
+    p.gpu_interconnect = {"nvlink_hcm", gBps(100.0), 5e-6};
+    p.has_nvlink = true;
+    p.host_gpu = {"pcie3_x16", gBps(12.0), 10e-6};
+    p.network = {"100GbE", gbps(100.0), 20e-6};
+    // The paper: "Power capacity requirement of a Big Basin server is
+    // 7.3 times higher than the dual-socket CPU server."
+    p.power_watts = 7.3 * kCpuServerWatts;
+    return p;
+}
+
+Platform
+Platform::zionPrototype()
+{
+    Platform p;
+    p.name = "zion_prototype";
+    p.kind = PlatformKind::Zion;
+    p.num_cpu_sockets = 8;
+    // Zion's 8-socket complex has many more memory channels and deeper
+    // queues, and 256 B embedding vectors span four sequential cache
+    // lines, so gathers retain a large fraction of stream bandwidth —
+    // the paper's "fast look-up operations".
+    p.host = hostOf(8, 2000.0 * kGB, gBps(1000.0), 0.80);
+    p.num_gpus = 8;
+    p.gpu = v100(32.0);
+    // Prototype Zion had no direct GPU-GPU communication: all inter-GPU
+    // traffic is staged through host memory over PCIe (Fig 14 text).
+    p.gpu_interconnect = {"via_host", gBps(2.0), 50e-6};
+    p.has_nvlink = false;
+    p.host_gpu = {"pcie3_x16", gBps(12.0), 10e-6};
+    p.network = {"4x_ib_100", gbps(400.0), 10e-6};
+    // 8 sockets + 8 GPUs + fabric; roughly BB plus three extra
+    // dual-socket complexes.
+    p.power_watts = 10.3 * kCpuServerWatts;
+    return p;
+}
+
+} // namespace hw
+} // namespace recsim

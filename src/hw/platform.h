@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hardware platform descriptors for the three training systems of
+ * Table I: the dual-socket CPU server, the Big Basin 8-GPU server, and
+ * the prototype Zion 8-socket GPU server. These are the constants the
+ * analytical cost models and the discrete-event simulation consume.
+ *
+ * Derating factors (achievable fraction of peak for GEMMs, random-access
+ * efficiency of gathers) are first-order calibration constants; they are
+ * documented per platform and recorded in EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <string>
+
+namespace recsim {
+namespace hw {
+
+/** A compute device: one CPU socket group or one GPU. */
+struct ComputeDevice
+{
+    std::string name;
+    /** Peak FP32 throughput, FLOP/s. */
+    double peak_flops = 0.0;
+    /** Achievable fraction of peak for DLRM-scale GEMMs. */
+    double mlp_efficiency = 0.35;
+    /** Attached memory streaming bandwidth, B/s. */
+    double mem_bandwidth = 0.0;
+    /** Attached memory capacity, bytes. */
+    double mem_capacity = 0.0;
+    /** Fraction of streaming bandwidth achieved by random gathers. */
+    double random_access_efficiency = 0.3;
+    /** Fixed per-kernel dispatch overhead, seconds (GPUs only). */
+    double kernel_launch_overhead = 0.0;
+
+    /** Effective GEMM rate, FLOP/s. */
+    double effectiveFlops() const { return peak_flops * mlp_efficiency; }
+
+    /** Effective gather bandwidth, B/s. */
+    double gatherBandwidth() const
+    {
+        return mem_bandwidth * random_access_efficiency;
+    }
+};
+
+/** A point-to-point or aggregated interconnect. */
+struct Link
+{
+    std::string name;
+    /** Per-endpoint bandwidth, B/s. */
+    double bandwidth = 0.0;
+    /** One-way latency, seconds. */
+    double latency = 0.0;
+
+    /** Transfer time for @p bytes including latency. */
+    double transferTime(double bytes) const
+    {
+        return bandwidth > 0.0 ? latency + bytes / bandwidth : latency;
+    }
+};
+
+/** Which of the three server classes a Platform describes. */
+enum class PlatformKind { CpuServer, BigBasin, Zion };
+
+/**
+ * One training server (Table I row). The CPU platform has num_gpus == 0;
+ * accelerated platforms describe the per-GPU device, the GPU-GPU
+ * interconnect and the host link.
+ */
+struct Platform
+{
+    std::string name;
+    PlatformKind kind = PlatformKind::CpuServer;
+
+    /** Aggregate host CPU (all sockets combined). */
+    ComputeDevice host;
+    int num_cpu_sockets = 2;
+
+    int num_gpus = 0;
+    ComputeDevice gpu;  ///< Per-GPU device (ignored when num_gpus == 0).
+
+    /**
+     * Per-GPU aggregate GPU<->GPU bandwidth. On Big Basin this is the
+     * NVLink hybrid cube mesh; on the prototype Zion there was no direct
+     * GPU-GPU path, so traffic is staged through the host (low
+     * bandwidth, high latency) — the paper's explanation for Zion's poor
+     * GPU-memory placement performance (Fig 14).
+     */
+    Link gpu_interconnect;
+    bool has_nvlink = false;
+
+    /** Host <-> GPU link (PCIe), per GPU. */
+    Link host_gpu;
+
+    /** Server NIC. */
+    Link network;
+
+    /** Provisioned power capacity, watts. */
+    double power_watts = 0.0;
+
+    /** Total GPU memory across the server, bytes. */
+    double totalGpuMemory() const
+    {
+        return static_cast<double>(num_gpus) * gpu.mem_capacity;
+    }
+
+    /** Effective all-GPU GEMM rate, FLOP/s. */
+    double totalGpuFlops() const
+    {
+        return static_cast<double>(num_gpus) * gpu.effectiveFlops();
+    }
+
+    // ---- Table I factories -----------------------------------------
+
+    /** Dual-socket Skylake CPU server: 256 GB DRAM, 25 Gbps Ethernet. */
+    static Platform dualSocketCpu();
+
+    /**
+     * Big Basin: 8x V100 (NVLink hybrid cube mesh), dual-socket host,
+     * 256 GB system memory, 100 Gbps Ethernet.
+     * @param gpu_mem_gb 16 or 32 (Table I lists both SKUs; the fleet
+     *        default is the 16 GB SKU).
+     */
+    static Platform bigBasin(double gpu_mem_gb = 16.0);
+
+    /**
+     * Prototype Zion: 8x V100 without direct GPU-GPU interconnect,
+     * 8 CPU sockets, ~2 TB system memory at ~1 TB/s, 4x 100 Gbps IB.
+     */
+    static Platform zionPrototype();
+};
+
+} // namespace hw
+} // namespace recsim

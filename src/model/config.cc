@@ -1,0 +1,273 @@
+#include "model/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace model {
+
+std::vector<std::size_t>
+DlrmConfig::bottomDims() const
+{
+    std::vector<std::size_t> dims = bottom_mlp;
+    if (interaction == nn::InteractionKind::DotProduct &&
+        (dims.empty() || dims.back() != emb_dim)) {
+        dims.push_back(emb_dim);
+    }
+    RECSIM_ASSERT(!dims.empty(), "bottom MLP has no layers");
+    return dims;
+}
+
+std::vector<std::size_t>
+DlrmConfig::topDims() const
+{
+    std::vector<std::size_t> dims = top_mlp;
+    dims.push_back(1);
+    return dims;
+}
+
+std::size_t
+DlrmConfig::interactionWidth() const
+{
+    const std::size_t bottom_out = bottomDims().back();
+    if (interaction == nn::InteractionKind::DotProduct)
+        return nn::DotInteraction::outWidth(numSparse(), emb_dim);
+    return nn::CatInteraction::outWidth(bottom_out, numSparse(), emb_dim);
+}
+
+double
+DlrmConfig::embeddingBytes() const
+{
+    double bytes = 0.0;
+    for (const auto& s : sparse) {
+        bytes += static_cast<double>(s.hash_size) *
+            static_cast<double>(s.effectiveDim(emb_dim)) * sizeof(float);
+    }
+    return bytes;
+}
+
+std::size_t
+DlrmConfig::mlpParams() const
+{
+    std::size_t total = 0;
+    auto count = [&](std::size_t in, const std::vector<std::size_t>& dims) {
+        for (std::size_t d : dims) {
+            total += in * d + d;
+            in = d;
+        }
+    };
+    count(num_dense, bottomDims());
+    count(interactionWidth(), topDims());
+    // Mixed-dimension projections up to the shared width.
+    for (const auto& s : sparse) {
+        const std::size_t d = s.effectiveDim(emb_dim);
+        if (d != emb_dim)
+            total += d * emb_dim + emb_dim;
+    }
+    return total;
+}
+
+double
+DlrmConfig::meanLookupsPerExample() const
+{
+    double total = 0.0;
+    for (const auto& s : sparse)
+        total += s.effectiveMeanLength();
+    return total;
+}
+
+ExampleFootprint
+DlrmConfig::footprint() const
+{
+    ExampleFootprint fp;
+    auto mlp_flops = [](std::size_t in,
+                        const std::vector<std::size_t>& dims) {
+        double flops = 0.0;
+        for (std::size_t d : dims) {
+            flops += 2.0 * static_cast<double>(in) *
+                static_cast<double>(d);
+            in = d;
+        }
+        return flops;
+    };
+    fp.mlp_flops = mlp_flops(num_dense, bottomDims()) +
+        mlp_flops(interactionWidth(), topDims());
+    if (interaction == nn::InteractionKind::DotProduct) {
+        const double f = static_cast<double>(numSparse() + 1);
+        fp.interaction_flops = f * (f - 1.0) / 2.0 * 2.0 *
+            static_cast<double>(emb_dim);
+    }
+    fp.embedding_lookups = meanLookupsPerExample();
+    fp.embedding_bytes = 0.0;
+    fp.pooled_bytes = 0.0;
+    for (const auto& s : sparse) {
+        const auto d = static_cast<double>(s.effectiveDim(emb_dim));
+        fp.embedding_bytes +=
+            s.effectiveMeanLength() * d * sizeof(float);
+        fp.pooled_bytes += d * sizeof(float);
+        // Projection to the shared width (mixed dims only).
+        if (s.effectiveDim(emb_dim) != emb_dim) {
+            fp.mlp_flops += 2.0 * d * static_cast<double>(emb_dim);
+        }
+    }
+    fp.dense_input_bytes = static_cast<double>(num_dense) * sizeof(float);
+    return fp;
+}
+
+std::string
+DlrmConfig::summary() const
+{
+    return util::format(
+        "{}: {} dense, {} sparse, d={}, bottom {}, top {}, emb {}, "
+        "{} lookups/example",
+        name, num_dense, numSparse(), emb_dim,
+        mlpDimsToString(bottom_mlp), mlpDimsToString(top_mlp),
+        util::bytesToString(embeddingBytes()),
+        util::fixed(meanLookupsPerExample(), 1));
+}
+
+namespace {
+
+/**
+ * Build a production-style config from Fig 6 / Table II parameters.
+ * The per-model mean lookups in Table II ("Embedding Lookups") are the
+ * mean over tables, so the population mean length is set to that value.
+ */
+DlrmConfig
+prodConfig(const std::string& name, std::size_t num_dense,
+           std::size_t num_sparse, double mean_hash, double mean_length,
+           std::vector<std::size_t> bottom, std::vector<std::size_t> top,
+           uint64_t seed)
+{
+    DlrmConfig cfg;
+    cfg.name = name;
+    cfg.num_dense = num_dense;
+    cfg.emb_dim = 64;
+    cfg.bottom_mlp = std::move(bottom);
+    cfg.top_mlp = std::move(top);
+    cfg.interaction = nn::InteractionKind::DotProduct;
+
+    data::TablePopulationParams pop;
+    pop.num_tables = num_sparse;
+    pop.mean_hash_size = mean_hash;
+    pop.mean_length = mean_length;
+    pop.hash_sigma = 2.2;
+    pop.length_sigma = 0.9;
+    pop.hash_length_correlation = -0.2;
+    util::Rng rng(seed);
+    cfg.sparse = data::generateTablePopulation(pop, rng);
+    return cfg;
+}
+
+} // namespace
+
+DlrmConfig
+DlrmConfig::m1Prod()
+{
+    return prodConfig("M1_prod", 800, 30, 5.7e6, 28.0, {512},
+                      {512, 512, 512}, 0xA1);
+}
+
+DlrmConfig
+DlrmConfig::m2Prod()
+{
+    return prodConfig("M2_prod", 504, 13, 7.3e6, 17.0, {1024},
+                      {1024, 1024, 512}, 0xA2);
+}
+
+DlrmConfig
+DlrmConfig::m3Prod()
+{
+    return prodConfig("M3_prod", 809, 127, 3.7e6, 49.0, {512},
+                      {512, 256, 512, 256, 512}, 0xA3);
+}
+
+DlrmConfig
+DlrmConfig::testSuite(std::size_t num_dense, std::size_t num_sparse,
+                      uint64_t hash_size, std::size_t mlp_width,
+                      std::size_t mlp_layers, double mean_length,
+                      uint64_t truncation)
+{
+    DlrmConfig cfg;
+    cfg.name = util::format("test_suite_d{}_s{}", num_dense, num_sparse);
+    cfg.num_dense = num_dense;
+    cfg.emb_dim = 64;
+    cfg.interaction = nn::InteractionKind::DotProduct;
+    cfg.bottom_mlp.assign(mlp_layers, mlp_width);
+    cfg.top_mlp.assign(mlp_layers, mlp_width);
+    cfg.sparse.reserve(num_sparse);
+    for (std::size_t i = 0; i < num_sparse; ++i) {
+        data::SparseFeatureSpec spec;
+        spec.name = "sparse_" + std::to_string(i);
+        spec.hash_size = hash_size;
+        spec.mean_length = mean_length;
+        spec.truncation = truncation;
+        cfg.sparse.push_back(std::move(spec));
+    }
+    return cfg;
+}
+
+DlrmConfig
+DlrmConfig::tinyReplica(std::size_t num_sparse, std::size_t num_dense,
+                        uint64_t hash_size, std::size_t emb_dim)
+{
+    DlrmConfig cfg;
+    cfg.name = "tiny_replica";
+    cfg.num_dense = num_dense;
+    cfg.emb_dim = emb_dim;
+    cfg.interaction = nn::InteractionKind::DotProduct;
+    cfg.bottom_mlp = {64, 32};
+    cfg.top_mlp = {64, 32};
+    cfg.sparse.reserve(num_sparse);
+    for (std::size_t i = 0; i < num_sparse; ++i) {
+        data::SparseFeatureSpec spec;
+        spec.name = "sparse_" + std::to_string(i);
+        spec.hash_size = hash_size;
+        spec.mean_length = 3.0;
+        spec.truncation = 16;
+        cfg.sparse.push_back(std::move(spec));
+    }
+    return cfg;
+}
+
+DlrmConfig
+applyMixedDimensions(DlrmConfig config, double alpha,
+                     std::size_t min_dim)
+{
+    RECSIM_ASSERT(alpha >= 0.0, "mixed-dim alpha must be non-negative");
+    double pop_max = 0.0;
+    for (const auto& s : config.sparse)
+        pop_max = std::max(pop_max, s.effectiveMeanLength());
+    if (pop_max <= 0.0 || alpha == 0.0)
+        return config;
+    for (auto& s : config.sparse) {
+        const double scale =
+            std::pow(s.effectiveMeanLength() / pop_max, alpha);
+        auto dim = static_cast<std::size_t>(
+            static_cast<double>(config.emb_dim) * scale);
+        // Round down to a power of two, clamp to [min_dim, emb_dim].
+        std::size_t pow2 = 1;
+        while (pow2 * 2 <= dim)
+            pow2 *= 2;
+        dim = std::clamp(pow2, min_dim, config.emb_dim);
+        s.dim_override = dim == config.emb_dim ? 0 : dim;
+    }
+    return config;
+}
+
+std::string
+mlpDimsToString(const std::vector<std::size_t>& dims)
+{
+    std::vector<std::string> parts;
+    parts.reserve(dims.size());
+    for (std::size_t d : dims)
+        parts.push_back(std::to_string(d));
+    return parts.empty() ? "-" : util::join(parts, "-");
+}
+
+} // namespace model
+} // namespace recsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * DLRM model-architecture configuration: the paper's "massive parameter
+ * design space" (Section III). A DlrmConfig captures everything that
+ * affects training efficiency — dense/sparse feature counts, per-table
+ * hash sizes and lookup lengths, the interaction type, and the MLP stack
+ * dimensions — plus the accounting (parameter bytes, per-example FLOPs
+ * and lookup bytes) the cost models consume.
+ *
+ * Named factories encode the three production models of Table II and
+ * the Section V test suite.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/spec.h"
+#include "nn/interaction.h"
+
+namespace recsim {
+namespace model {
+
+/** Work/traffic totals for one example (forward pass). */
+struct ExampleFootprint
+{
+    double mlp_flops = 0.0;          ///< Bottom + top MLP multiply-adds*2.
+    double interaction_flops = 0.0;  ///< Pairwise dots (if DotProduct).
+    double embedding_bytes = 0.0;    ///< Bytes fetched by lookups.
+    double embedding_lookups = 0.0;  ///< Total activated indices.
+    double pooled_bytes = 0.0;       ///< Pooled vectors (S * d * 4).
+    double dense_input_bytes = 0.0;  ///< Dense feature vector bytes.
+};
+
+/** Full model-architecture configuration. */
+struct DlrmConfig
+{
+    std::string name = "custom";
+    /** Number of scalar dense features (bottom MLP input width). */
+    std::size_t num_dense = 64;
+    /** Shared embedding dimension d. */
+    std::size_t emb_dim = 64;
+    /** One spec per sparse feature / embedding table. */
+    std::vector<data::SparseFeatureSpec> sparse;
+    /**
+     * Bottom (dense) MLP hidden dims; a projection to emb_dim is
+     * appended automatically when the interaction is DotProduct.
+     */
+    std::vector<std::size_t> bottom_mlp = {512, 512, 512};
+    /**
+     * Top MLP hidden dims; the final 1-wide logit layer is appended
+     * automatically.
+     */
+    std::vector<std::size_t> top_mlp = {512, 512, 512};
+    nn::InteractionKind interaction = nn::InteractionKind::DotProduct;
+
+    std::size_t numSparse() const { return sparse.size(); }
+
+    /** Bottom MLP layer dims including the implicit projection. */
+    std::vector<std::size_t> bottomDims() const;
+
+    /** Top MLP layer dims including the implicit logit layer. */
+    std::vector<std::size_t> topDims() const;
+
+    /** Width of the interaction output (top MLP input). */
+    std::size_t interactionWidth() const;
+
+    /** Total embedding-table parameter bytes (FP32). */
+    double embeddingBytes() const;
+
+    /** Total MLP (dense) parameter count. */
+    std::size_t mlpParams() const;
+
+    /** Mean embedding lookups per example across all features. */
+    double meanLookupsPerExample() const;
+
+    /** Per-example forward work/traffic accounting. */
+    ExampleFootprint footprint() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+    // ---- Named configurations -------------------------------------
+
+    /**
+     * M1_prod (Table II): 30 sparse / 800 dense features, mean 28
+     * lookups, bottom 512, top 512-512-512, tens of GB of embeddings.
+     * Per-table hash sizes and lengths are drawn to match Fig 6
+     * (mean hash 5.7 M) with a fixed seed.
+     */
+    static DlrmConfig m1Prod();
+
+    /** M2_prod: 13 sparse / 504 dense, 17 lookups, 1024-wide MLPs. */
+    static DlrmConfig m2Prod();
+
+    /**
+     * M3_prod: 127 sparse / 809 dense, 49 lookups, five-layer top MLP,
+     * hundreds of GB of embeddings (the embedding-dominant model).
+     */
+    static DlrmConfig m3Prod();
+
+    /**
+     * Section V test-suite configuration: uniform tables with a fixed
+     * hash size, lookups truncated to 32, MLP width^layers stacks.
+     */
+    static DlrmConfig testSuite(std::size_t num_dense,
+                                std::size_t num_sparse,
+                                uint64_t hash_size,
+                                std::size_t mlp_width = 512,
+                                std::size_t mlp_layers = 3,
+                                double mean_length = 8.0,
+                                uint64_t truncation = 32);
+
+    /**
+     * A small, functionally trainable replica of a production-style
+     * model for the accuracy experiments (Fig 15): same topology, hash
+     * sizes shrunk so the tables fit in memory.
+     */
+    static DlrmConfig tinyReplica(std::size_t num_sparse = 8,
+                                  std::size_t num_dense = 13,
+                                  uint64_t hash_size = 2000,
+                                  std::size_t emb_dim = 16);
+};
+
+/** Render MLP dims the way the paper does, e.g. "512-256-512". */
+std::string mlpDimsToString(const std::vector<std::size_t>& dims);
+
+/**
+ * Apply the mixed-dimension rule of Ginart et al. [17]: scale each
+ * table's embedding width with its popularity (mean lookups), so the
+ * long tail of rarely-accessed tables gets narrow embeddings.
+ *   dim_i = clamp(base_dim * (pop_i / pop_max)^alpha, min_dim, base_dim)
+ * rounded down to a power of two. Tables keeping the full width get no
+ * override (and no projection).
+ *
+ * @param alpha    Popularity exponent (the paper's temperature); 0
+ *                 disables the rule, larger shrinks the tail harder.
+ * @param min_dim  Floor for the narrowest tables.
+ */
+model::DlrmConfig applyMixedDimensions(DlrmConfig config, double alpha,
+                                       std::size_t min_dim = 4);
+
+} // namespace model
+} // namespace recsim

@@ -1,0 +1,187 @@
+#include "model/dlrm.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace model {
+
+Dlrm::Dlrm(const DlrmConfig& config, uint64_t seed, double max_bytes)
+    : config_(config)
+{
+    const double emb_bytes = config_.embeddingBytes();
+    if (emb_bytes > max_bytes) {
+        util::fatal("config '{}' needs {} of embeddings (> {} limit); "
+                    "use the analytical cost models for shapes this "
+                    "large", config_.name,
+                    util::bytesToString(emb_bytes),
+                    util::bytesToString(max_bytes));
+    }
+    util::Rng rng(seed);
+    bottom_ = std::make_unique<nn::Mlp>(config_.num_dense,
+                                        config_.bottomDims(), rng);
+    top_ = std::make_unique<nn::Mlp>(config_.interactionWidth(),
+                                     config_.topDims(), rng);
+    tables_.reserve(config_.numSparse());
+    projections_.reserve(config_.numSparse());
+    for (const auto& spec : config_.sparse) {
+        util::Rng table_rng = rng.fork(spec.hash_size);
+        const std::size_t dim = spec.effectiveDim(config_.emb_dim);
+        tables_.emplace_back(spec.hash_size, dim, table_rng,
+                             nn::Pooling::Sum);
+        // Narrow tables project up to the shared width (mixed dims).
+        projections_.push_back(
+            dim == config_.emb_dim
+                ? nullptr
+                : std::make_unique<nn::Linear>(dim, config_.emb_dim,
+                                               rng));
+    }
+    pooled_raw_.resize(config_.numSparse());
+    pooled_.resize(config_.numSparse());
+    d_pooled_raw_.resize(config_.numSparse());
+    sparse_grads_.resize(config_.numSparse());
+}
+
+void
+Dlrm::forward(const data::MiniBatch& batch, tensor::Tensor& logits)
+{
+    RECSIM_ASSERT(batch.sparse.size() == tables_.size(),
+                  "batch has {} sparse features, model expects {}",
+                  batch.sparse.size(), tables_.size());
+    bottom_->forward(batch.dense, bottom_out_);
+    for (std::size_t f = 0; f < tables_.size(); ++f) {
+        if (projections_[f]) {
+            tables_[f].forward(batch.sparse[f], pooled_raw_[f]);
+            projections_[f]->forward(pooled_raw_[f], pooled_[f]);
+        } else {
+            tables_[f].forward(batch.sparse[f], pooled_[f]);
+        }
+    }
+    if (config_.interaction == nn::InteractionKind::DotProduct)
+        dot_.forward(bottom_out_, pooled_, interact_out_);
+    else
+        cat_.forward(bottom_out_, pooled_, interact_out_);
+    top_->forward(interact_out_, logits);
+}
+
+double
+Dlrm::forwardBackward(const data::MiniBatch& batch)
+{
+    forward(batch, logits_);
+    const double loss = nn::bceWithLogits(logits_, batch.labels,
+                                          d_logits_);
+    top_->backward(interact_out_, d_logits_, d_interact_);
+    if (config_.interaction == nn::InteractionKind::DotProduct)
+        dot_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,
+                      d_pooled_);
+    else
+        cat_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,
+                      d_pooled_);
+    bottom_->backward(batch.dense, d_bottom_out_, d_dense_in_);
+    for (std::size_t f = 0; f < tables_.size(); ++f) {
+        if (projections_[f]) {
+            projections_[f]->backward(pooled_raw_[f], d_pooled_[f],
+                                      d_pooled_raw_[f]);
+            tables_[f].backward(batch.sparse[f], d_pooled_raw_[f],
+                                sparse_grads_[f]);
+        } else {
+            tables_[f].backward(batch.sparse[f], d_pooled_[f],
+                                sparse_grads_[f]);
+        }
+    }
+    return loss;
+}
+
+void
+Dlrm::zeroGrad()
+{
+    bottom_->zeroGrad();
+    top_->zeroGrad();
+    for (auto& proj : projections_) {
+        if (proj)
+            proj->zeroGrad();
+    }
+    for (auto& g : sparse_grads_) {
+        g.rows.clear();
+        g.values = tensor::Tensor();
+    }
+}
+
+void
+Dlrm::step(const nn::Sgd& opt)
+{
+    opt.step(*bottom_);
+    opt.step(*top_);
+    for (auto& proj : projections_) {
+        if (proj)
+            opt.step(*proj);
+    }
+    for (std::size_t f = 0; f < tables_.size(); ++f)
+        opt.stepSparse(tables_[f], sparse_grads_[f]);
+    zeroGrad();
+}
+
+void
+Dlrm::step(nn::Adagrad& opt)
+{
+    opt.step(*bottom_);
+    opt.step(*top_);
+    for (auto& proj : projections_) {
+        if (proj)
+            opt.step(*proj);
+    }
+    for (std::size_t f = 0; f < tables_.size(); ++f)
+        opt.stepSparse(tables_[f], sparse_grads_[f]);
+    zeroGrad();
+}
+
+double
+Dlrm::evalLoss(const data::MiniBatch& batch)
+{
+    tensor::Tensor logits;
+    forward(batch, logits);
+    return nn::bceWithLogitsLoss(logits, batch.labels);
+}
+
+double
+Dlrm::evalNormalizedEntropy(const data::MiniBatch& batch)
+{
+    tensor::Tensor logits;
+    forward(batch, logits);
+    return nn::normalizedEntropy(logits, batch.labels);
+}
+
+std::vector<tensor::Tensor*>
+Dlrm::denseParams()
+{
+    std::vector<tensor::Tensor*> params;
+    for (auto* mlp : {bottom_.get(), top_.get()}) {
+        for (auto& layer : mlp->layers()) {
+            params.push_back(&layer.weight);
+            params.push_back(&layer.bias);
+        }
+    }
+    for (auto& proj : projections_) {
+        if (proj) {
+            params.push_back(&proj->weight);
+            params.push_back(&proj->bias);
+        }
+    }
+    return params;
+}
+
+std::size_t
+Dlrm::numDenseParams() const
+{
+    std::size_t total = bottom_->numParams() + top_->numParams();
+    for (const auto& proj : projections_) {
+        if (proj)
+            total += proj->numParams();
+    }
+    return total;
+}
+
+} // namespace model
+} // namespace recsim

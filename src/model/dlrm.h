@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Functional DLRM: the trainable model of Fig 3 — bottom MLP over dense
+ * features, embedding tables over sparse features, feature interaction,
+ * top MLP to a click logit. Used by the accuracy experiments (Fig 15)
+ * and the functional integration tests; the *performance* of production
+ * shapes is modeled analytically (src/cost) because terabyte tables
+ * cannot be instantiated.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/config.h"
+#include "nn/embedding_bag.h"
+#include "nn/interaction.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace model {
+
+/**
+ * Trainable DLRM instance.
+ *
+ * One instance supports one in-flight forward/backward at a time; for
+ * multi-threaded training each worker owns a replica (EASGD) or all
+ * workers share one instance and race (Hogwild, by design).
+ */
+class Dlrm
+{
+  public:
+    /**
+     * Instantiate a config. fatal()s if the embedding tables exceed
+     * @p max_bytes (default 4 GiB) — production shapes must go through
+     * the analytical cost models instead.
+     */
+    explicit Dlrm(const DlrmConfig& config, uint64_t seed = 1,
+                  double max_bytes = 4.0 * (1ULL << 30));
+
+    /** Forward pass only; fills logits [B, 1]. */
+    void forward(const data::MiniBatch& batch, tensor::Tensor& logits);
+
+    /**
+     * Forward + loss + full backward. Dense grads accumulate in the
+     * MLP layers; sparse grads are stored per table (see sparseGrads()).
+     * @return Mean BCE loss of the batch.
+     */
+    double forwardBackward(const data::MiniBatch& batch);
+
+    /** Zero dense grads and drop stored sparse grads. */
+    void zeroGrad();
+
+    /** Apply accumulated grads with SGD and clear them. */
+    void step(const nn::Sgd& opt);
+
+    /** Apply accumulated grads with Adagrad and clear them. */
+    void step(nn::Adagrad& opt);
+
+    /** Mean BCE loss on a batch without touching grads. */
+    double evalLoss(const data::MiniBatch& batch);
+
+    /** Normalized entropy on a batch. */
+    double evalNormalizedEntropy(const data::MiniBatch& batch);
+
+    const DlrmConfig& config() const { return config_; }
+    nn::Mlp& bottomMlp() { return *bottom_; }
+    nn::Mlp& topMlp() { return *top_; }
+    std::vector<nn::EmbeddingBag>& tables() { return tables_; }
+    const std::vector<nn::SparseGrad>& sparseGrads() const
+    {
+        return sparse_grads_;
+    }
+
+    /**
+     * All dense parameter tensors (MLP weights and biases), for EASGD
+     * elastic averaging between replicas and the center model.
+     */
+    std::vector<tensor::Tensor*> denseParams();
+
+    /** Total dense parameter count. */
+    std::size_t numDenseParams() const;
+
+  private:
+    DlrmConfig config_;
+    std::unique_ptr<nn::Mlp> bottom_;
+    std::unique_ptr<nn::Mlp> top_;
+    std::vector<nn::EmbeddingBag> tables_;
+    /**
+     * Mixed-dimension support: tables narrower than the shared width
+     * project up through a learned Linear (null for full-width tables).
+     */
+    std::vector<std::unique_ptr<nn::Linear>> projections_;
+    nn::CatInteraction cat_;
+    nn::DotInteraction dot_;
+
+    // Forward caches for backward.
+    tensor::Tensor bottom_out_;
+    std::vector<tensor::Tensor> pooled_raw_;
+    std::vector<tensor::Tensor> pooled_;
+    tensor::Tensor interact_out_;
+    tensor::Tensor logits_;
+    std::vector<nn::SparseGrad> sparse_grads_;
+
+    // Scratch.
+    std::vector<tensor::Tensor> d_pooled_raw_;
+    tensor::Tensor d_logits_;
+    tensor::Tensor d_interact_;
+    tensor::Tensor d_bottom_out_;
+    std::vector<tensor::Tensor> d_pooled_;
+    tensor::Tensor d_dense_in_;
+};
+
+} // namespace model
+} // namespace recsim

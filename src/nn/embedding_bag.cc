@@ -1,0 +1,93 @@
+#include "nn/embedding_bag.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace nn {
+
+EmbeddingBag::EmbeddingBag(uint64_t hash_size, std::size_t dim,
+                           util::Rng& rng, Pooling pooling)
+    : table(static_cast<std::size_t>(hash_size), dim),
+      hash_size_(hash_size), dim_(dim), pooling_(pooling)
+{
+    RECSIM_ASSERT(hash_size > 0 && dim > 0,
+                  "degenerate embedding table [{} x {}]", hash_size, dim);
+    const float bound = 1.0f / std::sqrt(static_cast<float>(dim));
+    table.fillUniform(rng, -bound, bound);
+}
+
+void
+EmbeddingBag::forward(const SparseBatch& batch, tensor::Tensor& out) const
+{
+    const std::size_t b = batch.batchSize();
+    if (out.rank() != 2 || out.rows() != b || out.cols() != dim_)
+        out = tensor::Tensor(b, dim_);
+    else
+        out.zero();
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        const std::size_t begin = batch.offsets[ex];
+        const std::size_t end = batch.offsets[ex + 1];
+        RECSIM_ASSERT(begin <= end && end <= batch.indices.size(),
+                      "corrupt SparseBatch offsets");
+        float* orow = out.row(ex);
+        for (std::size_t k = begin; k < end; ++k) {
+            const auto row_id = static_cast<std::size_t>(
+                batch.indices[k] % hash_size_);
+            const float* erow = table.row(row_id);
+            for (std::size_t j = 0; j < dim_; ++j)
+                orow[j] += erow[j];
+        }
+        if (pooling_ == Pooling::Mean && end > begin) {
+            const float inv = 1.0f / static_cast<float>(end - begin);
+            for (std::size_t j = 0; j < dim_; ++j)
+                orow[j] *= inv;
+        }
+    }
+}
+
+void
+EmbeddingBag::backward(const SparseBatch& batch, const tensor::Tensor& dy,
+                       SparseGrad& grad) const
+{
+    const std::size_t b = batch.batchSize();
+    RECSIM_ASSERT(dy.rows() == b && dy.cols() == dim_,
+                  "embedding backward dy {}", dy.shapeString());
+
+    // Coalesce duplicate rows: map row id -> slot in the dense grad block.
+    std::unordered_map<uint64_t, std::size_t> slot_of;
+    slot_of.reserve(batch.indices.size());
+    std::vector<uint64_t> rows;
+    std::vector<float> values;  // row-major [nrows, dim], grown on demand
+
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        const std::size_t begin = batch.offsets[ex];
+        const std::size_t end = batch.offsets[ex + 1];
+        if (end == begin)
+            continue;
+        const float scale = pooling_ == Pooling::Mean
+            ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+        const float* dyrow = dy.row(ex);
+        for (std::size_t k = begin; k < end; ++k) {
+            const uint64_t row_id = batch.indices[k] % hash_size_;
+            auto [it, inserted] = slot_of.try_emplace(row_id, rows.size());
+            if (inserted) {
+                rows.push_back(row_id);
+                values.resize(values.size() + dim_, 0.0f);
+            }
+            float* vrow = values.data() + it->second * dim_;
+            for (std::size_t j = 0; j < dim_; ++j)
+                vrow[j] += scale * dyrow[j];
+        }
+    }
+
+    grad.rows = std::move(rows);
+    grad.values = tensor::Tensor(grad.rows.size(), dim_);
+    std::copy(values.begin(), values.end(), grad.values.data());
+}
+
+} // namespace nn
+} // namespace recsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Embedding table with pooled multi-hot lookup — the sparse-feature half
+ * of a DLRM (Fig 3 of the paper). The hash trick (index modulo table
+ * size) is applied inside the table, so collisions behave as they do in
+ * production: semantically distinct IDs share rows when the hash size is
+ * small, degrading accuracy but shrinking the table.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace nn {
+
+/** How the looked-up vectors of one example are combined. */
+enum class Pooling { Sum, Mean };
+
+/**
+ * Sparse gradient of an embedding table: one dense d-vector per touched
+ * row, rows deduplicated. Produced by EmbeddingBag::backward and consumed
+ * by the sparse optimizers.
+ */
+struct SparseGrad
+{
+    std::vector<uint64_t> rows;  ///< Touched row ids, unique.
+    tensor::Tensor values;       ///< [rows.size(), dim] gradients.
+};
+
+/**
+ * CSR-style multi-hot batch for one sparse feature: example b owns
+ * indices[offsets[b] .. offsets[b+1]). Raw (pre-hash) IDs are allowed;
+ * the table reduces them modulo its hash size.
+ */
+struct SparseBatch
+{
+    std::vector<uint64_t> indices;
+    std::vector<std::size_t> offsets;  ///< Size batch+1; offsets[0] == 0.
+
+    /** Number of examples. */
+    std::size_t batchSize() const
+    {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+
+    /** Total lookups across the batch. */
+    std::size_t totalLookups() const { return indices.size(); }
+};
+
+/**
+ * Embedding lookup table of @p hashSize rows by @p dim columns with
+ * sum or mean pooling per example.
+ */
+class EmbeddingBag
+{
+  public:
+    /**
+     * @param hash_size Number of rows (the paper's per-feature m_i).
+     * @param dim       Embedding dimension d (fixed across features).
+     * @param rng       Initializer stream; rows ~ U(-1/sqrt(d), 1/sqrt(d)).
+     * @param pooling   Sum or mean pooling of the looked-up vectors.
+     */
+    EmbeddingBag(uint64_t hash_size, std::size_t dim, util::Rng& rng,
+                 Pooling pooling = Pooling::Sum);
+
+    /**
+     * Pooled lookup: out [B, dim] where row b aggregates the embeddings
+     * of batch.indices in example b's range. Examples with no indices
+     * produce a zero row.
+     */
+    void forward(const SparseBatch& batch, tensor::Tensor& out) const;
+
+    /**
+     * Accumulate the sparse gradient of the last forward.
+     * @param batch Same batch as the matching forward().
+     * @param dy    Gradient wrt the pooled output, [B, dim].
+     * @param grad  Output: deduplicated per-row gradients.
+     */
+    void backward(const SparseBatch& batch, const tensor::Tensor& dy,
+                  SparseGrad& grad) const;
+
+    uint64_t hashSize() const { return hash_size_; }
+    std::size_t dim() const { return dim_; }
+    Pooling pooling() const { return pooling_; }
+
+    /** Parameter bytes (FP32). */
+    std::size_t paramBytes() const
+    {
+        return hash_size_ * dim_ * sizeof(float);
+    }
+
+    tensor::Tensor table;  ///< [hash_size, dim]
+
+  private:
+    uint64_t hash_size_;
+    std::size_t dim_;
+    Pooling pooling_;
+};
+
+} // namespace nn
+} // namespace recsim

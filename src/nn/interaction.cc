@@ -1,0 +1,162 @@
+#include "nn/interaction.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace nn {
+
+std::size_t
+CatInteraction::outWidth(std::size_t dense_width, std::size_t num_sparse,
+                         std::size_t emb_dim)
+{
+    return dense_width + num_sparse * emb_dim;
+}
+
+void
+CatInteraction::forward(const tensor::Tensor& dense,
+                        const std::vector<tensor::Tensor>& embs,
+                        tensor::Tensor& out) const
+{
+    const std::size_t b = dense.rows();
+    std::size_t width = dense.cols();
+    for (const auto& e : embs) {
+        RECSIM_ASSERT(e.rows() == b, "cat interaction batch mismatch");
+        width += e.cols();
+    }
+    if (out.rank() != 2 || out.rows() != b || out.cols() != width)
+        out = tensor::Tensor(b, width);
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        float* orow = out.row(ex);
+        std::memcpy(orow, dense.row(ex), dense.cols() * sizeof(float));
+        std::size_t off = dense.cols();
+        for (const auto& e : embs) {
+            std::memcpy(orow + off, e.row(ex), e.cols() * sizeof(float));
+            off += e.cols();
+        }
+    }
+}
+
+void
+CatInteraction::backward(const tensor::Tensor& dense,
+                         const std::vector<tensor::Tensor>& embs,
+                         const tensor::Tensor& dy, tensor::Tensor& d_dense,
+                         std::vector<tensor::Tensor>& d_embs) const
+{
+    const std::size_t b = dense.rows();
+    RECSIM_ASSERT(dy.rows() == b, "cat backward batch mismatch");
+    if (!d_dense.sameShape(dense))
+        d_dense = tensor::Tensor(b, dense.cols());
+    d_embs.resize(embs.size());
+    for (std::size_t s = 0; s < embs.size(); ++s) {
+        if (!d_embs[s].sameShape(embs[s]))
+            d_embs[s] = tensor::Tensor(b, embs[s].cols());
+    }
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        const float* dyrow = dy.row(ex);
+        std::memcpy(d_dense.row(ex), dyrow,
+                    dense.cols() * sizeof(float));
+        std::size_t off = dense.cols();
+        for (std::size_t s = 0; s < embs.size(); ++s) {
+            std::memcpy(d_embs[s].row(ex), dyrow + off,
+                        embs[s].cols() * sizeof(float));
+            off += embs[s].cols();
+        }
+    }
+}
+
+std::size_t
+DotInteraction::outWidth(std::size_t num_sparse, std::size_t emb_dim)
+{
+    const std::size_t f = num_sparse + 1;
+    return emb_dim + f * (f - 1) / 2;
+}
+
+void
+DotInteraction::forward(const tensor::Tensor& dense,
+                        const std::vector<tensor::Tensor>& embs,
+                        tensor::Tensor& out) const
+{
+    const std::size_t b = dense.rows();
+    const std::size_t d = dense.cols();
+    const std::size_t f = embs.size() + 1;
+    for (const auto& e : embs)
+        RECSIM_ASSERT(e.rows() == b && e.cols() == d,
+                      "dot interaction needs [B, d] embeddings");
+    const std::size_t width = outWidth(embs.size(), d);
+    if (out.rank() != 2 || out.rows() != b || out.cols() != width)
+        out = tensor::Tensor(b, width);
+
+    // Per-example view of the F vectors; slot 0 is the dense projection.
+    std::vector<const float*> vec(f);
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        vec[0] = dense.row(ex);
+        for (std::size_t s = 0; s < embs.size(); ++s)
+            vec[s + 1] = embs[s].row(ex);
+        float* orow = out.row(ex);
+        std::memcpy(orow, vec[0], d * sizeof(float));
+        std::size_t off = d;
+        for (std::size_t i = 0; i < f; ++i) {
+            for (std::size_t j = i + 1; j < f; ++j) {
+                float acc = 0.0f;
+                for (std::size_t k = 0; k < d; ++k)
+                    acc += vec[i][k] * vec[j][k];
+                orow[off++] = acc;
+            }
+        }
+    }
+}
+
+void
+DotInteraction::backward(const tensor::Tensor& dense,
+                         const std::vector<tensor::Tensor>& embs,
+                         const tensor::Tensor& dy, tensor::Tensor& d_dense,
+                         std::vector<tensor::Tensor>& d_embs) const
+{
+    const std::size_t b = dense.rows();
+    const std::size_t d = dense.cols();
+    const std::size_t f = embs.size() + 1;
+    RECSIM_ASSERT(dy.rows() == b &&
+                  dy.cols() == outWidth(embs.size(), d),
+                  "dot backward dy {}", dy.shapeString());
+    if (!d_dense.sameShape(dense))
+        d_dense = tensor::Tensor(b, d);
+    d_dense.zero();
+    d_embs.resize(embs.size());
+    for (std::size_t s = 0; s < embs.size(); ++s) {
+        if (!d_embs[s].sameShape(embs[s]))
+            d_embs[s] = tensor::Tensor(b, d);
+        d_embs[s].zero();
+    }
+
+    std::vector<const float*> vec(f);
+    std::vector<float*> dvec(f);
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        vec[0] = dense.row(ex);
+        dvec[0] = d_dense.row(ex);
+        for (std::size_t s = 0; s < embs.size(); ++s) {
+            vec[s + 1] = embs[s].row(ex);
+            dvec[s + 1] = d_embs[s].row(ex);
+        }
+        const float* dyrow = dy.row(ex);
+        // Pass-through part: the dense copy occupies the first d slots.
+        for (std::size_t k = 0; k < d; ++k)
+            dvec[0][k] += dyrow[k];
+        std::size_t off = d;
+        for (std::size_t i = 0; i < f; ++i) {
+            for (std::size_t j = i + 1; j < f; ++j) {
+                const float g = dyrow[off++];
+                if (g == 0.0f)
+                    continue;
+                for (std::size_t k = 0; k < d; ++k) {
+                    dvec[i][k] += g * vec[j][k];
+                    dvec[j][k] += g * vec[i][k];
+                }
+            }
+        }
+    }
+}
+
+} // namespace nn
+} // namespace recsim

@@ -1,0 +1,63 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace nn {
+
+Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng)
+    : weight(in, out), bias(out), gradWeight(in, out), gradBias(out),
+      in_(in), out_(out)
+{
+    RECSIM_ASSERT(in > 0 && out > 0, "degenerate Linear [{} -> {}]", in,
+                  out);
+    weight.fillNormal(rng, std::sqrt(2.0f / static_cast<float>(in)));
+}
+
+void
+Linear::forward(const tensor::Tensor& x, tensor::Tensor& y) const
+{
+    RECSIM_ASSERT(x.cols() == in_, "Linear forward {} into [{} -> {}]",
+                  x.shapeString(), in_, out_);
+    tensor::matmul(x, weight, y);
+    tensor::addBiasRows(y, bias);
+}
+
+void
+Linear::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
+                 tensor::Tensor& dx)
+{
+    backwardNoInputGrad(x, dy);
+    // dx = dy W^T
+    tensor::matmulTransB(dy, weight, dx);
+}
+
+void
+Linear::backwardNoInputGrad(const tensor::Tensor& x,
+                            const tensor::Tensor& dy)
+{
+    RECSIM_ASSERT(dy.cols() == out_ && dy.rows() == x.rows(),
+                  "Linear backward dy {} vs x {}", dy.shapeString(),
+                  x.shapeString());
+    // dW += x^T dy ; db += column sums of dy
+    tensor::Tensor dw;
+    tensor::matmulTransA(x, dy, dw);
+    tensor::axpy(1.0f, dw, gradWeight);
+    tensor::Tensor db;
+    tensor::sumRows(dy, db);
+    tensor::axpy(1.0f, db, gradBias);
+}
+
+void
+Linear::zeroGrad()
+{
+    gradWeight.zero();
+    gradBias.zero();
+}
+
+} // namespace nn
+} // namespace recsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully connected layer with explicit forward/backward.
+ */
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace nn {
+
+/**
+ * y = x W + b with manual reverse-mode gradients.
+ *
+ * W is stored [in, out] so the forward pass is a plain row-major GEMM.
+ * Gradients accumulate into gradWeight/gradBias until zeroGrad(); this
+ * lets the optimizer and the Hogwild trainer decide when updates are
+ * applied.
+ */
+class Linear
+{
+  public:
+    /**
+     * @param in   Input feature width.
+     * @param out  Output feature width.
+     * @param rng  Initializer stream; He-style scaling sqrt(2 / in).
+     */
+    Linear(std::size_t in, std::size_t out, util::Rng& rng);
+
+    /** y [B, out] = x [B, in] W + b. */
+    void forward(const tensor::Tensor& x, tensor::Tensor& y) const;
+
+    /**
+     * Accumulate parameter grads and produce the input grad.
+     * @param x       The forward input.
+     * @param dy      Gradient wrt the forward output, [B, out].
+     * @param dx      Output: gradient wrt x, [B, in].
+     */
+    void backward(const tensor::Tensor& x, const tensor::Tensor& dy,
+                  tensor::Tensor& dx);
+
+    /** As backward() but skips dx (first layer of a stack). */
+    void backwardNoInputGrad(const tensor::Tensor& x,
+                             const tensor::Tensor& dy);
+
+    void zeroGrad();
+
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const { return out_; }
+    std::size_t numParams() const { return weight.size() + bias.size(); }
+
+    tensor::Tensor weight;      ///< [in, out]
+    tensor::Tensor bias;        ///< [out]
+    tensor::Tensor gradWeight;  ///< [in, out]
+    tensor::Tensor gradBias;    ///< [out]
+
+  private:
+    std::size_t in_, out_;
+};
+
+} // namespace nn
+} // namespace recsim

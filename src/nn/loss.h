@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary cross-entropy loss over logits and the normalized-entropy (NE)
+ * metric Facebook uses to track recommendation model quality (Section VI-C
+ * of the paper: "model loss metrics, such as normalized entropy").
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace nn {
+
+/**
+ * Mean binary cross-entropy with logits.
+ *
+ * @param logits  [B, 1] or rank-1 [B] raw scores.
+ * @param labels  B labels in {0, 1}.
+ * @param d_logits Output: gradient wrt the logits (already divided by B).
+ * @return Mean BCE loss in nats.
+ */
+double bceWithLogits(const tensor::Tensor& logits,
+                     const std::vector<float>& labels,
+                     tensor::Tensor& d_logits);
+
+/** Loss-only variant for evaluation. */
+double bceWithLogitsLoss(const tensor::Tensor& logits,
+                         const std::vector<float>& labels);
+
+/**
+ * Normalized entropy: mean BCE of the model divided by the entropy of
+ * the empirical CTR (the loss of the best constant predictor). NE < 1
+ * means the model beats always-predicting-the-base-rate; lower is better.
+ */
+double normalizedEntropy(const tensor::Tensor& logits,
+                         const std::vector<float>& labels);
+
+/** Fraction of examples where round(sigmoid(logit)) == label. */
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<float>& labels);
+
+} // namespace nn
+} // namespace recsim

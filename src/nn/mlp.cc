@@ -1,0 +1,80 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace nn {
+
+Mlp::Mlp(std::size_t in, const std::vector<std::size_t>& dims,
+         util::Rng& rng)
+    : in_(in)
+{
+    RECSIM_ASSERT(!dims.empty(), "MLP needs at least one layer");
+    std::size_t width = in;
+    layers_.reserve(dims.size());
+    for (std::size_t d : dims) {
+        layers_.emplace_back(width, d, rng);
+        width = d;
+    }
+    acts_.resize(layers_.size());
+    grad_scratch_.resize(layers_.size());
+}
+
+std::size_t
+Mlp::outFeatures() const
+{
+    return layers_.back().outFeatures();
+}
+
+std::size_t
+Mlp::numParams() const
+{
+    std::size_t total = 0;
+    for (const auto& l : layers_)
+        total += l.numParams();
+    return total;
+}
+
+void
+Mlp::forward(const tensor::Tensor& x, tensor::Tensor& y)
+{
+    const tensor::Tensor* cur = &x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(*cur, acts_[i]);
+        if (i + 1 < layers_.size())
+            tensor::reluInPlace(acts_[i]);
+        cur = &acts_[i];
+    }
+    y = acts_.back();
+}
+
+void
+Mlp::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
+              tensor::Tensor& dx)
+{
+    RECSIM_ASSERT(acts_.back().rows() == dy.rows(),
+                  "MLP backward without matching forward");
+    const tensor::Tensor* grad = &dy;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
+        tensor::Tensor& dxi = i == 0 ? dx : grad_scratch_[i - 1];
+        layers_[i].backward(input, *grad, dxi);
+        if (i > 0) {
+            // Undo the ReLU applied after layer i-1 in forward().
+            tensor::reluBackward(acts_[i - 1], dxi, dxi);
+            grad = &dxi;
+        }
+    }
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto& l : layers_)
+        l.zeroGrad();
+}
+
+} // namespace nn
+} // namespace recsim

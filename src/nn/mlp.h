@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-layer perceptron stack — the "dense architecture" of a DLRM
+ * (both the bottom MLP over dense features and the top MLP over the
+ * interaction output, Fig 3 of the paper).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace util {
+class Rng;
+} // namespace util
+
+namespace nn {
+
+/**
+ * Sequence of Linear layers with ReLU between them. The final layer is
+ * linear (no activation) so it can feed an interaction op or a logit.
+ *
+ * forward() caches per-layer activations, so one Mlp instance supports
+ * one in-flight forward/backward at a time (per-thread replicas are used
+ * for parallel training).
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param in    Input width.
+     * @param dims  Output width of each layer, e.g. {512, 512, 512} for
+     *              the paper's 512^3 stack. Must be non-empty.
+     * @param rng   Initializer stream.
+     */
+    Mlp(std::size_t in, const std::vector<std::size_t>& dims,
+        util::Rng& rng);
+
+    /** y [B, dims.back()] = mlp(x [B, in]); caches activations. */
+    void forward(const tensor::Tensor& x, tensor::Tensor& y);
+
+    /**
+     * Backprop through the whole stack.
+     * @param x   The same input passed to the last forward().
+     * @param dy  Gradient wrt the forward output.
+     * @param dx  Output: gradient wrt x.
+     */
+    void backward(const tensor::Tensor& x, const tensor::Tensor& dy,
+                  tensor::Tensor& dx);
+
+    void zeroGrad();
+
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const;
+    std::size_t numLayers() const { return layers_.size(); }
+    std::size_t numParams() const;
+
+    std::vector<Linear>& layers() { return layers_; }
+    const std::vector<Linear>& layers() const { return layers_; }
+
+  private:
+    std::size_t in_;
+    std::vector<Linear> layers_;
+    /** Post-activation output of each layer from the last forward(). */
+    std::vector<tensor::Tensor> acts_;
+    std::vector<tensor::Tensor> grad_scratch_;
+};
+
+} // namespace nn
+} // namespace recsim

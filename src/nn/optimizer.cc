@@ -1,0 +1,114 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "util/logging.h"
+
+namespace recsim {
+namespace nn {
+
+Sgd::Sgd(float lr)
+    : lr_(lr)
+{
+    RECSIM_ASSERT(lr > 0.0f, "learning rate must be positive");
+}
+
+void
+Sgd::step(tensor::Tensor& param, const tensor::Tensor& grad) const
+{
+    RECSIM_ASSERT(param.size() == grad.size(), "SGD shape mismatch");
+    float* p = param.data();
+    const float* g = grad.data();
+    for (std::size_t i = 0; i < param.size(); ++i)
+        p[i] -= lr_ * g[i];
+}
+
+void
+Sgd::step(Linear& layer) const
+{
+    step(layer.weight, layer.gradWeight);
+    step(layer.bias, layer.gradBias);
+}
+
+void
+Sgd::step(Mlp& mlp) const
+{
+    for (auto& layer : mlp.layers())
+        step(layer);
+}
+
+void
+Sgd::stepSparse(EmbeddingBag& bag, const SparseGrad& grad) const
+{
+    const std::size_t d = bag.dim();
+    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+        float* row = bag.table.row(
+            static_cast<std::size_t>(grad.rows[r]));
+        const float* g = grad.values.row(r);
+        for (std::size_t j = 0; j < d; ++j)
+            row[j] -= lr_ * g[j];
+    }
+}
+
+Adagrad::Adagrad(float lr, float eps)
+    : lr_(lr), eps_(eps)
+{
+    RECSIM_ASSERT(lr > 0.0f, "learning rate must be positive");
+}
+
+void
+Adagrad::step(tensor::Tensor& param, const tensor::Tensor& grad)
+{
+    RECSIM_ASSERT(param.size() == grad.size(), "Adagrad shape mismatch");
+    auto& acc = dense_state_[param.data()];
+    if (acc.size() != param.size())
+        acc.assign(param.size(), 0.0f);
+    float* p = param.data();
+    const float* g = grad.data();
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        acc[i] += g[i] * g[i];
+        p[i] -= lr_ * g[i] / (std::sqrt(acc[i]) + eps_);
+    }
+}
+
+void
+Adagrad::step(Linear& layer)
+{
+    step(layer.weight, layer.gradWeight);
+    step(layer.bias, layer.gradBias);
+}
+
+void
+Adagrad::step(Mlp& mlp)
+{
+    for (auto& layer : mlp.layers())
+        step(layer);
+}
+
+void
+Adagrad::stepSparse(EmbeddingBag& bag, const SparseGrad& grad)
+{
+    auto& acc = row_state_[bag.table.data()];
+    if (acc.size() != bag.hashSize())
+        acc.assign(bag.hashSize(), 0.0f);
+    const std::size_t d = bag.dim();
+    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+        const auto row_id = static_cast<std::size_t>(grad.rows[r]);
+        const float* g = grad.values.row(r);
+        // Row-wise Adagrad: a single accumulator per row holding the
+        // mean squared gradient across the row's elements.
+        float sq = 0.0f;
+        for (std::size_t j = 0; j < d; ++j)
+            sq += g[j] * g[j];
+        acc[row_id] += sq / static_cast<float>(d);
+        const float denom = std::sqrt(acc[row_id]) + eps_;
+        float* row = bag.table.row(row_id);
+        for (std::size_t j = 0; j < d; ++j)
+            row[j] -= lr_ * g[j] / denom;
+    }
+}
+
+} // namespace nn
+} // namespace recsim

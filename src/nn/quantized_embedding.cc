@@ -1,0 +1,247 @@
+#include "nn/quantized_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace nn {
+
+double
+bytesPerElement(EmbeddingPrecision precision)
+{
+    switch (precision) {
+      case EmbeddingPrecision::Fp32:
+        return 4.0;
+      case EmbeddingPrecision::Fp16:
+        return 2.0;
+      case EmbeddingPrecision::Int8:
+        return 1.0;
+      case EmbeddingPrecision::Int4:
+        return 0.5;
+    }
+    util::panic("unknown embedding precision");
+}
+
+const char*
+toString(EmbeddingPrecision precision)
+{
+    switch (precision) {
+      case EmbeddingPrecision::Fp32:
+        return "fp32";
+      case EmbeddingPrecision::Fp16:
+        return "fp16";
+      case EmbeddingPrecision::Int8:
+        return "int8";
+      case EmbeddingPrecision::Int4:
+        return "int4";
+    }
+    util::panic("unknown embedding precision");
+}
+
+namespace {
+
+/** Convert fp32 to IEEE half bits (round-to-nearest, FTZ subnormals). */
+uint16_t
+floatToHalfBits(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    const uint32_t sign = bits & 0x80000000u;
+    int32_t exponent =
+        static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
+    uint32_t mantissa = bits & 0x7fffffu;
+    if (exponent <= 0)
+        return static_cast<uint16_t>(sign >> 16);  // flush to zero
+    if (exponent >= 31)
+        return static_cast<uint16_t>((sign >> 16) | 0x7c00u);  // inf
+    // Round mantissa to 10 bits.
+    mantissa += 1u << 12;
+    if (mantissa & (1u << 23)) {
+        mantissa = 0;
+        ++exponent;
+        if (exponent >= 31)
+            return static_cast<uint16_t>((sign >> 16) | 0x7c00u);
+    }
+    return static_cast<uint16_t>(
+        (sign >> 16) |
+        (static_cast<uint32_t>(exponent) << 10) | (mantissa >> 13));
+}
+
+/** Convert IEEE half bits back to fp32. */
+float
+halfBitsToFloat(uint16_t half)
+{
+    const uint32_t h_sign = (half & 0x8000u) << 16;
+    const uint32_t h_exp = (half >> 10) & 0x1f;
+    const uint32_t h_man = half & 0x3ffu;
+    uint32_t out;
+    if (h_exp == 0) {
+        out = h_sign;  // zero (subnormals flushed to zero on encode)
+    } else if (h_exp == 31) {
+        out = h_sign | 0x7f800000u;
+    } else {
+        out = h_sign | ((h_exp - 15 + 127) << 23) | (h_man << 13);
+    }
+    float result;
+    std::memcpy(&result, &out, 4);
+    return result;
+}
+
+} // namespace
+
+float
+roundToFp16(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+QuantizedEmbeddingBag::QuantizedEmbeddingBag(const EmbeddingBag& source,
+                                             EmbeddingPrecision precision)
+    : hash_size_(source.hashSize()), dim_(source.dim()),
+      pooling_(source.pooling()), precision_(precision)
+{
+    quantizeFrom(source);
+}
+
+void
+QuantizedEmbeddingBag::quantizeFrom(const EmbeddingBag& source)
+{
+    RECSIM_ASSERT(source.hashSize() == hash_size_ &&
+                  source.dim() == dim_,
+                  "quantizeFrom with mismatched table shape");
+    const auto rows = static_cast<std::size_t>(hash_size_);
+    switch (precision_) {
+      case EmbeddingPrecision::Fp32: {
+        values_f32_.assign(source.table.data(),
+                           source.table.data() + rows * dim_);
+        break;
+      }
+      case EmbeddingPrecision::Fp16: {
+        values_f16_.resize(rows * dim_);
+        for (std::size_t i = 0; i < rows * dim_; ++i)
+            values_f16_[i] = floatToHalfBits(source.table.data()[i]);
+        break;
+      }
+      case EmbeddingPrecision::Int8:
+      case EmbeddingPrecision::Int4: {
+        const float levels =
+            precision_ == EmbeddingPrecision::Int8 ? 255.0f : 15.0f;
+        values_i8_.resize(rows * dim_);
+        scales_.resize(rows);
+        biases_.resize(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float* src = source.table.row(r);
+            float lo = src[0], hi = src[0];
+            for (std::size_t j = 1; j < dim_; ++j) {
+                lo = std::min(lo, src[j]);
+                hi = std::max(hi, src[j]);
+            }
+            const float scale = hi > lo
+                ? (hi - lo) / levels : 1e-8f;
+            scales_[r] = scale;
+            biases_[r] = lo;
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const float q = std::round((src[j] - lo) / scale);
+                values_i8_[r * dim_ + j] = static_cast<int8_t>(
+                    std::clamp(q - 128.0f, -128.0f, 127.0f));
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+QuantizedEmbeddingBag::dequantizeRow(std::size_t row, float* row_out)
+    const
+{
+    switch (precision_) {
+      case EmbeddingPrecision::Fp32: {
+        std::memcpy(row_out, values_f32_.data() + row * dim_,
+                    dim_ * sizeof(float));
+        break;
+      }
+      case EmbeddingPrecision::Fp16: {
+        for (std::size_t j = 0; j < dim_; ++j)
+            row_out[j] = halfBitsToFloat(values_f16_[row * dim_ + j]);
+        break;
+      }
+      case EmbeddingPrecision::Int8:
+      case EmbeddingPrecision::Int4: {
+        const float scale = scales_[row];
+        const float bias = biases_[row];
+        for (std::size_t j = 0; j < dim_; ++j) {
+            row_out[j] = scale *
+                (static_cast<float>(values_i8_[row * dim_ + j]) +
+                 128.0f) + bias;
+        }
+        break;
+      }
+    }
+}
+
+void
+QuantizedEmbeddingBag::forward(const SparseBatch& batch,
+                               tensor::Tensor& out) const
+{
+    const std::size_t b = batch.batchSize();
+    if (out.rank() != 2 || out.rows() != b || out.cols() != dim_)
+        out = tensor::Tensor(b, dim_);
+    else
+        out.zero();
+    std::vector<float> row(dim_);
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        const std::size_t begin = batch.offsets[ex];
+        const std::size_t end = batch.offsets[ex + 1];
+        float* orow = out.row(ex);
+        for (std::size_t k = begin; k < end; ++k) {
+            const auto row_id = static_cast<std::size_t>(
+                batch.indices[k] % hash_size_);
+            dequantizeRow(row_id, row.data());
+            for (std::size_t j = 0; j < dim_; ++j)
+                orow[j] += row[j];
+        }
+        if (pooling_ == Pooling::Mean && end > begin) {
+            const float inv = 1.0f / static_cast<float>(end - begin);
+            for (std::size_t j = 0; j < dim_; ++j)
+                orow[j] *= inv;
+        }
+    }
+}
+
+std::size_t
+QuantizedEmbeddingBag::paramBytes() const
+{
+    const auto rows = static_cast<std::size_t>(hash_size_);
+    switch (precision_) {
+      case EmbeddingPrecision::Fp32:
+        return rows * dim_ * 4;
+      case EmbeddingPrecision::Fp16:
+        return rows * dim_ * 2;
+      case EmbeddingPrecision::Int8:
+        return rows * dim_ + rows * 2 * sizeof(float);
+      case EmbeddingPrecision::Int4:
+        return rows * dim_ / 2 + rows * 2 * sizeof(float);
+    }
+    util::panic("unknown embedding precision");
+}
+
+double
+QuantizedEmbeddingBag::rowError(const EmbeddingBag& source,
+                                std::size_t row) const
+{
+    std::vector<float> deq(dim_);
+    dequantizeRow(row, deq.data());
+    double worst = 0.0;
+    const float* src = source.table.row(row);
+    for (std::size_t j = 0; j < dim_; ++j)
+        worst = std::max(worst, std::abs(
+            static_cast<double>(deq[j]) - src[j]));
+    return worst;
+}
+
+} // namespace nn
+} // namespace recsim

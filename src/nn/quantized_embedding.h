@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quantized embedding tables — the compression opportunity the paper
+ * points at ("compression for these large embedding tables using
+ * quantization [17]"). Rows are stored int8 with a per-row scale/bias
+ * (the standard row-wise affine scheme) or fp16, shrinking capacity and
+ * lookup bandwidth 4x / 2x at a measurable accuracy cost.
+ *
+ * The quantized table is an *inference/serving-side* view: training
+ * updates the FP32 master (EmbeddingBag); quantizeFrom() refreshes the
+ * compressed copy. This mirrors production, where training is FP32 and
+ * compressed tables serve lookups.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/embedding_bag.h"
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace nn {
+
+/** Storage precision of a compressed table. */
+enum class EmbeddingPrecision { Fp32, Fp16, Int8, Int4 };
+
+/** Bytes per element for a precision. */
+double bytesPerElement(EmbeddingPrecision precision);
+
+/** Human-readable name. */
+const char* toString(EmbeddingPrecision precision);
+
+/**
+ * Row-wise affine int8 (or truncated fp16) compressed embedding table
+ * with the same pooled-lookup interface as EmbeddingBag.
+ */
+class QuantizedEmbeddingBag
+{
+  public:
+    /**
+     * Compress @p source at @p precision. The source's hash size,
+     * dimension and pooling mode are inherited.
+     */
+    QuantizedEmbeddingBag(const EmbeddingBag& source,
+                          EmbeddingPrecision precision);
+
+    /** Re-compress from the (retrained) FP32 master. */
+    void quantizeFrom(const EmbeddingBag& source);
+
+    /** Pooled lookup on the compressed rows; out is [B, dim]. */
+    void forward(const SparseBatch& batch, tensor::Tensor& out) const;
+
+    /** Dequantize one row into @p row_out (dim floats). */
+    void dequantizeRow(std::size_t row, float* row_out) const;
+
+    uint64_t hashSize() const { return hash_size_; }
+    std::size_t dim() const { return dim_; }
+    EmbeddingPrecision precision() const { return precision_; }
+
+    /** Compressed parameter bytes (payload + per-row scale/bias). */
+    std::size_t paramBytes() const;
+
+    /**
+     * Worst-case absolute dequantization error of row @p row versus
+     * @p source (for tests and error reporting).
+     */
+    double rowError(const EmbeddingBag& source, std::size_t row) const;
+
+  private:
+    uint64_t hash_size_;
+    std::size_t dim_;
+    Pooling pooling_;
+    EmbeddingPrecision precision_;
+
+    // Int8/Int4 payload: values_i8_[row * dim + j] holds the level
+    // (256 levels for int8, 16 for int4; int4 levels are stored one
+    // per byte for simplicity — paramBytes() reports the packed size).
+    std::vector<int8_t> values_i8_;
+    std::vector<float> scales_;
+    std::vector<float> biases_;
+    // Fp16 payload stored as uint16 bit patterns.
+    std::vector<uint16_t> values_f16_;
+    // Fp32 passthrough (for uniform benchmarking).
+    std::vector<float> values_f32_;
+};
+
+/** Round a float to IEEE fp16 and back (for error modeling). */
+float roundToFp16(float value);
+
+} // namespace nn
+} // namespace recsim

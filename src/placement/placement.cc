@@ -1,0 +1,314 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace placement {
+
+std::string
+toString(EmbeddingPlacement placement)
+{
+    switch (placement) {
+      case EmbeddingPlacement::GpuMemory:
+        return "gpu_memory";
+      case EmbeddingPlacement::HostMemory:
+        return "host_memory";
+      case EmbeddingPlacement::RemotePs:
+        return "remote_ps";
+      case EmbeddingPlacement::Hybrid:
+        return "hybrid";
+      case EmbeddingPlacement::CpuLocal:
+        return "cpu_local";
+    }
+    util::panic("unknown placement enum value");
+}
+
+namespace {
+
+double
+totalOf(const std::vector<double>& v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/** Per-table costs honoring the serving precision. */
+TableCosts
+makeCosts(const model::DlrmConfig& config,
+          const PlacementOptions& options)
+{
+    TableCosts costs(config.sparse, config.emb_dim,
+                     options.memory_overhead_factor);
+    const double factor = options.emb_bytes_per_element / 4.0;
+    if (factor != 1.0) {
+        for (auto& b : costs.bytes)
+            b *= factor;
+        for (auto& a : costs.access_bytes)
+            a *= factor;
+    }
+    return costs;
+}
+
+PlacementPlan
+planGpuMemory(const model::DlrmConfig& config,
+              const hw::Platform& platform,
+              const PlacementOptions& options)
+{
+    PlacementPlan plan;
+    plan.placement = EmbeddingPlacement::GpuMemory;
+    if (platform.num_gpus == 0) {
+        plan.feasible = false;
+        plan.infeasible_reason = "platform has no GPUs";
+        return plan;
+    }
+    TableCosts costs = makeCosts(config, options);
+    const double cap = platform.gpu.mem_capacity *
+        options.usable_memory_fraction;
+
+    // Replicate when a full copy fits comfortably on every GPU:
+    // lookups stay local and no pooled all-to-all is required.
+    const double total = totalOf(costs.bytes);
+    if (total <= cap * options.replication_budget_fraction) {
+        plan.replicated = true;
+        plan.partition = greedyPartition(costs, 1, cap,
+                                         options.objective);
+        plan.feasible = plan.partition.feasible;
+        plan.gpus_used = static_cast<std::size_t>(platform.num_gpus);
+        plan.gpu_lookup_fraction = 1.0;
+        plan.resident_bytes = total;  // single-copy bytes
+        plan.access_imbalance = 1.0;
+        return plan;
+    }
+
+    // Tables larger than one GPU's budget are split row-wise first
+    // (Sec IV-B "row-wise partitioning"), then packed greedily.
+    const ChunkedCosts chunked = rowWiseSplitOversized(costs, cap);
+    plan.partition = greedyPartition(
+        chunked.costs,
+        static_cast<std::size_t>(platform.num_gpus) *
+            std::max<std::size_t>(options.num_nodes, 1),
+        cap, options.objective);
+    plan.feasible = plan.partition.feasible;
+    plan.infeasible_reason = plan.partition.infeasible_reason;
+    plan.gpus_used = plan.partition.shardsUsed();
+    plan.gpu_lookup_fraction = 1.0;
+    plan.resident_bytes = totalOf(plan.partition.shard_bytes);
+    plan.access_imbalance = plan.partition.accessImbalance();
+    return plan;
+}
+
+PlacementPlan
+planHostMemory(const model::DlrmConfig& config,
+               const hw::Platform& platform,
+               const PlacementOptions& options)
+{
+    PlacementPlan plan;
+    plan.placement = EmbeddingPlacement::HostMemory;
+    TableCosts costs = makeCosts(config, options);
+    const double cap = platform.host.mem_capacity *
+        options.host_usable_memory_fraction;
+    plan.partition = greedyPartition(
+        costs, std::max<std::size_t>(options.num_nodes, 1), cap,
+        options.objective);
+    plan.feasible = plan.partition.feasible;
+    if (!plan.feasible) {
+        plan.infeasible_reason = util::format(
+            "{} of tables exceed host memory budget", totalOf(costs.bytes));
+    }
+    plan.resident_bytes = totalOf(plan.partition.shard_bytes);
+    plan.access_imbalance = 1.0;
+    return plan;
+}
+
+PlacementPlan
+planRemotePs(EmbeddingPlacement which, const model::DlrmConfig& config,
+             const PlacementOptions& options)
+{
+    PlacementPlan plan;
+    plan.placement = which;
+    if (options.num_sparse_ps == 0) {
+        plan.feasible = false;
+        plan.infeasible_reason = "no sparse parameter servers configured";
+        return plan;
+    }
+    TableCosts costs = makeCosts(config, options);
+    // Sparse parameter servers are dual-socket CPU servers; oversized
+    // tables split row-wise across servers.
+    const double cap = hw::Platform::dualSocketCpu().host.mem_capacity *
+        options.host_usable_memory_fraction;
+    const ChunkedCosts chunked = rowWiseSplitOversized(costs, cap);
+    plan.partition = greedyPartition(chunked.costs,
+                                     options.num_sparse_ps, cap,
+                                     options.objective);
+    plan.feasible = plan.partition.feasible;
+    plan.infeasible_reason = plan.partition.infeasible_reason;
+    plan.remote_lookup_fraction = 1.0;
+    plan.resident_bytes = totalOf(plan.partition.shard_bytes);
+    plan.access_imbalance = plan.partition.accessImbalance();
+    return plan;
+}
+
+PlacementPlan
+planHybrid(const model::DlrmConfig& config, const hw::Platform& platform,
+           const PlacementOptions& options)
+{
+    PlacementPlan plan;
+    plan.placement = EmbeddingPlacement::Hybrid;
+    if (platform.num_gpus == 0) {
+        plan.feasible = false;
+        plan.infeasible_reason = "platform has no GPUs";
+        return plan;
+    }
+    TableCosts costs = makeCosts(config, options);
+    const std::size_t n = costs.bytes.size();
+    const double gpu_cap = platform.gpu.mem_capacity *
+        options.usable_memory_fraction;
+    const double host_cap = platform.host.mem_capacity *
+        options.host_usable_memory_fraction;
+
+    // Hottest-first by access density: lookup bytes served per resident
+    // byte, so scarce GPU memory buys the most traffic.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return costs.access_bytes[a] / costs.bytes[a] >
+                             costs.access_bytes[b] / costs.bytes[b];
+                     });
+
+    const auto gpus = static_cast<std::size_t>(platform.num_gpus);
+    Partition part;
+    part.shard_of.assign(n, -1);
+    // Shards [0, gpus) are GPUs; shard gpus is host memory.
+    part.shard_bytes.assign(gpus + 1, 0.0);
+    part.shard_access_bytes.assign(gpus + 1, 0.0);
+
+    double gpu_access = 0.0, total_access = 0.0;
+    for (std::size_t t : order) {
+        total_access += costs.access_bytes[t];
+        // Lightest GPU shard with room, else host.
+        int best = -1;
+        for (std::size_t s = 0; s < gpus; ++s) {
+            if (part.shard_bytes[s] + costs.bytes[t] > gpu_cap)
+                continue;
+            if (best < 0 ||
+                part.shard_access_bytes[s] <
+                    part.shard_access_bytes[static_cast<std::size_t>(
+                        best)]) {
+                best = static_cast<int>(s);
+            }
+        }
+        std::size_t shard;
+        if (best >= 0) {
+            shard = static_cast<std::size_t>(best);
+            gpu_access += costs.access_bytes[t];
+        } else {
+            shard = gpus;
+            if (part.shard_bytes[gpus] + costs.bytes[t] > host_cap) {
+                part.feasible = false;
+                part.infeasible_reason =
+                    "tables exceed GPU + host memory";
+            }
+        }
+        part.shard_of[t] = static_cast<int>(shard);
+        part.shard_bytes[shard] += costs.bytes[t];
+        part.shard_access_bytes[shard] += costs.access_bytes[t];
+    }
+
+    plan.partition = std::move(part);
+    plan.feasible = plan.partition.feasible;
+    plan.infeasible_reason = plan.partition.infeasible_reason;
+    plan.gpus_used = 0;
+    for (std::size_t s = 0; s < gpus; ++s)
+        plan.gpus_used += plan.partition.shard_bytes[s] > 0.0;
+    plan.gpu_lookup_fraction =
+        total_access > 0.0 ? gpu_access / total_access : 0.0;
+    plan.resident_bytes = totalOf(plan.partition.shard_bytes);
+    plan.access_imbalance = plan.partition.accessImbalance();
+    return plan;
+}
+
+} // namespace
+
+PlacementPlan
+planPlacement(EmbeddingPlacement strategy,
+              const model::DlrmConfig& config,
+              const hw::Platform& platform,
+              const PlacementOptions& options)
+{
+    switch (strategy) {
+      case EmbeddingPlacement::GpuMemory:
+        return planGpuMemory(config, platform, options);
+      case EmbeddingPlacement::HostMemory:
+        return planHostMemory(config, platform, options);
+      case EmbeddingPlacement::RemotePs:
+      case EmbeddingPlacement::CpuLocal:
+        return planRemotePs(strategy, config, options);
+      case EmbeddingPlacement::Hybrid:
+        return planHybrid(config, platform, options);
+    }
+    util::panic("unknown placement enum value");
+}
+
+PlacementPlan
+advisePlacement(const model::DlrmConfig& config,
+                const hw::Platform& platform,
+                const PlacementOptions& options)
+{
+    // First-order per-example lookup service time for each strategy;
+    // the full iteration model (src/cost) refines this, but the ranking
+    // only needs the dominant term of each path.
+    const auto fp = config.footprint();
+    PlacementPlan best;
+    bool have_best = false;
+    double best_time = 0.0;
+
+    auto consider = [&](EmbeddingPlacement strategy) {
+        PlacementPlan plan = planPlacement(strategy, config, platform,
+                                           options);
+        if (!plan.feasible)
+            return;
+        double time = 0.0;
+        const double gpu_frac = plan.gpu_lookup_fraction;
+        const double host_frac = 1.0 - gpu_frac -
+            plan.remote_lookup_fraction;
+        if (gpu_frac > 0.0) {
+            const double shards = static_cast<double>(
+                std::max<std::size_t>(plan.gpus_used, 1));
+            time += gpu_frac * fp.embedding_bytes /
+                (platform.gpu.gatherBandwidth() * shards);
+            // Pooled vectors cross the GPU interconnect.
+            time += gpu_frac * fp.pooled_bytes /
+                std::max(platform.gpu_interconnect.bandwidth, 1.0);
+        }
+        if (host_frac > 0.0) {
+            time += host_frac * fp.embedding_bytes /
+                platform.host.gatherBandwidth();
+            time += host_frac * fp.pooled_bytes /
+                std::max(platform.host_gpu.bandwidth, 1.0);
+        }
+        if (plan.remote_lookup_fraction > 0.0) {
+            time += plan.remote_lookup_fraction * 2.0 *
+                fp.pooled_bytes / platform.network.bandwidth;
+            time += platform.network.latency;
+        }
+        if (!have_best || time < best_time) {
+            best = std::move(plan);
+            best_time = time;
+            have_best = true;
+        }
+    };
+
+    consider(EmbeddingPlacement::GpuMemory);
+    consider(EmbeddingPlacement::HostMemory);
+    consider(EmbeddingPlacement::Hybrid);
+    if (!have_best)
+        return planPlacement(EmbeddingPlacement::RemotePs, config,
+                             platform, options);
+    return best;
+}
+
+} // namespace placement
+} // namespace recsim

@@ -1,0 +1,521 @@
+#include "sim/dist_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cost/cache_model.h"
+#include "des/event_queue.h"
+#include "des/sim_object.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace sim {
+
+namespace {
+
+using des::EventQueue;
+using des::LinkModel;
+using des::Resource;
+using des::secondsToTicks;
+using des::Tick;
+using des::ticksToSeconds;
+
+/** A sparse parameter server: gather memory, pooling CPU, NIC. */
+struct SparsePs
+{
+    std::unique_ptr<Resource> mem;    // gather bytes/s
+    std::unique_ptr<Resource> cpu;    // pooling flops/s
+    std::unique_ptr<LinkModel> nic;
+    double gather_bytes_pe = 0.0;     // per trainer-example served here
+    double pool_flops_pe = 0.0;
+    double response_bytes_pe = 0.0;
+    double request_bytes_pe = 0.0;
+};
+
+/**
+ * Shared state of one simulated run. Resources are FIFO servers that
+ * return completion ticks, so a worker computes its whole iteration
+ * schedule synchronously at iteration start and re-arms itself at the
+ * completion tick.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(const DistSimConfig& cfg);
+
+    DistSimResult run();
+
+  private:
+    void startWorker(std::size_t trainer, std::size_t worker);
+    Tick cpuIteration(std::size_t trainer, Tick start);
+    Tick gpuIteration(Tick start);
+    double noisy(double value);
+    void finishIteration(std::size_t trainer, std::size_t worker,
+                         Tick start, Tick end);
+
+    const DistSimConfig& cfg_;
+    cost::IterationModel analytical_;
+    EventQueue eq_;
+    util::Rng rng_;
+
+    // Trainer-side resources (CPU path: one per trainer; GPU path:
+    // index 0 holds the GPU server).
+    std::vector<std::unique_ptr<Resource>> trainer_cpu_;
+    std::vector<std::unique_ptr<LinkModel>> trainer_nic_;
+    /**
+     * Gradient pushes are reserved at iteration-start time for a point
+     * in the future; putting them on the same FIFO link as requests
+     * would let those future reservations block other workers' current
+     * requests (the FIFO resource model reserves in processing order).
+     * A separate channel keeps the model causal; the uplink is rarely
+     * the bottleneck, so the bandwidth split is a minor approximation.
+     */
+    std::vector<std::unique_ptr<LinkModel>> trainer_push_;
+    std::vector<SparsePs> sparse_ps_;
+    std::unique_ptr<LinkModel> dense_ps_nic_;
+
+    // GPU-server resources.
+    std::unique_ptr<Resource> gpu_compute_;
+    std::unique_ptr<Resource> gpu_mem_;
+    std::unique_ptr<LinkModel> interconnect_;
+    std::unique_ptr<Resource> host_mem_;
+    std::unique_ptr<Resource> host_cpu_;
+    std::unique_ptr<LinkModel> pcie_;
+
+    // Per-iteration demands (precomputed).
+    double compute_seconds_iter_ = 0.0;
+    double net_bytes_iter_ = 0.0;
+    double dense_sync_bytes_ = 0.0;
+
+    Tick measure_start_ = 0;
+    Tick measure_end_ = 0;
+    uint64_t iterations_done_ = 0;
+    double latency_sum_ = 0.0;
+    std::vector<uint64_t> worker_warmup_left_;
+    bool gpu_mode_ = false;
+
+    DistSimResult result_;
+};
+
+Simulation::Simulation(const DistSimConfig& cfg)
+    : cfg_(cfg), analytical_(cfg.model, cfg.system, cfg.params),
+      rng_(cfg.seed)
+{
+}
+
+double
+Simulation::noisy(double value)
+{
+    if (cfg_.service_noise_sigma <= 0.0)
+        return value;
+    return value * rng_.lognormal(0.0, cfg_.service_noise_sigma);
+}
+
+DistSimResult
+Simulation::run()
+{
+    const auto& plan = analytical_.plan();
+    if (!plan.feasible) {
+        result_.feasible = false;
+        result_.infeasible_reason = plan.infeasible_reason;
+        return result_;
+    }
+    const auto& sys = cfg_.system;
+    const auto& p = sys.platform;
+    const auto& params = cfg_.params;
+    const auto fp = cfg_.model.footprint();
+    gpu_mode_ = p.num_gpus > 0;
+
+    const double fwd_flops = fp.mlp_flops + fp.interaction_flops;
+    const double train_flops =
+        fwd_flops * (1.0 + params.backward_flops_multiplier);
+    const double b = static_cast<double>(sys.batch_size);
+    const double dense_params =
+        static_cast<double>(cfg_.model.mlpParams());
+    const double sync_period = static_cast<double>(
+        std::max<std::size_t>(sys.easgd_sync_period, 1));
+    dense_sync_bytes_ = 2.0 * dense_params * sizeof(float) / sync_period;
+
+    const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
+    const double total_access = [&] {
+        double total = 0.0;
+        for (double a : plan.partition.shard_access_bytes)
+            total += a;
+        return std::max(total, 1e-9);
+    }();
+
+    // Sparse PS shards (CPU path and GPU remote path share this).
+    const bool remote = !gpu_mode_ || plan.remote_lookup_fraction > 0.0;
+    if (remote && sys.num_sparse_ps > 0) {
+        const double n_ps = static_cast<double>(sys.num_sparse_ps);
+        for (std::size_t i = 0; i < sys.num_sparse_ps; ++i) {
+            SparsePs ps;
+            const double resident = plan.resident_bytes / n_ps;
+            const double gather_rate = ps_hw.host.mem_bandwidth *
+                cost::gatherEfficiency(
+                    resident,
+                    cost::kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+                    ps_hw.host.random_access_efficiency,
+                    params.cached_gather_efficiency);
+            const std::string name = "sparse_ps" + std::to_string(i);
+            ps.mem = std::make_unique<Resource>(eq_, name + ".mem",
+                                                gather_rate);
+            ps.cpu = std::make_unique<Resource>(
+                eq_, name + ".cpu",
+                ps_hw.host.peak_flops * params.cpu_mlp_efficiency *
+                    params.ps_pooling_flops_fraction);
+            ps.nic = std::make_unique<LinkModel>(
+                eq_, name + ".nic",
+                ps_hw.network.bandwidth * params.network_goodput,
+                secondsToTicks(ps_hw.network.latency));
+            // This shard's share of the per-example lookup traffic.
+            const double share = i < plan.partition.numShards()
+                ? plan.partition.shard_access_bytes[i] / total_access
+                : 0.0;
+            ps.gather_bytes_pe = fp.embedding_bytes *
+                params.emb_train_bytes_multiplier * share;
+            ps.pool_flops_pe = fp.embedding_lookups *
+                static_cast<double>(cfg_.model.emb_dim) * 4.0 * share;
+            ps.response_bytes_pe = fp.pooled_bytes * share;
+            ps.request_bytes_pe = (fp.pooled_bytes +
+                fp.embedding_lookups *
+                    params.request_bytes_per_lookup) * share;
+            sparse_ps_.push_back(std::move(ps));
+        }
+    }
+
+    if (!gpu_mode_) {
+        // CPU distributed training: per-trainer CPU (a rate-1 seconds
+        // server) and NIC; one dense-PS NIC shared by all trainers.
+        double act_bytes_pe =
+            static_cast<double>(cfg_.model.num_dense) * sizeof(float);
+        for (std::size_t w : cfg_.model.bottomDims())
+            act_bytes_pe += static_cast<double>(w) * sizeof(float);
+        act_bytes_pe += static_cast<double>(
+            cfg_.model.interactionWidth()) * sizeof(float);
+        for (std::size_t w : cfg_.model.topDims())
+            act_bytes_pe += static_cast<double>(w) * sizeof(float);
+        act_bytes_pe *= 2.0;
+        const double llc =
+            0.5 * cost::kCpuLlcBytesPerSocket * p.num_cpu_sockets;
+        const double ws = b * act_bytes_pe;
+        const double cache_factor = ws > llc
+            ? std::pow(llc / ws, params.cpu_cache_pressure_exponent)
+            : 1.0;
+        const double host_flops = p.host.peak_flops *
+            params.cpu_mlp_efficiency * cache_factor;
+        compute_seconds_iter_ = b * (train_flops / host_flops +
+            params.cpu_per_example_overhead +
+            fp.embedding_lookups * params.cpu_per_lookup_overhead) +
+            params.cpu_iteration_overhead;
+        net_bytes_iter_ = b * (2.0 * fp.pooled_bytes +
+            fp.embedding_lookups * params.request_bytes_per_lookup);
+
+        for (std::size_t t = 0; t < sys.num_trainers; ++t) {
+            const std::string name = "trainer" + std::to_string(t);
+            trainer_cpu_.push_back(std::make_unique<Resource>(
+                eq_, name + ".cpu", 1.0));
+            trainer_nic_.push_back(std::make_unique<LinkModel>(
+                eq_, name + ".nic",
+                p.network.bandwidth * params.network_goodput,
+                secondsToTicks(p.network.latency)));
+            trainer_push_.push_back(std::make_unique<LinkModel>(
+                eq_, name + ".push",
+                p.network.bandwidth * params.network_goodput,
+                secondsToTicks(p.network.latency)));
+        }
+        if (sys.num_dense_ps > 0) {
+            dense_ps_nic_ = std::make_unique<LinkModel>(
+                eq_, "dense_ps.nic",
+                static_cast<double>(sys.num_dense_ps) *
+                    ps_hw.network.bandwidth * params.network_goodput,
+                secondsToTicks(ps_hw.network.latency));
+        }
+    } else {
+        // One GPU server; phases modeled as serially acquired resources.
+        const double g = static_cast<double>(p.num_gpus);
+        gpu_compute_ = std::make_unique<Resource>(
+            eq_, "gpu.compute",
+            g * p.gpu.peak_flops * params.gpu_mlp_efficiency);
+        const double shards = static_cast<double>(
+            std::max<std::size_t>(plan.gpus_used, 1));
+        double max_shard = 0.0;
+        for (std::size_t s = 0;
+             s < std::min<std::size_t>(plan.partition.numShards(),
+                                       static_cast<std::size_t>(g));
+             ++s) {
+            max_shard = std::max(max_shard,
+                                 plan.partition.shard_bytes[s]);
+        }
+        const double gather_eff = cost::gatherEfficiency(
+            max_shard, cost::kGpuL2Bytes,
+            p.gpu.random_access_efficiency,
+            params.cached_gather_efficiency);
+        gpu_mem_ = std::make_unique<Resource>(
+            eq_, "gpu.mem", shards * p.gpu.mem_bandwidth * gather_eff);
+        interconnect_ = std::make_unique<LinkModel>(
+            eq_, "gpu.interconnect",
+            shards * std::max(p.gpu_interconnect.bandwidth, 1.0),
+            secondsToTicks(p.gpu_interconnect.latency));
+        host_mem_ = std::make_unique<Resource>(
+            eq_, "host.mem",
+            p.host.mem_bandwidth * cost::gatherEfficiency(
+                plan.resident_bytes *
+                    (1.0 - plan.gpu_lookup_fraction -
+                     plan.remote_lookup_fraction),
+                cost::kCpuLlcBytesPerSocket * p.num_cpu_sockets,
+                p.host.random_access_efficiency,
+                params.cached_gather_efficiency));
+        host_cpu_ = std::make_unique<Resource>(
+            eq_, "host.cpu", static_cast<double>(p.num_cpu_sockets));
+        pcie_ = std::make_unique<LinkModel>(
+            eq_, "host.pcie", g * p.host_gpu.bandwidth,
+            secondsToTicks(p.host_gpu.latency));
+        trainer_nic_.push_back(std::make_unique<LinkModel>(
+            eq_, "gpu_server.nic",
+            p.network.bandwidth * params.network_goodput,
+            secondsToTicks(p.network.latency)));
+    }
+
+    // Launch workers and run.
+    const std::size_t workers_per_trainer =
+        std::max<std::size_t>(sys.hogwild_threads, 1);
+    const std::size_t n_trainers = gpu_mode_ ? 1 : sys.num_trainers;
+    const uint64_t total_workers = n_trainers * workers_per_trainer;
+    worker_warmup_left_.assign(total_workers, cfg_.warmup_iterations);
+
+    // Warmup horizon is open-ended; the measurement window opens when
+    // every worker has finished warmup. We approximate by running a
+    // generous limit and only counting iterations inside the window.
+    measure_start_ = secondsToTicks(0.05);
+    measure_end_ = measure_start_ + secondsToTicks(cfg_.measure_seconds);
+
+    for (std::size_t t = 0; t < n_trainers; ++t)
+        for (std::size_t w = 0; w < workers_per_trainer; ++w)
+            startWorker(t, w);
+
+    eq_.run(measure_end_);
+
+    const double window = ticksToSeconds(measure_end_ - measure_start_);
+    const double examples_per_iter = gpu_mode_
+        ? b * static_cast<double>(p.num_gpus) : b;
+    result_.iterations = iterations_done_;
+    result_.throughput =
+        static_cast<double>(iterations_done_) * examples_per_iter /
+        window;
+    result_.mean_iteration_seconds = iterations_done_
+        ? latency_sum_ / static_cast<double>(iterations_done_) : 0.0;
+
+    auto record = [&](const std::string& name, double util) {
+        result_.utilization[name] = std::min(1.0, util);
+    };
+    const Tick end = measure_end_;
+    for (std::size_t t = 0; t < trainer_cpu_.size(); ++t)
+        record(trainer_cpu_[t]->name(),
+               trainer_cpu_[t]->utilization(end));
+    for (std::size_t t = 0; t < trainer_nic_.size(); ++t)
+        record(trainer_nic_[t]->name(),
+               trainer_nic_[t]->utilization(end));
+    for (auto& ps : sparse_ps_) {
+        record(ps.mem->name(), ps.mem->utilization(end));
+        record(ps.cpu->name(), ps.cpu->utilization(end));
+        record(ps.nic->name(), ps.nic->utilization(end));
+    }
+    if (dense_ps_nic_)
+        record(dense_ps_nic_->name(), dense_ps_nic_->utilization(end));
+    if (gpu_compute_) {
+        record(gpu_compute_->name(), gpu_compute_->utilization(end));
+        record(gpu_mem_->name(), gpu_mem_->utilization(end));
+        record(interconnect_->name(), interconnect_->utilization(end));
+        record(host_mem_->name(), host_mem_->utilization(end));
+        record(host_cpu_->name(), host_cpu_->utilization(end));
+        record(pcie_->name(), pcie_->utilization(end));
+    }
+    return result_;
+}
+
+void
+Simulation::startWorker(std::size_t trainer, std::size_t worker)
+{
+    eq_.scheduleAfter(0, [this, trainer, worker] {
+        const Tick start = eq_.now();
+        const Tick end = gpu_mode_ ? gpuIteration(start)
+                                   : cpuIteration(trainer, start);
+        finishIteration(trainer, worker, start, end);
+    });
+}
+
+void
+Simulation::finishIteration(std::size_t trainer, std::size_t worker,
+                            Tick start, Tick end)
+{
+    (void)trainer;
+    (void)worker;
+    // Count by completion time only: warmup is excluded by the window
+    // opening, so queueing delay under many workers does not eat into
+    // the measured window.
+    if (end >= measure_start_ && end <= measure_end_) {
+        ++iterations_done_;
+        latency_sum_ += ticksToSeconds(end - start);
+    }
+    if (end >= measure_end_)
+        return;
+    eq_.schedule(end, [this, trainer, worker, end] {
+        const Tick next_end = gpu_mode_ ? gpuIteration(end)
+                                        : cpuIteration(trainer, end);
+        finishIteration(trainer, worker, end, next_end);
+    });
+}
+
+Tick
+Simulation::cpuIteration(std::size_t trainer, Tick start)
+{
+    const double b = static_cast<double>(cfg_.system.batch_size);
+    auto& nic = *trainer_nic_[trainer];
+    auto& cpu = *trainer_cpu_[trainer];
+
+    // 1. Issue lookup requests and wait for all pooled responses.
+    Tick responses = start;
+    for (auto& ps : sparse_ps_) {
+        if (ps.gather_bytes_pe <= 0.0 && ps.response_bytes_pe <= 0.0)
+            continue;
+        const Tick sent =
+            nic.transferAt(start, noisy(b * ps.request_bytes_pe * 0.1));
+        const Tick gathered =
+            ps.mem->acquireAt(sent, noisy(b * ps.gather_bytes_pe));
+        const Tick pooled =
+            ps.cpu->acquireAt(gathered, noisy(b * ps.pool_flops_pe));
+        const Tick replied =
+            ps.nic->transferAt(pooled, noisy(b * ps.response_bytes_pe));
+        responses = std::max(responses, replied);
+    }
+
+    // 2. Forward/backward compute on the trainer.
+    const Tick computed =
+        cpu.acquireAt(responses, noisy(compute_seconds_iter_));
+
+    // 3. Push pooled gradients back and amortized EASGD dense sync.
+    Tick done = computed;
+    auto& push = *trainer_push_[trainer];
+    for (auto& ps : sparse_ps_) {
+        if (ps.response_bytes_pe <= 0.0)
+            continue;
+        done = std::max(done, push.transferAt(
+            computed, noisy(b * ps.response_bytes_pe)));
+    }
+    if (dense_ps_nic_ && dense_sync_bytes_ > 0.0) {
+        done = std::max(done, dense_ps_nic_->transferAt(
+            computed, noisy(dense_sync_bytes_)));
+    }
+    return done;
+}
+
+Tick
+Simulation::gpuIteration(Tick start)
+{
+    const auto& sys = cfg_.system;
+    const auto& p = sys.platform;
+    const auto& params = cfg_.params;
+    const auto& plan = analytical_.plan();
+    const auto fp = cfg_.model.footprint();
+    const double g = static_cast<double>(p.num_gpus);
+    const double bg = static_cast<double>(sys.batch_size) * g;
+
+    const double frac_gpu = plan.gpu_lookup_fraction;
+    const double frac_remote = plan.remote_lookup_fraction;
+    const double frac_host = std::max(0.0, 1.0 - frac_gpu - frac_remote);
+
+    // Input pipeline: host CPU transform + PCIe staging.
+    const Tick input_cpu = host_cpu_->acquireAt(start, noisy(
+        bg * (params.host_cpu_per_example +
+              fp.embedding_lookups * params.host_cpu_per_lookup)));
+    const double read_bytes =
+        bg * (fp.dense_input_bytes + fp.embedding_lookups * 8.0 + 4.0);
+    const Tick input_done =
+        pcie_->transferAt(input_cpu, noisy(read_bytes));
+
+    // Embedding phase.
+    Tick emb_done = input_done;
+    if (frac_gpu > 0.0) {
+        const Tick gathered = gpu_mem_->acquireAt(input_done, noisy(
+            bg * fp.embedding_bytes * params.emb_train_bytes_multiplier *
+            frac_gpu * std::max(plan.access_imbalance, 1.0)));
+        const Tick exchanged = interconnect_->transferAt(gathered, noisy(
+            2.0 * bg * fp.pooled_bytes * frac_gpu * (g - 1.0) / g));
+        emb_done = std::max(emb_done, exchanged);
+    }
+    if (frac_host > 0.0) {
+        const Tick gathered = host_mem_->acquireAt(input_done, noisy(
+            bg * fp.embedding_bytes * params.emb_train_bytes_multiplier *
+            frac_host));
+        const Tick staged = pcie_->transferAt(gathered, noisy(
+            2.0 * bg * fp.pooled_bytes * frac_host));
+        emb_done = std::max(emb_done, staged);
+    }
+    if (frac_remote > 0.0 && !sparse_ps_.empty()) {
+        auto& nic = *trainer_nic_[0];
+        Tick responses = input_done;
+        for (auto& ps : sparse_ps_) {
+            const Tick sent = nic.transferAt(input_done, noisy(
+                bg * ps.request_bytes_pe * 0.1 * frac_remote));
+            const Tick gathered = ps.mem->acquireAt(sent, noisy(
+                bg * ps.gather_bytes_pe * frac_remote));
+            const Tick pooled = ps.cpu->acquireAt(gathered, noisy(
+                bg * ps.pool_flops_pe * frac_remote));
+            const Tick replied = ps.nic->transferAt(pooled, noisy(
+                bg * ps.response_bytes_pe * frac_remote));
+            responses = std::max(responses, replied);
+        }
+        // Deserialization on the host CPUs.
+        const Tick deserialized = host_cpu_->acquireAt(responses, noisy(
+            2.0 * bg * fp.pooled_bytes * frac_remote /
+            params.serialization_bw_per_socket));
+        emb_done = std::max(emb_done, deserialized);
+    }
+
+    // MLP compute + kernel dispatch + allreduce.
+    const double fwd_flops = fp.mlp_flops + fp.interaction_flops;
+    const double train_flops =
+        fwd_flops * (1.0 + params.backward_flops_multiplier);
+    const Tick dispatched = emb_done +
+        secondsToTicks(params.gpu_iteration_overhead);
+    const Tick computed =
+        gpu_compute_->acquireAt(dispatched, noisy(bg * train_flops));
+    const double dense_params =
+        static_cast<double>(cfg_.model.mlpParams());
+    const double allreduce_bw = p.has_nvlink
+        ? p.gpu_interconnect.bandwidth : p.host_gpu.bandwidth / 2.0;
+    const Tick reduced = computed + secondsToTicks(
+        dense_params * sizeof(float) * (g - 1.0) / g / allreduce_bw);
+    return reduced;
+}
+
+} // namespace
+
+double
+DistSimResult::meanUtilization(const std::string& key) const
+{
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto& [name, util] : utilization) {
+        if (name.find(key) != std::string::npos) {
+            total += util;
+            ++count;
+        }
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+
+DistSimResult
+runDistSim(const DistSimConfig& config)
+{
+    Simulation simulation(config);
+    return simulation.run();
+}
+
+} // namespace sim
+} // namespace recsim

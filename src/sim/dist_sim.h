@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event simulation of distributed DLRM training (Fig 4 of the
+ * paper): trainer servers running Hogwild worker threads, sparse
+ * parameter servers serving embedding lookups, a dense parameter server
+ * handling EASGD syncs, all connected by bandwidth/latency links.
+ *
+ * Relative to the closed-form IterationModel, the DES captures queueing
+ * at shared services, pipeline overlap across Hogwild workers, and
+ * run-to-run variability (optional lognormal service-time noise) — the
+ * machinery behind the utilization-distribution study (Fig 5).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cost/iteration_model.h"
+#include "cost/system_config.h"
+#include "model/config.h"
+
+namespace recsim {
+namespace sim {
+
+/** Configuration of one simulated training run. */
+struct DistSimConfig
+{
+    model::DlrmConfig model;
+    cost::SystemConfig system;
+    cost::CostParams params;
+
+    /** Simulated seconds of the measurement window. */
+    double measure_seconds = 2.0;
+    /** Iterations per trainer worker before measurement starts. */
+    uint64_t warmup_iterations = 4;
+    /**
+     * Lognormal sigma multiplying every service demand; 0 disables
+     * noise. Models the paper's run-to-run system-level variability.
+     */
+    double service_noise_sigma = 0.0;
+    uint64_t seed = 1;
+};
+
+/** Measured outcome of a simulated run. */
+struct DistSimResult
+{
+    bool feasible = true;
+    std::string infeasible_reason;
+
+    /** Examples per simulated second in the measurement window. */
+    double throughput = 0.0;
+    /** Iterations completed across all workers in the window. */
+    uint64_t iterations = 0;
+    /** Mean per-worker iteration latency, seconds. */
+    double mean_iteration_seconds = 0.0;
+
+    /**
+     * Resource utilizations over the measurement window, keyed by
+     * resource name (e.g. "trainer0.cpu", "sparse_ps1.mem", ...).
+     */
+    std::map<std::string, double> utilization;
+
+    /** Mean utilization across resources whose name contains @p key. */
+    double meanUtilization(const std::string& key) const;
+};
+
+/**
+ * Run the discrete-event simulation for one configuration.
+ *
+ * Supported systems: CPU distributed training (trainers + sparse/dense
+ * PS) and single-GPU-server training with any placement. Infeasible
+ * placements return feasible == false, mirroring IterationModel.
+ */
+DistSimResult runDistSim(const DistSimConfig& config);
+
+} // namespace sim
+} // namespace recsim

@@ -1,0 +1,58 @@
+#include "stats/kde.h"
+
+#include <cmath>
+
+#include "stats/running_stat.h"
+#include "util/logging.h"
+
+namespace recsim {
+namespace stats {
+
+GaussianKde::GaussianKde(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)), bandwidth_(bandwidth)
+{
+    RECSIM_ASSERT(!samples_.empty(), "KDE needs at least one sample");
+    if (bandwidth_ <= 0.0) {
+        RunningStat rs;
+        for (double s : samples_)
+            rs.add(s);
+        const double n = static_cast<double>(samples_.size());
+        const double sigma = rs.stddev();
+        // Silverman's rule; fall back to a fixed width for degenerate
+        // (zero-variance) samples so density() stays well-defined.
+        bandwidth_ = sigma > 0.0
+            ? 1.06 * sigma * std::pow(n, -0.2)
+            : 1.0;
+    }
+}
+
+double
+GaussianKde::density(double x) const
+{
+    const double inv_h = 1.0 / bandwidth_;
+    const double norm = inv_h / std::sqrt(2.0 * M_PI) /
+        static_cast<double>(samples_.size());
+    double acc = 0.0;
+    for (double s : samples_) {
+        const double z = (x - s) * inv_h;
+        acc += std::exp(-0.5 * z * z);
+    }
+    return acc * norm;
+}
+
+std::vector<DensityPoint>
+GaussianKde::evaluate(double lo, double hi, std::size_t points) const
+{
+    RECSIM_ASSERT(points >= 2, "need at least two evaluation points");
+    std::vector<DensityPoint> out;
+    out.reserve(points);
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        out.push_back({x, density(x)});
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace recsim

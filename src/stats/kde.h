@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gaussian kernel density estimation, used to draw the continuous
+ * probability-density curves overlaid on the feature-length histograms
+ * (Fig 7 of the paper).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace recsim {
+namespace stats {
+
+/** One evaluated point of a density curve. */
+struct DensityPoint
+{
+    double x;
+    double density;
+};
+
+/**
+ * Gaussian KDE over a fixed sample set.
+ *
+ * Bandwidth defaults to Silverman's rule of thumb
+ * (1.06 * sigma * n^-1/5); pass an explicit bandwidth to override.
+ */
+class GaussianKde
+{
+  public:
+    /**
+     * @param samples   Observations; must be non-empty.
+     * @param bandwidth Kernel bandwidth; <= 0 selects Silverman's rule.
+     */
+    explicit GaussianKde(std::vector<double> samples,
+                         double bandwidth = 0.0);
+
+    /** Density estimate at @p x. */
+    double density(double x) const;
+
+    /** Evaluate the density on @p points evenly spaced over [lo, hi]. */
+    std::vector<DensityPoint> evaluate(double lo, double hi,
+                                       std::size_t points) const;
+
+    double bandwidth() const { return bandwidth_; }
+
+  private:
+    std::vector<double> samples_;
+    double bandwidth_;
+};
+
+} // namespace stats
+} // namespace recsim

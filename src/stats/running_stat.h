@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Streaming moment accumulator (Welford's algorithm).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace recsim {
+namespace stats {
+
+/**
+ * Numerically stable streaming mean/variance/min/max accumulator.
+ * Mergeable, so per-shard statistics can be combined.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStat& other);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace stats
+} // namespace recsim

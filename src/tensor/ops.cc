@@ -1,0 +1,226 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace tensor {
+
+namespace {
+
+void
+requireRank2(const Tensor& t, const char* what)
+{
+    RECSIM_ASSERT(t.rank() == 2, "{} requires rank-2 tensor, got {}",
+                  what, t.shapeString());
+}
+
+} // namespace
+
+void
+matmul(const Tensor& a, const Tensor& b, Tensor& out)
+{
+    requireRank2(a, "matmul");
+    requireRank2(b, "matmul");
+    RECSIM_ASSERT(a.cols() == b.rows(), "matmul {} x {}",
+                  a.shapeString(), b.shapeString());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
+        out = Tensor(m, n);
+    else
+        out.zero();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransA(const Tensor& a, const Tensor& b, Tensor& out)
+{
+    requireRank2(a, "matmulTransA");
+    requireRank2(b, "matmulTransA");
+    RECSIM_ASSERT(a.rows() == b.rows(), "matmulTransA {} x {}",
+                  a.shapeString(), b.shapeString());
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
+        out = Tensor(m, n);
+    else
+        out.zero();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float* arow = a.row(p);
+        const float* brow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float* orow = out.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransB(const Tensor& a, const Tensor& b, Tensor& out)
+{
+    requireRank2(a, "matmulTransB");
+    requireRank2(b, "matmulTransB");
+    RECSIM_ASSERT(a.cols() == b.cols(), "matmulTransB {} x {}",
+                  a.shapeString(), b.shapeString());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
+        out = Tensor(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            orow[j] = acc;
+        }
+    }
+}
+
+void
+addBiasRows(Tensor& x, const Tensor& bias)
+{
+    requireRank2(x, "addBiasRows");
+    RECSIM_ASSERT(bias.size() == x.cols(), "bias {} for {}",
+                  bias.shapeString(), x.shapeString());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        float* row = x.row(i);
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            row[j] += bias[j];
+    }
+}
+
+void
+sumRows(const Tensor& x, Tensor& out)
+{
+    requireRank2(x, "sumRows");
+    if (out.size() != x.cols() || out.rank() != 1)
+        out = Tensor(x.cols());
+    else
+        out.zero();
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const float* row = x.row(i);
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            out[j] += row[j];
+    }
+}
+
+void
+axpy(float alpha, const Tensor& x, Tensor& y)
+{
+    RECSIM_ASSERT(x.size() == y.size(), "axpy {} into {}",
+                  x.shapeString(), y.shapeString());
+    const float* xd = x.data();
+    float* yd = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i)
+        yd[i] += alpha * xd[i];
+}
+
+void
+scale(Tensor& x, float alpha)
+{
+    float* xd = x.data();
+    for (std::size_t i = 0; i < x.size(); ++i)
+        xd[i] *= alpha;
+}
+
+void
+reluInPlace(Tensor& x)
+{
+    float* xd = x.data();
+    for (std::size_t i = 0; i < x.size(); ++i)
+        xd[i] = std::max(xd[i], 0.0f);
+}
+
+void
+reluBackward(const Tensor& y, const Tensor& dy, Tensor& dx)
+{
+    RECSIM_ASSERT(y.size() == dy.size(), "reluBackward shape mismatch");
+    if (!dx.sameShape(dy))
+        dx = dy;
+    const float* yd = y.data();
+    const float* dyd = dy.data();
+    float* dxd = dx.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        dxd[i] = yd[i] > 0.0f ? dyd[i] : 0.0f;
+}
+
+void
+sigmoidInPlace(Tensor& x)
+{
+    float* xd = x.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float v = xd[i];
+        // Split on sign to avoid overflow in exp().
+        xd[i] = v >= 0.0f
+            ? 1.0f / (1.0f + std::exp(-v))
+            : std::exp(v) / (1.0f + std::exp(v));
+    }
+}
+
+double
+sumAll(const Tensor& x)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += x.data()[i];
+    return acc;
+}
+
+double
+dot(const Tensor& a, const Tensor& b)
+{
+    RECSIM_ASSERT(a.size() == b.size(), "dot {} . {}", a.shapeString(),
+                  b.shapeString());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += static_cast<double>(a.data()[i]) * b.data()[i];
+    return acc;
+}
+
+double
+l2Norm(const Tensor& x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+double
+maxAbsDiff(const Tensor& a, const Tensor& b)
+{
+    RECSIM_ASSERT(a.size() == b.size(), "maxAbsDiff {} vs {}",
+                  a.shapeString(), b.shapeString());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(
+            static_cast<double>(a.data()[i]) - b.data()[i]));
+    return worst;
+}
+
+void
+clipL2Norm(Tensor& x, double max_norm)
+{
+    RECSIM_ASSERT(max_norm > 0.0, "clip norm must be positive");
+    const double norm = l2Norm(x);
+    if (norm > max_norm)
+        scale(x, static_cast<float>(max_norm / norm));
+}
+
+} // namespace tensor
+} // namespace recsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Free-function kernels over Tensor: GEMM variants, elementwise ops and
+ * reductions. These are the compute primitives the nn layers are built
+ * from; everything DLRM's forward/backward needs and nothing more.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace recsim {
+namespace tensor {
+
+/**
+ * out = a (*) b for rank-2 tensors: [m, k] x [k, n] -> [m, n].
+ * @p out is resized/overwritten. Uses an ikj loop order so the inner
+ * loop streams rows of b (cache-friendly without an explicit pack).
+ */
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** out = a^T (*) b: [k, m]^T x [k, n] -> [m, n]. */
+void matmulTransA(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** out = a (*) b^T: [m, k] x [n, k]^T -> [m, n]. */
+void matmulTransB(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** Add row-vector @p bias [n] to every row of @p x [m, n], in place. */
+void addBiasRows(Tensor& x, const Tensor& bias);
+
+/** out[j] = sum over rows i of x[i, j]; out resized to [cols]. */
+void sumRows(const Tensor& x, Tensor& out);
+
+/** y += alpha * x, elementwise; shapes must match. */
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/** x *= alpha, elementwise. */
+void scale(Tensor& x, float alpha);
+
+/** ReLU in place: x = max(x, 0). */
+void reluInPlace(Tensor& x);
+
+/**
+ * dx = dy where forward activation y was > 0, else 0.
+ * @p y is the *forward output* of the ReLU (post-activation).
+ */
+void reluBackward(const Tensor& y, const Tensor& dy, Tensor& dx);
+
+/** Numerically stable logistic sigmoid in place. */
+void sigmoidInPlace(Tensor& x);
+
+/** Sum of all elements. */
+double sumAll(const Tensor& x);
+
+/** Dot product of two equal-shaped tensors. */
+double dot(const Tensor& a, const Tensor& b);
+
+/** L2 norm of all elements. */
+double l2Norm(const Tensor& x);
+
+/** Max absolute elementwise difference (for tests). */
+double maxAbsDiff(const Tensor& a, const Tensor& b);
+
+/** Gradient clipping: scale x so that its L2 norm is <= max_norm. */
+void clipL2Norm(Tensor& x, double max_norm);
+
+} // namespace tensor
+} // namespace recsim

@@ -1,0 +1,104 @@
+#include "tensor/tensor.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace tensor {
+
+Tensor::Tensor(std::size_t n)
+    : data_(n, 0.0f), rank_(1), rows_(n), cols_(1)
+{
+}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : data_(rows * cols, 0.0f), rank_(2), rows_(rows), cols_(cols)
+{
+}
+
+Tensor::Tensor(std::initializer_list<float> values)
+    : data_(values), rank_(1), rows_(values.size()), cols_(1)
+{
+}
+
+float&
+Tensor::at(std::size_t r, std::size_t c)
+{
+    RECSIM_ASSERT(rank_ == 2 && r < rows_ && c < cols_,
+                  "at({}, {}) on tensor {}", r, c, shapeString());
+    return data_[r * cols_ + c];
+}
+
+float
+Tensor::at(std::size_t r, std::size_t c) const
+{
+    RECSIM_ASSERT(rank_ == 2 && r < rows_ && c < cols_,
+                  "at({}, {}) on tensor {}", r, c, shapeString());
+    return data_[r * cols_ + c];
+}
+
+float*
+Tensor::row(std::size_t r)
+{
+    RECSIM_ASSERT(rank_ == 2 && r < rows_, "row {} of {}", r,
+                  shapeString());
+    return data_.data() + r * cols_;
+}
+
+const float*
+Tensor::row(std::size_t r) const
+{
+    RECSIM_ASSERT(rank_ == 2 && r < rows_, "row {} of {}", r,
+                  shapeString());
+    return data_.data() + r * cols_;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto& v : data_)
+        v = value;
+}
+
+void
+Tensor::fillNormal(util::Rng& rng, float stddev)
+{
+    for (auto& v : data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void
+Tensor::fillUniform(util::Rng& rng, float lo, float hi)
+{
+    for (auto& v : data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Tensor::reshape(std::size_t rows, std::size_t cols)
+{
+    RECSIM_ASSERT(rows * cols == data_.size(),
+                  "reshape [{} x {}] of {} elements", rows, cols,
+                  data_.size());
+    rank_ = 2;
+    rows_ = rows;
+    cols_ = cols;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    if (rank_ == 1)
+        return util::format("[{}]", size());
+    return util::format("[{} x {}]", rows_, cols_);
+}
+
+bool
+Tensor::sameShape(const Tensor& other) const
+{
+    return rank_ == other.rank_ && rows_ == other.rows_ &&
+        cols_ == other.cols_;
+}
+
+} // namespace tensor
+} // namespace recsim

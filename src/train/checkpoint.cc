@@ -1,0 +1,200 @@
+#include "train/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace train {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52435031;  // "RCP1"
+constexpr uint32_t kVersion = 1;
+
+/** Append a POD value to the buffer. */
+template <typename T>
+void
+put(std::vector<uint8_t>& buffer, const T& value)
+{
+    const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+    buffer.insert(buffer.end(), bytes, bytes + sizeof(T));
+}
+
+/** Append a float span. */
+void
+putFloats(std::vector<uint8_t>& buffer, const float* data,
+          std::size_t count)
+{
+    const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+    buffer.insert(buffer.end(), bytes, bytes + count * sizeof(float));
+}
+
+/** Cursor-based reader with bounds checking. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t>& buffer)
+        : buffer_(buffer)
+    {
+    }
+
+    template <typename T>
+    bool
+    get(T& value)
+    {
+        if (pos_ + sizeof(T) > buffer_.size())
+            return false;
+        std::memcpy(&value, buffer_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    bool
+    getFloats(float* data, std::size_t count)
+    {
+        const std::size_t bytes = count * sizeof(float);
+        if (pos_ + bytes > buffer_.size())
+            return false;
+        std::memcpy(data, buffer_.data() + pos_, bytes);
+        pos_ += bytes;
+        return true;
+    }
+
+    bool atEnd() const { return pos_ == buffer_.size(); }
+
+  private:
+    const std::vector<uint8_t>& buffer_;
+    std::size_t pos_ = 0;
+};
+
+/** Shape signature: rejects restores into a different architecture. */
+uint64_t
+shapeSignature(model::Dlrm& model)
+{
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (const auto* param : model.denseParams()) {
+        mix(param->rows());
+        mix(param->cols());
+    }
+    for (const auto& table : model.tables()) {
+        mix(table.hashSize());
+        mix(table.dim());
+    }
+    return h;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveCheckpoint(model::Dlrm& model)
+{
+    std::vector<uint8_t> buffer;
+    buffer.reserve(1024);
+    put(buffer, kMagic);
+    put(buffer, kVersion);
+    put(buffer, shapeSignature(model));
+
+    const auto params = model.denseParams();
+    put(buffer, static_cast<uint64_t>(params.size()));
+    for (const auto* param : params) {
+        put(buffer, static_cast<uint64_t>(param->size()));
+        putFloats(buffer, param->data(), param->size());
+    }
+
+    put(buffer, static_cast<uint64_t>(model.tables().size()));
+    for (const auto& table : model.tables()) {
+        put(buffer, static_cast<uint64_t>(table.table.size()));
+        putFloats(buffer, table.table.data(), table.table.size());
+    }
+    return buffer;
+}
+
+RestoreStatus
+restoreCheckpoint(model::Dlrm& model, const std::vector<uint8_t>& buffer)
+{
+    Reader reader(buffer);
+    uint32_t magic = 0, version = 0;
+    uint64_t signature = 0;
+    if (!reader.get(magic) || magic != kMagic)
+        return {false, "not a recsim checkpoint (bad magic)"};
+    if (!reader.get(version) || version != kVersion)
+        return {false, "unsupported checkpoint version"};
+    if (!reader.get(signature) || signature != shapeSignature(model))
+        return {false, "model architecture does not match checkpoint"};
+
+    uint64_t n_params = 0;
+    if (!reader.get(n_params))
+        return {false, "truncated checkpoint (dense header)"};
+    const auto params = model.denseParams();
+    if (n_params != params.size())
+        return {false, "dense parameter count mismatch"};
+    for (auto* param : params) {
+        uint64_t count = 0;
+        if (!reader.get(count) || count != param->size())
+            return {false, "dense parameter size mismatch"};
+        if (!reader.getFloats(param->data(), param->size()))
+            return {false, "truncated checkpoint (dense payload)"};
+    }
+
+    uint64_t n_tables = 0;
+    if (!reader.get(n_tables) || n_tables != model.tables().size())
+        return {false, "embedding table count mismatch"};
+    for (auto& table : model.tables()) {
+        uint64_t count = 0;
+        if (!reader.get(count) || count != table.table.size())
+            return {false, "embedding table size mismatch"};
+        if (!reader.getFloats(table.table.data(), table.table.size()))
+            return {false, "truncated checkpoint (table payload)"};
+    }
+    if (!reader.atEnd())
+        return {false, "trailing bytes after checkpoint payload"};
+    return {true, ""};
+}
+
+bool
+saveCheckpointFile(model::Dlrm& model, const std::string& path)
+{
+    const auto buffer = saveCheckpoint(model);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    return static_cast<bool>(out);
+}
+
+RestoreStatus
+restoreCheckpointFile(model::Dlrm& model, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return {false, "cannot open checkpoint file: " + path};
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<uint8_t> buffer(size);
+    if (!in.read(reinterpret_cast<char*>(buffer.data()),
+                 static_cast<std::streamsize>(size))) {
+        return {false, "cannot read checkpoint file: " + path};
+    }
+    return restoreCheckpoint(model, buffer);
+}
+
+double
+checkpointBytes(const model::DlrmConfig& config)
+{
+    // Header + dense params + tables, all FP32.
+    const double header = 4.0 + 4.0 + 8.0;
+    const double dense =
+        static_cast<double>(config.mlpParams()) * sizeof(float) + 16.0;
+    return header + dense + config.embeddingBytes() +
+        static_cast<double>(config.numSparse()) * 8.0 + 16.0;
+}
+
+} // namespace train
+} // namespace recsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model checkpointing: serialize/restore a Dlrm's parameters. The
+ * paper's related work stresses that "making training infrastructures
+ * reliable has a profound impact in the training workflow efficiency"
+ * (CPR, DeepFreeze); long-running recommendation training is expected
+ * to resume bit-exactly after preemption. The format is a simple
+ * versioned binary layout with a header that rejects mismatched model
+ * shapes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/dlrm.h"
+
+namespace recsim {
+namespace train {
+
+/** Result of a restore attempt. */
+struct RestoreStatus
+{
+    bool ok = false;
+    std::string error;
+};
+
+/**
+ * Serialize @p model's parameters (dense MLPs + every embedding table)
+ * into a byte buffer. The buffer embeds a format version and a shape
+ * signature so restores into a differently-shaped model fail cleanly.
+ */
+std::vector<uint8_t> saveCheckpoint(model::Dlrm& model);
+
+/**
+ * Restore parameters from @p buffer into @p model. The model must have
+ * the same architecture (dense dims, table count, hash sizes, emb dim)
+ * as the one that produced the checkpoint.
+ */
+RestoreStatus restoreCheckpoint(model::Dlrm& model,
+                                const std::vector<uint8_t>& buffer);
+
+/** saveCheckpoint() to a file. Returns false on I/O failure. */
+bool saveCheckpointFile(model::Dlrm& model, const std::string& path);
+
+/** restoreCheckpoint() from a file. */
+RestoreStatus restoreCheckpointFile(model::Dlrm& model,
+                                    const std::string& path);
+
+/**
+ * Estimate the serialized checkpoint size for a model *configuration*
+ * without instantiating it — production-scale models are checkpointed
+ * from parameter servers, and this is the number capacity planning
+ * needs (dense params + tables + header).
+ */
+double checkpointBytes(const model::DlrmConfig& config);
+
+} // namespace train
+} // namespace recsim

@@ -1,0 +1,153 @@
+#include "train/hogwild.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace train {
+
+namespace {
+
+/**
+ * Apply the dense gradients accumulated in @p replica's MLP layers to
+ * @p master's parameters without locking (the Hogwild update).
+ */
+void
+applyDenseGrads(model::Dlrm& master, model::Dlrm& replica, float lr)
+{
+    auto apply = [lr](nn::Mlp& dst, nn::Mlp& src) {
+        for (std::size_t l = 0; l < dst.layers().size(); ++l) {
+            nn::Linear& d = dst.layers()[l];
+            nn::Linear& s = src.layers()[l];
+            float* w = d.weight.data();
+            const float* gw = s.gradWeight.data();
+            for (std::size_t i = 0; i < d.weight.size(); ++i)
+                w[i] -= lr * gw[i];
+            float* bias = d.bias.data();
+            const float* gb = s.gradBias.data();
+            for (std::size_t i = 0; i < d.bias.size(); ++i)
+                bias[i] -= lr * gb[i];
+        }
+    };
+    apply(master.bottomMlp(), replica.bottomMlp());
+    apply(master.topMlp(), replica.topMlp());
+}
+
+} // namespace
+
+TrainResult
+trainHogwild(const model::DlrmConfig& model_config,
+             data::SyntheticCtrDataset& dataset,
+             const HogwildConfig& config, std::size_t eval_examples)
+{
+    RECSIM_ASSERT(config.num_threads >= 1, "need at least one worker");
+    RECSIM_ASSERT(dataset.materializedSize() > eval_examples,
+                  "materialize() the dataset before training");
+    const TrainConfig& base = config.base;
+    const std::size_t train_examples =
+        dataset.materializedSize() - eval_examples;
+
+    // The master holds the shared parameters. Each worker keeps a
+    // private replica for activations/gradient scratch, pulls the
+    // master's current parameters without locking before every step,
+    // and pushes its gradient update back without locking. Torn reads
+    // and lost updates are tolerated by design — that *is* Hogwild.
+    model::Dlrm master(model_config, base.model_seed);
+    nn::Sgd sgd(base.learning_rate);
+
+    const std::size_t shard = train_examples / config.num_threads;
+    const std::size_t steps_per_worker =
+        std::max<std::size_t>(shard / base.batch_size, 1) * base.epochs;
+
+    std::atomic<std::size_t> total_steps{0};
+    std::vector<double> final_losses(config.num_threads, 0.0);
+
+    auto worker = [&](std::size_t tid) {
+        model::Dlrm replica(model_config, base.model_seed);
+        auto master_params = master.denseParams();
+        auto replica_params = replica.denseParams();
+        const std::size_t begin = tid * shard;
+        double tail_loss = 0.0;
+        std::size_t tail_count = 0;
+        const std::size_t tail_start = steps_per_worker -
+            std::max<std::size_t>(steps_per_worker / 10, 1);
+
+        for (std::size_t step = 0; step < steps_per_worker; ++step) {
+            // Racy pull of the current dense parameters (no locks).
+            for (std::size_t i = 0; i < master_params.size(); ++i) {
+                std::copy(master_params[i]->data(),
+                          master_params[i]->data() +
+                              master_params[i]->size(),
+                          replica_params[i]->data());
+            }
+            // Embedding rows are read from the master directly: copy the
+            // rows this batch touches. For simplicity and fidelity to
+            // Hogwild's sparse-access argument, replicate whole tables
+            // only once (seed-identical init) and sync touched rows.
+            const std::size_t offset =
+                begin + (step * base.batch_size) % std::max(shard, 1ul);
+            data::MiniBatch batch =
+                dataset.epochBatch(offset, base.batch_size);
+            for (std::size_t f = 0; f < batch.sparse.size(); ++f) {
+                auto& mt = master.tables()[f];
+                auto& rt = replica.tables()[f];
+                for (uint64_t idx : batch.sparse[f].indices) {
+                    const auto row = static_cast<std::size_t>(
+                        idx % mt.hashSize());
+                    std::copy(mt.table.row(row),
+                              mt.table.row(row) + mt.dim(),
+                              rt.table.row(row));
+                }
+            }
+
+            const double loss = replica.forwardBackward(batch);
+            if (step >= tail_start) {
+                tail_loss += loss;
+                ++tail_count;
+            }
+
+            // Racy push: apply the replica's gradients to the master.
+            const float lr = base.learning_rate;
+            applyDenseGrads(master, replica, lr);
+            for (std::size_t f = 0; f < replica.tables().size(); ++f) {
+                const auto& grad = replica.sparseGrads()[f];
+                auto& table = master.tables()[f];
+                for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+                    float* row = table.table.row(
+                        static_cast<std::size_t>(grad.rows[r]));
+                    const float* g = grad.values.row(r);
+                    for (std::size_t j = 0; j < table.dim(); ++j)
+                        row[j] -= lr * g[j];
+                }
+            }
+            replica.zeroGrad();
+            total_steps.fetch_add(1, std::memory_order_relaxed);
+        }
+        final_losses[tid] =
+            tail_count ? tail_loss / static_cast<double>(tail_count)
+                       : 0.0;
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(config.num_threads);
+    for (std::size_t t = 0; t < config.num_threads; ++t)
+        threads.emplace_back(worker, t);
+    for (auto& t : threads)
+        t.join();
+
+    TrainResult result;
+    result.steps = total_steps.load();
+    double loss = 0.0;
+    for (double l : final_losses)
+        loss += l;
+    result.final_train_loss =
+        loss / static_cast<double>(config.num_threads);
+    evaluateModel(master, dataset, eval_examples, result);
+    return result;
+}
+
+} // namespace train
+} // namespace recsim

@@ -1,0 +1,43 @@
+#include "train/sweep.h"
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace train {
+
+std::vector<float>
+defaultLrGrid()
+{
+    return {0.01f, 0.02f, 0.05f, 0.1f, 0.2f, 0.5f};
+}
+
+SweepResult
+sweepLearningRate(const model::DlrmConfig& model_config,
+                  data::SyntheticCtrDataset& dataset,
+                  const TrainConfig& config,
+                  const std::vector<float>& candidates,
+                  std::size_t eval_examples)
+{
+    RECSIM_ASSERT(!candidates.empty(), "empty learning-rate grid");
+    SweepResult sweep;
+    sweep.points.reserve(candidates.size());
+    for (float lr : candidates) {
+        TrainConfig point_config = config;
+        point_config.learning_rate = lr;
+        SweepPoint point;
+        point.learning_rate = lr;
+        point.result = trainSingleThread(model_config, dataset,
+                                         point_config, eval_examples);
+        sweep.points.push_back(std::move(point));
+    }
+    for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+        if (sweep.points[i].result.eval_ne <
+            sweep.points[sweep.best_index].result.eval_ne) {
+            sweep.best_index = i;
+        }
+    }
+    return sweep;
+}
+
+} // namespace train
+} // namespace recsim

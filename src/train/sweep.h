@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hyper-parameter retuning: the stand-in for FBLearner's AutoML sweep
+ * (Section VI-C). Fig 15's protocol — retune the learning rate for
+ * every batch size, then compare the best achievable NE against the
+ * small-batch baseline — is implemented by sweepLearningRate().
+ */
+#pragma once
+
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace recsim {
+namespace train {
+
+/** One point of a learning-rate sweep. */
+struct SweepPoint
+{
+    float learning_rate = 0.0f;
+    TrainResult result;
+};
+
+/** Outcome of a sweep: every point plus the index of the best. */
+struct SweepResult
+{
+    std::vector<SweepPoint> points;
+    std::size_t best_index = 0;
+
+    const SweepPoint& best() const { return points[best_index]; }
+};
+
+/**
+ * Train once per candidate learning rate (all else from @p config) and
+ * select the run with the lowest held-out normalized entropy.
+ *
+ * @param candidates Learning rates to try; must be non-empty.
+ */
+SweepResult sweepLearningRate(const model::DlrmConfig& model_config,
+                              data::SyntheticCtrDataset& dataset,
+                              const TrainConfig& config,
+                              const std::vector<float>& candidates,
+                              std::size_t eval_examples = 8192);
+
+/** A sensible default LR grid (log-spaced, covers SGD and Adagrad). */
+std::vector<float> defaultLrGrid();
+
+} // namespace train
+} // namespace recsim

@@ -1,0 +1,101 @@
+#include "train/trainer.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace recsim {
+namespace train {
+
+void
+evaluateModel(model::Dlrm& model, data::SyntheticCtrDataset& dataset,
+              std::size_t eval_examples, TrainResult& result)
+{
+    RECSIM_ASSERT(dataset.materializedSize() > eval_examples,
+                  "dataset too small for {} eval examples",
+                  eval_examples);
+    const std::size_t eval_start =
+        dataset.materializedSize() - eval_examples;
+    // Evaluate in chunks to bound peak memory.
+    const std::size_t chunk = 2048;
+    double loss_sum = 0.0;
+    double correct = 0.0;
+    std::vector<float> all_labels;
+    std::vector<float> all_logits;
+    all_labels.reserve(eval_examples);
+    all_logits.reserve(eval_examples);
+    tensor::Tensor logits;
+    for (std::size_t off = 0; off < eval_examples; off += chunk) {
+        const std::size_t n = std::min(chunk, eval_examples - off);
+        data::MiniBatch batch = dataset.epochBatch(eval_start + off, n);
+        model.forward(batch, logits);
+        loss_sum += nn::bceWithLogitsLoss(logits, batch.labels) *
+            static_cast<double>(n);
+        correct += nn::accuracy(logits, batch.labels) *
+            static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            all_labels.push_back(batch.labels[i]);
+            all_logits.push_back(logits.data()[i]);
+        }
+    }
+    result.eval_loss = loss_sum / static_cast<double>(eval_examples);
+    result.eval_accuracy = correct / static_cast<double>(eval_examples);
+
+    tensor::Tensor logit_tensor(all_logits.size());
+    std::copy(all_logits.begin(), all_logits.end(), logit_tensor.data());
+    result.eval_ne = nn::normalizedEntropy(logit_tensor, all_labels);
+}
+
+TrainResult
+trainSingleThread(const model::DlrmConfig& model_config,
+                  data::SyntheticCtrDataset& dataset,
+                  const TrainConfig& config, std::size_t eval_examples)
+{
+    RECSIM_ASSERT(dataset.materializedSize() > eval_examples,
+                  "materialize() the dataset before training");
+    const std::size_t train_examples =
+        dataset.materializedSize() - eval_examples;
+    RECSIM_ASSERT(config.batch_size > 0 &&
+                  config.batch_size <= train_examples,
+                  "batch size {} vs {} training examples",
+                  config.batch_size, train_examples);
+
+    model::Dlrm model(model_config, config.model_seed);
+    nn::Sgd sgd(config.learning_rate);
+    nn::Adagrad adagrad(config.learning_rate);
+
+    TrainResult result;
+    const std::size_t steps_per_epoch =
+        train_examples / config.batch_size;
+    const std::size_t total_steps = steps_per_epoch * config.epochs;
+    const std::size_t tail_start =
+        total_steps - std::max<std::size_t>(total_steps / 10, 1);
+    double tail_loss = 0.0;
+    std::size_t tail_count = 0;
+
+    std::size_t step = 0;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        for (std::size_t it = 0; it < steps_per_epoch; ++it, ++step) {
+            data::MiniBatch batch = dataset.epochBatch(
+                it * config.batch_size, config.batch_size);
+            const double loss = model.forwardBackward(batch);
+            if (config.optimizer == OptimizerKind::Sgd)
+                model.step(sgd);
+            else
+                model.step(adagrad);
+            if (step >= tail_start) {
+                tail_loss += loss;
+                ++tail_count;
+            }
+            if (config.eval_every && step % config.eval_every == 0)
+                result.loss_curve.emplace_back(step, loss);
+        }
+    }
+    result.steps = step;
+    result.final_train_loss =
+        tail_count ? tail_loss / static_cast<double>(tail_count) : 0.0;
+    evaluateModel(model, dataset, eval_examples, result);
+    return result;
+}
+
+} // namespace train
+} // namespace recsim

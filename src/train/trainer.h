@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single-threaded reference trainer: the baseline the asynchronous
+ * schemes (Hogwild, EASGD) and the batch-size accuracy study compare
+ * against. Trains a Dlrm on a materialized SyntheticCtrDataset for a
+ * fixed number of epochs and reports loss/NE trajectories.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/dlrm.h"
+
+namespace recsim {
+namespace train {
+
+/** Which optimizer a trainer uses. */
+enum class OptimizerKind { Sgd, Adagrad };
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    std::size_t batch_size = 256;
+    float learning_rate = 0.1f;
+    OptimizerKind optimizer = OptimizerKind::Adagrad;
+    std::size_t epochs = 1;
+    uint64_t model_seed = 1;
+    /** Evaluate on the held-out set every this many iterations
+     *  (0 = only at the end). */
+    std::size_t eval_every = 0;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    /** Mean training loss of the final 10% of iterations. */
+    double final_train_loss = 0.0;
+    /** BCE loss on the held-out evaluation set. */
+    double eval_loss = 0.0;
+    /** Normalized entropy on the held-out set (lower is better). */
+    double eval_ne = 0.0;
+    /** Classification accuracy on the held-out set. */
+    double eval_accuracy = 0.0;
+    /** Number of optimizer steps taken. */
+    std::size_t steps = 0;
+    /** (step, train loss) samples along the run. */
+    std::vector<std::pair<std::size_t, double>> loss_curve;
+};
+
+/**
+ * Train @p config's model on the train split of @p dataset and evaluate
+ * on the eval split.
+ *
+ * @param dataset     Must be materialized; the last @p eval_examples
+ *                    are held out, the rest form the training set.
+ * @param eval_examples Size of the held-out split.
+ */
+TrainResult trainSingleThread(const model::DlrmConfig& model_config,
+                              data::SyntheticCtrDataset& dataset,
+                              const TrainConfig& config,
+                              std::size_t eval_examples = 8192);
+
+/** Evaluate a model on the last @p eval_examples of @p dataset. */
+void evaluateModel(model::Dlrm& model, data::SyntheticCtrDataset& dataset,
+                   std::size_t eval_examples, TrainResult& result);
+
+} // namespace train
+} // namespace recsim

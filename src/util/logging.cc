@@ -1,0 +1,10 @@
+#include "util/logging.h"
+
+// All of logging.h is header-only templates; this translation unit exists
+// so the library has a stable archive member and a place for future
+// non-template sinks (e.g. log files).
+
+namespace recsim {
+namespace util {
+} // namespace util
+} // namespace recsim

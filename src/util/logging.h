@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, gem5 style.
+ *
+ * Severity ladder:
+ *  - inform(): normal operating message, no connotation of a problem.
+ *  - warn():   something may be off; simulation continues.
+ *  - fatal():  the *user's* configuration is invalid; exits with code 1.
+ *  - panic():  an internal invariant was violated (a recsim bug); aborts.
+ *
+ * All functions take a printf-like "{}" placeholder format string, e.g.
+ *   fatal("table {} does not fit: {} bytes > capacity {}", i, need, cap);
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace recsim {
+namespace util {
+
+namespace detail {
+
+/** Terminal recursion: append the remainder of the format string. */
+inline void
+formatInto(std::ostringstream& os, std::string_view fmt)
+{
+    os << fmt;
+}
+
+/**
+ * Substitute the first "{}" in @p fmt with @p head, then recurse on the
+ * remaining arguments. Extra arguments with no placeholder are appended
+ * space-separated so information is never silently dropped.
+ */
+template <typename Head, typename... Tail>
+void
+formatInto(std::ostringstream& os, std::string_view fmt, const Head& head,
+           const Tail&... tail)
+{
+    const auto pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        os << fmt << " " << head;
+        (formatInto(os, "", tail), ...);
+        return;
+    }
+    os << fmt.substr(0, pos) << head;
+    formatInto(os, fmt.substr(pos + 2), tail...);
+}
+
+} // namespace detail
+
+/** Render a "{}"-placeholder format string to a std::string. */
+template <typename... Args>
+std::string
+format(std::string_view fmt, const Args&... args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, fmt, args...);
+    return os.str();
+}
+
+/** Print an informational status message to stdout. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args&... args)
+{
+    std::cout << "info: " << format(fmt, args...) << "\n";
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args&... args)
+{
+    std::cerr << "warn: " << format(fmt, args...) << "\n";
+}
+
+/**
+ * Report an unrecoverable *user* error (bad configuration, invalid
+ * arguments) and exit(1). Not for internal bugs — see panic().
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, const Args&... args)
+{
+    std::cerr << "fatal: " << format(fmt, args...) << "\n";
+    std::exit(1);
+}
+
+/**
+ * Report a violated internal invariant (a recsim bug) and abort().
+ * Use for conditions that should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, const Args&... args)
+{
+    std::cerr << "panic: " << format(fmt, args...) << "\n";
+    std::abort();
+}
+
+/** panic() with file/line context when @p cond is false. */
+#define RECSIM_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::recsim::util::panic("assertion '" #cond "' failed at "        \
+                                  __FILE__ ":{}: {}", __LINE__,             \
+                                  ::recsim::util::format("" __VA_ARGS__));  \
+        }                                                                   \
+    } while (0)
+
+} // namespace util
+} // namespace recsim

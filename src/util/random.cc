@@ -1,0 +1,270 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace util {
+
+namespace {
+
+/** splitmix64 step, used for seeding and stream forking. */
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    RECSIM_ASSERT(n > 0, "uniformInt with empty range");
+    // Rejection to remove modulo bias.
+    const uint64_t limit = max() - max() % n;
+    uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double lambda)
+{
+    RECSIM_ASSERT(lambda > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    RECSIM_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        const double l = std::exp(-mean);
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction for large means.
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+Rng
+Rng::fork(uint64_t salt)
+{
+    uint64_t x = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567);
+    return Rng(splitmix64(x));
+}
+
+// ZipfSampler: rejection-inversion after Hörmann & Derflinger (1996).
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n_(n), s_(exponent)
+{
+    RECSIM_ASSERT(n_ > 0, "Zipf support must be non-empty");
+    RECSIM_ASSERT(s_ >= 0.0, "Zipf exponent must be non-negative");
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    t_ = 2.0 - hInv(h(2.5) - std::pow(2.0, -s_));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-s; the s == 1 case degenerates to log.
+    if (s_ == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    if (s_ == 1.0)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t
+ZipfSampler::operator()(Rng& rng) const
+{
+    if (s_ == 0.0)
+        return rng.uniformInt(n_);
+    while (true) {
+        const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+        const double x = hInv(u);
+        const double k = std::floor(x + 0.5);
+        if (k - x <= t_) {
+            const uint64_t idx = static_cast<uint64_t>(k);
+            return idx >= 1 ? std::min(idx, n_) - 1 : 0;
+        }
+        if (u >= h(k + 0.5) - std::pow(k, -s_)) {
+            const uint64_t idx = static_cast<uint64_t>(k);
+            return idx >= 1 ? std::min(idx, n_) - 1 : 0;
+        }
+    }
+}
+
+PowerLawLengthSampler::PowerLawLengthSampler(double alpha, uint64_t max_len)
+{
+    RECSIM_ASSERT(max_len >= 1, "power-law max length must be >= 1");
+    cdf_.resize(max_len);
+    double total = 0.0;
+    double weighted = 0.0;
+    for (uint64_t k = 1; k <= max_len; ++k) {
+        const double p = std::pow(static_cast<double>(k), -alpha);
+        total += p;
+        weighted += p * static_cast<double>(k);
+        cdf_[k - 1] = total;
+    }
+    for (auto& c : cdf_)
+        c /= total;
+    mean_ = weighted / total;
+}
+
+uint64_t
+PowerLawLengthSampler::operator()(Rng& rng) const
+{
+    const double u = rng.uniform();
+    // Binary search the CDF; lengths are 1-based.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const uint64_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo + 1;
+}
+
+double
+zipfTopMass(uint64_t n, double exponent, uint64_t k)
+{
+    RECSIM_ASSERT(n > 0, "Zipf support must be non-empty");
+    if (k >= n)
+        return 1.0;
+    if (k == 0)
+        return 0.0;
+    if (exponent == 0.0)
+        return static_cast<double>(k) / static_cast<double>(n);
+    // Generalized harmonic numbers H(m, s) via the Euler-Maclaurin
+    // integral approximation for large m; exact summation when small.
+    auto harmonic = [exponent](uint64_t m) {
+        if (m <= 4096) {
+            double h = 0.0;
+            for (uint64_t i = 1; i <= m; ++i)
+                h += std::pow(static_cast<double>(i), -exponent);
+            return h;
+        }
+        double h = 0.0;
+        for (uint64_t i = 1; i <= 4096; ++i)
+            h += std::pow(static_cast<double>(i), -exponent);
+        const double a = 4096.5;
+        const double b = static_cast<double>(m) + 0.5;
+        if (exponent == 1.0)
+            return h + std::log(b / a);
+        return h + (std::pow(b, 1.0 - exponent) -
+                    std::pow(a, 1.0 - exponent)) / (1.0 - exponent);
+    };
+    return harmonic(k) / harmonic(n);
+}
+
+} // namespace util
+} // namespace recsim

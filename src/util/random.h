@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic random number generation for recsim.
+ *
+ * Every stochastic component in recsim takes an explicit seed so that
+ * experiments are exactly reproducible across runs and platforms. We use
+ * xoshiro256** seeded via splitmix64 rather than std::mt19937 both for
+ * speed and because the standard distributions are not guaranteed to be
+ * bit-identical across standard library implementations — the samplers
+ * here are self-contained.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace recsim {
+namespace util {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator, so it can also be plugged into
+ * standard algorithms (e.g. std::shuffle).
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    uint64_t operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Exponential with rate lambda. @pre lambda > 0. */
+    double exponential(double lambda);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /**
+     * Poisson-distributed count with the given mean (Knuth's method for
+     * small means, normal approximation for large ones).
+     */
+    uint64_t poisson(double mean);
+
+    /**
+     * Fork an independent child stream. Children of the same parent with
+     * different salts are statistically independent; used to give each
+     * simulated node / table / thread its own stream.
+     */
+    Rng fork(uint64_t salt);
+
+  private:
+    uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+/**
+ * Zipf(s, n) sampler over {0, 1, ..., n-1} using rejection-inversion
+ * (Hörmann & Derflinger), O(1) per sample independent of n.
+ *
+ * Models the skewed popularity of embedding-table indices: a small set of
+ * hot IDs receives most lookups, matching the power-law access patterns
+ * reported for production recommendation models.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n        Support size (number of distinct indices). @pre > 0.
+     * @param exponent Skew s >= 0; s == 0 degenerates to uniform.
+     */
+    ZipfSampler(uint64_t n, double exponent);
+
+    /** Draw one index in [0, n). */
+    uint64_t operator()(Rng& rng) const;
+
+    uint64_t n() const { return n_; }
+    double exponent() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    uint64_t n_;
+    double s_;
+    double h_x1_;
+    double h_n_;
+    double t_;
+};
+
+/**
+ * Sampler for per-table mean feature lengths following a truncated
+ * discrete power law: P(L = k) proportional to k^-alpha on [1, max].
+ * Matches the long-tailed "mean lookups per feature" distributions of
+ * Fig 7 in the paper.
+ */
+class PowerLawLengthSampler
+{
+  public:
+    /**
+     * @param alpha    Tail exponent (> 1 for a finite mean as max grows).
+     * @param max_len  Truncation point (the paper truncates at 32 in the
+     *                 test suite; production tails reach hundreds).
+     */
+    PowerLawLengthSampler(double alpha, uint64_t max_len);
+
+    /** Draw one length in [1, max_len]. */
+    uint64_t operator()(Rng& rng) const;
+
+    /** Analytical mean of the truncated distribution. */
+    double mean() const { return mean_; }
+
+  private:
+    std::vector<double> cdf_;
+    double mean_;
+};
+
+/**
+ * Fraction of Zipf(s, n) probability mass carried by the top @p k
+ * most popular indices. This is the analytic hit rate of a cache that
+ * pins the k hottest rows of a Zipf-accessed embedding table — the
+ * quantity behind the hot-row caching extension (the paper's Section
+ * III-A "caching [58]" optimization opportunity).
+ */
+double zipfTopMass(uint64_t n, double exponent, uint64_t k);
+
+} // namespace util
+} // namespace recsim

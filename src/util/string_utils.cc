@@ -1,0 +1,135 @@
+#include "util/string_utils.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/units.h"
+
+namespace recsim {
+namespace util {
+
+std::string
+fixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+bytesToString(double bytes)
+{
+    if (bytes >= kTiB)
+        return fixed(bytes / kTiB, 2) + " TiB";
+    if (bytes >= kGiB)
+        return fixed(bytes / kGiB, 2) + " GiB";
+    if (bytes >= kMiB)
+        return fixed(bytes / kMiB, 2) + " MiB";
+    if (bytes >= kKiB)
+        return fixed(bytes / kKiB, 2) + " KiB";
+    return fixed(bytes, 0) + " B";
+}
+
+std::string
+rateToString(double bytes_per_second)
+{
+    if (bytes_per_second >= kTB)
+        return fixed(bytes_per_second / kTB, 2) + " TB/s";
+    if (bytes_per_second >= kGB)
+        return fixed(bytes_per_second / kGB, 2) + " GB/s";
+    if (bytes_per_second >= kMB)
+        return fixed(bytes_per_second / kMB, 2) + " MB/s";
+    return fixed(bytes_per_second, 0) + " B/s";
+}
+
+std::string
+countToString(double count)
+{
+    if (count >= 1e9)
+        return fixed(count / 1e9, 1) + "B";
+    if (count >= 1e6)
+        return fixed(count / 1e6, 1) + "M";
+    if (count >= 1e3)
+        return fixed(count / 1e3, 1) + "K";
+    return fixed(count, 0);
+}
+
+std::string
+padLeft(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto account = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto& r : rows_)
+        account(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            os << (i ? "  " : "") << padRight(cell, widths[i]);
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < ncols; ++i)
+            total += widths[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    return os.str();
+}
+
+} // namespace util
+} // namespace recsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small string helpers for table rendering in benches and reports.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recsim {
+namespace util {
+
+/** Render a byte count with a binary suffix, e.g. "1.5 GiB". */
+std::string bytesToString(double bytes);
+
+/** Render a rate, e.g. "900.0 GB/s". */
+std::string rateToString(double bytes_per_second);
+
+/** Render a count with SI suffix, e.g. 5700000 -> "5.7M". */
+std::string countToString(double count);
+
+/** Fixed-precision double rendering (std::to_string prints 6 digits). */
+std::string fixed(double value, int precision);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string& s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string& s, std::size_t width);
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/**
+ * Simple fixed-width ASCII table printer used by the bench harnesses to
+ * emit the paper's rows. Column widths are computed from the content.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the whole table, including a rule under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace recsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit constants and conversions used throughout the hardware and cost
+ * models. All internal quantities are SI: bytes, bytes/second, FLOP/s,
+ * seconds, watts.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace recsim {
+namespace util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kGFLOPS = 1e9;
+inline constexpr double kTFLOPS = 1e12;
+
+/** Convert a network rate in Gbit/s to bytes/second. */
+constexpr double
+gbps(double gigabits_per_second)
+{
+    return gigabits_per_second * 1e9 / 8.0;
+}
+
+/** Convert GB/s to bytes/second. */
+constexpr double
+gBps(double gigabytes_per_second)
+{
+    return gigabytes_per_second * 1e9;
+}
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMilli = 1e-3;
+
+} // namespace util
+} // namespace recsim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for model checkpointing: bit-exact save/restore, shape-mismatch
+ * rejection, corruption detection, file round trips, and resumed
+ * training equivalence (the reliability property production training
+ * depends on).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "train/checkpoint.h"
+#include "util/units.h"
+
+namespace recsim::train {
+namespace {
+
+model::DlrmConfig
+tinyConfig()
+{
+    return model::DlrmConfig::tinyReplica(4, 8, 200, 8);
+}
+
+data::SyntheticCtrDataset
+tinyDataset()
+{
+    const auto cfg = tinyConfig();
+    data::DatasetConfig ds;
+    ds.num_dense = cfg.num_dense;
+    ds.sparse = cfg.sparse;
+    ds.seed = 17;
+    return data::SyntheticCtrDataset(ds);
+}
+
+TEST(Checkpoint, RoundTripIsBitExact)
+{
+    model::Dlrm a(tinyConfig(), 1);
+    model::Dlrm b(tinyConfig(), 2);  // different init
+
+    const auto buffer = saveCheckpoint(a);
+    const auto status = restoreCheckpoint(b, buffer);
+    ASSERT_TRUE(status.ok) << status.error;
+
+    auto pa = a.denseParams();
+    auto pb = b.denseParams();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(tensor::maxAbsDiff(*pa[i], *pb[i]), 0.0);
+    for (std::size_t f = 0; f < a.tables().size(); ++f) {
+        EXPECT_EQ(tensor::maxAbsDiff(a.tables()[f].table,
+                                     b.tables()[f].table),
+                  0.0);
+    }
+}
+
+TEST(Checkpoint, RestoredModelPredictsIdentically)
+{
+    auto ds = tinyDataset();
+    const auto batch = ds.nextBatch(16);
+
+    model::Dlrm a(tinyConfig(), 1);
+    model::Dlrm b(tinyConfig(), 99);
+    const auto buffer = saveCheckpoint(a);
+    ASSERT_TRUE(restoreCheckpoint(b, buffer).ok);
+
+    tensor::Tensor la, lb;
+    a.forward(batch, la);
+    b.forward(batch, lb);
+    EXPECT_EQ(tensor::maxAbsDiff(la, lb), 0.0);
+}
+
+TEST(Checkpoint, ResumedTrainingMatchesUninterrupted)
+{
+    auto ds = tinyDataset();
+    ds.materialize(4096);
+
+    auto run = [&](bool interrupt) {
+        model::Dlrm model(tinyConfig(), 5);
+        nn::Sgd opt(0.05f);
+        std::vector<uint8_t> snapshot;
+        for (std::size_t i = 0; i < 40; ++i) {
+            if (interrupt && i == 20) {
+                // Simulate preemption: checkpoint, destroy, restore.
+                snapshot = saveCheckpoint(model);
+                model::Dlrm fresh(tinyConfig(), 1234);
+                EXPECT_TRUE(restoreCheckpoint(fresh, snapshot).ok);
+                // Continue on the restored replica via a swap of
+                // parameters back into `model`.
+                const auto buffer = saveCheckpoint(fresh);
+                EXPECT_TRUE(restoreCheckpoint(model, buffer).ok);
+            }
+            const auto batch = ds.epochBatch(i * 64, 64);
+            model.forwardBackward(batch);
+            model.step(opt);
+        }
+        tensor::Tensor logits;
+        const auto eval = ds.epochBatch(3000, 256);
+        model.forward(eval, logits);
+        return logits;
+    };
+
+    const auto uninterrupted = run(false);
+    const auto resumed = run(true);
+    EXPECT_EQ(tensor::maxAbsDiff(uninterrupted, resumed), 0.0);
+}
+
+TEST(Checkpoint, RejectsShapeMismatch)
+{
+    model::Dlrm a(tinyConfig(), 1);
+    model::Dlrm wrong(model::DlrmConfig::tinyReplica(4, 8, 300, 8), 1);
+    const auto buffer = saveCheckpoint(a);
+    const auto status = restoreCheckpoint(wrong, buffer);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.error.find("architecture"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsCorruptedBuffers)
+{
+    model::Dlrm a(tinyConfig(), 1);
+    auto buffer = saveCheckpoint(a);
+
+    auto truncated = buffer;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(restoreCheckpoint(a, truncated).ok);
+
+    auto bad_magic = buffer;
+    bad_magic[0] ^= 0xff;
+    EXPECT_FALSE(restoreCheckpoint(a, bad_magic).ok);
+
+    auto trailing = buffer;
+    trailing.push_back(0);
+    EXPECT_FALSE(restoreCheckpoint(a, trailing).ok);
+}
+
+TEST(Checkpoint, FileRoundTrip)
+{
+    const std::string path = "/tmp/recsim_ckpt_test.bin";
+    model::Dlrm a(tinyConfig(), 1);
+    model::Dlrm b(tinyConfig(), 2);
+    ASSERT_TRUE(saveCheckpointFile(a, path));
+    const auto status = restoreCheckpointFile(b, path);
+    EXPECT_TRUE(status.ok) << status.error;
+    for (std::size_t f = 0; f < a.tables().size(); ++f) {
+        EXPECT_EQ(tensor::maxAbsDiff(a.tables()[f].table,
+                                     b.tables()[f].table),
+                  0.0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileReportsError)
+{
+    model::Dlrm a(tinyConfig(), 1);
+    const auto status =
+        restoreCheckpointFile(a, "/nonexistent/checkpoint.bin");
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.error.find("open"), std::string::npos);
+}
+
+TEST(Checkpoint, SizeEstimateMatchesActualForSmallModels)
+{
+    const auto cfg = tinyConfig();
+    model::Dlrm model(cfg, 1);
+    const auto buffer = saveCheckpoint(model);
+    EXPECT_NEAR(static_cast<double>(buffer.size()),
+                checkpointBytes(cfg),
+                checkpointBytes(cfg) * 0.01 + 64.0);
+}
+
+TEST(Checkpoint, ProductionScaleEstimates)
+{
+    // M3's checkpoint is dominated by its ~120 GB of tables — the
+    // capacity-planning number the reliability papers care about.
+    const double m3 = checkpointBytes(model::DlrmConfig::m3Prod());
+    EXPECT_GT(m3, 100.0 * util::kGB);
+    EXPECT_LT(m3, 200.0 * util::kGB);
+}
+
+} // namespace
+} // namespace recsim::train

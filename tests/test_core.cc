@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the public core API: Estimator (compare, optimal batch,
+ * placement ranking) and the Section V DesignSpaceExplorer.
+ */
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/explorer.h"
+
+namespace recsim::core {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+TEST(Estimator, EstimateMatchesIterationModel)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::m1Prod();
+    const auto sys = cost::SystemConfig::cpuSetup(6, 8, 2);
+    const auto direct = cost::IterationModel(m, sys).estimate();
+    const auto via_api = est.estimate(m, sys);
+    EXPECT_DOUBLE_EQ(via_api.throughput, direct.throughput);
+}
+
+TEST(Estimator, CompareComputesRelativeMetrics)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::m1Prod();
+    const auto cmp = est.compare(
+        m, cost::SystemConfig::cpuSetup(6, 8, 2, 200, 1),
+        cost::SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                          1600));
+    EXPECT_GT(cmp.relative_throughput, 1.0);
+    EXPECT_GT(cmp.relative_power_efficiency, 1.0);
+    EXPECT_NEAR(cmp.relative_throughput,
+                cmp.candidate.throughput / cmp.baseline.throughput,
+                1e-12);
+}
+
+TEST(Estimator, OptimalBatchPicksSaturationKnee)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::m1Prod();
+    const auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 100);
+    const std::vector<std::size_t> candidates =
+        {100, 200, 400, 800, 1600, 3200, 6400, 12800};
+    const auto best = est.optimalBatch(m, sys, candidates);
+    // The knee should be an interior point: bigger than the smallest
+    // candidate, but not the largest (throughput saturates).
+    EXPECT_GT(best.system.batch_size, candidates.front());
+    EXPECT_LT(best.system.batch_size, candidates.back());
+    // Within tolerance of the true peak.
+    const auto peak = est.estimate(m, [&] {
+        auto s = sys;
+        s.batch_size = candidates.back();
+        return s;
+    }());
+    EXPECT_GT(best.estimate.throughput, peak.throughput * 0.9);
+}
+
+TEST(Estimator, OptimalBatchLargerForGpuThanCpu)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::testSuite(256, 32, 100000);
+    const std::vector<std::size_t> candidates =
+        {50, 100, 200, 400, 800, 1600, 3200};
+    const auto cpu = est.optimalBatch(
+        m, cost::SystemConfig::cpuSetup(1, 1, 1, 200, 1), candidates);
+    const auto gpu = est.optimalBatch(
+        m, cost::SystemConfig::bigBasinSetup(
+               EmbeddingPlacement::GpuMemory, 200), candidates);
+    // Section V: "distributed training on CPUs uses a much smaller
+    // batch size ... GPUs require higher mini-batch sizes".
+    EXPECT_GE(gpu.system.batch_size, cpu.system.batch_size);
+}
+
+TEST(Estimator, RankPlacementsSortedAndFeasible)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::m2Prod();
+    const auto ranked = est.rankPlacements(
+        m, cost::SystemConfig::bigBasinSetup(
+               EmbeddingPlacement::GpuMemory, 3200));
+    ASSERT_GE(ranked.size(), 2u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_GE(ranked[i - 1].estimate.throughput,
+                  ranked[i].estimate.throughput);
+        EXPECT_TRUE(ranked[i].estimate.feasible);
+    }
+    // Hybrid degenerates to GPU memory when everything fits, so either
+    // may rank first.
+    EXPECT_TRUE(ranked.front().system.placement ==
+                    EmbeddingPlacement::GpuMemory ||
+                ranked.front().system.placement ==
+                    EmbeddingPlacement::Hybrid);
+}
+
+TEST(Estimator, RankPlacementsOnZionPrefersHostMemory)
+{
+    Estimator est;
+    const auto m = model::DlrmConfig::m2Prod();
+    const auto ranked = est.rankPlacements(
+        m, cost::SystemConfig::zionSetup(EmbeddingPlacement::GpuMemory,
+                                         3200));
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked.front().system.placement,
+              EmbeddingPlacement::HostMemory);
+}
+
+TEST(Estimator, CpuPlatformOnlyRanksCpuLocal)
+{
+    Estimator est;
+    const auto ranked = est.rankPlacements(
+        model::DlrmConfig::m1Prod(),
+        cost::SystemConfig::cpuSetup(6, 8, 2));
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked.front().system.placement,
+              EmbeddingPlacement::CpuLocal);
+}
+
+TEST(Explorer, FeatureSweepCoversGrid)
+{
+    DesignSpaceExplorer explorer;
+    const auto rows = explorer.featureSweep({64, 256}, {4, 32});
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].label, "d64/s4");
+    EXPECT_EQ(rows[3].label, "d256/s32");
+    for (const auto& row : rows) {
+        EXPECT_GT(row.cpu.throughput, 0.0);
+        EXPECT_GT(row.gpu.throughput, 0.0);
+        EXPECT_GT(row.throughputRatio(), 1.0);
+        EXPECT_GT(row.efficiencyRatio(), 0.0);
+    }
+}
+
+TEST(Explorer, BatchSweepUsesPairedBatches)
+{
+    DesignSpaceExplorer explorer;
+    const auto rows = explorer.batchSweep(
+        256, 32, {50, 100, 200}, {400, 800, 1600});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].label, "cpu_b50/gpu_b400");
+    EXPECT_GT(rows[2].gpu.throughput, rows[0].gpu.throughput);
+}
+
+TEST(Explorer, HashSweepMarksInfeasibleFrontier)
+{
+    DesignSpaceExplorer explorer;
+    const auto rows = explorer.hashSweep(
+        256, 32, {10000, 1000000, 100000000});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_TRUE(rows[0].gpu.feasible);
+    EXPECT_FALSE(rows[2].gpu.feasible);
+    EXPECT_FALSE(rows[2].cpu.feasible);
+}
+
+TEST(Explorer, MlpSweepShowsCpuFallingFaster)
+{
+    DesignSpaceExplorer explorer;
+    const auto rows = explorer.mlpSweep(
+        256, 32, {{64, 2}, {512, 3}, {2048, 4}});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1].label, "512^3");
+    const double cpu_drop =
+        rows[0].cpu.throughput / rows[2].cpu.throughput;
+    const double gpu_drop =
+        rows[0].gpu.throughput / rows[2].gpu.throughput;
+    EXPECT_GT(cpu_drop, gpu_drop);
+}
+
+TEST(Explorer, TestSuiteDefaultsMatchSectionV)
+{
+    const TestSuiteParams params;
+    EXPECT_EQ(params.hash_size, 100000u);
+    EXPECT_EQ(params.cpu_batch, 200u);
+    EXPECT_EQ(params.gpu_batch, 1600u);
+    EXPECT_EQ(params.truncation, 32u);
+    const auto cpu = params.cpuSystem();
+    EXPECT_EQ(cpu.num_trainers, 1u);
+    EXPECT_EQ(cpu.num_sparse_ps, 1u);
+    EXPECT_EQ(cpu.num_dense_ps, 1u);
+}
+
+} // namespace
+} // namespace recsim::core

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for recsim::cost: the cache model, system-config accounting and
+ * the iteration cost model. The property tests here pin the paper's
+ * qualitative results: monotonicities of Figs 10-13, the Fig 14
+ * placement orderings, and the Table III relative-throughput bands.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cache_model.h"
+#include "cost/iteration_model.h"
+#include "cost/system_config.h"
+#include "model/config.h"
+
+namespace recsim::cost {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+IterationEstimate
+estimate(const model::DlrmConfig& m, const SystemConfig& s)
+{
+    return IterationModel(m, s).estimate();
+}
+
+TEST(CacheModel, CacheResidentGathersAreFast)
+{
+    EXPECT_DOUBLE_EQ(gatherEfficiency(1.0e6, 6.0e6, 0.3, 0.9), 0.9);
+}
+
+TEST(CacheModel, LargeWorkingSetsDecayToRandom)
+{
+    const double eff = gatherEfficiency(600.0e9, 6.0e6, 0.3, 0.9);
+    EXPECT_NEAR(eff, 0.3, 0.01);
+}
+
+TEST(CacheModel, MonotoneInWorkingSetSize)
+{
+    double prev = 1.0;
+    for (double bytes = 1e6; bytes < 1e12; bytes *= 4.0) {
+        const double eff = gatherEfficiency(bytes, 6.0e6, 0.3, 0.9);
+        EXPECT_LE(eff, prev + 1e-12);
+        prev = eff;
+    }
+}
+
+TEST(SystemConfig, GlobalBatchGpuCountsAllGpus)
+{
+    const auto sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    EXPECT_EQ(sys.globalBatch(), 1600u * 8);
+}
+
+TEST(SystemConfig, GlobalBatchCpuCountsTrainersAndWorkers)
+{
+    const auto sys = SystemConfig::cpuSetup(6, 8, 2, 200, 2);
+    EXPECT_EQ(sys.globalBatch(), 200u * 6 * 2);
+}
+
+TEST(SystemConfig, PowerAccountsForServers)
+{
+    const double cpu_server =
+        hw::Platform::dualSocketCpu().power_watts;
+    const auto cpu = SystemConfig::cpuSetup(6, 8, 2);
+    EXPECT_NEAR(cpu.totalPowerWatts(), (6 + 8 + 2) * cpu_server, 1e-6);
+
+    const auto gpu = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    EXPECT_NEAR(gpu.totalPowerWatts(), 7.3 * cpu_server, 1e-6);
+
+    const auto remote = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    EXPECT_NEAR(remote.totalPowerWatts(),
+                7.3 * cpu_server + 8 * cpu_server, 1e-6);
+}
+
+TEST(SystemConfig, SummaryMentionsPlacement)
+{
+    const auto sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::HostMemory, 800);
+    EXPECT_NE(sys.summary().find("host_memory"), std::string::npos);
+}
+
+TEST(IterationModel, InfeasiblePlacementReportsReason)
+{
+    const auto est = estimate(model::DlrmConfig::m3Prod(),
+                              SystemConfig::bigBasinSetup(
+                                  EmbeddingPlacement::GpuMemory, 800));
+    EXPECT_FALSE(est.feasible);
+    EXPECT_FALSE(est.infeasible_reason.empty());
+    EXPECT_EQ(est.throughput, 0.0);
+}
+
+TEST(IterationModel, UtilizationsWithinUnitInterval)
+{
+    for (const auto& est :
+         {estimate(model::DlrmConfig::m1Prod(),
+                   SystemConfig::cpuSetup(6, 8, 2)),
+          estimate(model::DlrmConfig::m1Prod(),
+                   SystemConfig::bigBasinSetup(
+                       EmbeddingPlacement::GpuMemory, 1600))}) {
+        for (const auto& [name, util] : est.util.asList()) {
+            EXPECT_GE(util, 0.0) << name;
+            EXPECT_LE(util, 1.0) << name;
+        }
+    }
+}
+
+TEST(IterationModel, BreakdownSumsNearIterationTime)
+{
+    const auto est = estimate(model::DlrmConfig::m1Prod(),
+                              SystemConfig::bigBasinSetup(
+                                  EmbeddingPlacement::GpuMemory, 1600));
+    double total = 0.0;
+    for (const auto& phase : est.breakdown)
+        total += phase.seconds;
+    EXPECT_NEAR(total, est.iteration_seconds,
+                est.iteration_seconds * 0.05);
+}
+
+TEST(IterationModel, ThroughputPositiveForFeasibleSetups)
+{
+    const auto est = estimate(model::DlrmConfig::m2Prod(),
+                              SystemConfig::cpuSetup(20, 16, 4));
+    EXPECT_TRUE(est.feasible);
+    EXPECT_GT(est.throughput, 0.0);
+    EXPECT_GT(est.power_watts, 0.0);
+    EXPECT_GT(est.perfPerWatt(), 0.0);
+    EXPECT_FALSE(est.bottleneck.empty());
+}
+
+// ---- Fig 10: feature-count monotonicity ---------------------------
+
+TEST(Fig10, ThroughputDecreasesWithDenseFeatures)
+{
+    double prev_cpu = 1e18, prev_gpu = 1e18;
+    for (std::size_t dense : {64, 256, 1024, 4096}) {
+        const auto m = model::DlrmConfig::testSuite(dense, 32, 100000);
+        const double cpu =
+            estimate(m, SystemConfig::cpuSetup(1, 1, 1, 200, 1))
+                .throughput;
+        const double gpu =
+            estimate(m, SystemConfig::bigBasinSetup(
+                            EmbeddingPlacement::GpuMemory, 1600))
+                .throughput;
+        EXPECT_LT(cpu, prev_cpu);
+        EXPECT_LT(gpu, prev_gpu);
+        prev_cpu = cpu;
+        prev_gpu = gpu;
+    }
+}
+
+TEST(Fig10, ThroughputDecreasesWithSparseFeatures)
+{
+    double prev_cpu = 1e18, prev_gpu = 1e18;
+    for (std::size_t sparse : {4, 16, 64, 128}) {
+        const auto m = model::DlrmConfig::testSuite(256, sparse, 100000);
+        const double cpu =
+            estimate(m, SystemConfig::cpuSetup(1, 1, 1, 200, 1))
+                .throughput;
+        const double gpu =
+            estimate(m, SystemConfig::bigBasinSetup(
+                            EmbeddingPlacement::GpuMemory, 1600))
+                .throughput;
+        EXPECT_LT(cpu, prev_cpu);
+        EXPECT_LT(gpu, prev_gpu);
+        prev_cpu = cpu;
+        prev_gpu = gpu;
+    }
+}
+
+TEST(Fig10, GpuThroughputHigherThanCpuEverywhere)
+{
+    for (std::size_t dense : {64, 1024, 4096}) {
+        for (std::size_t sparse : {4, 32, 128}) {
+            const auto m =
+                model::DlrmConfig::testSuite(dense, sparse, 100000);
+            const double cpu =
+                estimate(m, SystemConfig::cpuSetup(1, 1, 1, 200, 1))
+                    .throughput;
+            const double gpu =
+                estimate(m, SystemConfig::bigBasinSetup(
+                                EmbeddingPlacement::GpuMemory, 1600))
+                    .throughput;
+            EXPECT_GT(gpu, cpu)
+                << "dense " << dense << " sparse " << sparse;
+        }
+    }
+}
+
+// ---- Fig 11: batch-size scaling ------------------------------------
+
+TEST(Fig11, GpuThroughputRisesThenSaturates)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 32, 100000);
+    std::vector<double> thr;
+    for (std::size_t batch : {100, 400, 1600, 6400, 12800}) {
+        thr.push_back(estimate(m, SystemConfig::bigBasinSetup(
+                                      EmbeddingPlacement::GpuMemory,
+                                      batch))
+                          .throughput);
+    }
+    for (std::size_t i = 1; i < thr.size(); ++i)
+        EXPECT_GT(thr[i], thr[i - 1]);
+    // Saturation: the last doubling gains far less than the first.
+    const double first_gain = thr[1] / thr[0];
+    const double last_gain = thr.back() / thr[thr.size() - 2];
+    EXPECT_GT(first_gain, 1.5);
+    EXPECT_LT(last_gain, 1.15);
+}
+
+TEST(Fig11, CpuHasInteriorOptimalBatch)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 32, 100000);
+    std::vector<double> thr;
+    const std::vector<std::size_t> batches = {50, 200, 800, 3200, 12800};
+    for (std::size_t batch : batches) {
+        thr.push_back(estimate(m, SystemConfig::cpuSetup(1, 1, 1, batch,
+                                                         1))
+                          .throughput);
+    }
+    // Rises from tiny batches, then higher batches become detrimental.
+    EXPECT_GT(thr[1], thr[0]);
+    EXPECT_LT(thr.back(), *std::max_element(thr.begin(), thr.end()));
+}
+
+// ---- Fig 12: hash-size scaling -------------------------------------
+
+TEST(Fig12, CpuFlatUntilCapacityWall)
+{
+    const auto sys = SystemConfig::cpuSetup(1, 1, 1, 200, 1);
+    const double base = estimate(
+        model::DlrmConfig::testSuite(256, 32, 10000), sys).throughput;
+    for (uint64_t hash : {100000ULL, 1000000ULL, 10000000ULL}) {
+        const double thr = estimate(
+            model::DlrmConfig::testSuite(256, 32, hash), sys).throughput;
+        EXPECT_NEAR(thr, base, base * 0.1) << hash;
+    }
+    // 100M x 32 tables x 256 B = 819 GB: beyond one 256 GB PS.
+    const auto walled = estimate(
+        model::DlrmConfig::testSuite(256, 32, 100000000), sys);
+    EXPECT_FALSE(walled.feasible);
+}
+
+TEST(Fig12, GpuThroughputDropsWithHashSize)
+{
+    const auto sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    const double small = estimate(
+        model::DlrmConfig::testSuite(256, 32, 10000), sys).throughput;
+    const double large = estimate(
+        model::DlrmConfig::testSuite(256, 32, 1000000), sys).throughput;
+    EXPECT_LT(large, small);
+    // And the capacity cliff: 20M rows x 32 tables no longer fit the
+    // eight 16 GB GPUs.
+    const auto walled = estimate(
+        model::DlrmConfig::testSuite(256, 32, 20000000), sys);
+    EXPECT_FALSE(walled.feasible);
+}
+
+// ---- Fig 13: MLP-dimension scaling ---------------------------------
+
+TEST(Fig13, CpuDropsFasterThanGpuForLargeMlps)
+{
+    const auto small = model::DlrmConfig::testSuite(256, 32, 100000,
+                                                    64, 2);
+    const auto large = model::DlrmConfig::testSuite(256, 32, 100000,
+                                                    2048, 4);
+    const auto cpu_sys = SystemConfig::cpuSetup(1, 1, 1, 200, 1);
+    const auto gpu_sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    const double cpu_drop =
+        estimate(small, cpu_sys).throughput /
+        estimate(large, cpu_sys).throughput;
+    const double gpu_drop =
+        estimate(small, gpu_sys).throughput /
+        estimate(large, gpu_sys).throughput;
+    EXPECT_GT(cpu_drop, gpu_drop);
+    EXPECT_GT(cpu_drop, 4.0);
+}
+
+TEST(Fig13, ThroughputFlatForSmallMlps)
+{
+    const auto cpu_sys = SystemConfig::cpuSetup(1, 1, 1, 200, 1);
+    const double w64 = estimate(
+        model::DlrmConfig::testSuite(256, 32, 100000, 64, 3),
+        cpu_sys).throughput;
+    const double w256 = estimate(
+        model::DlrmConfig::testSuite(256, 32, 100000, 256, 3),
+        cpu_sys).throughput;
+    // "We do not see the throughput decrease significantly until the
+    // MLP dimension grows larger than 256^3."
+    EXPECT_GT(w256 / w64, 0.85);
+}
+
+// ---- Fig 14: placement orderings ------------------------------------
+
+TEST(Fig14, BigBasinBestPlacementIsGpuMemory)
+{
+    const auto m2 = model::DlrmConfig::m2Prod();
+    const double gpu_mem = estimate(
+        m2, SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                        3200)).throughput;
+    const double host = estimate(
+        m2, SystemConfig::bigBasinSetup(EmbeddingPlacement::HostMemory,
+                                        3200)).throughput;
+    const double remote = estimate(
+        m2, SystemConfig::bigBasinSetup(EmbeddingPlacement::RemotePs,
+                                        3200, 8)).throughput;
+    EXPECT_GT(gpu_mem, host);
+    EXPECT_GT(host, remote);
+    // "Throughput was four times lower" for host placement.
+    EXPECT_GT(gpu_mem / host, 2.0);
+    EXPECT_LT(gpu_mem / host, 8.0);
+}
+
+TEST(Fig14, ZionBestPlacementIsHostMemory)
+{
+    const auto m2 = model::DlrmConfig::m2Prod();
+    const double gpu_mem = estimate(
+        m2, SystemConfig::zionSetup(EmbeddingPlacement::GpuMemory,
+                                    3200)).throughput;
+    const double host = estimate(
+        m2, SystemConfig::zionSetup(EmbeddingPlacement::HostMemory,
+                                    3200)).throughput;
+    const double remote = estimate(
+        m2, SystemConfig::zionSetup(EmbeddingPlacement::RemotePs,
+                                    3200, 8)).throughput;
+    EXPECT_GT(host, gpu_mem);
+    EXPECT_GT(host, remote);
+}
+
+TEST(Fig14, ZionRemoteSlightlyBetterThanBigBasinRemote)
+{
+    const auto m2 = model::DlrmConfig::m2Prod();
+    const double bb = estimate(
+        m2, SystemConfig::bigBasinSetup(EmbeddingPlacement::RemotePs,
+                                        3200, 8)).throughput;
+    const double zion = estimate(
+        m2, SystemConfig::zionSetup(EmbeddingPlacement::RemotePs,
+                                    3200, 8)).throughput;
+    EXPECT_GT(zion, bb);
+    EXPECT_LT(zion / bb, 4.0);
+}
+
+// ---- Table III: relative throughput bands ---------------------------
+
+TEST(TableIII, M1GpuWinsAbout2x)
+{
+    const auto m1 = model::DlrmConfig::m1Prod();
+    const double cpu = estimate(
+        m1, SystemConfig::cpuSetup(6, 8, 2, 200, 1)).throughput;
+    const double gpu = estimate(
+        m1, SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                        1600)).throughput;
+    const double ratio = gpu / cpu;
+    // Paper: 2.25x.
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 3.5);
+}
+
+TEST(TableIII, M2GpuCloseToCpu)
+{
+    const auto m2 = model::DlrmConfig::m2Prod();
+    const double cpu = estimate(
+        m2, SystemConfig::cpuSetup(20, 16, 4, 200, 1)).throughput;
+    const double gpu = estimate(
+        m2, SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                        3200)).throughput;
+    const double ratio = gpu / cpu;
+    // Paper: 0.85x ("close performance").
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 1.3);
+}
+
+TEST(TableIII, M3GpuLosesToCpu)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    const double cpu = estimate(
+        m3, SystemConfig::cpuSetup(8, 8, 2, 200, 4)).throughput;
+    auto gpu_sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    gpu_sys.hogwild_threads = 4;
+    const double gpu = estimate(m3, gpu_sys).throughput;
+    const double ratio = gpu / cpu;
+    // Paper: 0.67x.
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 0.95);
+}
+
+TEST(TableIII, PowerEfficiencyOrderingHolds)
+{
+    // eff(M1) > eff(M3); M3's GPU setup is less power-efficient than
+    // its CPU setup (paper: 4.3x / 2.8x / 0.43x).
+    const auto m1 = model::DlrmConfig::m1Prod();
+    const auto m3 = model::DlrmConfig::m3Prod();
+
+    const auto m1_cpu = estimate(
+        m1, SystemConfig::cpuSetup(6, 8, 2, 200, 1));
+    const auto m1_gpu = estimate(
+        m1, SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                        1600));
+    const double m1_eff = m1_gpu.perfPerWatt() / m1_cpu.perfPerWatt();
+
+    const auto m3_cpu = estimate(
+        m3, SystemConfig::cpuSetup(8, 8, 2, 200, 4));
+    auto m3_sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    m3_sys.hogwild_threads = 4;
+    const auto m3_gpu = estimate(m3, m3_sys);
+    const double m3_eff = m3_gpu.perfPerWatt() / m3_cpu.perfPerWatt();
+
+    EXPECT_GT(m1_eff, 2.0);
+    EXPECT_LT(m3_eff, 1.0);
+    EXPECT_GT(m1_eff, m3_eff);
+}
+
+// ---- Misc model behaviours ------------------------------------------
+
+TEST(IterationModel, HogwildOverlapHelpsRemotePlacement)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    auto sys = SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    sys.hogwild_threads = 1;
+    const double serial = estimate(m3, sys).throughput;
+    sys.hogwild_threads = 4;
+    const double overlapped = estimate(m3, sys).throughput;
+    EXPECT_GT(overlapped, serial);
+}
+
+TEST(IterationModel, MoreTrainersScaleUntilPsBound)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    const double t4 = estimate(
+        m3, SystemConfig::cpuSetup(4, 8, 2, 200, 4)).throughput;
+    const double t8 = estimate(
+        m3, SystemConfig::cpuSetup(8, 8, 2, 200, 4)).throughput;
+    const double t32 = estimate(
+        m3, SystemConfig::cpuSetup(32, 8, 2, 200, 4)).throughput;
+    EXPECT_GE(t8, t4);
+    // Eventually the sparse PS caps aggregate throughput.
+    EXPECT_LT(t32, 4.0 * t8);
+    const auto est32 = estimate(
+        m3, SystemConfig::cpuSetup(32, 8, 2, 200, 4));
+    EXPECT_EQ(est32.bottleneck, "sparse_ps");
+}
+
+TEST(IterationModel, EasgdSyncPeriodReducesDensePsLoad)
+{
+    const auto m2 = model::DlrmConfig::m2Prod();
+    auto sys = SystemConfig::cpuSetup(20, 16, 1, 200, 1);
+    sys.easgd_sync_period = 1;
+    const auto frequent = estimate(m2, sys);
+    sys.easgd_sync_period = 64;
+    const auto rare = estimate(m2, sys);
+    EXPECT_GE(rare.throughput, frequent.throughput);
+    EXPECT_LE(rare.util.dense_ps_network,
+              frequent.util.dense_ps_network);
+}
+
+} // namespace
+} // namespace recsim::cost

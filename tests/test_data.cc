@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for recsim::data: table-population generation (Fig 6
+ * targets), synthetic CTR dataset determinism and structure, teacher
+ * labeling.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/spec.h"
+#include "data/teacher.h"
+#include "stats/sample_set.h"
+#include "util/random.h"
+
+namespace recsim::data {
+namespace {
+
+TablePopulationParams
+m1LikeParams()
+{
+    TablePopulationParams params;
+    params.num_tables = 30;
+    params.mean_hash_size = 5.7e6;
+    params.mean_length = 28.0;
+    return params;
+}
+
+TEST(SparseFeatureSpec, EffectiveMeanLengthTruncates)
+{
+    SparseFeatureSpec spec;
+    spec.mean_length = 50.0;
+    spec.truncation = 32;
+    EXPECT_DOUBLE_EQ(spec.effectiveMeanLength(), 32.0);
+    spec.truncation = 0;
+    EXPECT_DOUBLE_EQ(spec.effectiveMeanLength(), 50.0);
+}
+
+TEST(SparseFeatureSpec, RawSpaceDefaultsToFourTimesHash)
+{
+    SparseFeatureSpec spec;
+    spec.hash_size = 100;
+    EXPECT_EQ(spec.rawSpace(), 400u);
+    spec.raw_id_space = 1000;
+    EXPECT_EQ(spec.rawSpace(), 1000u);
+}
+
+TEST(TablePopulation, HitsTargetMeans)
+{
+    util::Rng rng(1);
+    const auto specs = generateTablePopulation(m1LikeParams(), rng);
+    ASSERT_EQ(specs.size(), 30u);
+    EXPECT_NEAR(meanHashSize(specs), 5.7e6, 5.7e6 * 0.05);
+    EXPECT_NEAR(meanFeatureLength(specs), 28.0, 28.0 * 0.05);
+}
+
+TEST(TablePopulation, RespectsClipBounds)
+{
+    util::Rng rng(2);
+    auto params = m1LikeParams();
+    params.num_tables = 200;
+    const auto specs = generateTablePopulation(params, rng);
+    for (const auto& s : specs) {
+        EXPECT_GE(s.hash_size, params.min_hash);
+        EXPECT_LE(s.hash_size, params.max_hash);
+        EXPECT_GE(s.mean_length, params.min_length);
+        EXPECT_LE(s.mean_length, params.max_length);
+    }
+}
+
+TEST(TablePopulation, HashSizesAreDiverse)
+{
+    util::Rng rng(3);
+    auto params = m1LikeParams();
+    params.num_tables = 100;
+    const auto specs = generateTablePopulation(params, rng);
+    std::set<uint64_t> distinct;
+    uint64_t lo = params.max_hash, hi = 0;
+    for (const auto& s : specs) {
+        distinct.insert(s.hash_size);
+        lo = std::min(lo, s.hash_size);
+        hi = std::max(hi, s.hash_size);
+    }
+    EXPECT_GT(distinct.size(), 50u);
+    // Fig 6: hash sizes span orders of magnitude.
+    EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 100.0);
+}
+
+TEST(TablePopulation, CorrelationSignRespected)
+{
+    util::Rng rng(4);
+    auto params = m1LikeParams();
+    params.num_tables = 400;
+    params.hash_length_correlation = -0.6;
+    const auto specs = generateTablePopulation(params, rng);
+    std::vector<double> hashes, lengths;
+    for (const auto& s : specs) {
+        hashes.push_back(std::log(static_cast<double>(s.hash_size)));
+        lengths.push_back(std::log(s.mean_length));
+    }
+    EXPECT_LT(stats::spearman(hashes, lengths), -0.2);
+}
+
+TEST(TablePopulation, DeterministicForSeed)
+{
+    util::Rng a(5), b(5);
+    const auto s1 = generateTablePopulation(m1LikeParams(), a);
+    const auto s2 = generateTablePopulation(m1LikeParams(), b);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1[i].hash_size, s2[i].hash_size);
+        EXPECT_DOUBLE_EQ(s1[i].mean_length, s2[i].mean_length);
+    }
+}
+
+TEST(TablePopulation, TotalBytesFormula)
+{
+    std::vector<SparseFeatureSpec> specs(2);
+    specs[0].hash_size = 100;
+    specs[1].hash_size = 300;
+    EXPECT_DOUBLE_EQ(totalEmbeddingBytes(specs, 64), 400.0 * 64 * 4);
+}
+
+DatasetConfig
+smallConfig(uint64_t seed = 42)
+{
+    DatasetConfig cfg;
+    cfg.num_dense = 8;
+    cfg.seed = seed;
+    for (int i = 0; i < 3; ++i) {
+        SparseFeatureSpec spec;
+        spec.name = "f" + std::to_string(i);
+        spec.hash_size = 50;
+        spec.mean_length = 4.0;
+        spec.truncation = 8;
+        cfg.sparse.push_back(spec);
+    }
+    return cfg;
+}
+
+TEST(Dataset, BatchShapesConsistent)
+{
+    SyntheticCtrDataset ds(smallConfig());
+    const MiniBatch batch = ds.nextBatch(16);
+    EXPECT_EQ(batch.batchSize(), 16u);
+    EXPECT_EQ(batch.dense.rows(), 16u);
+    EXPECT_EQ(batch.dense.cols(), 8u);
+    ASSERT_EQ(batch.sparse.size(), 3u);
+    for (const auto& sb : batch.sparse) {
+        ASSERT_EQ(sb.offsets.size(), 17u);
+        EXPECT_EQ(sb.offsets.front(), 0u);
+        EXPECT_EQ(sb.offsets.back(), sb.indices.size());
+        for (std::size_t i = 1; i < sb.offsets.size(); ++i)
+            EXPECT_LE(sb.offsets[i - 1], sb.offsets[i]);
+    }
+    EXPECT_GT(batch.totalLookups(), 0u);
+}
+
+TEST(Dataset, LabelsAreBinary)
+{
+    SyntheticCtrDataset ds(smallConfig());
+    const MiniBatch batch = ds.nextBatch(64);
+    for (float label : batch.labels)
+        EXPECT_TRUE(label == 0.0f || label == 1.0f);
+}
+
+TEST(Dataset, TruncationRespected)
+{
+    auto cfg = smallConfig();
+    cfg.sparse[0].mean_length = 30.0;
+    cfg.sparse[0].truncation = 5;
+    SyntheticCtrDataset ds(cfg);
+    const MiniBatch batch = ds.nextBatch(64);
+    const auto& sb = batch.sparse[0];
+    for (std::size_t i = 1; i < sb.offsets.size(); ++i)
+        EXPECT_LE(sb.offsets[i] - sb.offsets[i - 1], 5u);
+}
+
+TEST(Dataset, MeanLengthApproximatelyHonored)
+{
+    auto cfg = smallConfig();
+    cfg.sparse[1].mean_length = 6.0;
+    cfg.sparse[1].truncation = 0;
+    SyntheticCtrDataset ds(cfg);
+    const MiniBatch batch = ds.nextBatch(2000);
+    const auto& sb = batch.sparse[1];
+    const double mean = static_cast<double>(sb.indices.size()) / 2000.0;
+    EXPECT_NEAR(mean, 6.0, 0.5);
+}
+
+TEST(Dataset, DeterministicForSeed)
+{
+    SyntheticCtrDataset a(smallConfig(7));
+    SyntheticCtrDataset b(smallConfig(7));
+    const MiniBatch ba = a.nextBatch(8);
+    const MiniBatch bb = b.nextBatch(8);
+    EXPECT_EQ(ba.labels, bb.labels);
+    EXPECT_EQ(ba.sparse[0].indices, bb.sparse[0].indices);
+    for (std::size_t i = 0; i < ba.dense.size(); ++i)
+        EXPECT_EQ(ba.dense.data()[i], bb.dense.data()[i]);
+}
+
+TEST(Dataset, DifferentSeedsDiffer)
+{
+    SyntheticCtrDataset a(smallConfig(7));
+    SyntheticCtrDataset b(smallConfig(8));
+    const MiniBatch ba = a.nextBatch(32);
+    const MiniBatch bb = b.nextBatch(32);
+    EXPECT_NE(ba.sparse[0].indices, bb.sparse[0].indices);
+}
+
+TEST(Dataset, MaterializedEpochBatchesAreStable)
+{
+    SyntheticCtrDataset ds(smallConfig());
+    ds.materialize(100);
+    EXPECT_EQ(ds.materializedSize(), 100u);
+    const MiniBatch first = ds.epochBatch(0, 10);
+    const MiniBatch again = ds.epochBatch(0, 10);
+    EXPECT_EQ(first.labels, again.labels);
+    EXPECT_EQ(first.sparse[2].indices, again.sparse[2].indices);
+}
+
+TEST(Dataset, EpochBatchWrapsAround)
+{
+    SyntheticCtrDataset ds(smallConfig());
+    ds.materialize(10);
+    const MiniBatch wrapped = ds.epochBatch(8, 4);
+    const MiniBatch direct0 = ds.epochBatch(0, 2);
+    EXPECT_EQ(wrapped.batchSize(), 4u);
+    // Examples 2 and 3 of the wrapped batch are examples 0 and 1.
+    EXPECT_EQ(wrapped.labels[2], direct0.labels[0]);
+    EXPECT_EQ(wrapped.labels[3], direct0.labels[1]);
+}
+
+TEST(Dataset, BaseCtrInOpenInterval)
+{
+    SyntheticCtrDataset ds(smallConfig());
+    ds.materialize(2000);
+    const double ctr = ds.baseCtr();
+    EXPECT_GT(ctr, 0.02);
+    EXPECT_LT(ctr, 0.98);
+}
+
+TEST(Dataset, ZipfPopularitySkewsIndices)
+{
+    auto cfg = smallConfig();
+    cfg.sparse[0].hash_size = 10000;
+    cfg.sparse[0].zipf_exponent = 1.05;
+    SyntheticCtrDataset ds(cfg);
+    const MiniBatch batch = ds.nextBatch(3000);
+    const auto& sb = batch.sparse[0];
+    std::size_t head = 0;
+    for (uint64_t idx : sb.indices)
+        head += idx < cfg.sparse[0].rawSpace() / 100;
+    // Top 1% of raw ids should receive far more than 1% of lookups.
+    EXPECT_GT(static_cast<double>(head) /
+                  static_cast<double>(sb.indices.size()),
+              0.2);
+}
+
+TEST(Teacher, DeterministicProbabilities)
+{
+    auto cfg = smallConfig();
+    util::Rng r1(3), r2(3);
+    TeacherModel t1(cfg.num_dense, cfg.sparse, r1, 0.0);
+    TeacherModel t2(cfg.num_dense, cfg.sparse, r2, 0.0);
+    std::vector<float> dense(cfg.num_dense, 0.5f);
+    std::vector<std::vector<uint64_t>> sparse = {{1, 2}, {3}, {}};
+    util::Rng noise(1);
+    EXPECT_DOUBLE_EQ(t1.clickProbability(dense, sparse, noise),
+                     t2.clickProbability(dense, sparse, noise));
+}
+
+TEST(Teacher, ProbabilityInUnitInterval)
+{
+    auto cfg = smallConfig();
+    util::Rng rng(4);
+    TeacherModel teacher(cfg.num_dense, cfg.sparse, rng);
+    util::Rng noise(2);
+    util::Rng gen(5);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<float> dense(cfg.num_dense);
+        for (auto& v : dense)
+            v = static_cast<float>(gen.normal(0.0, 3.0));
+        std::vector<std::vector<uint64_t>> sparse = {
+            {gen.uniformInt(200)}, {gen.uniformInt(200)}, {}};
+        const double p = teacher.clickProbability(dense, sparse, noise);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Teacher, SparseFeaturesInfluenceScore)
+{
+    auto cfg = smallConfig();
+    cfg.sparse[0].hash_size = 1000;
+    util::Rng rng(6);
+    TeacherModel teacher(cfg.num_dense, cfg.sparse, rng, 0.0);
+    std::vector<float> dense(cfg.num_dense, 0.0f);
+    util::Rng noise(1);
+    // Different activated IDs should (generically) move the logit.
+    const double p1 = teacher.clickProbability(
+        dense, {{1}, {}, {}}, noise);
+    const double p2 = teacher.clickProbability(
+        dense, {{999}, {}, {}}, noise);
+    EXPECT_NE(p1, p2);
+}
+
+} // namespace
+} // namespace recsim::data

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the extension features: quantized embedding tables, the
+ * analytic Zipf cache model, trainer-side hot-row caching in the cost
+ * model, row-wise auto-splitting of oversized tables, and multi-node
+ * GPU scale-out.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/iteration_model.h"
+#include "model/config.h"
+#include "nn/quantized_embedding.h"
+#include "placement/partitioner.h"
+#include "placement/placement.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+// ---- Zipf top-k mass (analytic cache hit rate) ----------------------
+
+TEST(ZipfTopMass, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(util::zipfTopMass(100, 1.05, 0), 0.0);
+    EXPECT_DOUBLE_EQ(util::zipfTopMass(100, 1.05, 100), 1.0);
+    EXPECT_DOUBLE_EQ(util::zipfTopMass(100, 1.05, 200), 1.0);
+}
+
+TEST(ZipfTopMass, UniformIsProportional)
+{
+    EXPECT_NEAR(util::zipfTopMass(1000, 0.0, 100), 0.1, 1e-12);
+}
+
+TEST(ZipfTopMass, MonotoneInK)
+{
+    double prev = 0.0;
+    for (uint64_t k : {1, 10, 100, 1000, 10000}) {
+        const double mass = util::zipfTopMass(100000, 1.05, k);
+        EXPECT_GT(mass, prev);
+        prev = mass;
+    }
+}
+
+TEST(ZipfTopMass, SkewConcentratesMass)
+{
+    // With s > 1, 1% of the indices carries far more than 1% of mass.
+    EXPECT_GT(util::zipfTopMass(1000000, 1.05, 10000), 0.5);
+    EXPECT_LT(util::zipfTopMass(1000000, 0.5, 10000), 0.2);
+}
+
+TEST(ZipfTopMass, MatchesEmpiricalSampler)
+{
+    util::Rng rng(1);
+    const uint64_t n = 10000, k = 100;
+    util::ZipfSampler zipf(n, 1.05);
+    std::size_t hits = 0;
+    const int samples = 200000;
+    for (int i = 0; i < samples; ++i)
+        hits += zipf(rng) < k;
+    const double empirical = static_cast<double>(hits) / samples;
+    EXPECT_NEAR(util::zipfTopMass(n, 1.05, k), empirical, 0.02);
+}
+
+// ---- Quantized embeddings ------------------------------------------
+
+TEST(Quantization, BytesPerElement)
+{
+    EXPECT_DOUBLE_EQ(nn::bytesPerElement(nn::EmbeddingPrecision::Fp32),
+                     4.0);
+    EXPECT_DOUBLE_EQ(nn::bytesPerElement(nn::EmbeddingPrecision::Fp16),
+                     2.0);
+    EXPECT_DOUBLE_EQ(nn::bytesPerElement(nn::EmbeddingPrecision::Int8),
+                     1.0);
+    EXPECT_DOUBLE_EQ(nn::bytesPerElement(nn::EmbeddingPrecision::Int4),
+                     0.5);
+}
+
+TEST(Quantization, Fp16RoundTripExactForRepresentable)
+{
+    EXPECT_EQ(nn::roundToFp16(0.5f), 0.5f);
+    EXPECT_EQ(nn::roundToFp16(-2.0f), -2.0f);
+    EXPECT_EQ(nn::roundToFp16(0.0f), 0.0f);
+}
+
+TEST(Quantization, Fp16ErrorBounded)
+{
+    util::Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const float r = nn::roundToFp16(v);
+        // fp16 has a 10-bit mantissa: relative error < 2^-10.
+        EXPECT_NEAR(r, v, std::max(1e-4, std::abs(v) / 1024.0));
+    }
+}
+
+class QuantizedTableTest
+    : public ::testing::TestWithParam<nn::EmbeddingPrecision>
+{
+};
+
+TEST_P(QuantizedTableTest, RowErrorsSmall)
+{
+    util::Rng rng(3);
+    nn::EmbeddingBag bag(64, 8, rng);
+    nn::QuantizedEmbeddingBag q(bag, GetParam());
+    double worst = 0.0;
+    for (std::size_t r = 0; r < bag.hashSize(); ++r)
+        worst = std::max(worst, q.rowError(bag, r));
+    // Row values are in [-1/sqrt(8), 1/sqrt(8)] ~ [-0.35, 0.35].
+    switch (GetParam()) {
+      case nn::EmbeddingPrecision::Fp32:
+        EXPECT_EQ(worst, 0.0);
+        break;
+      case nn::EmbeddingPrecision::Fp16:
+        EXPECT_LT(worst, 1e-3);
+        break;
+      case nn::EmbeddingPrecision::Int8:
+        EXPECT_LT(worst, 0.35 * 2.0 / 255.0 * 1.01);
+        break;
+      case nn::EmbeddingPrecision::Int4:
+        EXPECT_LT(worst, 0.35 * 2.0 / 15.0 * 1.01);
+        break;
+    }
+}
+
+TEST_P(QuantizedTableTest, PooledForwardApproximatesFp32)
+{
+    util::Rng rng(4);
+    nn::EmbeddingBag bag(128, 16, rng);
+    nn::QuantizedEmbeddingBag q(bag, GetParam());
+
+    nn::SparseBatch batch;
+    batch.offsets = {0, 3, 5};
+    batch.indices = {1, 7, 7, 42, 999};  // includes hash wrap
+
+    tensor::Tensor exact, approx;
+    bag.forward(batch, exact);
+    q.forward(batch, approx);
+    ASSERT_TRUE(approx.sameShape(exact));
+    const double tolerance =
+        GetParam() == nn::EmbeddingPrecision::Int4 ? 0.15 : 0.02;
+    for (std::size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(approx.data()[i], exact.data()[i], tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Precisions, QuantizedTableTest,
+    ::testing::Values(nn::EmbeddingPrecision::Fp32,
+                      nn::EmbeddingPrecision::Fp16,
+                      nn::EmbeddingPrecision::Int8,
+                      nn::EmbeddingPrecision::Int4));
+
+TEST(Quantization, ParamBytesShrink)
+{
+    util::Rng rng(5);
+    nn::EmbeddingBag bag(1000, 64, rng);
+    const auto fp32 = nn::QuantizedEmbeddingBag(
+        bag, nn::EmbeddingPrecision::Fp32).paramBytes();
+    const auto fp16 = nn::QuantizedEmbeddingBag(
+        bag, nn::EmbeddingPrecision::Fp16).paramBytes();
+    const auto int8 = nn::QuantizedEmbeddingBag(
+        bag, nn::EmbeddingPrecision::Int8).paramBytes();
+    EXPECT_EQ(fp32, bag.paramBytes());
+    EXPECT_EQ(fp16, fp32 / 2);
+    EXPECT_LT(int8, fp32 / 3);
+}
+
+TEST(Quantization, RequantizeTracksUpdatedMaster)
+{
+    util::Rng rng(6);
+    nn::EmbeddingBag bag(16, 4, rng);
+    nn::QuantizedEmbeddingBag q(bag, nn::EmbeddingPrecision::Int8);
+    bag.table.fill(0.75f);
+    q.quantizeFrom(bag);
+    std::vector<float> row(4);
+    q.dequantizeRow(3, row.data());
+    for (float v : row)
+        EXPECT_NEAR(v, 0.75f, 0.01f);
+}
+
+// ---- Cost-model quantization knob -----------------------------------
+
+TEST(CostQuantization, CompressionMakesM3FitBigBasin)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 800);
+    sys.emb_bytes_per_element = 4.0;
+    EXPECT_FALSE(cost::IterationModel(m3, sys).estimate().feasible);
+    sys.emb_bytes_per_element = 2.0;
+    const auto fp16 = cost::IterationModel(m3, sys).estimate();
+    EXPECT_TRUE(fp16.feasible);
+    EXPECT_GT(fp16.throughput, 0.0);
+}
+
+TEST(CostQuantization, CompressionSpeedsUpGathers)
+{
+    const auto m1 = model::DlrmConfig::m1Prod();
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    const double fp32 =
+        cost::IterationModel(m1, sys).estimate().throughput;
+    sys.emb_bytes_per_element = 1.0;
+    const double int8 =
+        cost::IterationModel(m1, sys).estimate().throughput;
+    EXPECT_GT(int8, fp32);
+}
+
+// ---- Hot-row cache ---------------------------------------------------
+
+TEST(RemoteCache, HitFractionZeroWithoutCache)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    cost::IterationModel im(m3, sys);
+    EXPECT_DOUBLE_EQ(im.remoteCacheHitFraction(), 0.0);
+}
+
+TEST(RemoteCache, HitFractionGrowsWithCache)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    double prev = 0.0;
+    for (double gb : {0.5, 2.0, 8.0, 32.0}) {
+        auto sys = cost::SystemConfig::bigBasinSetup(
+            EmbeddingPlacement::RemotePs, 800, 8);
+        sys.remote_cache_bytes = gb * 1e9;
+        cost::IterationModel im(m3, sys);
+        const double hit = im.remoteCacheHitFraction();
+        EXPECT_GT(hit, prev);
+        EXPECT_LE(hit, 1.0);
+        prev = hit;
+    }
+    EXPECT_GT(prev, 0.5);
+}
+
+TEST(RemoteCache, CacheImprovesRemoteThroughput)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    sys.hogwild_threads = 4;
+    const double cold =
+        cost::IterationModel(m3, sys).estimate().throughput;
+    sys.remote_cache_bytes = 4e9;
+    const double warm =
+        cost::IterationModel(m3, sys).estimate().throughput;
+    EXPECT_GT(warm, cold * 1.5);
+}
+
+TEST(RemoteCache, SkewBeatsUniformAccess)
+{
+    // The cache still fully holds small tables under uniform access,
+    // but Zipf skew lets it capture the hot head of the big ones too.
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    sys.remote_cache_bytes = 4e9;
+
+    auto uniform = model::DlrmConfig::m3Prod();
+    for (auto& spec : uniform.sparse)
+        spec.zipf_exponent = 0.0;
+    const double u = cost::IterationModel(uniform, sys)
+        .remoteCacheHitFraction();
+
+    const double z = cost::IterationModel(model::DlrmConfig::m3Prod(),
+                                          sys)
+        .remoteCacheHitFraction();
+    EXPECT_GT(z, u + 0.05);
+}
+
+// ---- Row-wise auto-split ---------------------------------------------
+
+TEST(RowWiseSplit, OversizedTablesChunkToFit)
+{
+    placement::TableCosts costs(
+        {{{"big", 1000, 1.0, 1.0, 0, 0}}}, 16);
+    costs.bytes[0] = 100.0;
+    costs.access_bytes[0] = 10.0;
+    const auto chunked = placement::rowWiseSplitOversized(costs, 30.0);
+    ASSERT_EQ(chunked.costs.bytes.size(), 4u);
+    for (double b : chunked.costs.bytes)
+        EXPECT_LE(b, 30.0);
+    double total = 0.0, access = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        total += chunked.costs.bytes[i];
+        access += chunked.costs.access_bytes[i];
+        EXPECT_EQ(chunked.chunk_of[i], 0u);
+    }
+    EXPECT_DOUBLE_EQ(total, 100.0);
+    EXPECT_DOUBLE_EQ(access, 10.0);
+}
+
+TEST(RowWiseSplit, SmallTablesUntouched)
+{
+    placement::TableCosts costs(
+        {{{"a", 10, 1.0, 1.0, 0, 0}, {"b", 20, 1.0, 1.0, 0, 0}}}, 16);
+    const auto chunked = placement::rowWiseSplitOversized(costs, 1e9);
+    EXPECT_EQ(chunked.costs.bytes.size(), 2u);
+    EXPECT_EQ(chunked.chunk_of[1], 1u);
+}
+
+TEST(RowWiseSplit, MonsterTableBecomesPlaceable)
+{
+    // One table 8x a GPU's budget: unplaceable without splitting,
+    // placeable across 8+ GPUs with it.
+    model::DlrmConfig cfg = model::DlrmConfig::testSuite(64, 1, 1);
+    cfg.sparse[0].hash_size = 300000000;  // ~96 GB resident at d=64
+    const auto plan = placement::planPlacement(
+        EmbeddingPlacement::GpuMemory, cfg, hw::Platform::bigBasin());
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GT(plan.gpus_used, 4u);
+}
+
+// ---- Multi-node scale-out --------------------------------------------
+
+TEST(ScaleOut, MultiTerabyteModelNeedsMultipleZions)
+{
+    auto big = model::DlrmConfig::m3Prod();
+    for (auto& spec : big.sparse)
+        spec.hash_size *= 8;  // ~1 TB
+    auto zion = cost::SystemConfig::zionSetup(
+        EmbeddingPlacement::HostMemory, 800);
+    zion.num_trainers = 1;
+    EXPECT_FALSE(cost::IterationModel(big, zion).estimate().feasible);
+    zion.num_trainers = 2;
+    EXPECT_TRUE(cost::IterationModel(big, zion).estimate().feasible);
+}
+
+TEST(ScaleOut, ZionGangScalesNearLinearly)
+{
+    auto big = model::DlrmConfig::m3Prod();
+    for (auto& spec : big.sparse)
+        spec.hash_size *= 8;
+    auto sys = cost::SystemConfig::zionSetup(
+        EmbeddingPlacement::HostMemory, 800);
+    sys.num_trainers = 2;
+    const double two =
+        cost::IterationModel(big, sys).estimate().throughput;
+    sys.num_trainers = 8;
+    const double eight =
+        cost::IterationModel(big, sys).estimate().throughput;
+    EXPECT_GT(eight, two * 3.0);
+    EXPECT_LE(eight, two * 4.0 + 1e-6);
+}
+
+TEST(ScaleOut, PowerScalesWithNodes)
+{
+    auto sys = cost::SystemConfig::zionSetup(
+        EmbeddingPlacement::HostMemory, 800);
+    sys.num_trainers = 4;
+    EXPECT_NEAR(sys.totalPowerWatts(),
+                4.0 * hw::Platform::zionPrototype().power_watts, 1e-6);
+}
+
+TEST(ScaleOut, GlobalBatchCountsNodes)
+{
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 800);
+    sys.num_trainers = 4;
+    EXPECT_EQ(sys.globalBatch(), 800u * 8 * 4);
+}
+
+TEST(ScaleOut, SingleNodeUnchangedByExtension)
+{
+    // num_trainers == 1 must reproduce the paper-configuration numbers.
+    const auto m1 = model::DlrmConfig::m1Prod();
+    auto sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    const auto one = cost::IterationModel(m1, sys).estimate();
+    sys.num_trainers = 1;
+    const auto still_one = cost::IterationModel(m1, sys).estimate();
+    EXPECT_DOUBLE_EQ(one.throughput, still_one.throughput);
+}
+
+TEST(ScaleOut, MultiBigBasinPaysInterNodeAllToAll)
+{
+    // Same aggregate GPU count: 2 Big Basins sharding a model that fits
+    // on one node must not beat 1 Big Basin per-node efficiency.
+    const auto m1 = model::DlrmConfig::m1Prod();
+    auto one = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 1600);
+    const double single =
+        cost::IterationModel(m1, one).estimate().throughput;
+    auto two = one;
+    two.num_trainers = 2;
+    const double dual =
+        cost::IterationModel(m1, two).estimate().throughput;
+    EXPECT_GT(dual, single);            // more hardware helps...
+    EXPECT_LT(dual, 2.0 * single * 1.01);  // ...at sub-linear scaling
+}
+
+} // namespace
+} // namespace recsim

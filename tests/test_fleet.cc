@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the fleet studies behind Figs 2, 5 and 9.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "fleet/fleet_sim.h"
+#include "fleet/workload.h"
+#include "util/random.h"
+
+namespace recsim::fleet {
+namespace {
+
+TEST(Workloads, RecommendationTrainsMostFrequently)
+{
+    const auto classes = defaultWorkloads();
+    double rec = 0.0, other = 0.0;
+    for (const auto& cls : classes) {
+        if (cls.family == ModelFamily::Recommendation)
+            rec = std::max(rec, cls.runs_per_day);
+        else
+            other = std::max(other, cls.runs_per_day);
+    }
+    // Fig 2: recommendation is the most frequently trained by far.
+    EXPECT_GT(rec, 5.0 * other);
+}
+
+TEST(Workloads, SampleCountsMatchRates)
+{
+    util::Rng rng(1);
+    const auto classes = defaultWorkloads();
+    const double days = 30.0;
+    const auto runs = sampleFleet(classes, days, rng);
+    std::map<std::string, int> counts;
+    for (const auto& run : runs)
+        ++counts[run.workload];
+    for (const auto& cls : classes) {
+        const double expected = cls.runs_per_day * days;
+        EXPECT_NEAR(counts[cls.name], expected,
+                    5.0 * std::sqrt(expected) + 3.0)
+            << cls.name;
+    }
+}
+
+TEST(Workloads, RunsFallInsideHorizon)
+{
+    util::Rng rng(2);
+    const auto runs = sampleFleet(defaultWorkloads(), 7.0, rng);
+    for (const auto& run : runs) {
+        EXPECT_GE(run.day, 0.0);
+        EXPECT_LE(run.day, 7.0);
+        EXPECT_GT(run.duration_hours, 0.0);
+    }
+}
+
+TEST(Workloads, DurationsHaveExpectedMean)
+{
+    util::Rng rng(3);
+    const auto classes = defaultWorkloads();
+    const auto runs = sampleFleet(classes, 365.0, rng);
+    std::map<std::string, std::pair<double, int>> stats;
+    for (const auto& run : runs) {
+        stats[run.workload].first += run.duration_hours;
+        stats[run.workload].second += 1;
+    }
+    for (const auto& cls : classes) {
+        const auto& [sum, n] = stats[cls.name];
+        ASSERT_GT(n, 0) << cls.name;
+        EXPECT_NEAR(sum / n, cls.mean_duration_hours,
+                    cls.mean_duration_hours * 0.2)
+            << cls.name;
+    }
+}
+
+TEST(Workloads, GrowthReaches7xAt18Months)
+{
+    EXPECT_NEAR(recommendationGrowth(10.0, 18.0), 70.0, 0.5);
+    EXPECT_NEAR(recommendationGrowth(10.0, 0.0), 10.0, 1e-9);
+}
+
+TEST(UtilizationStudy, ProducesAllResourceDistributions)
+{
+    UtilizationStudyConfig cfg;
+    cfg.num_runs = 120;
+    const auto dists = utilizationStudy(cfg);
+    for (const char* key :
+         {"trainer_cpu", "trainer_mem_bw", "trainer_mem_capacity",
+          "trainer_network", "ps_cpu", "ps_mem_bw", "ps_mem_capacity",
+          "ps_network"}) {
+        ASSERT_TRUE(dists.count(key)) << key;
+        EXPECT_GT(dists.at(key).size(), 100u) << key;
+        const auto s = dists.at(key).summarize();
+        EXPECT_GE(s.min, 0.0) << key;
+        EXPECT_LE(s.max, 1.0) << key;
+    }
+}
+
+TEST(UtilizationStudy, TrainersHotterThanParameterServers)
+{
+    // Fig 5: trainer servers run at high utilization with small
+    // variation; parameter servers are cooler with a wider spread.
+    UtilizationStudyConfig cfg;
+    cfg.num_runs = 200;
+    const auto dists = utilizationStudy(cfg);
+    EXPECT_GT(dists.at("trainer_cpu").mean(),
+              dists.at("ps_cpu").mean());
+    const double trainer_cv = dists.at("trainer_cpu").stddev() /
+        dists.at("trainer_cpu").mean();
+    const double ps_cv = dists.at("ps_cpu").stddev() /
+        dists.at("ps_cpu").mean();
+    EXPECT_GT(ps_cv, trainer_cv);
+}
+
+TEST(UtilizationStudy, DeterministicForSeed)
+{
+    UtilizationStudyConfig cfg;
+    cfg.num_runs = 50;
+    const auto a = utilizationStudy(cfg);
+    const auto b = utilizationStudy(cfg);
+    EXPECT_EQ(a.at("trainer_cpu").values(),
+              b.at("trainer_cpu").values());
+}
+
+TEST(UtilizationStudy, NoiseWidensDistributions)
+{
+    UtilizationStudyConfig quiet;
+    quiet.num_runs = 150;
+    quiet.system_noise_sigma = 0.0;
+    quiet.config_jitter = 0.0;
+    UtilizationStudyConfig noisy = quiet;
+    noisy.system_noise_sigma = 0.3;
+    noisy.config_jitter = 0.3;
+    const auto a = utilizationStudy(quiet);
+    const auto b = utilizationStudy(noisy);
+    EXPECT_GT(b.at("trainer_cpu").stddev(),
+              a.at("trainer_cpu").stddev());
+}
+
+TEST(ServerCountStudy, ModalTrainerFractionHolds)
+{
+    ServerCountStudyConfig cfg;
+    cfg.num_workflows = 3000;
+    const auto dists = serverCountStudy(cfg);
+    ASSERT_EQ(dists.trainers.size(), 3000u);
+    std::size_t modal = 0;
+    for (double v : dists.trainers.values())
+        modal += v == static_cast<double>(cfg.modal_trainers);
+    // "over 40% of the workflows using same number of trainers"
+    const double fraction =
+        static_cast<double>(modal) / 3000.0;
+    EXPECT_GT(fraction, 0.40);
+    EXPECT_LT(fraction, 0.60);
+}
+
+TEST(ServerCountStudy, PsCountsVaryMoreThanTrainers)
+{
+    ServerCountStudyConfig cfg;
+    cfg.num_workflows = 3000;
+    const auto dists = serverCountStudy(cfg);
+    const double trainer_cv =
+        dists.trainers.stddev() / dists.trainers.mean();
+    const double ps_cv = dists.parameter_servers.stddev() /
+        dists.parameter_servers.mean();
+    // Fig 9: "In contrast to number of trainers, number of parameter
+    // servers vary greatly."
+    EXPECT_GT(ps_cv, trainer_cv);
+}
+
+TEST(ServerCountStudy, CountsArePositiveIntegers)
+{
+    ServerCountStudyConfig cfg;
+    cfg.num_workflows = 500;
+    const auto dists = serverCountStudy(cfg);
+    for (double v : dists.trainers.values()) {
+        EXPECT_GE(v, 1.0);
+        EXPECT_DOUBLE_EQ(v, std::floor(v));
+    }
+    for (double v : dists.parameter_servers.values()) {
+        EXPECT_GE(v, 1.0);
+        EXPECT_DOUBLE_EQ(v, std::floor(v));
+    }
+}
+
+} // namespace
+} // namespace recsim::fleet

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for recsim::hw: Table I platform constants and the device
+ * helper math.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/platform.h"
+#include "util/units.h"
+
+namespace recsim::hw {
+namespace {
+
+TEST(Platform, DualSocketCpuMatchesTableI)
+{
+    const Platform p = Platform::dualSocketCpu();
+    EXPECT_EQ(p.kind, PlatformKind::CpuServer);
+    EXPECT_EQ(p.num_gpus, 0);
+    EXPECT_EQ(p.num_cpu_sockets, 2);
+    EXPECT_DOUBLE_EQ(p.host.mem_capacity, 256.0 * util::kGB);
+    EXPECT_DOUBLE_EQ(p.network.bandwidth, util::gbps(25.0));
+    EXPECT_DOUBLE_EQ(p.totalGpuMemory(), 0.0);
+}
+
+TEST(Platform, BigBasinMatchesTableI)
+{
+    const Platform p = Platform::bigBasin();
+    EXPECT_EQ(p.kind, PlatformKind::BigBasin);
+    EXPECT_EQ(p.num_gpus, 8);
+    EXPECT_TRUE(p.has_nvlink);
+    // V100: 15.7 TF FP32, 900 GB/s HBM2.
+    EXPECT_DOUBLE_EQ(p.gpu.peak_flops, 15.7e12);
+    EXPECT_DOUBLE_EQ(p.gpu.mem_bandwidth, util::gBps(900.0));
+    EXPECT_DOUBLE_EQ(p.host.mem_capacity, 256.0 * util::kGB);
+    EXPECT_DOUBLE_EQ(p.network.bandwidth, util::gbps(100.0));
+    // Default SKU is 16 GB -> 128 GB total; 32 GB SKU doubles it.
+    EXPECT_DOUBLE_EQ(p.totalGpuMemory(), 128.0 * util::kGB);
+    EXPECT_DOUBLE_EQ(Platform::bigBasin(32.0).totalGpuMemory(),
+                     256.0 * util::kGB);
+}
+
+TEST(Platform, BigBasinPowerIs7point3xCpuServer)
+{
+    const Platform cpu = Platform::dualSocketCpu();
+    const Platform bb = Platform::bigBasin();
+    EXPECT_NEAR(bb.power_watts / cpu.power_watts, 7.3, 1e-9);
+}
+
+TEST(Platform, ZionMatchesTableI)
+{
+    const Platform p = Platform::zionPrototype();
+    EXPECT_EQ(p.kind, PlatformKind::Zion);
+    EXPECT_EQ(p.num_cpu_sockets, 8);
+    EXPECT_EQ(p.num_gpus, 8);
+    EXPECT_FALSE(p.has_nvlink);
+    // ~2 TB system memory, ~1 TB/s memory bandwidth.
+    EXPECT_DOUBLE_EQ(p.host.mem_capacity, 2000.0 * util::kGB);
+    EXPECT_DOUBLE_EQ(p.host.mem_bandwidth, util::gBps(1000.0));
+    // 4x IB 100 Gbps.
+    EXPECT_DOUBLE_EQ(p.network.bandwidth, util::gbps(400.0));
+}
+
+TEST(Platform, ZionHostOutclassesBigBasinHost)
+{
+    const Platform bb = Platform::bigBasin();
+    const Platform zion = Platform::zionPrototype();
+    EXPECT_GT(zion.host.mem_bandwidth, 4.0 * bb.host.mem_bandwidth);
+    EXPECT_GT(zion.host.mem_capacity, 4.0 * bb.host.mem_capacity);
+    EXPECT_GT(zion.host.peak_flops, 2.0 * bb.host.peak_flops);
+}
+
+TEST(Platform, ZionInterconnectWeakerThanNvlink)
+{
+    const Platform bb = Platform::bigBasin();
+    const Platform zion = Platform::zionPrototype();
+    EXPECT_LT(zion.gpu_interconnect.bandwidth,
+              bb.gpu_interconnect.bandwidth / 10.0);
+}
+
+TEST(ComputeDevice, EffectiveRates)
+{
+    ComputeDevice d;
+    d.peak_flops = 10.0e12;
+    d.mlp_efficiency = 0.5;
+    d.mem_bandwidth = 100.0e9;
+    d.random_access_efficiency = 0.3;
+    EXPECT_DOUBLE_EQ(d.effectiveFlops(), 5.0e12);
+    EXPECT_DOUBLE_EQ(d.gatherBandwidth(), 30.0e9);
+}
+
+TEST(Link, TransferTimeIncludesLatency)
+{
+    Link link{"test", 1.0e9, 10.0e-6};
+    EXPECT_DOUBLE_EQ(link.transferTime(1.0e9), 1.0 + 10.0e-6);
+    EXPECT_DOUBLE_EQ(link.transferTime(0.0), 10.0e-6);
+}
+
+TEST(Platform, TotalGpuFlopsAggregates)
+{
+    const Platform bb = Platform::bigBasin();
+    EXPECT_DOUBLE_EQ(bb.totalGpuFlops(),
+                     8.0 * bb.gpu.peak_flops * bb.gpu.mlp_efficiency);
+}
+
+} // namespace
+} // namespace recsim::hw

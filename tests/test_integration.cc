@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline results wired
+ * end to end through the public API, plus functional-training /
+ * performance-model consistency checks.
+ */
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/explorer.h"
+#include "fleet/fleet_sim.h"
+#include "sim/dist_sim.h"
+#include "train/sweep.h"
+#include "train/trainer.h"
+
+namespace recsim {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+/** Fig 1 (M1/M2): throughput rises CPU -> Big Basin -> Zion. */
+TEST(Integration, Fig1PlatformOrderingForGpuFriendlyModels)
+{
+    core::Estimator est;
+    for (const auto& m : {model::DlrmConfig::m1Prod(),
+                          model::DlrmConfig::m2Prod()}) {
+        const bool is_m2 = m.name == "M2_prod";
+        const double cpu = est.estimate(
+            m, cost::SystemConfig::cpuSetup(is_m2 ? 20 : 6,
+                                            is_m2 ? 16 : 8, 2, 200, 1))
+            .throughput;
+        const auto bb = est.rankPlacements(
+            m, cost::SystemConfig::bigBasinSetup(
+                   EmbeddingPlacement::GpuMemory, is_m2 ? 3200 : 1600));
+        const auto zion = est.rankPlacements(
+            m, cost::SystemConfig::zionSetup(
+                   EmbeddingPlacement::GpuMemory, is_m2 ? 3200 : 1600));
+        ASSERT_FALSE(bb.empty());
+        ASSERT_FALSE(zion.empty());
+        EXPECT_GT(bb.front().estimate.throughput, cpu) << m.name;
+        EXPECT_GT(zion.front().estimate.throughput,
+                  bb.front().estimate.throughput) << m.name;
+    }
+}
+
+/** Fig 1 (M3): Big Basin underperforms CPU; Zion recovers. */
+TEST(Integration, Fig1EmbeddingDominantModelStory)
+{
+    core::Estimator est;
+    const auto m3 = model::DlrmConfig::m3Prod();
+    const double cpu = est.estimate(
+        m3, cost::SystemConfig::cpuSetup(8, 8, 2, 200, 4)).throughput;
+
+    // On Big Basin, M3's only paper-tested option is remote PS.
+    auto bb_sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 800, 8);
+    bb_sys.hogwild_threads = 4;
+    const double bb = est.estimate(m3, bb_sys).throughput;
+
+    // Zion hosts the whole model in its 2 TB system memory.
+    const double zion = est.estimate(
+        m3, cost::SystemConfig::zionSetup(
+                EmbeddingPlacement::HostMemory, 800)).throughput;
+
+    EXPECT_LT(bb, cpu);
+    EXPECT_GT(zion, cpu);
+    EXPECT_GT(zion, bb);
+}
+
+/** The DES and the analytical model agree on the Fig 14 ordering. */
+TEST(Integration, DesReproducesPlacementOrdering)
+{
+    const auto m2 = model::DlrmConfig::testSuite(256, 16, 1000000);
+    auto run = [&](EmbeddingPlacement placement) {
+        sim::DistSimConfig cfg;
+        cfg.model = m2;
+        cfg.system = cost::SystemConfig::bigBasinSetup(
+            placement, 1600,
+            placement == EmbeddingPlacement::RemotePs ? 4 : 0);
+        cfg.measure_seconds = 0.5;
+        return sim::runDistSim(cfg).throughput;
+    };
+    const double gpu_mem = run(EmbeddingPlacement::GpuMemory);
+    const double host = run(EmbeddingPlacement::HostMemory);
+    const double remote = run(EmbeddingPlacement::RemotePs);
+    EXPECT_GT(gpu_mem, host);
+    EXPECT_GT(gpu_mem, remote);
+}
+
+/**
+ * Fig 15 mechanism end to end: with per-batch-size LR retuning on
+ * identical data, large batches still lose NE versus the small-batch
+ * baseline within a fixed data budget.
+ */
+TEST(Integration, Fig15AccuracyGapGrowsWithBatchSize)
+{
+    const auto m = model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = m.num_dense;
+    ds_cfg.sparse = m.sparse;
+    ds_cfg.seed = 123;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(18000);
+
+    auto best_ne = [&](std::size_t batch) {
+        train::TrainConfig cfg;
+        cfg.batch_size = batch;
+        cfg.epochs = 1;
+        const auto sweep = train::sweepLearningRate(
+            m, ds, cfg, {0.02f, 0.05f, 0.1f, 0.2f}, 2000);
+        return sweep.best().result.eval_ne;
+    };
+
+    const double small = best_ne(64);
+    const double large = best_ne(4096);
+    EXPECT_LT(small, 1.0);
+    EXPECT_GT(large, small);
+}
+
+/** Every named model fits where the paper says it fits. */
+TEST(Integration, CapacityStoriesConsistent)
+{
+    const auto bb = hw::Platform::bigBasin();
+    const auto zion = hw::Platform::zionPrototype();
+    const auto m1 = model::DlrmConfig::m1Prod();
+    const auto m3 = model::DlrmConfig::m3Prod();
+
+    EXPECT_TRUE(placement::planPlacement(
+        EmbeddingPlacement::GpuMemory, m1, bb).feasible);
+    EXPECT_FALSE(placement::planPlacement(
+        EmbeddingPlacement::GpuMemory, m3, bb).feasible);
+    EXPECT_TRUE(placement::planPlacement(
+        EmbeddingPlacement::HostMemory, m3, zion).feasible);
+}
+
+/** Optimal batch ordering matches Table III: M2 > M1 > M3. */
+TEST(Integration, OptimalBatchOrderingAcrossModels)
+{
+    core::Estimator est;
+    const std::vector<std::size_t> candidates =
+        {200, 400, 800, 1600, 3200, 6400};
+    const auto m1 = est.optimalBatch(
+        model::DlrmConfig::m1Prod(),
+        cost::SystemConfig::bigBasinSetup(EmbeddingPlacement::GpuMemory,
+                                          200),
+        candidates);
+    auto m3_sys = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::RemotePs, 200, 8);
+    m3_sys.hogwild_threads = 4;
+    const auto m3 = est.optimalBatch(model::DlrmConfig::m3Prod(),
+                                     m3_sys, candidates);
+    // Paper: optimal per-GPU batch 1600 (M1) / 3200 (M2) / 800 (M3).
+    // The remote-PS model saturates at a smaller batch than GPU-memory
+    // placement.
+    EXPECT_LE(m3.system.batch_size, m1.system.batch_size);
+}
+
+/** Utilization study output feeds the Fig 5 reproduction sanely. */
+TEST(Integration, UtilizationStudyMatchesCostModelScale)
+{
+    fleet::UtilizationStudyConfig cfg;
+    cfg.num_runs = 60;
+    cfg.system_noise_sigma = 0.0;
+    cfg.config_jitter = 0.0;
+    const auto dists = fleet::utilizationStudy(cfg);
+
+    core::Estimator est;
+    const auto direct = est.estimate(
+        cfg.base_model, cfg.system);
+    EXPECT_NEAR(dists.at("trainer_cpu").mean(),
+                direct.util.trainer_cpu, 0.05);
+}
+
+} // namespace
+} // namespace recsim

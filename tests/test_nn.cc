@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Unit tests for recsim::nn. The backward passes are verified against
+ * central-difference numerical gradients — the strongest correctness
+ * property a manual-backprop stack can have.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/embedding_bag.h"
+#include "nn/interaction.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace recsim::nn {
+namespace {
+
+using tensor::Tensor;
+
+/** Central-difference gradient of scalar-valued f wrt x[i]. */
+double
+numericalGrad(Tensor& x, std::size_t i,
+              const std::function<double()>& f, float eps = 1e-3f)
+{
+    const float saved = x.data()[i];
+    x.data()[i] = saved + eps;
+    const double plus = f();
+    x.data()[i] = saved - eps;
+    const double minus = f();
+    x.data()[i] = saved;
+    return (plus - minus) / (2.0 * eps);
+}
+
+/** Scalar loss used by grad checks: 0.5 * sum(y^2). */
+double
+halfSquaredSum(const Tensor& y)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        acc += 0.5 * static_cast<double>(y.data()[i]) * y.data()[i];
+    return acc;
+}
+
+/** d(halfSquaredSum)/dy = y. */
+Tensor
+lossGrad(const Tensor& y)
+{
+    return y;
+}
+
+TEST(Linear, ForwardMatchesManual)
+{
+    util::Rng rng(1);
+    Linear layer(2, 3, rng);
+    layer.weight.at(0, 0) = 1.0f;
+    layer.weight.at(0, 1) = 2.0f;
+    layer.weight.at(0, 2) = 3.0f;
+    layer.weight.at(1, 0) = 4.0f;
+    layer.weight.at(1, 1) = 5.0f;
+    layer.weight.at(1, 2) = 6.0f;
+    layer.bias[0] = 0.1f;
+    layer.bias[1] = 0.2f;
+    layer.bias[2] = 0.3f;
+
+    Tensor x(1, 2);
+    x.at(0, 0) = 1.0f;
+    x.at(0, 1) = 2.0f;
+    Tensor y;
+    layer.forward(x, y);
+    EXPECT_NEAR(y.at(0, 0), 9.1f, 1e-5);
+    EXPECT_NEAR(y.at(0, 1), 12.2f, 1e-5);
+    EXPECT_NEAR(y.at(0, 2), 15.3f, 1e-5);
+}
+
+TEST(Linear, GradCheckWeightsBiasInput)
+{
+    util::Rng rng(2);
+    Linear layer(4, 3, rng);
+    Tensor x(2, 4);
+    x.fillNormal(rng, 1.0f);
+
+    auto loss = [&] {
+        Tensor y;
+        layer.forward(x, y);
+        return halfSquaredSum(y);
+    };
+
+    Tensor y;
+    layer.forward(x, y);
+    layer.zeroGrad();
+    Tensor dx;
+    layer.backward(x, lossGrad(y), dx);
+
+    for (std::size_t i = 0; i < layer.weight.size(); i += 3) {
+        EXPECT_NEAR(layer.gradWeight.data()[i],
+                    numericalGrad(layer.weight, i, loss), 2e-2)
+            << "weight " << i;
+    }
+    for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+        EXPECT_NEAR(layer.gradBias.data()[i],
+                    numericalGrad(layer.bias, i, loss), 2e-2)
+            << "bias " << i;
+    }
+    for (std::size_t i = 0; i < x.size(); i += 2) {
+        EXPECT_NEAR(dx.data()[i], numericalGrad(x, i, loss), 2e-2)
+            << "input " << i;
+    }
+}
+
+TEST(Linear, GradsAccumulateAcrossCalls)
+{
+    util::Rng rng(3);
+    Linear layer(2, 2, rng);
+    Tensor x(1, 2);
+    x.fill(1.0f);
+    Tensor y;
+    layer.forward(x, y);
+    Tensor dy(1, 2);
+    dy.fill(1.0f);
+    layer.backwardNoInputGrad(x, dy);
+    const float once = layer.gradWeight.at(0, 0);
+    layer.backwardNoInputGrad(x, dy);
+    EXPECT_NEAR(layer.gradWeight.at(0, 0), 2.0f * once, 1e-6);
+    layer.zeroGrad();
+    EXPECT_EQ(layer.gradWeight.at(0, 0), 0.0f);
+}
+
+TEST(Mlp, ForwardShapes)
+{
+    util::Rng rng(4);
+    Mlp mlp(8, {16, 4}, rng);
+    EXPECT_EQ(mlp.inFeatures(), 8u);
+    EXPECT_EQ(mlp.outFeatures(), 4u);
+    EXPECT_EQ(mlp.numLayers(), 2u);
+    Tensor x(3, 8);
+    x.fillNormal(rng, 1.0f);
+    Tensor y;
+    mlp.forward(x, y);
+    EXPECT_EQ(y.rows(), 3u);
+    EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(Mlp, NumParamsCountsAllLayers)
+{
+    util::Rng rng(5);
+    Mlp mlp(8, {16, 4}, rng);
+    EXPECT_EQ(mlp.numParams(), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(Mlp, GradCheckThroughReluStack)
+{
+    util::Rng rng(6);
+    Mlp mlp(3, {5, 4, 2}, rng);
+    Tensor x(2, 3);
+    x.fillNormal(rng, 1.0f);
+
+    auto loss = [&] {
+        Tensor y;
+        mlp.forward(x, y);
+        return halfSquaredSum(y);
+    };
+
+    Tensor y;
+    mlp.forward(x, y);
+    mlp.zeroGrad();
+    Tensor dx;
+    mlp.backward(x, lossGrad(y), dx);
+
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(dx.data()[i], numericalGrad(x, i, loss), 3e-2);
+
+    auto& first = mlp.layers()[0];
+    for (std::size_t i = 0; i < first.weight.size(); i += 2) {
+        EXPECT_NEAR(first.gradWeight.data()[i],
+                    numericalGrad(first.weight, i, loss), 3e-2);
+    }
+    auto& last = mlp.layers()[2];
+    for (std::size_t i = 0; i < last.weight.size(); ++i) {
+        EXPECT_NEAR(last.gradWeight.data()[i],
+                    numericalGrad(last.weight, i, loss), 3e-2);
+    }
+}
+
+SparseBatch
+makeBatch(std::vector<std::vector<uint64_t>> per_example)
+{
+    SparseBatch batch;
+    batch.offsets.push_back(0);
+    for (auto& ex : per_example) {
+        batch.indices.insert(batch.indices.end(), ex.begin(), ex.end());
+        batch.offsets.push_back(batch.indices.size());
+    }
+    return batch;
+}
+
+TEST(EmbeddingBag, SumPoolingAddsRows)
+{
+    util::Rng rng(7);
+    EmbeddingBag bag(4, 2, rng, Pooling::Sum);
+    bag.table.zero();
+    bag.table.at(1, 0) = 1.0f;
+    bag.table.at(1, 1) = 2.0f;
+    bag.table.at(3, 0) = 10.0f;
+    bag.table.at(3, 1) = 20.0f;
+
+    const SparseBatch batch = makeBatch({{1, 3}, {}, {1, 1}});
+    Tensor out;
+    bag.forward(batch, out);
+    EXPECT_EQ(out.rows(), 3u);
+    EXPECT_NEAR(out.at(0, 0), 11.0f, 1e-6);
+    EXPECT_NEAR(out.at(0, 1), 22.0f, 1e-6);
+    EXPECT_EQ(out.at(1, 0), 0.0f);  // empty example -> zero row
+    EXPECT_NEAR(out.at(2, 0), 2.0f, 1e-6);
+}
+
+TEST(EmbeddingBag, MeanPoolingDividesByLength)
+{
+    util::Rng rng(8);
+    EmbeddingBag bag(4, 1, rng, Pooling::Mean);
+    bag.table.zero();
+    bag.table.at(0, 0) = 2.0f;
+    bag.table.at(1, 0) = 4.0f;
+    const SparseBatch batch = makeBatch({{0, 1}});
+    Tensor out;
+    bag.forward(batch, out);
+    EXPECT_NEAR(out.at(0, 0), 3.0f, 1e-6);
+}
+
+TEST(EmbeddingBag, HashTrickWrapsIndices)
+{
+    util::Rng rng(9);
+    EmbeddingBag bag(4, 1, rng, Pooling::Sum);
+    bag.table.zero();
+    bag.table.at(1, 0) = 5.0f;
+    // 9 % 4 == 1: collides with row 1.
+    const SparseBatch batch = makeBatch({{9}});
+    Tensor out;
+    bag.forward(batch, out);
+    EXPECT_NEAR(out.at(0, 0), 5.0f, 1e-6);
+}
+
+TEST(EmbeddingBag, BackwardCoalescesDuplicateRows)
+{
+    util::Rng rng(10);
+    EmbeddingBag bag(8, 2, rng, Pooling::Sum);
+    const SparseBatch batch = makeBatch({{2, 2, 5}, {5}});
+    Tensor dy(2, 2);
+    dy.fill(1.0f);
+    SparseGrad grad;
+    bag.backward(batch, dy, grad);
+    ASSERT_EQ(grad.rows.size(), 2u);
+    // Row 2 appears twice in example 0 -> gradient 2; row 5 appears in
+    // both examples -> gradient 2 as well.
+    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+        EXPECT_NEAR(grad.values.at(r, 0), 2.0f, 1e-6);
+        EXPECT_NEAR(grad.values.at(r, 1), 2.0f, 1e-6);
+    }
+}
+
+TEST(EmbeddingBag, GradCheck)
+{
+    util::Rng rng(11);
+    EmbeddingBag bag(6, 3, rng, Pooling::Mean);
+    const SparseBatch batch = makeBatch({{0, 2, 2}, {4}});
+
+    auto loss = [&] {
+        Tensor out;
+        bag.forward(batch, out);
+        return halfSquaredSum(out);
+    };
+
+    Tensor out;
+    bag.forward(batch, out);
+    SparseGrad grad;
+    bag.backward(batch, lossGrad(out), grad);
+
+    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+        for (std::size_t j = 0; j < bag.dim(); ++j) {
+            const std::size_t flat =
+                static_cast<std::size_t>(grad.rows[r]) * bag.dim() + j;
+            EXPECT_NEAR(grad.values.at(r, j),
+                        numericalGrad(bag.table, flat, loss), 2e-2);
+        }
+    }
+}
+
+TEST(EmbeddingBag, ParamBytes)
+{
+    util::Rng rng(12);
+    EmbeddingBag bag(1000, 64, rng);
+    EXPECT_EQ(bag.paramBytes(), 1000u * 64 * 4);
+}
+
+TEST(CatInteraction, ConcatAndSplit)
+{
+    CatInteraction cat;
+    Tensor dense(2, 3);
+    dense.fill(1.0f);
+    std::vector<Tensor> embs(2, Tensor(2, 2));
+    embs[0].fill(2.0f);
+    embs[1].fill(3.0f);
+    Tensor out;
+    cat.forward(dense, embs, out);
+    EXPECT_EQ(out.cols(), 7u);
+    EXPECT_EQ(out.at(0, 0), 1.0f);
+    EXPECT_EQ(out.at(0, 3), 2.0f);
+    EXPECT_EQ(out.at(0, 5), 3.0f);
+
+    Tensor dy(2, 7);
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dy.data()[i] = static_cast<float>(i);
+    Tensor d_dense;
+    std::vector<Tensor> d_embs;
+    cat.backward(dense, embs, dy, d_dense, d_embs);
+    EXPECT_EQ(d_dense.at(0, 2), 2.0f);
+    EXPECT_EQ(d_embs[0].at(0, 0), 3.0f);
+    EXPECT_EQ(d_embs[1].at(0, 1), 6.0f);
+}
+
+TEST(DotInteraction, OutWidthFormula)
+{
+    EXPECT_EQ(DotInteraction::outWidth(3, 8), 8u + 6u);
+    EXPECT_EQ(DotInteraction::outWidth(0, 8), 8u);
+}
+
+TEST(DotInteraction, ForwardComputesPairwiseDots)
+{
+    DotInteraction dot;
+    Tensor dense(1, 2);
+    dense.at(0, 0) = 1.0f;
+    dense.at(0, 1) = 2.0f;
+    std::vector<Tensor> embs(1, Tensor(1, 2));
+    embs[0].at(0, 0) = 3.0f;
+    embs[0].at(0, 1) = 4.0f;
+    Tensor out;
+    dot.forward(dense, embs, out);
+    ASSERT_EQ(out.cols(), 3u);
+    EXPECT_EQ(out.at(0, 0), 1.0f);
+    EXPECT_EQ(out.at(0, 1), 2.0f);
+    EXPECT_NEAR(out.at(0, 2), 11.0f, 1e-6);  // 1*3 + 2*4
+}
+
+TEST(DotInteraction, GradCheck)
+{
+    util::Rng rng(13);
+    DotInteraction dot;
+    Tensor dense(2, 4);
+    dense.fillNormal(rng, 1.0f);
+    std::vector<Tensor> embs(3, Tensor(2, 4));
+    for (auto& e : embs)
+        e.fillNormal(rng, 1.0f);
+
+    auto loss = [&] {
+        Tensor out;
+        dot.forward(dense, embs, out);
+        return halfSquaredSum(out);
+    };
+
+    Tensor out;
+    dot.forward(dense, embs, out);
+    Tensor d_dense;
+    std::vector<Tensor> d_embs;
+    dot.backward(dense, embs, lossGrad(out), d_dense, d_embs);
+
+    for (std::size_t i = 0; i < dense.size(); ++i)
+        EXPECT_NEAR(d_dense.data()[i], numericalGrad(dense, i, loss),
+                    5e-2);
+    for (std::size_t s = 0; s < embs.size(); ++s)
+        for (std::size_t i = 0; i < embs[s].size(); i += 3)
+            EXPECT_NEAR(d_embs[s].data()[i],
+                        numericalGrad(embs[s], i, loss), 5e-2);
+}
+
+TEST(Loss, BceKnownValues)
+{
+    Tensor logits{0.0f};
+    const std::vector<float> labels = {1.0f};
+    EXPECT_NEAR(bceWithLogitsLoss(logits, labels), std::log(2.0), 1e-6);
+}
+
+TEST(Loss, BceGradMatchesNumerical)
+{
+    util::Rng rng(14);
+    Tensor logits(5);
+    logits.fillNormal(rng, 2.0f);
+    const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f, 1.0f};
+    Tensor grad;
+    bceWithLogits(logits, labels, grad);
+    auto loss = [&] { return bceWithLogitsLoss(logits, labels); };
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(grad.data()[i], numericalGrad(logits, i, loss),
+                    1e-3);
+}
+
+TEST(Loss, BceStableForExtremeLogits)
+{
+    Tensor logits{100.0f, -100.0f};
+    const std::vector<float> labels = {1.0f, 0.0f};
+    const double loss = bceWithLogitsLoss(logits, labels);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(Loss, NormalizedEntropyOfBaseRatePredictorIsOne)
+{
+    // Predicting exactly the base rate gives NE == 1.
+    const double p = 0.3;
+    const float logit = std::log(p / (1.0 - p));
+    Tensor logits(10);
+    logits.fill(logit);
+    std::vector<float> labels(10, 0.0f);
+    labels[0] = labels[1] = labels[2] = 1.0f;  // 30% positives
+    EXPECT_NEAR(normalizedEntropy(logits, labels), 1.0, 1e-6);
+}
+
+TEST(Loss, NormalizedEntropyBelowOneForGoodModel)
+{
+    Tensor logits{4.0f, -4.0f, 4.0f, -4.0f};
+    const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f};
+    EXPECT_LT(normalizedEntropy(logits, labels), 0.2);
+}
+
+TEST(Loss, Accuracy)
+{
+    Tensor logits{2.0f, -1.0f, 0.5f, -0.5f};
+    const std::vector<float> labels = {1.0f, 0.0f, 0.0f, 1.0f};
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+}
+
+TEST(Sgd, DenseStep)
+{
+    Tensor p{1.0f, 2.0f};
+    Tensor g{0.5f, -0.5f};
+    Sgd opt(0.1f);
+    opt.step(p, g);
+    EXPECT_NEAR(p[0], 0.95f, 1e-6);
+    EXPECT_NEAR(p[1], 2.05f, 1e-6);
+}
+
+TEST(Sgd, SparseStepTouchesOnlyListedRows)
+{
+    util::Rng rng(15);
+    EmbeddingBag bag(4, 2, rng);
+    const Tensor before = bag.table;
+    SparseGrad grad;
+    grad.rows = {2};
+    grad.values = Tensor(1, 2);
+    grad.values.fill(1.0f);
+    Sgd opt(0.5f);
+    opt.stepSparse(bag, grad);
+    EXPECT_NEAR(bag.table.at(2, 0), before.at(2, 0) - 0.5f, 1e-6);
+    EXPECT_EQ(bag.table.at(0, 0), before.at(0, 0));
+    EXPECT_EQ(bag.table.at(3, 1), before.at(3, 1));
+}
+
+TEST(Adagrad, StepShrinksWithAccumulation)
+{
+    Tensor p(1);
+    p[0] = 0.0f;
+    Tensor g{1.0f};
+    Adagrad opt(0.1f);
+    opt.step(p, g);
+    const float first = -p[0];
+    const float before = p[0];
+    opt.step(p, g);
+    const float second = before - p[0];
+    EXPECT_GT(first, 0.0f);
+    EXPECT_GT(second, 0.0f);
+    EXPECT_LT(second, first);
+}
+
+TEST(Adagrad, RowwiseSparseOnlyTouchesRows)
+{
+    util::Rng rng(16);
+    EmbeddingBag bag(4, 2, rng);
+    const Tensor before = bag.table;
+    SparseGrad grad;
+    grad.rows = {1};
+    grad.values = Tensor(1, 2);
+    grad.values.fill(2.0f);
+    Adagrad opt(0.1f);
+    opt.stepSparse(bag, grad);
+    EXPECT_NE(bag.table.at(1, 0), before.at(1, 0));
+    EXPECT_EQ(bag.table.at(0, 0), before.at(0, 0));
+}
+
+TEST(OptimizerDeath, NonPositiveLrPanics)
+{
+    EXPECT_DEATH(Sgd(0.0f), "positive");
+    EXPECT_DEATH(Adagrad(-1.0f), "positive");
+}
+
+} // namespace
+} // namespace recsim::nn

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for recsim::placement: partitioners (balance, capacity,
+ * imbalance metrics) and the Fig 8 placement strategies.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/platform.h"
+#include "model/config.h"
+#include "placement/partitioner.h"
+#include "placement/placement.h"
+#include "util/units.h"
+
+namespace recsim::placement {
+namespace {
+
+std::vector<data::SparseFeatureSpec>
+uniformSpecs(std::size_t n, uint64_t hash, double length)
+{
+    std::vector<data::SparseFeatureSpec> specs(n);
+    for (auto& s : specs) {
+        s.hash_size = hash;
+        s.mean_length = length;
+    }
+    return specs;
+}
+
+TEST(TableCosts, BytesAndAccess)
+{
+    const auto specs = uniformSpecs(2, 1000, 4.0);
+    TableCosts costs(specs, 16, 1.5);
+    ASSERT_EQ(costs.bytes.size(), 2u);
+    EXPECT_DOUBLE_EQ(costs.bytes[0], 1000.0 * 16 * 4 * 1.5);
+    EXPECT_DOUBLE_EQ(costs.access_bytes[0], 4.0 * 16 * 4);
+}
+
+TEST(GreedyPartition, BalancesUniformTables)
+{
+    const auto specs = uniformSpecs(8, 1000, 4.0);
+    TableCosts costs(specs, 16);
+    const Partition part = greedyPartition(costs, 4, 0.0,
+                                           BalanceObjective::Bytes);
+    EXPECT_TRUE(part.feasible);
+    EXPECT_EQ(part.shardsUsed(), 4u);
+    EXPECT_NEAR(part.bytesImbalance(), 1.0, 1e-9);
+    for (int shard : part.shard_of)
+        EXPECT_GE(shard, 0);
+}
+
+TEST(GreedyPartition, AccessAwareBeatsSequentialOnSkewedTraffic)
+{
+    // Equal-sized tables, alternating hot/cold access: the sequential
+    // packer co-locates the two hot tables, the access-aware greedy
+    // packer separates them.
+    std::vector<data::SparseFeatureSpec> specs;
+    for (double len : {100.0, 100.0, 1.0, 1.0})
+        specs.push_back({"", 1000, len, 1.0, 0, 0});
+    TableCosts costs(specs, 16);
+    const double two_tables = 2.0 * 1000.0 * 16 * 4;
+    const Partition greedy = greedyPartition(
+        costs, 2, two_tables, BalanceObjective::AccessBytes);
+    const Partition seq = sequentialPartition(costs, 2, two_tables);
+    EXPECT_TRUE(greedy.feasible);
+    EXPECT_TRUE(seq.feasible);
+    EXPECT_LT(greedy.accessImbalance(), 1.1);
+    EXPECT_GT(seq.accessImbalance(), 1.5);
+}
+
+TEST(GreedyPartition, RespectsCapacity)
+{
+    const auto specs = uniformSpecs(4, 1000, 1.0);
+    TableCosts costs(specs, 16);  // 64 KB per table
+    const double table_bytes = 1000.0 * 16 * 4;
+    // Each shard fits exactly one table.
+    const Partition part = greedyPartition(costs, 4, table_bytes * 1.5,
+                                           BalanceObjective::Bytes);
+    EXPECT_TRUE(part.feasible);
+    EXPECT_EQ(part.shardsUsed(), 4u);
+}
+
+TEST(GreedyPartition, InfeasibleWhenTableExceedsShard)
+{
+    const auto specs = uniformSpecs(1, 1000, 1.0);
+    TableCosts costs(specs, 16);
+    const Partition part = greedyPartition(costs, 4, 100.0,
+                                           BalanceObjective::Bytes);
+    EXPECT_FALSE(part.feasible);
+    EXPECT_FALSE(part.infeasible_reason.empty());
+    EXPECT_EQ(part.shard_of[0], -1);
+}
+
+TEST(GreedyPartition, AccessObjectiveBalancesTraffic)
+{
+    std::vector<data::SparseFeatureSpec> specs;
+    // Same size, very different access rates.
+    for (double len : {100.0, 1.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0})
+        specs.push_back({"", 1000, len, 1.0, 0, 0});
+    TableCosts costs(specs, 16);
+    const Partition part = greedyPartition(
+        costs, 2, 0.0, BalanceObjective::AccessBytes);
+    EXPECT_NEAR(part.accessImbalance(), 1.0, 0.05);
+}
+
+TEST(SequentialPartition, FillsInOrder)
+{
+    const auto specs = uniformSpecs(4, 1000, 1.0);
+    TableCosts costs(specs, 16);
+    const double table_bytes = 1000.0 * 16 * 4;
+    const Partition part = sequentialPartition(costs, 4,
+                                               2.0 * table_bytes);
+    EXPECT_TRUE(part.feasible);
+    EXPECT_EQ(part.shard_of[0], 0);
+    EXPECT_EQ(part.shard_of[1], 0);
+    EXPECT_EQ(part.shard_of[2], 1);
+    EXPECT_EQ(part.shardsUsed(), 2u);
+}
+
+TEST(RowWisePartition, SplitsEvenly)
+{
+    const Partition part = rowWisePartition(800.0, 80.0, 4, 0.0);
+    EXPECT_TRUE(part.feasible);
+    for (double b : part.shard_bytes)
+        EXPECT_DOUBLE_EQ(b, 200.0);
+    EXPECT_NEAR(part.accessImbalance(), 1.0, 1e-12);
+}
+
+TEST(RowWisePartition, InfeasibleWhenSliceTooBig)
+{
+    const Partition part = rowWisePartition(800.0, 80.0, 2, 100.0);
+    EXPECT_FALSE(part.feasible);
+}
+
+TEST(Placement, ToStringNames)
+{
+    EXPECT_EQ(toString(EmbeddingPlacement::GpuMemory), "gpu_memory");
+    EXPECT_EQ(toString(EmbeddingPlacement::HostMemory), "host_memory");
+    EXPECT_EQ(toString(EmbeddingPlacement::RemotePs), "remote_ps");
+    EXPECT_EQ(toString(EmbeddingPlacement::Hybrid), "hybrid");
+    EXPECT_EQ(toString(EmbeddingPlacement::CpuLocal), "cpu_local");
+}
+
+TEST(Placement, GpuMemoryFitsM1OnBigBasin)
+{
+    const auto plan = planPlacement(EmbeddingPlacement::GpuMemory,
+                                    model::DlrmConfig::m1Prod(),
+                                    hw::Platform::bigBasin());
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_DOUBLE_EQ(plan.gpu_lookup_fraction, 1.0);
+    EXPECT_GT(plan.gpus_used, 0u);
+    EXPECT_LE(plan.gpus_used, 8u);
+}
+
+TEST(Placement, GpuMemoryRejectsM3OnBigBasin)
+{
+    // The paper: M3's hundreds of GB cannot fit Big Basin GPU memory.
+    const auto plan = planPlacement(EmbeddingPlacement::GpuMemory,
+                                    model::DlrmConfig::m3Prod(),
+                                    hw::Platform::bigBasin());
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Placement, HostMemoryRejectsM3OnBigBasinButNotZion)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    EXPECT_FALSE(planPlacement(EmbeddingPlacement::HostMemory, m3,
+                               hw::Platform::bigBasin()).feasible);
+    EXPECT_TRUE(planPlacement(EmbeddingPlacement::HostMemory, m3,
+                              hw::Platform::zionPrototype()).feasible);
+}
+
+TEST(Placement, GpuMemoryNeedsGpus)
+{
+    const auto plan = planPlacement(EmbeddingPlacement::GpuMemory,
+                                    model::DlrmConfig::m1Prod(),
+                                    hw::Platform::dualSocketCpu());
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Placement, RemotePsScalesWithServerCount)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    PlacementOptions few;
+    few.num_sparse_ps = 1;
+    EXPECT_FALSE(planPlacement(EmbeddingPlacement::RemotePs, m3,
+                               hw::Platform::bigBasin(), few).feasible);
+    PlacementOptions many;
+    many.num_sparse_ps = 8;
+    const auto plan = planPlacement(EmbeddingPlacement::RemotePs, m3,
+                                    hw::Platform::bigBasin(), many);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_DOUBLE_EQ(plan.remote_lookup_fraction, 1.0);
+}
+
+TEST(Placement, HybridServesHotTablesFromGpu)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    const auto plan = planPlacement(EmbeddingPlacement::Hybrid, m3,
+                                    hw::Platform::bigBasin());
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GT(plan.gpu_lookup_fraction, 0.0);
+    EXPECT_LT(plan.gpu_lookup_fraction, 1.0);
+    // GPU memory holds the hottest tables, so the lookup fraction
+    // served from GPU should exceed the byte fraction resident there.
+    double gpu_bytes = 0.0;
+    for (std::size_t s = 0; s + 1 < plan.partition.numShards(); ++s)
+        gpu_bytes += plan.partition.shard_bytes[s];
+    EXPECT_GT(plan.gpu_lookup_fraction,
+              gpu_bytes / plan.resident_bytes);
+}
+
+TEST(Placement, ResidentBytesIncludeOverhead)
+{
+    PlacementOptions options;
+    options.memory_overhead_factor = 2.0;
+    const auto cfg = model::DlrmConfig::testSuite(64, 4, 1000);
+    const auto plan = planPlacement(EmbeddingPlacement::HostMemory, cfg,
+                                    hw::Platform::bigBasin(), options);
+    EXPECT_NEAR(plan.resident_bytes, cfg.embeddingBytes() * 2.0, 1.0);
+}
+
+TEST(Placement, AdvisorPicksGpuMemoryForSmallModels)
+{
+    const auto cfg = model::DlrmConfig::testSuite(64, 8, 100000);
+    const auto plan = advisePlacement(cfg, hw::Platform::bigBasin());
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.placement, EmbeddingPlacement::GpuMemory);
+}
+
+TEST(Placement, AdvisorNeverPicksInfeasible)
+{
+    const auto m3 = model::DlrmConfig::m3Prod();
+    const auto plan = advisePlacement(m3, hw::Platform::bigBasin());
+    // M3 does not fit GPU or host memory on Big Basin; hybrid or remote
+    // must be chosen, and the returned plan must be feasible.
+    EXPECT_TRUE(plan.feasible ||
+                plan.placement == EmbeddingPlacement::RemotePs);
+    EXPECT_NE(plan.placement, EmbeddingPlacement::GpuMemory);
+    EXPECT_NE(plan.placement, EmbeddingPlacement::HostMemory);
+}
+
+class AllStrategies
+    : public ::testing::TestWithParam<EmbeddingPlacement>
+{
+};
+
+TEST_P(AllStrategies, PlanIsInternallyConsistent)
+{
+    const auto cfg = model::DlrmConfig::testSuite(64, 8, 100000);
+    PlacementOptions options;
+    options.num_sparse_ps = 4;
+    const auto plan = planPlacement(GetParam(), cfg,
+                                    hw::Platform::bigBasin(), options);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GE(plan.gpu_lookup_fraction, 0.0);
+    EXPECT_LE(plan.gpu_lookup_fraction, 1.0);
+    EXPECT_GE(plan.remote_lookup_fraction, 0.0);
+    EXPECT_LE(plan.gpu_lookup_fraction + plan.remote_lookup_fraction,
+              1.0 + 1e-9);
+    EXPECT_GE(plan.access_imbalance, 1.0 - 1e-9);
+    EXPECT_GT(plan.resident_bytes, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, AllStrategies,
+    ::testing::Values(EmbeddingPlacement::GpuMemory,
+                      EmbeddingPlacement::HostMemory,
+                      EmbeddingPlacement::RemotePs,
+                      EmbeddingPlacement::Hybrid,
+                      EmbeddingPlacement::CpuLocal));
+
+} // namespace
+} // namespace recsim::placement

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Cross-cutting property tests: invariants that must hold across the
+ * whole configuration grid rather than at hand-picked points —
+ * feasibility monotonicity, throughput scaling directions, utilization
+ * sanity, placement-plan conservation laws, and estimator determinism.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/iteration_model.h"
+#include "model/config.h"
+#include "placement/placement.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+/** A small randomized-but-seeded family of model configs. */
+std::vector<model::DlrmConfig>
+configFamily()
+{
+    std::vector<model::DlrmConfig> configs;
+    util::Rng rng(2026);
+    for (int i = 0; i < 12; ++i) {
+        const std::size_t dense = 64 << rng.uniformInt(5);    // 64..1024
+        const std::size_t sparse = 4 << rng.uniformInt(5);    // 4..64
+        const uint64_t hash = 10000ULL << rng.uniformInt(7);  // 10k..640k
+        configs.push_back(model::DlrmConfig::testSuite(
+            dense, sparse, hash, 256 << rng.uniformInt(2),
+            2 + rng.uniformInt(2)));
+    }
+    configs.push_back(model::DlrmConfig::m1Prod());
+    configs.push_back(model::DlrmConfig::m2Prod());
+    return configs;
+}
+
+TEST(Properties, EstimatesAreDeterministic)
+{
+    for (const auto& m : configFamily()) {
+        const auto sys = cost::SystemConfig::cpuSetup(2, 2, 1, 200, 1);
+        const auto a = cost::IterationModel(m, sys).estimate();
+        const auto b = cost::IterationModel(m, sys).estimate();
+        EXPECT_DOUBLE_EQ(a.throughput, b.throughput) << m.name;
+        EXPECT_EQ(a.bottleneck, b.bottleneck) << m.name;
+    }
+}
+
+TEST(Properties, ThroughputFiniteAndPositiveWhenFeasible)
+{
+    for (const auto& m : configFamily()) {
+        for (const auto& sys :
+             {cost::SystemConfig::cpuSetup(2, 2, 1, 200, 1),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::GpuMemory, 1600),
+              cost::SystemConfig::zionSetup(
+                  EmbeddingPlacement::HostMemory, 1600)}) {
+            const auto est = cost::IterationModel(m, sys).estimate();
+            if (!est.feasible)
+                continue;
+            EXPECT_TRUE(std::isfinite(est.throughput)) << m.name;
+            EXPECT_GT(est.throughput, 0.0) << m.name;
+            EXPECT_TRUE(std::isfinite(est.iteration_seconds));
+            EXPECT_GT(est.iteration_seconds, 0.0);
+            EXPECT_GT(est.power_watts, 0.0);
+        }
+    }
+}
+
+TEST(Properties, UtilizationsAlwaysInUnitInterval)
+{
+    for (const auto& m : configFamily()) {
+        for (const auto& sys :
+             {cost::SystemConfig::cpuSetup(4, 4, 2, 400, 2),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::HostMemory, 800),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::RemotePs, 800, 4)}) {
+            const auto est = cost::IterationModel(m, sys).estimate();
+            if (!est.feasible)
+                continue;
+            for (const auto& [name, util] : est.util.asList()) {
+                EXPECT_GE(util, 0.0) << m.name << " " << name;
+                EXPECT_LE(util, 1.0) << m.name << " " << name;
+            }
+        }
+    }
+}
+
+TEST(Properties, BiggerBatchNeverReducesGpuThroughputBelowHalf)
+{
+    // GPU throughput is monotone-ish in batch: allow small dips but
+    // never a collapse (the curve saturates, it does not fall).
+    for (const auto& m : configFamily()) {
+        double prev = 0.0;
+        for (std::size_t batch : {200, 800, 3200}) {
+            const auto est = cost::IterationModel(
+                m, cost::SystemConfig::bigBasinSetup(
+                       EmbeddingPlacement::GpuMemory, batch)).estimate();
+            if (!est.feasible)
+                break;
+            if (prev > 0.0) {
+                EXPECT_GT(est.throughput, prev * 0.5) << m.name;
+            }
+            prev = est.throughput;
+        }
+    }
+}
+
+TEST(Properties, MoreSparsePsNeverHurts)
+{
+    for (const auto& m : configFamily()) {
+        const double few = cost::IterationModel(
+            m, cost::SystemConfig::cpuSetup(8, 2, 1, 200, 1))
+            .estimate().throughput;
+        const double many = cost::IterationModel(
+            m, cost::SystemConfig::cpuSetup(8, 8, 1, 200, 1))
+            .estimate().throughput;
+        EXPECT_GE(many, few * 0.999) << m.name;
+    }
+}
+
+TEST(Properties, FeasibilityMonotoneInCapacity)
+{
+    // If a model fits on the 16 GB SKU it must fit on the 32 GB SKU.
+    for (const auto& m : configFamily()) {
+        const bool small = placement::planPlacement(
+            EmbeddingPlacement::GpuMemory, m,
+            hw::Platform::bigBasin(16.0)).feasible;
+        const bool large = placement::planPlacement(
+            EmbeddingPlacement::GpuMemory, m,
+            hw::Platform::bigBasin(32.0)).feasible;
+        if (small) {
+            EXPECT_TRUE(large) << m.name;
+        }
+    }
+}
+
+TEST(Properties, PlacementPlansConserveBytes)
+{
+    // Sharded plans must hold exactly the model's (overheaded) bytes.
+    for (const auto& m : configFamily()) {
+        placement::PlacementOptions options;
+        options.num_sparse_ps = 8;
+        for (auto strategy : {EmbeddingPlacement::GpuMemory,
+                              EmbeddingPlacement::HostMemory,
+                              EmbeddingPlacement::RemotePs}) {
+            const auto plan = placement::planPlacement(
+                strategy, m, hw::Platform::bigBasin(32.0), options);
+            if (!plan.feasible || plan.replicated)
+                continue;
+            double placed = 0.0;
+            for (double b : plan.partition.shard_bytes)
+                placed += b;
+            EXPECT_NEAR(placed,
+                        m.embeddingBytes() *
+                            options.memory_overhead_factor,
+                        placed * 1e-9 + 1.0)
+                << m.name << " "
+                << placement::toString(strategy);
+        }
+    }
+}
+
+TEST(Properties, BottleneckNameIsAlwaysKnown)
+{
+    const std::vector<std::string> known = {
+        "trainer_compute", "trainer_network", "sparse_ps", "dense_ps",
+        "reader", "mlp_compute", "kernel_dispatch", "emb_gather_gpu",
+        "emb_alltoall", "emb_gather_host", "emb_pcie", "emb_remote",
+        "dense_allreduce", "input_pipeline",
+    };
+    for (const auto& m : configFamily()) {
+        for (const auto& sys :
+             {cost::SystemConfig::cpuSetup(2, 2, 1, 200, 1),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::GpuMemory, 1600)}) {
+            const auto est = cost::IterationModel(m, sys).estimate();
+            if (!est.feasible)
+                continue;
+            EXPECT_NE(std::find(known.begin(), known.end(),
+                                est.bottleneck),
+                      known.end())
+                << m.name << ": " << est.bottleneck;
+        }
+    }
+}
+
+TEST(Properties, CompressionMonotoneInBytesPerElement)
+{
+    for (const auto& m : configFamily()) {
+        double prev = 0.0;
+        for (double bpe : {4.0, 2.0, 1.0}) {
+            auto sys = cost::SystemConfig::bigBasinSetup(
+                EmbeddingPlacement::GpuMemory, 1600);
+            sys.emb_bytes_per_element = bpe;
+            const auto est = cost::IterationModel(m, sys).estimate();
+            if (!est.feasible)
+                continue;
+            if (prev > 0.0) {
+                EXPECT_GE(est.throughput, prev * 0.999) << m.name;
+            }
+            prev = est.throughput;
+        }
+    }
+}
+
+TEST(Properties, FootprintAdditivity)
+{
+    // Doubling the sparse features doubles lookup traffic exactly.
+    const auto one = model::DlrmConfig::testSuite(64, 16, 100000);
+    const auto two = model::DlrmConfig::testSuite(64, 32, 100000);
+    EXPECT_NEAR(two.footprint().embedding_bytes,
+                2.0 * one.footprint().embedding_bytes, 1e-6);
+    EXPECT_NEAR(two.footprint().pooled_bytes,
+                2.0 * one.footprint().pooled_bytes, 1e-6);
+    EXPECT_NEAR(two.footprint().embedding_lookups,
+                2.0 * one.footprint().embedding_lookups, 1e-9);
+}
+
+TEST(Properties, PowerAdditivity)
+{
+    const auto a = cost::SystemConfig::cpuSetup(3, 2, 1);
+    const auto b = cost::SystemConfig::cpuSetup(6, 4, 2);
+    EXPECT_NEAR(2.0 * a.totalPowerWatts(), b.totalPowerWatts(), 1e-9);
+}
+
+} // namespace
+} // namespace recsim

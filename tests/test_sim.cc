@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the distributed-training DES: agreement with the analytical
+ * model, utilization reporting, noise behaviour, feasibility mirroring.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/iteration_model.h"
+#include "model/config.h"
+#include "sim/dist_sim.h"
+
+namespace recsim::sim {
+namespace {
+
+using placement::EmbeddingPlacement;
+
+DistSimConfig
+cpuConfig()
+{
+    DistSimConfig cfg;
+    cfg.model = model::DlrmConfig::testSuite(256, 16, 100000);
+    cfg.system = cost::SystemConfig::cpuSetup(2, 2, 1, 200, 1);
+    cfg.measure_seconds = 0.5;
+    return cfg;
+}
+
+DistSimConfig
+gpuConfig(EmbeddingPlacement placement = EmbeddingPlacement::GpuMemory)
+{
+    DistSimConfig cfg;
+    cfg.model = model::DlrmConfig::testSuite(256, 16, 100000);
+    cfg.system = cost::SystemConfig::bigBasinSetup(placement, 1600,
+        placement == EmbeddingPlacement::RemotePs ? 4 : 0);
+    cfg.measure_seconds = 0.5;
+    return cfg;
+}
+
+TEST(DistSim, CpuRunProducesThroughput)
+{
+    const auto result = runDistSim(cpuConfig());
+    EXPECT_TRUE(result.feasible);
+    EXPECT_GT(result.throughput, 0.0);
+    EXPECT_GT(result.iterations, 10u);
+    EXPECT_GT(result.mean_iteration_seconds, 0.0);
+}
+
+TEST(DistSim, CpuAgreesWithAnalyticalWithinFactorTwo)
+{
+    const auto cfg = cpuConfig();
+    const auto sim_result = runDistSim(cfg);
+    const auto analytical =
+        cost::IterationModel(cfg.model, cfg.system).estimate();
+    const double ratio = sim_result.throughput / analytical.throughput;
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(DistSim, GpuAgreesWithAnalyticalWithinFactorTwo)
+{
+    const auto cfg = gpuConfig();
+    const auto sim_result = runDistSim(cfg);
+    const auto analytical =
+        cost::IterationModel(cfg.model, cfg.system).estimate();
+    ASSERT_GT(analytical.throughput, 0.0);
+    const double ratio = sim_result.throughput / analytical.throughput;
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(DistSim, DeterministicForSeed)
+{
+    const auto a = runDistSim(cpuConfig());
+    const auto b = runDistSim(cpuConfig());
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(DistSim, ReportsUtilizationsForAllNodes)
+{
+    const auto result = runDistSim(cpuConfig());
+    EXPECT_TRUE(result.utilization.count("trainer0.cpu"));
+    EXPECT_TRUE(result.utilization.count("trainer1.nic"));
+    EXPECT_TRUE(result.utilization.count("sparse_ps0.mem"));
+    EXPECT_TRUE(result.utilization.count("sparse_ps1.nic"));
+    EXPECT_TRUE(result.utilization.count("dense_ps.nic"));
+    for (const auto& [name, util] : result.utilization) {
+        EXPECT_GE(util, 0.0) << name;
+        EXPECT_LE(util, 1.0) << name;
+    }
+}
+
+TEST(DistSim, GpuReportsDeviceUtilizations)
+{
+    const auto result = runDistSim(gpuConfig());
+    EXPECT_TRUE(result.utilization.count("gpu.compute"));
+    EXPECT_TRUE(result.utilization.count("gpu.mem"));
+    EXPECT_TRUE(result.utilization.count("host.cpu"));
+    EXPECT_GT(result.utilization.at("gpu.compute"), 0.0);
+}
+
+TEST(DistSim, MeanUtilizationFiltersByKey)
+{
+    const auto result = runDistSim(cpuConfig());
+    const double trainers = result.meanUtilization("trainer");
+    const double ps = result.meanUtilization("sparse_ps");
+    EXPECT_GT(trainers, 0.0);
+    EXPECT_GT(ps, 0.0);
+    EXPECT_EQ(result.meanUtilization("nonexistent"), 0.0);
+}
+
+TEST(DistSim, InfeasiblePlacementMirrorsAnalyticalModel)
+{
+    DistSimConfig cfg;
+    cfg.model = model::DlrmConfig::m3Prod();
+    cfg.system = cost::SystemConfig::bigBasinSetup(
+        EmbeddingPlacement::GpuMemory, 800);
+    const auto result = runDistSim(cfg);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_FALSE(result.infeasible_reason.empty());
+}
+
+TEST(DistSim, MoreTrainersMoreThroughput)
+{
+    auto cfg = cpuConfig();
+    const double two = runDistSim(cfg).throughput;
+    cfg.system = cost::SystemConfig::cpuSetup(4, 2, 1, 200, 1);
+    const double four = runDistSim(cfg).throughput;
+    EXPECT_GT(four, two * 1.3);
+}
+
+TEST(DistSim, HogwildWorkersRaiseTrainerUtilization)
+{
+    auto cfg = cpuConfig();
+    cfg.system.hogwild_threads = 1;
+    const auto one = runDistSim(cfg);
+    cfg.system.hogwild_threads = 4;
+    const auto four = runDistSim(cfg);
+    EXPECT_GT(four.throughput, one.throughput);
+    EXPECT_GE(four.meanUtilization("trainer"),
+              one.meanUtilization("trainer"));
+}
+
+TEST(DistSim, NoiseChangesResultsButKeepsScale)
+{
+    auto cfg = cpuConfig();
+    const double clean = runDistSim(cfg).throughput;
+    cfg.service_noise_sigma = 0.2;
+    cfg.seed = 99;
+    const double noisy = runDistSim(cfg).throughput;
+    EXPECT_NE(clean, noisy);
+    EXPECT_GT(noisy, clean * 0.5);
+    EXPECT_LT(noisy, clean * 1.5);
+}
+
+TEST(DistSim, NoiseSeedsProduceDifferentRuns)
+{
+    auto cfg = cpuConfig();
+    cfg.service_noise_sigma = 0.2;
+    cfg.seed = 1;
+    const double a = runDistSim(cfg).throughput;
+    cfg.seed = 2;
+    const double b = runDistSim(cfg).throughput;
+    EXPECT_NE(a, b);
+}
+
+TEST(DistSim, RemotePlacementSlowerThanGpuMemory)
+{
+    const double local = runDistSim(gpuConfig()).throughput;
+    const double remote = runDistSim(
+        gpuConfig(EmbeddingPlacement::RemotePs)).throughput;
+    EXPECT_GT(local, remote);
+}
+
+} // namespace
+} // namespace recsim::sim

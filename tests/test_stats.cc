@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for recsim::stats: Welford accumulation and merging,
+ * histograms (linear and log), quantiles, KDE, correlations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "stats/running_stat.h"
+#include "stats/sample_set.h"
+#include "util/random.h"
+
+namespace recsim::stats {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesNaiveComputation)
+{
+    RunningStat rs;
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+    double sum = 0.0;
+    for (double x : xs) {
+        rs.add(x);
+        sum += x;
+    }
+    const double mean = sum / xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_DOUBLE_EQ(rs.mean(), mean);
+    EXPECT_NEAR(rs.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), sum);
+}
+
+TEST(RunningStat, MergeEqualsSequential)
+{
+    util::Rng rng(5);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(5), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 3.0);
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+    EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(3), 1.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25, 3.0);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 1.0);
+}
+
+TEST(Histogram, LogBinsCoverDecades)
+{
+    Histogram h(1.0, 1.0e6, 6, BinScale::Log10);
+    EXPECT_NEAR(h.binLo(0), 1.0, 1e-9);
+    EXPECT_NEAR(h.binHi(0), 10.0, 1e-6);
+    EXPECT_NEAR(h.binLo(5), 1.0e5, 1.0);
+    h.add(50000.0);
+    EXPECT_DOUBLE_EQ(h.binCount(4), 1.0);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.7);
+    h.add(1.5);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(HistogramDeath, InvalidRangePanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "empty");
+    EXPECT_DEATH(Histogram(-1.0, 5.0, 4, BinScale::Log10), "positive");
+}
+
+TEST(Kde, IntegratesToApproximatelyOne)
+{
+    util::Rng rng(3);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(rng.normal(10.0, 2.0));
+    GaussianKde kde(samples);
+    const auto curve = kde.evaluate(0.0, 20.0, 400);
+    double integral = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        integral += 0.5 * (curve[i].density + curve[i - 1].density) *
+            (curve[i].x - curve[i - 1].x);
+    }
+    EXPECT_NEAR(integral, 1.0, 0.03);
+}
+
+TEST(Kde, PeaksNearSampleMean)
+{
+    util::Rng rng(9);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(rng.normal(5.0, 1.0));
+    GaussianKde kde(samples);
+    const auto curve = kde.evaluate(0.0, 10.0, 101);
+    double best_x = 0.0, best_d = 0.0;
+    for (const auto& pt : curve) {
+        if (pt.density > best_d) {
+            best_d = pt.density;
+            best_x = pt.x;
+        }
+    }
+    EXPECT_NEAR(best_x, 5.0, 0.5);
+}
+
+TEST(Kde, ExplicitBandwidthIsUsed)
+{
+    GaussianKde kde({1.0, 2.0, 3.0}, 0.7);
+    EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.7);
+}
+
+TEST(Kde, DegenerateSamplesStillFinite)
+{
+    GaussianKde kde({2.0, 2.0, 2.0});
+    EXPECT_GT(kde.density(2.0), 0.0);
+    EXPECT_TRUE(std::isfinite(kde.density(100.0)));
+}
+
+TEST(SampleSet, QuantilesExact)
+{
+    SampleSet s({4.0, 1.0, 3.0, 2.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(SampleSet, SummaryFields)
+{
+    SampleSet s({1.0, 2.0, 3.0, 4.0});
+    const Summary sum = s.summarize();
+    EXPECT_EQ(sum.count, 4u);
+    EXPECT_DOUBLE_EQ(sum.mean, 2.5);
+    EXPECT_DOUBLE_EQ(sum.min, 1.0);
+    EXPECT_DOUBLE_EQ(sum.max, 4.0);
+    EXPECT_DOUBLE_EQ(sum.median, 2.5);
+}
+
+TEST(SampleSet, DescribeMentionsCount)
+{
+    SampleSet s({1.0, 2.0});
+    EXPECT_NE(s.describe().find("n=2"), std::string::npos);
+}
+
+TEST(Correlation, PerfectPositive)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero)
+{
+    util::Rng rng(21);
+    std::vector<double> x, y;
+    for (int i = 0; i < 5000; ++i) {
+        x.push_back(rng.normal());
+        y.push_back(rng.normal());
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+    EXPECT_NEAR(spearman(x, y), 0.0, 0.05);
+}
+
+TEST(Correlation, SpearmanInvariantToMonotoneTransform)
+{
+    util::Rng rng(25);
+    std::vector<double> x, y, y_exp;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.normal();
+        x.push_back(v);
+        y.push_back(2.0 * v + 0.1 * rng.normal());
+    }
+    for (double v : y)
+        y_exp.push_back(std::exp(v));
+    EXPECT_NEAR(spearman(x, y), spearman(x, y_exp), 1e-9);
+}
+
+TEST(Correlation, ConstantSeriesGivesZero)
+{
+    const std::vector<double> x = {1, 1, 1};
+    const std::vector<double> y = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+} // namespace
+} // namespace recsim::stats

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for recsim::tensor: shapes, GEMM kernels against naive
+ * references, elementwise ops and reductions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace recsim::tensor {
+namespace {
+
+Tensor
+randomMatrix(std::size_t r, std::size_t c, uint64_t seed)
+{
+    util::Rng rng(seed);
+    Tensor t(r, c);
+    t.fillNormal(rng, 1.0f);
+    return t;
+}
+
+/** Naive O(mnk) reference GEMM. */
+Tensor
+naiveMatmul(const Tensor& a, const Tensor& b)
+{
+    Tensor out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            out.at(i, j) = acc;
+        }
+    return out;
+}
+
+TEST(Tensor, Rank1Construction)
+{
+    Tensor t(5);
+    EXPECT_EQ(t.rank(), 1);
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.rows(), 5u);
+    EXPECT_EQ(t.cols(), 1u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, Rank2Construction)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.size(), 12u);
+    t.at(2, 3) = 7.0f;
+    EXPECT_EQ(t.row(2)[3], 7.0f);
+}
+
+TEST(Tensor, InitializerList)
+{
+    Tensor t{1.0f, 2.0f, 3.0f};
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, FillAndZero)
+{
+    Tensor t(2, 2);
+    t.fill(3.0f);
+    EXPECT_EQ(sumAll(t), 12.0);
+    t.zero();
+    EXPECT_EQ(sumAll(t), 0.0);
+}
+
+TEST(Tensor, FillNormalHasSpread)
+{
+    util::Rng rng(1);
+    Tensor t(100, 100);
+    t.fillNormal(rng, 2.0f);
+    double sq = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        sq += t.data()[i] * t.data()[i];
+    EXPECT_NEAR(sq / static_cast<double>(t.size()), 4.0, 0.2);
+}
+
+TEST(Tensor, FillUniformRespectsBounds)
+{
+    util::Rng rng(2);
+    Tensor t(1000);
+    t.fillUniform(rng, -0.5f, 0.5f);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -0.5f);
+        EXPECT_LT(t[i], 0.5f);
+    }
+}
+
+TEST(Tensor, Reshape)
+{
+    Tensor t(6);
+    t.reshape(2, 3);
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+}
+
+TEST(TensorDeath, ReshapeWrongSizePanics)
+{
+    Tensor t(6);
+    EXPECT_DEATH(t.reshape(2, 4), "reshape");
+}
+
+TEST(Tensor, ShapeString)
+{
+    EXPECT_EQ(Tensor(4).shapeString(), "[4]");
+    EXPECT_EQ(Tensor(2, 3).shapeString(), "[2 x 3]");
+}
+
+TEST(Tensor, SameShape)
+{
+    EXPECT_TRUE(Tensor(2, 3).sameShape(Tensor(2, 3)));
+    EXPECT_FALSE(Tensor(2, 3).sameShape(Tensor(3, 2)));
+    EXPECT_FALSE(Tensor(6).sameShape(Tensor(2, 3)));
+}
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatmulShapes, MatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const Tensor a = randomMatrix(m, k, 10 + m);
+    const Tensor b = randomMatrix(k, n, 20 + n);
+    Tensor out;
+    matmul(a, b, out);
+    EXPECT_LT(maxAbsDiff(out, naiveMatmul(a, b)), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(16, 16, 16),
+                      std::make_tuple(7, 13, 5),
+                      std::make_tuple(32, 64, 17)));
+
+TEST(Matmul, TransAMatchesExplicitTranspose)
+{
+    const Tensor a = randomMatrix(6, 4, 33);  // [k=6, m=4]
+    const Tensor b = randomMatrix(6, 5, 34);  // [k=6, n=5]
+    Tensor at(4, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            at.at(j, i) = a.at(i, j);
+    Tensor expected, got;
+    matmul(at, b, expected);
+    matmulTransA(a, b, got);
+    EXPECT_LT(maxAbsDiff(got, expected), 1e-4);
+}
+
+TEST(Matmul, TransBMatchesExplicitTranspose)
+{
+    const Tensor a = randomMatrix(4, 6, 35);  // [m, k]
+    const Tensor b = randomMatrix(5, 6, 36);  // [n, k]
+    Tensor bt(6, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            bt.at(j, i) = b.at(i, j);
+    Tensor expected, got;
+    matmul(a, bt, expected);
+    matmulTransB(a, b, got);
+    EXPECT_LT(maxAbsDiff(got, expected), 1e-4);
+}
+
+TEST(MatmulDeath, ShapeMismatchPanics)
+{
+    Tensor a(2, 3), b(4, 5), out;
+    EXPECT_DEATH(matmul(a, b, out), "matmul");
+}
+
+TEST(Matmul, ReusesOutputBuffer)
+{
+    const Tensor a = randomMatrix(3, 3, 40);
+    const Tensor b = randomMatrix(3, 3, 41);
+    Tensor out;
+    matmul(a, b, out);
+    const float* ptr = out.data();
+    matmul(a, b, out);
+    EXPECT_EQ(out.data(), ptr);
+    EXPECT_LT(maxAbsDiff(out, naiveMatmul(a, b)), 1e-4);
+}
+
+TEST(Ops, AddBiasRows)
+{
+    Tensor x(2, 3);
+    x.fill(1.0f);
+    Tensor bias{1.0f, 2.0f, 3.0f};
+    addBiasRows(x, bias);
+    EXPECT_EQ(x.at(0, 0), 2.0f);
+    EXPECT_EQ(x.at(1, 2), 4.0f);
+}
+
+TEST(Ops, SumRows)
+{
+    Tensor x(2, 2);
+    x.at(0, 0) = 1.0f;
+    x.at(0, 1) = 2.0f;
+    x.at(1, 0) = 3.0f;
+    x.at(1, 1) = 4.0f;
+    Tensor out;
+    sumRows(x, out);
+    EXPECT_EQ(out[0], 4.0f);
+    EXPECT_EQ(out[1], 6.0f);
+}
+
+TEST(Ops, Axpy)
+{
+    Tensor x{1.0f, 2.0f};
+    Tensor y{10.0f, 20.0f};
+    axpy(2.0f, x, y);
+    EXPECT_EQ(y[0], 12.0f);
+    EXPECT_EQ(y[1], 24.0f);
+}
+
+TEST(Ops, Scale)
+{
+    Tensor x{2.0f, -4.0f};
+    scale(x, 0.5f);
+    EXPECT_EQ(x[0], 1.0f);
+    EXPECT_EQ(x[1], -2.0f);
+}
+
+TEST(Ops, ReluForwardAndBackward)
+{
+    Tensor x{-1.0f, 0.0f, 2.0f};
+    Tensor y = x;
+    reluInPlace(y);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[1], 0.0f);
+    EXPECT_EQ(y[2], 2.0f);
+
+    Tensor dy{5.0f, 6.0f, 7.0f};
+    Tensor dx;
+    reluBackward(y, dy, dx);
+    EXPECT_EQ(dx[0], 0.0f);
+    EXPECT_EQ(dx[1], 0.0f);
+    EXPECT_EQ(dx[2], 7.0f);
+}
+
+TEST(Ops, ReluBackwardInPlaceAlias)
+{
+    Tensor y{0.0f, 3.0f};
+    Tensor dy{4.0f, 5.0f};
+    reluBackward(y, dy, dy);
+    EXPECT_EQ(dy[0], 0.0f);
+    EXPECT_EQ(dy[1], 5.0f);
+}
+
+TEST(Ops, SigmoidValuesAndStability)
+{
+    Tensor x{0.0f, 100.0f, -100.0f};
+    sigmoidInPlace(x);
+    EXPECT_NEAR(x[0], 0.5f, 1e-6);
+    EXPECT_NEAR(x[1], 1.0f, 1e-6);
+    EXPECT_NEAR(x[2], 0.0f, 1e-6);
+    EXPECT_TRUE(std::isfinite(x[1]));
+    EXPECT_TRUE(std::isfinite(x[2]));
+}
+
+TEST(Ops, DotAndNorm)
+{
+    Tensor a{3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+    EXPECT_DOUBLE_EQ(l2Norm(a), 5.0);
+}
+
+TEST(Ops, MaxAbsDiff)
+{
+    Tensor a{1.0f, 2.0f};
+    Tensor b{1.5f, 1.0f};
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+TEST(Ops, ClipL2Norm)
+{
+    Tensor x{3.0f, 4.0f};
+    clipL2Norm(x, 2.5);
+    EXPECT_NEAR(l2Norm(x), 2.5, 1e-6);
+    Tensor y{0.3f, 0.4f};
+    clipL2Norm(y, 2.5);
+    EXPECT_NEAR(l2Norm(y), 0.5, 1e-6);
+}
+
+} // namespace
+} // namespace recsim::tensor

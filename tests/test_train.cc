@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the functional training substrate: single-thread baseline,
+ * Hogwild, EASGD, and the learning-rate sweep behind Fig 15.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/easgd.h"
+#include "train/shadow_sync.h"
+#include "train/hogwild.h"
+#include "train/sweep.h"
+#include "train/trainer.h"
+
+namespace recsim::train {
+namespace {
+
+model::DlrmConfig
+tinyModel()
+{
+    return model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+}
+
+data::DatasetConfig
+tinyData(uint64_t seed = 77)
+{
+    const auto m = tinyModel();
+    data::DatasetConfig cfg;
+    cfg.num_dense = m.num_dense;
+    cfg.sparse = m.sparse;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(SingleThread, LearnsBeyondBaseRate)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    TrainConfig cfg;
+    cfg.batch_size = 128;
+    cfg.learning_rate = 0.05f;
+    cfg.epochs = 2;
+    const TrainResult result =
+        trainSingleThread(tinyModel(), ds, cfg, 2000);
+    EXPECT_GT(result.steps, 100u);
+    EXPECT_LT(result.eval_ne, 1.0);  // beats predicting the base CTR
+    EXPECT_GT(result.eval_accuracy, 0.5);
+    EXPECT_TRUE(std::isfinite(result.final_train_loss));
+}
+
+TEST(SingleThread, DeterministicForSeeds)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(6000);
+    TrainConfig cfg;
+    cfg.batch_size = 128;
+    cfg.learning_rate = 0.05f;
+    const auto a = trainSingleThread(tinyModel(), ds, cfg, 1000);
+    const auto b = trainSingleThread(tinyModel(), ds, cfg, 1000);
+    EXPECT_DOUBLE_EQ(a.eval_ne, b.eval_ne);
+    EXPECT_DOUBLE_EQ(a.eval_loss, b.eval_loss);
+}
+
+TEST(SingleThread, SgdAndAdagradBothLearn)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(8000);
+    TrainConfig cfg;
+    cfg.batch_size = 128;
+    cfg.learning_rate = 0.05f;
+    cfg.optimizer = OptimizerKind::Sgd;
+    const auto sgd = trainSingleThread(tinyModel(), ds, cfg, 1000);
+    cfg.optimizer = OptimizerKind::Adagrad;
+    const auto adagrad = trainSingleThread(tinyModel(), ds, cfg, 1000);
+    EXPECT_LT(sgd.eval_ne, 1.0);
+    EXPECT_LT(adagrad.eval_ne, 1.0);
+}
+
+TEST(SingleThread, LossCurveRecordedWhenRequested)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(6000);
+    TrainConfig cfg;
+    cfg.batch_size = 128;
+    cfg.eval_every = 10;
+    const auto result = trainSingleThread(tinyModel(), ds, cfg, 1000);
+    EXPECT_GT(result.loss_curve.size(), 2u);
+    EXPECT_EQ(result.loss_curve.front().first, 0u);
+}
+
+TEST(SingleThread, MoreStepsImproveNe)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    TrainConfig short_cfg;
+    short_cfg.batch_size = 2048;  // few steps on the same data
+    short_cfg.learning_rate = 0.05f;
+    TrainConfig long_cfg = short_cfg;
+    long_cfg.batch_size = 128;    // many steps
+    const auto few = trainSingleThread(tinyModel(), ds, short_cfg, 2000);
+    const auto many = trainSingleThread(tinyModel(), ds, long_cfg, 2000);
+    // The Fig 15 mechanism: at the same LR, fewer/larger steps converge
+    // less within one pass over the data.
+    EXPECT_LT(many.eval_ne, few.eval_ne);
+}
+
+TEST(Hogwild, LearnsWithMultipleThreads)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    HogwildConfig cfg;
+    cfg.base.batch_size = 128;
+    cfg.base.learning_rate = 0.05f;
+    cfg.num_threads = 4;
+    const auto result = trainHogwild(tinyModel(), ds, cfg, 2000);
+    EXPECT_LT(result.eval_ne, 1.0);
+    EXPECT_GT(result.steps, 0u);
+}
+
+TEST(Hogwild, SingleThreadDegeneratesToSequential)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(8000);
+    HogwildConfig cfg;
+    cfg.base.batch_size = 128;
+    cfg.base.learning_rate = 0.05f;
+    cfg.num_threads = 1;
+    const auto result = trainHogwild(tinyModel(), ds, cfg, 1000);
+    EXPECT_LT(result.eval_ne, 1.0);
+}
+
+TEST(Easgd, CenterModelLearns)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    EasgdConfig cfg;
+    cfg.base.batch_size = 64;
+    cfg.base.learning_rate = 0.05f;
+    cfg.base.epochs = 3;
+    cfg.num_workers = 4;
+    cfg.sync_period = 4;
+    const auto result = trainEasgd(tinyModel(), ds, cfg, 2000);
+    EXPECT_LT(result.eval_ne, 1.0);
+    EXPECT_GT(result.steps, 0u);
+}
+
+TEST(Easgd, MoreFrequentSyncTracksCloser)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    EasgdConfig cfg;
+    cfg.base.batch_size = 64;
+    cfg.base.learning_rate = 0.05f;
+    cfg.base.epochs = 2;
+    cfg.num_workers = 4;
+    cfg.sync_period = 2;
+    const auto frequent = trainEasgd(tinyModel(), ds, cfg, 2000);
+    cfg.sync_period = 256;
+    const auto rare = trainEasgd(tinyModel(), ds, cfg, 2000);
+    // With very rare syncs the center barely moves; NE must be worse
+    // (or at best equal) than with tight coupling.
+    EXPECT_LE(frequent.eval_ne, rare.eval_ne + 0.05);
+}
+
+TEST(ShadowSync, CenterModelLearns)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(12000);
+    ShadowSyncConfig cfg;
+    cfg.base.batch_size = 64;
+    cfg.base.learning_rate = 0.05f;
+    cfg.base.epochs = 3;
+    cfg.num_workers = 4;
+    const auto result = trainShadowSync(tinyModel(), ds, cfg, 2000);
+    EXPECT_LT(result.eval_ne, 1.1);
+    EXPECT_GT(result.steps, 0u);
+    EXPECT_TRUE(std::isfinite(result.final_train_loss));
+}
+
+TEST(ShadowSync, SingleWorkerStillConverges)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(8000);
+    ShadowSyncConfig cfg;
+    cfg.base.batch_size = 64;
+    cfg.base.learning_rate = 0.05f;
+    cfg.base.epochs = 2;
+    cfg.num_workers = 1;
+    const auto result = trainShadowSync(tinyModel(), ds, cfg, 1000);
+    EXPECT_LT(result.eval_ne, 1.1);
+}
+
+TEST(Sweep, PicksBestLearningRate)
+{
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(8000);
+    TrainConfig cfg;
+    cfg.batch_size = 256;
+    const auto sweep = sweepLearningRate(
+        tinyModel(), ds, cfg, {0.0001f, 0.05f}, 1000);
+    ASSERT_EQ(sweep.points.size(), 2u);
+    // 0.05 should clearly beat a nearly-frozen 0.0001.
+    EXPECT_EQ(sweep.best_index, 1u);
+    for (const auto& point : sweep.points)
+        EXPECT_GE(point.result.eval_ne, sweep.best().result.eval_ne);
+}
+
+TEST(Sweep, DefaultGridIsSortedAndPositive)
+{
+    const auto grid = defaultLrGrid();
+    ASSERT_GT(grid.size(), 2u);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_GT(grid[i], 0.0f);
+        if (i) {
+            EXPECT_GT(grid[i], grid[i - 1]);
+        }
+    }
+}
+
+} // namespace
+} // namespace recsim::train

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for recsim::util: formatting, RNG determinism and
+ * distribution sanity, Zipf and power-law samplers, units, tables.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_utils.h"
+#include "util/units.h"
+
+namespace recsim::util {
+namespace {
+
+TEST(Format, SubstitutesPlaceholdersInOrder)
+{
+    EXPECT_EQ(format("a {} c {}", 1, "d"), "a 1 c d");
+}
+
+TEST(Format, NoPlaceholders)
+{
+    EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Format, ExtraArgumentsAreAppended)
+{
+    EXPECT_EQ(format("x {}", 1, 2), "x 1 2");
+}
+
+TEST(Format, MissingArgumentsLeavePlaceholder)
+{
+    EXPECT_EQ(format("x {} {}", 7), "x 7 {}");
+}
+
+TEST(Format, HandlesDoublesAndBools)
+{
+    EXPECT_EQ(format("{} {}", 1.5, true), "1.5 1");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 * 0.9);
+        EXPECT_LT(c, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula)
+{
+    Rng rng(19);
+    const double mu = 0.3, sigma = 0.5;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2.0), 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonMeanTest, SampleMeanMatches)
+{
+    Rng rng(31);
+    const double mean = GetParam();
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 8.0, 28.0, 60.0));
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams)
+{
+    Rng parent(41);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng p1(43), p2(43);
+    Rng a = p1.fork(9);
+    Rng b = p2.fork(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+class ZipfTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfTest, SamplesWithinSupport)
+{
+    Rng rng(47);
+    ZipfSampler zipf(1000, GetParam());
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = zipf(rng);
+        EXPECT_LT(v, 1000u);
+    }
+}
+
+TEST_P(ZipfTest, SkewConcentratesMassOnSmallIndices)
+{
+    Rng rng(53);
+    const double s = GetParam();
+    ZipfSampler zipf(10000, s);
+    int head = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        head += zipf(rng) < 100;
+    const double head_fraction = static_cast<double>(head) / n;
+    if (s >= 1.0) {
+        // With s >= 1 the first 1% of indices takes most of the mass.
+        EXPECT_GT(head_fraction, 0.4);
+    } else if (s == 0.0) {
+        EXPECT_NEAR(head_fraction, 0.01, 0.005);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfTest,
+                         ::testing::Values(0.0, 0.8, 1.0, 1.05, 1.5));
+
+TEST(Zipf, UniformWhenExponentZero)
+{
+    Rng rng(59);
+    ZipfSampler zipf(100, 0.0);
+    std::vector<int> counts(100, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Zipf, SingletonSupport)
+{
+    Rng rng(61);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(PowerLawLength, MeanMatchesAnalytical)
+{
+    Rng rng(67);
+    PowerLawLengthSampler sampler(1.5, 64);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(sampler(rng));
+    EXPECT_NEAR(sum / n, sampler.mean(), sampler.mean() * 0.03);
+}
+
+TEST(PowerLawLength, RespectsTruncation)
+{
+    Rng rng(71);
+    PowerLawLengthSampler sampler(1.1, 32);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = sampler(rng);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 32u);
+    }
+}
+
+TEST(PowerLawLength, HigherAlphaMeansShorter)
+{
+    PowerLawLengthSampler flat(1.01, 100);
+    PowerLawLengthSampler steep(2.5, 100);
+    EXPECT_GT(flat.mean(), steep.mean());
+}
+
+TEST(Units, GbpsConvertsToBytes)
+{
+    EXPECT_DOUBLE_EQ(gbps(25.0), 25.0e9 / 8.0);
+    EXPECT_DOUBLE_EQ(gBps(900.0), 900.0e9);
+}
+
+TEST(Strings, BytesToString)
+{
+    EXPECT_EQ(bytesToString(512.0), "512 B");
+    EXPECT_EQ(bytesToString(2.0 * kGiB), "2.00 GiB");
+    EXPECT_EQ(bytesToString(1.5 * kTiB), "1.50 TiB");
+}
+
+TEST(Strings, CountToString)
+{
+    EXPECT_EQ(countToString(5700000.0), "5.7M");
+    EXPECT_EQ(countToString(30.0), "30");
+    EXPECT_EQ(countToString(2.0e9), "2.0B");
+}
+
+TEST(Strings, RateToString)
+{
+    EXPECT_EQ(rateToString(1.0e12), "1.00 TB/s");
+    EXPECT_EQ(rateToString(900.0e9), "900.00 GB/s");
+}
+
+TEST(Strings, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table;
+    table.header({"name", "value"});
+    table.row({"alpha", "1"});
+    table.row({"b", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Assert, PassingConditionDoesNotAbort)
+{
+    RECSIM_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(AssertDeath, FailingConditionPanics)
+{
+    EXPECT_DEATH(RECSIM_ASSERT(false, "boom {}", 42), "boom 42");
+}
+
+} // namespace
+} // namespace recsim::util
