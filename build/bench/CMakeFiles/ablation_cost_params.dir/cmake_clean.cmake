@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_params.dir/ablation_cost_params.cpp.o"
+  "CMakeFiles/ablation_cost_params.dir/ablation_cost_params.cpp.o.d"
+  "ablation_cost_params"
+  "ablation_cost_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

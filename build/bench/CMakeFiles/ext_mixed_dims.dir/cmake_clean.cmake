@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_dims.dir/ext_mixed_dims.cpp.o"
+  "CMakeFiles/ext_mixed_dims.dir/ext_mixed_dims.cpp.o.d"
+  "ext_mixed_dims"
+  "ext_mixed_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

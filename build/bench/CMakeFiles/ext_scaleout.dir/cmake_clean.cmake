@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaleout.dir/ext_scaleout.cpp.o"
+  "CMakeFiles/ext_scaleout.dir/ext_scaleout.cpp.o.d"
+  "ext_scaleout"
+  "ext_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_production_throughput.dir/fig01_production_throughput.cpp.o"
+  "CMakeFiles/fig01_production_throughput.dir/fig01_production_throughput.cpp.o.d"
+  "fig01_production_throughput"
+  "fig01_production_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_production_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

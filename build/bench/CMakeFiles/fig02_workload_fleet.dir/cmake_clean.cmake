@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_workload_fleet.dir/fig02_workload_fleet.cpp.o"
+  "CMakeFiles/fig02_workload_fleet.dir/fig02_workload_fleet.cpp.o.d"
+  "fig02_workload_fleet"
+  "fig02_workload_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_workload_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hash_vs_length.dir/fig06_hash_vs_length.cpp.o"
+  "CMakeFiles/fig06_hash_vs_length.dir/fig06_hash_vs_length.cpp.o.d"
+  "fig06_hash_vs_length"
+  "fig06_hash_vs_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hash_vs_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_feature_length_dist.dir/fig07_feature_length_dist.cpp.o"
+  "CMakeFiles/fig07_feature_length_dist.dir/fig07_feature_length_dist.cpp.o.d"
+  "fig07_feature_length_dist"
+  "fig07_feature_length_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_feature_length_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_server_histograms.dir/fig09_server_histograms.cpp.o"
+  "CMakeFiles/fig09_server_histograms.dir/fig09_server_histograms.cpp.o.d"
+  "fig09_server_histograms"
+  "fig09_server_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_server_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hash_size.dir/fig12_hash_size.cpp.o"
+  "CMakeFiles/fig12_hash_size.dir/fig12_hash_size.cpp.o.d"
+  "fig12_hash_size"
+  "fig12_hash_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hash_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mlp_dims.dir/fig13_mlp_dims.cpp.o"
+  "CMakeFiles/fig13_mlp_dims.dir/fig13_mlp_dims.cpp.o.d"
+  "fig13_mlp_dims"
+  "fig13_mlp_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mlp_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_placement_bb_zion.dir/fig14_placement_bb_zion.cpp.o"
+  "CMakeFiles/fig14_placement_bb_zion.dir/fig14_placement_bb_zion.cpp.o.d"
+  "fig14_placement_bb_zion"
+  "fig14_placement_bb_zion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_placement_bb_zion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

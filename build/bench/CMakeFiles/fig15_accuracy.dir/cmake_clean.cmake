@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_accuracy.dir/fig15_accuracy.cpp.o"
+  "CMakeFiles/fig15_accuracy.dir/fig15_accuracy.cpp.o.d"
+  "fig15_accuracy"
+  "fig15_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

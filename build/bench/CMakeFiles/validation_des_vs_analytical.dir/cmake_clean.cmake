@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_des_vs_analytical.dir/validation_des_vs_analytical.cpp.o"
+  "CMakeFiles/validation_des_vs_analytical.dir/validation_des_vs_analytical.cpp.o.d"
+  "validation_des_vs_analytical"
+  "validation_des_vs_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_des_vs_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for validation_des_vs_analytical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for validation_des_vs_analytical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_ctr_model.dir/train_ctr_model.cpp.o"
+  "CMakeFiles/train_ctr_model.dir/train_ctr_model.cpp.o.d"
+  "train_ctr_model"
+  "train_ctr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_ctr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

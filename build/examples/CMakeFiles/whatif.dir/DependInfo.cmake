@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/whatif.cpp" "examples/CMakeFiles/whatif.dir/whatif.cpp.o" "gcc" "examples/CMakeFiles/whatif.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/recsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/recsim_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/recsim_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/recsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/recsim_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/recsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/recsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/recsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/recsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recsim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif.dir/whatif.cpp.o"
+  "CMakeFiles/whatif.dir/whatif.cpp.o.d"
+  "whatif"
+  "whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("model")
+subdirs("hw")
+subdirs("placement")
+subdirs("cost")
+subdirs("des")
+subdirs("sim")
+subdirs("train")
+subdirs("fleet")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_core.dir/estimator.cc.o"
+  "CMakeFiles/recsim_core.dir/estimator.cc.o.d"
+  "CMakeFiles/recsim_core.dir/explorer.cc.o"
+  "CMakeFiles/recsim_core.dir/explorer.cc.o.d"
+  "librecsim_core.a"
+  "librecsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

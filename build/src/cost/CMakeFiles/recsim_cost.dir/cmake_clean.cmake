@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_cost.dir/cache_model.cc.o"
+  "CMakeFiles/recsim_cost.dir/cache_model.cc.o.d"
+  "CMakeFiles/recsim_cost.dir/iteration_model.cc.o"
+  "CMakeFiles/recsim_cost.dir/iteration_model.cc.o.d"
+  "CMakeFiles/recsim_cost.dir/system_config.cc.o"
+  "CMakeFiles/recsim_cost.dir/system_config.cc.o.d"
+  "librecsim_cost.a"
+  "librecsim_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

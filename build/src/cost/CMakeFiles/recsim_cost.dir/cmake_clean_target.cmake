@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecsim_cost.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_data.dir/dataset.cc.o"
+  "CMakeFiles/recsim_data.dir/dataset.cc.o.d"
+  "CMakeFiles/recsim_data.dir/spec.cc.o"
+  "CMakeFiles/recsim_data.dir/spec.cc.o.d"
+  "CMakeFiles/recsim_data.dir/teacher.cc.o"
+  "CMakeFiles/recsim_data.dir/teacher.cc.o.d"
+  "librecsim_data.a"
+  "librecsim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

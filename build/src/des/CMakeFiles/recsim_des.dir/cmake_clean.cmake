@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_des.dir/event_queue.cc.o"
+  "CMakeFiles/recsim_des.dir/event_queue.cc.o.d"
+  "CMakeFiles/recsim_des.dir/sim_object.cc.o"
+  "CMakeFiles/recsim_des.dir/sim_object.cc.o.d"
+  "librecsim_des.a"
+  "librecsim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

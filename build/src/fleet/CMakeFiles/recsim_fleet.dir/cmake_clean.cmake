@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_fleet.dir/fleet_sim.cc.o"
+  "CMakeFiles/recsim_fleet.dir/fleet_sim.cc.o.d"
+  "CMakeFiles/recsim_fleet.dir/workload.cc.o"
+  "CMakeFiles/recsim_fleet.dir/workload.cc.o.d"
+  "librecsim_fleet.a"
+  "librecsim_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

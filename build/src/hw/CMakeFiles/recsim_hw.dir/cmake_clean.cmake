@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_hw.dir/platform.cc.o"
+  "CMakeFiles/recsim_hw.dir/platform.cc.o.d"
+  "librecsim_hw.a"
+  "librecsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

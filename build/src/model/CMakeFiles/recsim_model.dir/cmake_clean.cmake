@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_model.dir/config.cc.o"
+  "CMakeFiles/recsim_model.dir/config.cc.o.d"
+  "CMakeFiles/recsim_model.dir/dlrm.cc.o"
+  "CMakeFiles/recsim_model.dir/dlrm.cc.o.d"
+  "librecsim_model.a"
+  "librecsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/embedding_bag.cc" "src/nn/CMakeFiles/recsim_nn.dir/embedding_bag.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/embedding_bag.cc.o.d"
+  "/root/repo/src/nn/interaction.cc" "src/nn/CMakeFiles/recsim_nn.dir/interaction.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/interaction.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/recsim_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/recsim_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/recsim_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/recsim_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/quantized_embedding.cc" "src/nn/CMakeFiles/recsim_nn.dir/quantized_embedding.cc.o" "gcc" "src/nn/CMakeFiles/recsim_nn.dir/quantized_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/recsim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_nn.dir/embedding_bag.cc.o"
+  "CMakeFiles/recsim_nn.dir/embedding_bag.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/interaction.cc.o"
+  "CMakeFiles/recsim_nn.dir/interaction.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/linear.cc.o"
+  "CMakeFiles/recsim_nn.dir/linear.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/loss.cc.o"
+  "CMakeFiles/recsim_nn.dir/loss.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/mlp.cc.o"
+  "CMakeFiles/recsim_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/optimizer.cc.o"
+  "CMakeFiles/recsim_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/recsim_nn.dir/quantized_embedding.cc.o"
+  "CMakeFiles/recsim_nn.dir/quantized_embedding.cc.o.d"
+  "librecsim_nn.a"
+  "librecsim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

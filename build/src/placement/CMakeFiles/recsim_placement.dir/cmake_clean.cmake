@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_placement.dir/partitioner.cc.o"
+  "CMakeFiles/recsim_placement.dir/partitioner.cc.o.d"
+  "CMakeFiles/recsim_placement.dir/placement.cc.o"
+  "CMakeFiles/recsim_placement.dir/placement.cc.o.d"
+  "librecsim_placement.a"
+  "librecsim_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_sim.dir/dist_sim.cc.o"
+  "CMakeFiles/recsim_sim.dir/dist_sim.cc.o.d"
+  "librecsim_sim.a"
+  "librecsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

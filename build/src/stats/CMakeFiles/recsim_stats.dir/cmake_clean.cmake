@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/recsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/recsim_stats.dir/kde.cc.o"
+  "CMakeFiles/recsim_stats.dir/kde.cc.o.d"
+  "CMakeFiles/recsim_stats.dir/running_stat.cc.o"
+  "CMakeFiles/recsim_stats.dir/running_stat.cc.o.d"
+  "CMakeFiles/recsim_stats.dir/sample_set.cc.o"
+  "CMakeFiles/recsim_stats.dir/sample_set.cc.o.d"
+  "librecsim_stats.a"
+  "librecsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

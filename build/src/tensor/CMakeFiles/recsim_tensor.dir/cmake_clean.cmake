@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_tensor.dir/ops.cc.o"
+  "CMakeFiles/recsim_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/recsim_tensor.dir/tensor.cc.o"
+  "CMakeFiles/recsim_tensor.dir/tensor.cc.o.d"
+  "librecsim_tensor.a"
+  "librecsim_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/checkpoint.cc" "src/train/CMakeFiles/recsim_train.dir/checkpoint.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/checkpoint.cc.o.d"
+  "/root/repo/src/train/easgd.cc" "src/train/CMakeFiles/recsim_train.dir/easgd.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/easgd.cc.o.d"
+  "/root/repo/src/train/hogwild.cc" "src/train/CMakeFiles/recsim_train.dir/hogwild.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/hogwild.cc.o.d"
+  "/root/repo/src/train/shadow_sync.cc" "src/train/CMakeFiles/recsim_train.dir/shadow_sync.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/shadow_sync.cc.o.d"
+  "/root/repo/src/train/sweep.cc" "src/train/CMakeFiles/recsim_train.dir/sweep.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/sweep.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/recsim_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/recsim_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/recsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/recsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/recsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recsim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

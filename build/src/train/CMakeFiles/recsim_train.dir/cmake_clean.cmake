@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_train.dir/checkpoint.cc.o"
+  "CMakeFiles/recsim_train.dir/checkpoint.cc.o.d"
+  "CMakeFiles/recsim_train.dir/easgd.cc.o"
+  "CMakeFiles/recsim_train.dir/easgd.cc.o.d"
+  "CMakeFiles/recsim_train.dir/hogwild.cc.o"
+  "CMakeFiles/recsim_train.dir/hogwild.cc.o.d"
+  "CMakeFiles/recsim_train.dir/shadow_sync.cc.o"
+  "CMakeFiles/recsim_train.dir/shadow_sync.cc.o.d"
+  "CMakeFiles/recsim_train.dir/sweep.cc.o"
+  "CMakeFiles/recsim_train.dir/sweep.cc.o.d"
+  "CMakeFiles/recsim_train.dir/trainer.cc.o"
+  "CMakeFiles/recsim_train.dir/trainer.cc.o.d"
+  "librecsim_train.a"
+  "librecsim_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

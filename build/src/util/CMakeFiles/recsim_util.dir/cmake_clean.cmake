@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsim_util.dir/logging.cc.o"
+  "CMakeFiles/recsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/recsim_util.dir/random.cc.o"
+  "CMakeFiles/recsim_util.dir/random.cc.o.d"
+  "CMakeFiles/recsim_util.dir/string_utils.cc.o"
+  "CMakeFiles/recsim_util.dir/string_utils.cc.o.d"
+  "librecsim_util.a"
+  "librecsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

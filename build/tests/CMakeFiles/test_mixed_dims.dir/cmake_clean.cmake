@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_dims.dir/test_mixed_dims.cc.o"
+  "CMakeFiles/test_mixed_dims.dir/test_mixed_dims.cc.o.d"
+  "test_mixed_dims"
+  "test_mixed_dims.pdb"
+  "test_mixed_dims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

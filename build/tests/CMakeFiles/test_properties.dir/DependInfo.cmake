@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/recsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/recsim_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/recsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/recsim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recsim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/recsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
