@@ -56,8 +56,9 @@ tableIII(const cost::CostParams& params)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Ablation: calibration sensitivity",
                   "Table III ratios under perturbed CostParams",
                   "Each knob x0.5 and x2; conclusion holds if M1 > 1, "

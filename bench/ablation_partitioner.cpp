@@ -17,8 +17,9 @@ using namespace recsim;
 using placement::BalanceObjective;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Ablation: table partitioning",
                   "Sec III-A 'imbalances among servers'",
                   "M3_prod's 127 tables across 8 sparse parameter "

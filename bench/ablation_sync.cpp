@@ -19,8 +19,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Ablation: EASGD sync period",
                   "Sec III-A.6 gradient synchronization",
                   "System effect (M2 on its CPU fleet) + functional "

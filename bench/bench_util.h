@@ -1,17 +1,75 @@
 /**
  * @file
  * Shared helpers for the bench harnesses: consistent headers and
- * number formatting so every binary prints paper-style rows.
+ * number formatting so every binary prints paper-style rows, plus the
+ * `--trace out.json` hook that lets any bench dump a Chrome trace of
+ * its run (wall-clock spans and, where the bench exercises the DES,
+ * simulated-time spans on the same export).
  */
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/string_utils.h"
 
 namespace recsim {
 namespace bench {
+
+/**
+ * Enables tracing for the duration of a bench run when the binary is
+ * invoked with `--trace <path>` (or `--trace=<path>`); on destruction
+ * writes the Chrome trace JSON to that path and prints the text
+ * summary. With no --trace flag this is a no-op, so benchmark numbers
+ * stay honest.
+ *
+ * Usage (first lines of main):
+ *   bench::TraceSession trace(argc, argv);
+ */
+class TraceSession
+{
+  public:
+    TraceSession(int argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--trace" && i + 1 < argc)
+                path_ = argv[i + 1];
+            else if (arg.rfind("--trace=", 0) == 0)
+                path_ = arg.substr(8);
+        }
+        if (path_.empty())
+            return;
+        obs::Tracer::global().reset();
+        obs::Tracer::global().setEnabled(true);
+        top_span_ = std::make_unique<obs::TraceSpan>("bench.main");
+    }
+
+    ~TraceSession()
+    {
+        if (path_.empty())
+            return;
+        top_span_.reset();
+        obs::Tracer& tracer = obs::Tracer::global();
+        tracer.setEnabled(false);
+        if (tracer.writeChromeTrace(path_)) {
+            std::cout << "\ntrace written to " << path_
+                      << " (load in Perfetto or chrome://tracing)\n";
+        } else {
+            std::cerr << "failed to write trace to " << path_ << "\n";
+        }
+        std::cout << tracer.summary();
+    }
+
+    /** True when --trace was given and spans are being recorded. */
+    bool active() const { return !path_.empty(); }
+
+  private:
+    std::string path_;
+    std::unique_ptr<obs::TraceSpan> top_span_;
+};
 
 /** Print the standard bench banner. */
 inline void

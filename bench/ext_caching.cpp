@@ -16,8 +16,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Extension: hot-row caching",
                   "Remote-placement cache (paper Sec III-A opportunity)",
                   "M3_prod on one Big Basin with remote sparse PS and a "

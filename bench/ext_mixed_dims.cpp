@@ -26,8 +26,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Extension: mixed-dimension embeddings",
                   "Popularity-scaled table widths (paper citation [17])",
                   "System capacity effect on M3_prod + functional "

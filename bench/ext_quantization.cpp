@@ -26,8 +26,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Extension: quantization",
                   "Embedding compression (paper Sec III-A opportunity)",
                   "System effect on M3_prod placement + functional "

@@ -17,8 +17,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Extension: multi-node scale-out",
                   "Multi-TB models on N Zions vs N Big Basins",
                   "M3-like model with 8x hash sizes (~1 TB of "

@@ -27,8 +27,9 @@ cell(const cost::IterationEstimate& est, double cpu_throughput)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner(
         "Fig 1", "Throughput with different hardware and EMB placement",
         "Throughput relative to each model's production CPU setup "

@@ -16,8 +16,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 2",
                   "Frequency and duration of ML training workloads",
                   "One month of sampled fleet runs per workload class.");

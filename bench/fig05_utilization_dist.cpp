@@ -14,8 +14,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 5",
                   "Utilization distribution at fixed training scale",
                   "500 simulated runs of an M1-like ranking model on "

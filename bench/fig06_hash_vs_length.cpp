@@ -18,8 +18,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 6",
                   "Hash size vs mean feature length per table",
                   "Per-table (hash size, mean lookups) for the three "

@@ -17,8 +17,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 7",
                   "Mean sparse feature length distributions (with KDE)",
                   "Distribution of per-table mean lookup counts for the "

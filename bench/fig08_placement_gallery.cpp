@@ -57,8 +57,9 @@ describe(const std::string& label, const placement::PlacementPlan& plan)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 8 (companion)",
                   "Embedding table placement options, realized",
                   "Planner output for each production model on each "

@@ -15,8 +15,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 9",
                   "Trainer / parameter-server counts over a month",
                   "2000 sampled CPU training workflows.");

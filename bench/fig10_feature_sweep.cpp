@@ -14,8 +14,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 10",
                   "Throughput vs #dense x #sparse features + efficiency",
                   "Fixed MLP 512^3, hash 100k, lookups truncated to 32; "

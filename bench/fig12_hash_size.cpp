@@ -16,8 +16,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 12", "Hash-size scaling on CPU and GPU",
                   "64 sparse features, MLP 512^3; one 256 GB CPU PS vs "
                   "one Big Basin (8x16 GB HBM2).");

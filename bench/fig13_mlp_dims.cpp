@@ -13,8 +13,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 13", "Throughput under varying MLP dimensions",
                   "32 sparse / 256 dense features, hash 100k; "
                   "width^layers stacks as in the paper.");

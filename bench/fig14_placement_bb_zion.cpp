@@ -15,8 +15,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 14", "Embedding placements on Big Basin vs Zion",
                   "M2_prod, batch 3200 per GPU; remote uses 8 sparse "
                   "parameter servers.");

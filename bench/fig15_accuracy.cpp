@@ -16,8 +16,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Fig 15",
                   "Accuracy (NE) gap vs batch size after LR retuning",
                   "Scaled-down DLRM on a fixed synthetic dataset; one "

@@ -17,8 +17,9 @@
 using namespace recsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Table I", "Hardware platform details",
                   "Paper rows plus the derived rates the cost models "
                   "use.");

@@ -31,8 +31,9 @@ struct Row
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Table III", "CPU-GPU optimal setup comparison",
                   "Relative throughput and power efficiency of one Big "
                   "Basin vs each model's production CPU setup\n(paper "

@@ -20,8 +20,9 @@ using namespace recsim;
 using placement::EmbeddingPlacement;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::TraceSession trace_session(argc, argv);
     bench::banner("Validation: DES vs analytical model",
                   "Cross-check of the two performance models",
                   "Throughput ratio sim/analytical over a config grid "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -16,6 +17,7 @@ cost::IterationEstimate
 Estimator::estimate(const model::DlrmConfig& model,
                     const cost::SystemConfig& system) const
 {
+    RECSIM_TRACE_SPAN("core.estimate");
     return cost::IterationModel(model, system, params_).estimate();
 }
 

@@ -1,5 +1,6 @@
 #include "core/explorer.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
 
@@ -31,6 +32,7 @@ DesignSpaceExplorer::evaluate(const model::DlrmConfig& model,
                               cost::SystemConfig cpu_sys,
                               cost::SystemConfig gpu_sys) const
 {
+    RECSIM_TRACE_SPAN("core.sweep_row");
     SweepRow row;
     row.label = std::move(label);
     row.axis_value = axis;

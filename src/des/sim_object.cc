@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -33,6 +34,11 @@ Resource::acquireAt(Tick earliest, double units)
     const Tick service = secondsToTicks(units / rate_);
     free_at_ = start + service;
     busy_ += service;
+    // Busy intervals become sim-time trace spans, so PS memory/CPU and
+    // NIC saturation is visible on the same timeline as the workers.
+    if (obs::Tracer::enabled() && service > 0)
+        obs::Tracer::global().addSimSpan(name(), "busy", start,
+                                         free_at_);
     return free_at_;
 }
 

@@ -1,6 +1,7 @@
 #include "model/dlrm.h"
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_utils.h"
@@ -50,6 +51,7 @@ Dlrm::forward(const data::MiniBatch& batch, tensor::Tensor& logits)
     RECSIM_ASSERT(batch.sparse.size() == tables_.size(),
                   "batch has {} sparse features, model expects {}",
                   batch.sparse.size(), tables_.size());
+    RECSIM_TRACE_SPAN("model.fwd");
     bottom_->forward(batch.dense, bottom_out_);
     for (std::size_t f = 0; f < tables_.size(); ++f) {
         if (projections_[f]) {
@@ -72,6 +74,7 @@ Dlrm::forwardBackward(const data::MiniBatch& batch)
     forward(batch, logits_);
     const double loss = nn::bceWithLogits(logits_, batch.labels,
                                           d_logits_);
+    RECSIM_TRACE_SPAN("model.bwd");
     top_->backward(interact_out_, d_logits_, d_interact_);
     if (config_.interaction == nn::InteractionKind::DotProduct)
         dot_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -23,6 +24,7 @@ EmbeddingBag::EmbeddingBag(uint64_t hash_size, std::size_t dim,
 void
 EmbeddingBag::forward(const SparseBatch& batch, tensor::Tensor& out) const
 {
+    RECSIM_TRACE_SPAN("nn.emb.fwd");
     const std::size_t b = batch.batchSize();
     if (out.rank() != 2 || out.rows() != b || out.cols() != dim_)
         out = tensor::Tensor(b, dim_);
@@ -53,6 +55,7 @@ void
 EmbeddingBag::backward(const SparseBatch& batch, const tensor::Tensor& dy,
                        SparseGrad& grad) const
 {
+    RECSIM_TRACE_SPAN("nn.emb.bwd");
     const std::size_t b = batch.batchSize();
     RECSIM_ASSERT(dy.rows() == b && dy.cols() == dim_,
                   "embedding backward dy {}", dy.shapeString());

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -19,6 +20,7 @@ CatInteraction::forward(const tensor::Tensor& dense,
                         const std::vector<tensor::Tensor>& embs,
                         tensor::Tensor& out) const
 {
+    RECSIM_TRACE_SPAN("nn.cat.fwd");
     const std::size_t b = dense.rows();
     std::size_t width = dense.cols();
     for (const auto& e : embs) {
@@ -44,6 +46,7 @@ CatInteraction::backward(const tensor::Tensor& dense,
                          const tensor::Tensor& dy, tensor::Tensor& d_dense,
                          std::vector<tensor::Tensor>& d_embs) const
 {
+    RECSIM_TRACE_SPAN("nn.cat.bwd");
     const std::size_t b = dense.rows();
     RECSIM_ASSERT(dy.rows() == b, "cat backward batch mismatch");
     if (!d_dense.sameShape(dense))
@@ -78,6 +81,7 @@ DotInteraction::forward(const tensor::Tensor& dense,
                         const std::vector<tensor::Tensor>& embs,
                         tensor::Tensor& out) const
 {
+    RECSIM_TRACE_SPAN("nn.dot.fwd");
     const std::size_t b = dense.rows();
     const std::size_t d = dense.cols();
     const std::size_t f = embs.size() + 1;
@@ -114,6 +118,7 @@ DotInteraction::backward(const tensor::Tensor& dense,
                          const tensor::Tensor& dy, tensor::Tensor& d_dense,
                          std::vector<tensor::Tensor>& d_embs) const
 {
+    RECSIM_TRACE_SPAN("nn.dot.bwd");
     const std::size_t b = dense.rows();
     const std::size_t d = dense.cols();
     const std::size_t f = embs.size() + 1;

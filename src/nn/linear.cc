@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -23,6 +24,7 @@ Linear::forward(const tensor::Tensor& x, tensor::Tensor& y) const
 {
     RECSIM_ASSERT(x.cols() == in_, "Linear forward {} into [{} -> {}]",
                   x.shapeString(), in_, out_);
+    RECSIM_TRACE_SPAN("nn.linear.fwd");
     tensor::matmul(x, weight, y);
     tensor::addBiasRows(y, bias);
 }
@@ -31,6 +33,7 @@ void
 Linear::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
                  tensor::Tensor& dx)
 {
+    RECSIM_TRACE_SPAN("nn.linear.bwd");
     backwardNoInputGrad(x, dy);
     // dx = dy W^T
     tensor::matmulTransB(dy, weight, dx);

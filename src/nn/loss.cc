@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -35,6 +36,7 @@ double
 bceWithLogits(const tensor::Tensor& logits,
               const std::vector<float>& labels, tensor::Tensor& d_logits)
 {
+    RECSIM_TRACE_SPAN("nn.bce");
     const std::size_t b = labels.size();
     RECSIM_ASSERT(logits.size() == b, "loss: {} logits for {} labels",
                   logits.size(), b);

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -40,6 +41,7 @@ Mlp::numParams() const
 void
 Mlp::forward(const tensor::Tensor& x, tensor::Tensor& y)
 {
+    RECSIM_TRACE_SPAN("nn.mlp.fwd");
     const tensor::Tensor* cur = &x;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         layers_[i].forward(*cur, acts_[i]);
@@ -56,6 +58,7 @@ Mlp::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
 {
     RECSIM_ASSERT(acts_.back().rows() == dy.rows(),
                   "MLP backward without matching forward");
+    RECSIM_TRACE_SPAN("nn.mlp.bwd");
     const tensor::Tensor* grad = &dy;
     for (std::size_t i = layers_.size(); i-- > 0;) {
         const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];

@@ -110,5 +110,52 @@ Adagrad::stepSparse(EmbeddingBag& bag, const SparseGrad& grad)
     }
 }
 
+std::vector<float>
+Adagrad::denseState(const tensor::Tensor& param) const
+{
+    const auto it = dense_state_.find(param.data());
+    return it == dense_state_.end() ? std::vector<float>{}
+                                    : it->second;
+}
+
+void
+Adagrad::setDenseState(const tensor::Tensor& param,
+                       std::vector<float> acc)
+{
+    RECSIM_ASSERT(acc.empty() || acc.size() == param.size(),
+                  "Adagrad dense state size {} vs param size {}",
+                  acc.size(), param.size());
+    if (acc.empty())
+        dense_state_.erase(param.data());
+    else
+        dense_state_[param.data()] = std::move(acc);
+}
+
+std::vector<float>
+Adagrad::rowState(const EmbeddingBag& bag) const
+{
+    const auto it = row_state_.find(bag.table.data());
+    return it == row_state_.end() ? std::vector<float>{} : it->second;
+}
+
+void
+Adagrad::setRowState(const EmbeddingBag& bag, std::vector<float> acc)
+{
+    RECSIM_ASSERT(acc.empty() || acc.size() == bag.hashSize(),
+                  "Adagrad row state size {} vs hash size {}",
+                  acc.size(), bag.hashSize());
+    if (acc.empty())
+        row_state_.erase(bag.table.data());
+    else
+        row_state_[bag.table.data()] = std::move(acc);
+}
+
+void
+Adagrad::resetState()
+{
+    dense_state_.clear();
+    row_state_.clear();
+}
+
 } // namespace nn
 } // namespace recsim

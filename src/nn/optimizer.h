@@ -72,6 +72,28 @@ class Adagrad
     float lr() const { return lr_; }
     void setLr(float lr) { lr_ = lr; }
 
+    /**
+     * Copy of the per-element accumulator for @p param; empty if the
+     * parameter was never stepped. For checkpointing.
+     */
+    std::vector<float> denseState(const tensor::Tensor& param) const;
+
+    /**
+     * Install an accumulator for @p param (restore path). Must be
+     * empty or exactly param.size() long.
+     */
+    void setDenseState(const tensor::Tensor& param,
+                       std::vector<float> acc);
+
+    /** Copy of the per-row accumulator for @p bag; empty if unused. */
+    std::vector<float> rowState(const EmbeddingBag& bag) const;
+
+    /** Install a row accumulator: empty or hashSize() long. */
+    void setRowState(const EmbeddingBag& bag, std::vector<float> acc);
+
+    /** Drop all accumulated state (fresh-start restore). */
+    void resetState();
+
   private:
     float lr_;
     float eps_;

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace recsim {
+namespace obs {
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    // Leaky singleton, same rationale as Tracer::global().
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+void
+MetricsRegistry::incr(const std::string& name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string& name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string& name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timings_[name].add(value);
+}
+
+uint64_t
+MetricsRegistry::counter(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+stats::RunningStat
+MetricsRegistry::timing(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timings_.find(name);
+    return it == timings_.end() ? stats::RunningStat() : it->second;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + timings_.size();
+}
+
+std::string
+MetricsRegistry::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "=== metrics ===\n";
+    for (const auto& [name, value] : counters_)
+        os << "  " << util::padRight(name, 36) << " counter "
+           << value << "\n";
+    for (const auto& [name, value] : gauges_)
+        os << "  " << util::padRight(name, 36) << " gauge   "
+           << util::fixed(value, 6) << "\n";
+    for (const auto& [name, stat] : timings_) {
+        os << "  " << util::padRight(name, 36) << " timing  n="
+           << stat.count() << " mean=" << util::fixed(stat.mean(), 6)
+           << " min=" << util::fixed(stat.min(), 6)
+           << " max=" << util::fixed(stat.max(), 6)
+           << " total=" << util::fixed(stat.sum(), 6) << "\n";
+    }
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    timings_.clear();
+}
+
+} // namespace obs
+} // namespace recsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and timing
+ * statistics. The paper's methodology is built on exactly this kind of
+ * internal accounting (per-operator time breakdowns, utilization
+ * distributions, Sections V-VI); the registry gives every layer of
+ * recsim a place to record what it spent time on so benches and tests
+ * can attribute wall time instead of guessing.
+ *
+ * Thread safety: all member functions are safe to call concurrently
+ * (Hogwild/EASGD/ShadowSync workers record into one registry).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "stats/running_stat.h"
+
+namespace recsim {
+namespace obs {
+
+/**
+ * Named counters (monotonic), gauges (last value wins) and timing
+ * distributions (stats::RunningStat of observed values, typically
+ * seconds). Names are dot-scoped, e.g. "train.iterations".
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry most callers use. */
+    static MetricsRegistry& global();
+
+    /** Add @p delta to counter @p name (creating it at 0). */
+    void incr(const std::string& name, uint64_t delta = 1);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string& name, double value);
+
+    /** Record one observation of timing/value series @p name. */
+    void observe(const std::string& name, double value);
+
+    /** Counter value (0 if never incremented). */
+    uint64_t counter(const std::string& name) const;
+
+    /** Gauge value (0 if never set). */
+    double gauge(const std::string& name) const;
+
+    /** Copy of a timing series' accumulator (empty if never observed). */
+    stats::RunningStat timing(const std::string& name) const;
+
+    /** Total number of distinct metric names of any kind. */
+    std::size_t size() const;
+
+    /** Human-readable dump of every metric, sorted by name. */
+    std::string report() const;
+
+    /** Drop every metric. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, stats::RunningStat> timings_;
+};
+
+} // namespace obs
+} // namespace recsim

@@ -8,6 +8,7 @@
 #include "cost/cache_model.h"
 #include "des/event_queue.h"
 #include "des/sim_object.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -50,11 +51,24 @@ class Simulation
 
   private:
     void startWorker(std::size_t trainer, std::size_t worker);
-    Tick cpuIteration(std::size_t trainer, Tick start);
-    Tick gpuIteration(Tick start);
+    Tick cpuIteration(std::size_t trainer, std::size_t worker,
+                      Tick start);
+    Tick gpuIteration(std::size_t worker, Tick start);
     double noisy(double value);
     void finishIteration(std::size_t trainer, std::size_t worker,
                          Tick start, Tick end);
+
+    /** Worker-track name, e.g. "trainer0.w1" / "gpu.w0". */
+    std::string workerTrack(std::size_t trainer, std::size_t worker)
+        const;
+
+    /** Emit a simulated-time span when tracing is on. */
+    static void simSpan(const std::string& track, const char* name,
+                        Tick start, Tick end)
+    {
+        if (obs::Tracer::enabled() && end > start)
+            obs::Tracer::global().addSimSpan(track, name, start, end);
+    }
 
     const DistSimConfig& cfg_;
     cost::IterationModel analytical_;
@@ -342,8 +356,9 @@ Simulation::startWorker(std::size_t trainer, std::size_t worker)
 {
     eq_.scheduleAfter(0, [this, trainer, worker] {
         const Tick start = eq_.now();
-        const Tick end = gpu_mode_ ? gpuIteration(start)
-                                   : cpuIteration(trainer, start);
+        const Tick end = gpu_mode_
+            ? gpuIteration(worker, start)
+            : cpuIteration(trainer, worker, start);
         finishIteration(trainer, worker, start, end);
     });
 }
@@ -352,8 +367,7 @@ void
 Simulation::finishIteration(std::size_t trainer, std::size_t worker,
                             Tick start, Tick end)
 {
-    (void)trainer;
-    (void)worker;
+    simSpan(workerTrack(trainer, worker), "iteration", start, end);
     // Count by completion time only: warmup is excluded by the window
     // opening, so queueing delay under many workers does not eat into
     // the measured window.
@@ -364,14 +378,23 @@ Simulation::finishIteration(std::size_t trainer, std::size_t worker,
     if (end >= measure_end_)
         return;
     eq_.schedule(end, [this, trainer, worker, end] {
-        const Tick next_end = gpu_mode_ ? gpuIteration(end)
-                                        : cpuIteration(trainer, end);
+        const Tick next_end = gpu_mode_
+            ? gpuIteration(worker, end)
+            : cpuIteration(trainer, worker, end);
         finishIteration(trainer, worker, end, next_end);
     });
 }
 
+std::string
+Simulation::workerTrack(std::size_t trainer, std::size_t worker) const
+{
+    return (gpu_mode_ ? "gpu" : "trainer" + std::to_string(trainer)) +
+        ".w" + std::to_string(worker);
+}
+
 Tick
-Simulation::cpuIteration(std::size_t trainer, Tick start)
+Simulation::cpuIteration(std::size_t trainer, std::size_t worker,
+                         Tick start)
 {
     const double b = static_cast<double>(cfg_.system.batch_size);
     auto& nic = *trainer_nic_[trainer];
@@ -410,11 +433,17 @@ Simulation::cpuIteration(std::size_t trainer, Tick start)
         done = std::max(done, dense_ps_nic_->transferAt(
             computed, noisy(dense_sync_bytes_)));
     }
+    if (obs::Tracer::enabled()) {
+        const std::string track = workerTrack(trainer, worker);
+        simSpan(track, "lookup", start, responses);
+        simSpan(track, "compute", responses, computed);
+        simSpan(track, "push", computed, done);
+    }
     return done;
 }
 
 Tick
-Simulation::gpuIteration(Tick start)
+Simulation::gpuIteration(std::size_t worker, Tick start)
 {
     const auto& sys = cfg_.system;
     const auto& p = sys.platform;
@@ -490,6 +519,13 @@ Simulation::gpuIteration(Tick start)
         ? p.gpu_interconnect.bandwidth : p.host_gpu.bandwidth / 2.0;
     const Tick reduced = computed + secondsToTicks(
         dense_params * sizeof(float) * (g - 1.0) / g / allreduce_bw);
+    if (obs::Tracer::enabled()) {
+        const std::string track = workerTrack(0, worker);
+        simSpan(track, "input", start, input_done);
+        simSpan(track, "embedding", input_done, emb_done);
+        simSpan(track, "mlp", emb_done, computed);
+        simSpan(track, "allreduce", computed, reduced);
+    }
     return reduced;
 }
 

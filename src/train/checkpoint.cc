@@ -11,7 +11,10 @@ namespace train {
 namespace {
 
 constexpr uint32_t kMagic = 0x52435031;  // "RCP1"
-constexpr uint32_t kVersion = 1;
+// v1: header + dense params + tables.
+// v2: v1 + optimizer-state flag byte (+ Adagrad accumulators when set).
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 /** Append a POD value to the buffer. */
 template <typename T>
@@ -91,8 +94,16 @@ shapeSignature(model::Dlrm& model)
 
 } // namespace
 
+/** One accumulator vector: count (0 = never stepped) then payload. */
+static void
+putState(std::vector<uint8_t>& buffer, const std::vector<float>& acc)
+{
+    put(buffer, static_cast<uint64_t>(acc.size()));
+    putFloats(buffer, acc.data(), acc.size());
+}
+
 std::vector<uint8_t>
-saveCheckpoint(model::Dlrm& model)
+saveCheckpoint(model::Dlrm& model, const nn::Adagrad* optimizer)
 {
     std::vector<uint8_t> buffer;
     buffer.reserve(1024);
@@ -112,19 +123,30 @@ saveCheckpoint(model::Dlrm& model)
         put(buffer, static_cast<uint64_t>(table.table.size()));
         putFloats(buffer, table.table.data(), table.table.size());
     }
+
+    put(buffer, static_cast<uint8_t>(optimizer != nullptr));
+    if (optimizer != nullptr) {
+        for (const auto* param : params)
+            putState(buffer, optimizer->denseState(*param));
+        for (const auto& table : model.tables())
+            putState(buffer, optimizer->rowState(table));
+    }
     return buffer;
 }
 
 RestoreStatus
-restoreCheckpoint(model::Dlrm& model, const std::vector<uint8_t>& buffer)
+restoreCheckpoint(model::Dlrm& model, const std::vector<uint8_t>& buffer,
+                  nn::Adagrad* optimizer)
 {
     Reader reader(buffer);
     uint32_t magic = 0, version = 0;
     uint64_t signature = 0;
     if (!reader.get(magic) || magic != kMagic)
         return {false, "not a recsim checkpoint (bad magic)"};
-    if (!reader.get(version) || version != kVersion)
+    if (!reader.get(version) || version < kMinVersion ||
+        version > kVersion) {
         return {false, "unsupported checkpoint version"};
+    }
     if (!reader.get(signature) || signature != shapeSignature(model))
         return {false, "model architecture does not match checkpoint"};
 
@@ -152,15 +174,58 @@ restoreCheckpoint(model::Dlrm& model, const std::vector<uint8_t>& buffer)
         if (!reader.getFloats(table.table.data(), table.table.size()))
             return {false, "truncated checkpoint (table payload)"};
     }
+
+    bool has_optimizer = false;
+    if (version >= 2) {
+        uint8_t flag = 0;
+        if (!reader.get(flag))
+            return {false, "truncated checkpoint (optimizer flag)"};
+        has_optimizer = flag != 0;
+    }
+    if (has_optimizer) {
+        // Read the accumulators even when the caller passed no
+        // optimizer, so the trailing-bytes check still holds.
+        auto read_state = [&](std::size_t expected,
+                              std::vector<float>& acc) {
+            uint64_t count = 0;
+            if (!reader.get(count))
+                return false;
+            if (count != 0 && count != expected)
+                return false;
+            acc.resize(count);
+            return count == 0 ||
+                reader.getFloats(acc.data(), acc.size());
+        };
+        std::vector<float> acc;
+        for (auto* param : params) {
+            if (!read_state(param->size(), acc))
+                return {false, "corrupt optimizer state (dense)"};
+            if (optimizer != nullptr)
+                optimizer->setDenseState(*param, acc);
+        }
+        for (auto& table : model.tables()) {
+            if (!read_state(static_cast<std::size_t>(table.hashSize()),
+                            acc)) {
+                return {false, "corrupt optimizer state (sparse)"};
+            }
+            if (optimizer != nullptr)
+                optimizer->setRowState(table, acc);
+        }
+    } else if (optimizer != nullptr) {
+        // A stateless checkpoint restores to fresh accumulators.
+        optimizer->resetState();
+    }
+
     if (!reader.atEnd())
         return {false, "trailing bytes after checkpoint payload"};
     return {true, ""};
 }
 
 bool
-saveCheckpointFile(model::Dlrm& model, const std::string& path)
+saveCheckpointFile(model::Dlrm& model, const std::string& path,
+                   const nn::Adagrad* optimizer)
 {
-    const auto buffer = saveCheckpoint(model);
+    const auto buffer = saveCheckpoint(model, optimizer);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         return false;
@@ -170,7 +235,8 @@ saveCheckpointFile(model::Dlrm& model, const std::string& path)
 }
 
 RestoreStatus
-restoreCheckpointFile(model::Dlrm& model, const std::string& path)
+restoreCheckpointFile(model::Dlrm& model, const std::string& path,
+                      nn::Adagrad* optimizer)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
@@ -182,14 +248,16 @@ restoreCheckpointFile(model::Dlrm& model, const std::string& path)
                  static_cast<std::streamsize>(size))) {
         return {false, "cannot read checkpoint file: " + path};
     }
-    return restoreCheckpoint(model, buffer);
+    return restoreCheckpoint(model, buffer, optimizer);
 }
 
 double
 checkpointBytes(const model::DlrmConfig& config)
 {
-    // Header + dense params + tables, all FP32.
-    const double header = 4.0 + 4.0 + 8.0;
+    // Header + dense params + tables, all FP32 (the optional optimizer
+    // section is excluded: capacity planning sizes the parameter
+    // payload).
+    const double header = 4.0 + 4.0 + 8.0 + 1.0;
     const double dense =
         static_cast<double>(config.mlpParams()) * sizeof(float) + 16.0;
     return header + dense + config.embeddingBytes() +

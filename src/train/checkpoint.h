@@ -30,23 +30,37 @@ struct RestoreStatus
  * Serialize @p model's parameters (dense MLPs + every embedding table)
  * into a byte buffer. The buffer embeds a format version and a shape
  * signature so restores into a differently-shaped model fail cleanly.
+ *
+ * When @p optimizer is non-null its Adagrad accumulators (per-element
+ * dense state, per-row embedding state) are saved too, so a resumed
+ * run continues bit-exactly rather than restarting the accumulators
+ * from zero.
  */
-std::vector<uint8_t> saveCheckpoint(model::Dlrm& model);
+std::vector<uint8_t> saveCheckpoint(model::Dlrm& model,
+                                    const nn::Adagrad* optimizer =
+                                        nullptr);
 
 /**
  * Restore parameters from @p buffer into @p model. The model must have
  * the same architecture (dense dims, table count, hash sizes, emb dim)
  * as the one that produced the checkpoint.
+ *
+ * When @p optimizer is non-null and the checkpoint carries optimizer
+ * state, the Adagrad accumulators are restored as well; a stateless
+ * checkpoint resets the optimizer to fresh accumulators.
  */
 RestoreStatus restoreCheckpoint(model::Dlrm& model,
-                                const std::vector<uint8_t>& buffer);
+                                const std::vector<uint8_t>& buffer,
+                                nn::Adagrad* optimizer = nullptr);
 
 /** saveCheckpoint() to a file. Returns false on I/O failure. */
-bool saveCheckpointFile(model::Dlrm& model, const std::string& path);
+bool saveCheckpointFile(model::Dlrm& model, const std::string& path,
+                        const nn::Adagrad* optimizer = nullptr);
 
 /** restoreCheckpoint() from a file. */
 RestoreStatus restoreCheckpointFile(model::Dlrm& model,
-                                    const std::string& path);
+                                    const std::string& path,
+                                    nn::Adagrad* optimizer = nullptr);
 
 /**
  * Estimate the serialized checkpoint size for a model *configuration*

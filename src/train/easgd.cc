@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -49,6 +50,7 @@ trainEasgd(const model::DlrmConfig& model_config,
         std::size_t tail_count = 0;
 
         for (std::size_t step = 0; step < steps_per_worker; ++step) {
+            RECSIM_TRACE_SPAN("easgd.iteration");
             const std::size_t offset =
                 begin + (step * base.batch_size) % std::max(shard, 1ul);
             data::MiniBatch batch =
@@ -85,6 +87,7 @@ trainEasgd(const model::DlrmConfig& model_config,
 
             // Periodic elastic sync with the center.
             if ((step + 1) % config.sync_period == 0) {
+                RECSIM_TRACE_SPAN("easgd.sync");
                 const float alpha = config.elasticity;
                 std::lock_guard<std::mutex> lock(center_mutex);
                 for (std::size_t i = 0; i < center_params.size(); ++i) {

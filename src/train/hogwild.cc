@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -76,30 +78,37 @@ trainHogwild(const model::DlrmConfig& model_config,
             std::max<std::size_t>(steps_per_worker / 10, 1);
 
         for (std::size_t step = 0; step < steps_per_worker; ++step) {
-            // Racy pull of the current dense parameters (no locks).
-            for (std::size_t i = 0; i < master_params.size(); ++i) {
-                std::copy(master_params[i]->data(),
-                          master_params[i]->data() +
-                              master_params[i]->size(),
-                          replica_params[i]->data());
-            }
-            // Embedding rows are read from the master directly: copy the
-            // rows this batch touches. For simplicity and fidelity to
-            // Hogwild's sparse-access argument, replicate whole tables
-            // only once (seed-identical init) and sync touched rows.
-            const std::size_t offset =
-                begin + (step * base.batch_size) % std::max(shard, 1ul);
-            data::MiniBatch batch =
-                dataset.epochBatch(offset, base.batch_size);
-            for (std::size_t f = 0; f < batch.sparse.size(); ++f) {
-                auto& mt = master.tables()[f];
-                auto& rt = replica.tables()[f];
-                for (uint64_t idx : batch.sparse[f].indices) {
-                    const auto row = static_cast<std::size_t>(
-                        idx % mt.hashSize());
-                    std::copy(mt.table.row(row),
-                              mt.table.row(row) + mt.dim(),
-                              rt.table.row(row));
+            RECSIM_TRACE_SPAN("hogwild.iteration");
+            data::MiniBatch batch;
+            {
+                RECSIM_TRACE_SPAN("hogwild.pull");
+                // Racy pull of the current dense parameters (no
+                // locks).
+                for (std::size_t i = 0; i < master_params.size();
+                     ++i) {
+                    std::copy(master_params[i]->data(),
+                              master_params[i]->data() +
+                                  master_params[i]->size(),
+                              replica_params[i]->data());
+                }
+                // Embedding rows are read from the master directly:
+                // copy the rows this batch touches. For simplicity and
+                // fidelity to Hogwild's sparse-access argument,
+                // replicate whole tables only once (seed-identical
+                // init) and sync touched rows.
+                const std::size_t offset = begin +
+                    (step * base.batch_size) % std::max(shard, 1ul);
+                batch = dataset.epochBatch(offset, base.batch_size);
+                for (std::size_t f = 0; f < batch.sparse.size(); ++f) {
+                    auto& mt = master.tables()[f];
+                    auto& rt = replica.tables()[f];
+                    for (uint64_t idx : batch.sparse[f].indices) {
+                        const auto row = static_cast<std::size_t>(
+                            idx % mt.hashSize());
+                        std::copy(mt.table.row(row),
+                                  mt.table.row(row) + mt.dim(),
+                                  rt.table.row(row));
+                    }
                 }
             }
 
@@ -109,21 +118,28 @@ trainHogwild(const model::DlrmConfig& model_config,
                 ++tail_count;
             }
 
-            // Racy push: apply the replica's gradients to the master.
-            const float lr = base.learning_rate;
-            applyDenseGrads(master, replica, lr);
-            for (std::size_t f = 0; f < replica.tables().size(); ++f) {
-                const auto& grad = replica.sparseGrads()[f];
-                auto& table = master.tables()[f];
-                for (std::size_t r = 0; r < grad.rows.size(); ++r) {
-                    float* row = table.table.row(
-                        static_cast<std::size_t>(grad.rows[r]));
-                    const float* g = grad.values.row(r);
-                    for (std::size_t j = 0; j < table.dim(); ++j)
-                        row[j] -= lr * g[j];
+            {
+                RECSIM_TRACE_SPAN("hogwild.push");
+                // Racy push: apply the replica's gradients to the
+                // master.
+                const float lr = base.learning_rate;
+                applyDenseGrads(master, replica, lr);
+                for (std::size_t f = 0; f < replica.tables().size();
+                     ++f) {
+                    const auto& grad = replica.sparseGrads()[f];
+                    auto& table = master.tables()[f];
+                    for (std::size_t r = 0; r < grad.rows.size();
+                         ++r) {
+                        float* row = table.table.row(
+                            static_cast<std::size_t>(grad.rows[r]));
+                        const float* g = grad.values.row(r);
+                        for (std::size_t j = 0; j < table.dim(); ++j)
+                            row[j] -= lr * g[j];
+                    }
                 }
             }
             replica.zeroGrad();
+            obs::MetricsRegistry::global().incr("hogwild.iterations");
             total_steps.fetch_add(1, std::memory_order_relaxed);
         }
         final_losses[tid] =

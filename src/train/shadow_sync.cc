@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -61,6 +62,7 @@ trainShadowSync(const model::DlrmConfig& model_config,
         std::size_t tail_count = 0;
 
         for (std::size_t step = 0; step < steps_per_worker; ++step) {
+            RECSIM_TRACE_SPAN("shadow.iteration");
             const std::size_t offset =
                 begin + (step * base.batch_size) % std::max(shard, 1ul);
             data::MiniBatch batch =
@@ -110,6 +112,7 @@ trainShadowSync(const model::DlrmConfig& model_config,
     auto shadow_fn = [&] {
         auto center_params = center.denseParams();
         while (true) {
+            RECSIM_TRACE_SPAN("shadow.sync_pass");
             bool all_done = true;
             for (auto& w : workers) {
                 if (!w.done.load(std::memory_order_acquire))

@@ -1,6 +1,8 @@
 #include "train/trainer.h"
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -75,13 +77,32 @@ trainSingleThread(const model::DlrmConfig& model_config,
     std::size_t step = 0;
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         for (std::size_t it = 0; it < steps_per_epoch; ++it, ++step) {
-            data::MiniBatch batch = dataset.epochBatch(
-                it * config.batch_size, config.batch_size);
-            const double loss = model.forwardBackward(batch);
-            if (config.optimizer == OptimizerKind::Sgd)
-                model.step(sgd);
-            else
-                model.step(adagrad);
+            RECSIM_TRACE_SPAN("train.iteration");
+            const uint64_t iter_start = obs::Tracer::global().nowNs();
+            double loss = 0.0;
+            data::MiniBatch batch;
+            {
+                RECSIM_TRACE_SPAN("train.data");
+                batch = dataset.epochBatch(it * config.batch_size,
+                                           config.batch_size);
+            }
+            {
+                RECSIM_TRACE_SPAN("train.fwd_bwd");
+                loss = model.forwardBackward(batch);
+            }
+            {
+                RECSIM_TRACE_SPAN("train.optimizer");
+                if (config.optimizer == OptimizerKind::Sgd)
+                    model.step(sgd);
+                else
+                    model.step(adagrad);
+            }
+            auto& metrics = obs::MetricsRegistry::global();
+            metrics.incr("train.iterations");
+            metrics.observe("train.iteration_seconds",
+                            static_cast<double>(
+                                obs::Tracer::global().nowNs() -
+                                iter_start) * 1e-9);
             if (step >= tail_start) {
                 tail_loss += loss;
                 ++tail_count;

@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Tests for the observability layer (recsim::obs): metrics registry
+ * semantics, tracer span bookkeeping, Chrome-trace JSON export, and —
+ * the point of the subsystem — trace-validated training loops: a traced
+ * run must produce balanced spans, one iteration span per optimizer
+ * step, forward strictly before backward, and one wall-clock track per
+ * Hogwild worker.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "train/hogwild.h"
+#include "train/trainer.h"
+
+namespace recsim::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON well-formedness parser (objects, arrays, strings,
+// numbers, literals) so the trace export is validated without external
+// dependencies. Returns true iff the whole document parses.
+// ---------------------------------------------------------------------
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    bool parse()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool parseValue()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return parseString();
+        case 't': return parseLiteral("true");
+        case 'f': return parseLiteral("false");
+        case 'n': return parseLiteral("null");
+        default: return parseNumber();
+        }
+    }
+
+    bool parseObject()
+    {
+        ++pos_;  // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool parseArray()
+    {
+        ++pos_;  // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool parseString()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\\') {
+                pos_ += 2;
+                continue;
+            }
+            if (c == '"') { ++pos_; return true; }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;  // raw control char: escaping bug
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool parseLiteral(const char* lit)
+    {
+        const std::string s(lit);
+        if (text_.compare(pos_, s.size(), s) != 0)
+            return false;
+        pos_ += s.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : 0; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+/** Spans with @p name across all wall-clock tracks, sorted by start. */
+std::vector<SpanRecord>
+spansNamed(const std::vector<TrackRecord>& tracks,
+           const std::string& name)
+{
+    std::vector<SpanRecord> result;
+    for (const TrackRecord& track : tracks) {
+        if (track.simulated)
+            continue;
+        for (const SpanRecord& span : track.spans) {
+            if (span.name == name)
+                result.push_back(span);
+        }
+    }
+    std::sort(result.begin(), result.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    return result;
+}
+
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Tracer::global().reset();
+        MetricsRegistry::global().reset();
+        Tracer::global().setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        Tracer::global().setEnabled(false);
+        Tracer::global().reset();
+        MetricsRegistry::global().reset();
+    }
+};
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, MetricsCountersGaugesTimings)
+{
+    auto& metrics = MetricsRegistry::global();
+    metrics.incr("requests");
+    metrics.incr("requests", 4);
+    EXPECT_EQ(metrics.counter("requests"), 5u);
+    EXPECT_EQ(metrics.counter("missing"), 0u);
+
+    metrics.set("queue_depth", 7.5);
+    metrics.set("queue_depth", 3.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("queue_depth"), 3.0);
+
+    metrics.observe("latency", 1.0);
+    metrics.observe("latency", 3.0);
+    const auto stat = metrics.timing("latency");
+    EXPECT_EQ(stat.count(), 2u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+
+    const std::string report = metrics.report();
+    EXPECT_NE(report.find("requests"), std::string::npos);
+    EXPECT_NE(report.find("latency"), std::string::npos);
+
+    metrics.reset();
+    EXPECT_EQ(metrics.counter("requests"), 0u);
+    EXPECT_EQ(metrics.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Tracer core semantics
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansBalanceAndNest)
+{
+    {
+        TraceSpan outer("outer");
+        { TraceSpan inner("inner"); }
+        EXPECT_EQ(Tracer::global().numOpenSpans(), 1u);
+    }
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+    EXPECT_EQ(Tracer::global().numSpans(), 2u);
+
+    const auto tracks = Tracer::global().snapshot();
+    ASSERT_EQ(tracks.size(), 1u);
+    const auto& spans = tracks[0].spans;
+    ASSERT_EQ(spans.size(), 2u);
+    // Inner closes first; depth recorded relative to the stack.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].depth, 1);
+    EXPECT_EQ(spans[1].name, "outer");
+    EXPECT_EQ(spans[1].depth, 0);
+    EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+    EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+}
+
+TEST_F(ObsTest, DisabledPathEmitsNothing)
+{
+    Tracer::global().setEnabled(false);
+    {
+        TraceSpan span("ignored");
+        RECSIM_TRACE_SPAN("also_ignored");
+    }
+    Tracer::global().addSimSpan("node", "busy", 10, 20);
+    EXPECT_EQ(Tracer::global().numSpans(), 0u);
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+}
+
+TEST_F(ObsTest, ResetClearsEverything)
+{
+    { TraceSpan span("work"); }
+    Tracer::global().addSimSpan("node", "busy", 0, 5);
+    EXPECT_GT(Tracer::global().numSpans(), 0u);
+
+    Tracer::global().reset();
+    EXPECT_EQ(Tracer::global().numSpans(), 0u);
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+    for (const auto& track : Tracer::global().snapshot())
+        EXPECT_TRUE(track.spans.empty());
+
+    // The tracer stays usable after reset (thread tracks survive).
+    { TraceSpan span("again"); }
+    EXPECT_EQ(Tracer::global().numSpans(), 1u);
+}
+
+TEST_F(ObsTest, SimSpansLandOnSimulatedTracks)
+{
+    Tracer::global().addSimSpan("trainer0.cpu", "busy", 1000, 3000);
+    Tracer::global().addSimSpan("trainer0.cpu", "busy", 3000, 4000);
+    Tracer::global().addSimSpan("ps0.nic", "busy", 500, 1500);
+
+    std::size_t sim_tracks = 0;
+    for (const auto& track : Tracer::global().snapshot()) {
+        if (!track.simulated)
+            continue;
+        ++sim_tracks;
+        for (const auto& span : track.spans) {
+            EXPECT_EQ(span.name, "busy");
+            EXPECT_LT(span.start_ns, span.end_ns);
+        }
+    }
+    EXPECT_EQ(sim_tracks, 2u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsMetricAndSpan)
+{
+    {
+        ScopedTimer timer("phase.setup");
+    }
+    EXPECT_EQ(MetricsRegistry::global().timing("phase.setup").count(),
+              1u);
+    EXPECT_EQ(Tracer::global().numSpans(), 1u);
+
+    // With tracing disabled the metric still records; the span does not.
+    Tracer::global().setEnabled(false);
+    {
+        ScopedTimer timer("phase.setup");
+    }
+    EXPECT_EQ(MetricsRegistry::global().timing("phase.setup").count(),
+              2u);
+    EXPECT_EQ(Tracer::global().numSpans(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceJsonParsesAndCarriesBothTimelines)
+{
+    {
+        TraceSpan span("wall \"work\"\n");  // exercises escaping
+    }
+    Tracer::global().addSimSpan("trainer0.cpu", "busy", 1000, 2000);
+
+    const std::string json = Tracer::global().chromeTraceJson();
+    EXPECT_TRUE(JsonParser(json).parse()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("recsim wall clock"), std::string::npos);
+    EXPECT_NE(json.find("recsim simulated time"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // The raw newline and quote must have been escaped.
+    EXPECT_NE(json.find("wall \\\"work\\\"\\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, SummaryAttributesTime)
+{
+    {
+        TraceSpan span("top");
+        TraceSpan inner("inner");
+    }
+    Tracer::global().addSimSpan("node0", "busy", 0, 1000000);
+    const std::string summary = Tracer::global().summary();
+    EXPECT_NE(summary.find("top"), std::string::npos);
+    EXPECT_NE(summary.find("busy"), std::string::npos);
+    EXPECT_NE(summary.find("attributed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Trace-validated training loops
+// ---------------------------------------------------------------------
+
+model::DlrmConfig
+tinyModel()
+{
+    return model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+}
+
+data::DatasetConfig
+tinyData()
+{
+    const auto m = tinyModel();
+    data::DatasetConfig cfg;
+    cfg.num_dense = m.num_dense;
+    cfg.sparse = m.sparse;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST_F(ObsTest, SingleThreadTrainingLoopIsFullyTraced)
+{
+    constexpr std::size_t kBatch = 64;
+    constexpr std::size_t kEval = 256;
+    constexpr std::size_t kSteps = 12;
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(kSteps * kBatch + kEval);
+    train::TrainConfig cfg;
+    cfg.batch_size = kBatch;
+    cfg.epochs = 1;
+    train::trainSingleThread(tinyModel(), ds, cfg, kEval);
+
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+    const auto tracks = Tracer::global().snapshot();
+
+    // Exactly one iteration span per optimizer step.
+    const auto iterations = spansNamed(tracks, "train.iteration");
+    ASSERT_EQ(iterations.size(), kSteps);
+    EXPECT_EQ(MetricsRegistry::global().counter("train.iterations"),
+              static_cast<uint64_t>(kSteps));
+    EXPECT_EQ(
+        MetricsRegistry::global().timing("train.iteration_seconds")
+            .count(),
+        kSteps);
+
+    // Every iteration carries data / fwd_bwd / optimizer phases, and
+    // within the model, forward strictly precedes backward.
+    const auto data_spans = spansNamed(tracks, "train.data");
+    const auto fwd_bwd = spansNamed(tracks, "train.fwd_bwd");
+    const auto opt = spansNamed(tracks, "train.optimizer");
+    EXPECT_EQ(data_spans.size(), kSteps);
+    EXPECT_EQ(fwd_bwd.size(), kSteps);
+    EXPECT_EQ(opt.size(), kSteps);
+
+    const auto fwd = spansNamed(tracks, "model.fwd");
+    const auto bwd = spansNamed(tracks, "model.bwd");
+    // Forward also runs during evaluation, so fwd >= bwd == steps.
+    ASSERT_EQ(bwd.size(), kSteps);
+    ASSERT_GE(fwd.size(), kSteps);
+    for (std::size_t i = 0; i < kSteps; ++i) {
+        // The i-th training forward ends before the i-th backward
+        // begins, and both nest inside the i-th iteration span.
+        EXPECT_LE(fwd[i].end_ns, bwd[i].start_ns);
+        EXPECT_GE(fwd[i].start_ns, iterations[i].start_ns);
+        EXPECT_LE(bwd[i].end_ns, iterations[i].end_ns);
+    }
+
+    // Phases tile the iteration: data before fwd_bwd before optimizer.
+    for (std::size_t i = 0; i < kSteps; ++i) {
+        EXPECT_LE(data_spans[i].end_ns, fwd_bwd[i].start_ns);
+        EXPECT_LE(fwd_bwd[i].end_ns, opt[i].start_ns);
+    }
+}
+
+TEST_F(ObsTest, HogwildWorkersGetTheirOwnTracks)
+{
+    constexpr std::size_t kThreads = 3;
+    data::SyntheticCtrDataset ds(tinyData());
+    ds.materialize(4096);
+    train::HogwildConfig cfg;
+    cfg.num_threads = kThreads;
+    cfg.base.batch_size = 64;
+    cfg.base.epochs = 1;
+    train::trainHogwild(tinyModel(), ds, cfg, 1024);
+
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+
+    // Each worker thread records its iterations on a distinct track.
+    std::size_t worker_tracks = 0;
+    std::size_t total_iterations = 0;
+    for (const auto& track : Tracer::global().snapshot()) {
+        if (track.simulated)
+            continue;
+        std::size_t iters = 0;
+        for (const auto& span : track.spans) {
+            if (span.name == "hogwild.iteration")
+                ++iters;
+        }
+        if (iters > 0) {
+            ++worker_tracks;
+            total_iterations += iters;
+        }
+    }
+    EXPECT_EQ(worker_tracks, kThreads);
+    EXPECT_EQ(
+        MetricsRegistry::global().counter("hogwild.iterations"),
+        static_cast<uint64_t>(total_iterations));
+
+    // The export of a genuinely multi-threaded trace still parses.
+    const std::string json = Tracer::global().chromeTraceJson();
+    EXPECT_TRUE(JsonParser(json).parse());
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromManyThreadsStayBalanced)
+{
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                TraceSpan outer("outer");
+                TraceSpan inner("inner");
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+    EXPECT_EQ(Tracer::global().numSpans(),
+              static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+    EXPECT_TRUE(JsonParser(Tracer::global().chromeTraceJson()).parse());
+}
+
+} // namespace
+} // namespace recsim::obs
