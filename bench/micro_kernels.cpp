@@ -1,113 +1,299 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the library's hot kernels: GEMM,
- * embedding-bag lookup, full DLRM forward/backward, the Zipf sampler
- * and the DES event queue. These measure the *library itself* (the
- * functional substrate), not the modeled hardware.
+ * Kernel benchmark with a serial-vs-parallel regression gate. Measures
+ * the library's hot compute kernels — GEMM variants, elementwise ops,
+ * embedding-bag forward/backward, the quantized dequant path and the
+ * full DLRM step — once with a 1-thread pool and once with N threads,
+ * and emits BENCH_kernels.json (GFLOP/s for GEMMs, elem/s, lookups/s
+ * or examples/s elsewhere) for CI to diff and gate on.
+ *
+ * A naive triple-loop GEMM (the pre-thread-pool kernel, zero-skip
+ * branch included) is measured alongside as the historical baseline,
+ * so the JSON always carries the speedup of the blocked kernel over
+ * the code it replaced.
+ *
+ * Usage: micro_kernels [--json PATH] [--threads N] [--quick]
+ *                      [--trace out.json]
  */
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_util.h"
 #include "data/dataset.h"
-#include "des/event_queue.h"
 #include "model/dlrm.h"
 #include "nn/embedding_bag.h"
+#include "nn/quantized_embedding.h"
+#include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 #include "tensor/ops.h"
+#include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 using namespace recsim;
 
 namespace {
 
-void
-BM_Gemm(benchmark::State& state)
+double
+nowSeconds()
 {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    util::Rng rng(1);
-    tensor::Tensor a(n, n), b(n, n), out;
-    a.fillNormal(rng, 1.0f);
-    b.fillNormal(rng, 1.0f);
-    for (auto _ : state) {
-        tensor::matmul(a, b, out);
-        benchmark::DoNotOptimize(out.data());
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            2 * n * n * n);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
-void
-BM_EmbeddingLookup(benchmark::State& state)
+/**
+ * Best-iteration throughput of fn: ops_per_iter / min(iteration time),
+ * run for at least min_seconds (after one warmup call).
+ */
+template <typename F>
+double
+measureOpsPerSec(F&& fn, double ops_per_iter, double min_seconds)
 {
-    const auto hash = static_cast<uint64_t>(state.range(0));
-    util::Rng rng(2);
-    nn::EmbeddingBag bag(hash, 64, rng);
-    util::ZipfSampler zipf(hash * 4, 1.05);
-
-    nn::SparseBatch batch;
-    batch.offsets.push_back(0);
-    for (int ex = 0; ex < 256; ++ex) {
-        for (int k = 0; k < 8; ++k)
-            batch.indices.push_back(zipf(rng));
-        batch.offsets.push_back(batch.indices.size());
+    fn();  // warmup: faults pages, fills workspaces
+    double best = std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    int iters = 0;
+    while ((total < min_seconds || iters < 3) && iters < 10000) {
+        const double t0 = nowSeconds();
+        fn();
+        const double dt = nowSeconds() - t0;
+        best = std::min(best, dt);
+        total += dt;
+        ++iters;
     }
-    tensor::Tensor out;
-    for (auto _ : state) {
-        bag.forward(batch, out);
-        benchmark::DoNotOptimize(out.data());
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(batch.totalLookups()));
+    return ops_per_iter / best;
 }
-BENCHMARK(BM_EmbeddingLookup)->Arg(1000)->Arg(100000)->Arg(1000000);
 
+/** The pre-change GEMM: single-thread ikj with the zero-skip branch. */
 void
-BM_DlrmForwardBackward(benchmark::State& state)
+naiveMatmul(const tensor::Tensor& a, const tensor::Tensor& b,
+            tensor::Tensor& out)
 {
-    const auto batch_size = static_cast<std::size_t>(state.range(0));
-    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
-    model::Dlrm dlrm(cfg, 1);
-    data::DatasetConfig ds_cfg;
-    ds_cfg.num_dense = cfg.num_dense;
-    ds_cfg.sparse = cfg.sparse;
-    data::SyntheticCtrDataset ds(ds_cfg);
-    const auto batch = ds.nextBatch(batch_size);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(dlrm.forwardBackward(batch));
-        dlrm.zeroGrad();
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(batch_size));
-}
-BENCHMARK(BM_DlrmForwardBackward)->Arg(64)->Arg(256);
-
-void
-BM_ZipfSampler(benchmark::State& state)
-{
-    util::Rng rng(3);
-    util::ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.05);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(zipf(rng));
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ZipfSampler)->Arg(1000)->Arg(10000000);
-
-void
-BM_EventQueue(benchmark::State& state)
-{
-    for (auto _ : state) {
-        des::EventQueue eq;
-        uint64_t fired = 0;
-        for (int i = 0; i < 1000; ++i) {
-            eq.schedule(static_cast<des::Tick>((i * 7919) % 10000),
-                        [&fired] { ++fired; });
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    out.resize(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
         }
-        eq.run();
-        benchmark::DoNotOptimize(fired);
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_EventQueue);
+
+struct KernelResult
+{
+    std::string name;
+    std::string metric;
+    double serial = 0.0;    ///< Throughput with a 1-thread pool.
+    double parallel = 0.0;  ///< Throughput with the N-thread pool.
+};
+
+struct Harness
+{
+    std::size_t threads = 1;
+    double min_seconds = 0.25;
+    std::vector<KernelResult> results;
+
+    /** Measure @p fn serial then parallel and record one row. */
+    template <typename F>
+    void run(const std::string& name, const std::string& metric,
+             double ops_per_iter, F&& fn)
+    {
+        KernelResult r;
+        r.name = name;
+        r.metric = metric;
+        util::globalThreadPool().resize(1);
+        r.serial = measureOpsPerSec(fn, ops_per_iter, min_seconds);
+        util::globalThreadPool().resize(threads);
+        r.parallel = measureOpsPerSec(fn, ops_per_iter, min_seconds);
+        util::globalThreadPool().resize(1);
+        results.push_back(r);
+        std::cout << util::format(
+            "{} [{}]  serial {}  {}-thread {}  speedup {}\n",
+            name, metric, r.serial, threads, r.parallel,
+            r.serial > 0.0 ? r.parallel / r.serial : 0.0);
+    }
+};
+
+nn::SparseBatch
+makeBatch(std::size_t batch, std::size_t lookups, uint64_t id_space,
+          util::Rng& rng)
+{
+    util::ZipfSampler zipf(id_space, 1.05);
+    nn::SparseBatch out;
+    out.offsets.push_back(0);
+    for (std::size_t ex = 0; ex < batch; ++ex) {
+        for (std::size_t k = 0; k < lookups; ++k)
+            out.indices.push_back(zipf(rng));
+        out.offsets.push_back(out.indices.size());
+    }
+    return out;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bench::TraceSession trace(argc, argv);
+    std::string json_path = "BENCH_kernels.json";
+    std::size_t threads = util::configuredThreads();
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads = static_cast<std::size_t>(
+                std::stoul(arg.substr(10)));
+        else if (arg == "--quick")
+            quick = true;
+    }
+    threads = std::max<std::size_t>(threads, 1);
+
+    Harness h;
+    h.threads = threads;
+    h.min_seconds = quick ? 0.05 : 0.25;
+
+    util::Rng rng(1);
+    std::cout << util::format(
+        "micro_kernels: {} threads (hardware_concurrency {})\n\n",
+        threads,
+        static_cast<unsigned>(std::thread::hardware_concurrency()));
+
+    // --- GEMM family ---------------------------------------------------
+    for (const std::size_t n : {std::size_t(128), std::size_t(256),
+                                std::size_t(512)}) {
+        if (quick && n > 256)
+            continue;
+        tensor::Tensor a(n, n), b(n, n), out;
+        a.fillNormal(rng, 1.0f);
+        b.fillNormal(rng, 1.0f);
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+        // Historical baseline: the pre-pool kernel, serial only.
+        KernelResult naive;
+        naive.name = util::format("gemm_naive_{}", n);
+        naive.metric = "GFLOP/s";
+        naive.serial = measureOpsPerSec(
+            [&] { naiveMatmul(a, b, out); }, flops, h.min_seconds);
+        naive.parallel = naive.serial;
+        h.results.push_back(naive);
+        std::cout << util::format("{} [GFLOP/s]  serial {}\n",
+                                  naive.name, naive.serial);
+
+        h.run(util::format("gemm_{}", n), "GFLOP/s", flops,
+              [&] { tensor::matmul(a, b, out); });
+        h.run(util::format("gemm_transA_{}", n), "GFLOP/s", flops,
+              [&] { tensor::matmulTransA(a, b, out); });
+        h.run(util::format("gemm_transB_{}", n), "GFLOP/s", flops,
+              [&] { tensor::matmulTransB(a, b, out); });
+    }
+
+    // --- Elementwise / reduction kernels -------------------------------
+    {
+        const std::size_t rows = quick ? 1024 : 4096, cols = 512;
+        tensor::Tensor x(rows, cols), bias(cols), sums;
+        x.fillNormal(rng, 1.0f);
+        bias.fillNormal(rng, 1.0f);
+        const double elems = static_cast<double>(rows) * cols;
+        h.run("add_bias_rows", "elem/s", elems,
+              [&] { tensor::addBiasRows(x, bias); });
+        h.run("sum_rows", "elem/s", elems,
+              [&] { tensor::sumRows(x, sums); });
+        h.run("relu", "elem/s", elems,
+              [&] { tensor::reluInPlace(x); });
+        tensor::Tensor sig(rows, cols);
+        sig.fillNormal(rng, 1.0f);
+        h.run("sigmoid", "elem/s", elems,
+              [&] { tensor::sigmoidInPlace(sig); });
+    }
+
+    // --- Embedding kernels ---------------------------------------------
+    {
+        const std::size_t batch = quick ? 512 : 2048;
+        const std::size_t dim = 64, lookups = 16;
+        const uint64_t hash = quick ? 100000 : 1000000;
+        util::Rng init_rng(2);
+        nn::EmbeddingBag bag(hash, dim, init_rng);
+        const auto sb = makeBatch(batch, lookups, hash * 4, rng);
+        const double total = static_cast<double>(sb.totalLookups());
+        tensor::Tensor pooled;
+        h.run("embedding_fwd", "lookups/s", total,
+              [&] { bag.forward(sb, pooled); });
+        bag.forward(sb, pooled);
+        tensor::Tensor dy(batch, dim);
+        dy.fillNormal(rng, 1.0f);
+        nn::SparseGrad grad;
+        h.run("embedding_bwd", "lookups/s", total,
+              [&] { bag.backward(sb, dy, grad); });
+        nn::QuantizedEmbeddingBag qbag(bag,
+                                       nn::EmbeddingPrecision::Int8);
+        h.run("embedding_fwd_int8", "lookups/s", total,
+              [&] { qbag.forward(sb, pooled); });
+    }
+
+    // --- Full model step -----------------------------------------------
+    {
+        const std::size_t batch = quick ? 64 : 256;
+        const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+        model::Dlrm dlrm(cfg, 1);
+        data::DatasetConfig ds_cfg;
+        ds_cfg.num_dense = cfg.num_dense;
+        ds_cfg.sparse = cfg.sparse;
+        data::SyntheticCtrDataset ds(ds_cfg);
+        const auto mb = ds.nextBatch(batch);
+        h.run("dlrm_fwd_bwd", "examples/s", static_cast<double>(batch),
+              [&] {
+                  dlrm.forwardBackward(mb);
+                  dlrm.zeroGrad();
+              });
+    }
+
+    util::globalThreadPool().resize(threads);
+    obs::publishThreadPoolMetrics();
+    const auto& metrics = obs::MetricsRegistry::global();
+    std::cout << util::format(
+        "\npool: {} jobs, {} tasks dispatched\n",
+        metrics.gauge("pool.jobs"), metrics.gauge("pool.tasks"));
+
+    // --- JSON emission --------------------------------------------------
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < h.results.size(); ++i) {
+        const auto& r = h.results[i];
+        out << "    {\"name\": \"" << r.name << "\", \"metric\": \""
+            << r.metric << "\", \"serial\": " << r.serial
+            << ", \"parallel\": " << r.parallel << ", \"speedup\": "
+            << (r.serial > 0.0 ? r.parallel / r.serial : 0.0) << "}"
+            << (i + 1 < h.results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

@@ -106,10 +106,10 @@ Dlrm::zeroGrad()
         if (proj)
             proj->zeroGrad();
     }
-    for (auto& g : sparse_grads_) {
+    // Clearing rows (the size the optimizers iterate) is enough;
+    // keeping the values buffer lets the next backward reuse it.
+    for (auto& g : sparse_grads_)
         g.rows.clear();
-        g.values = tensor::Tensor();
-    }
 }
 
 void

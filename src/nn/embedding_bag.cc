@@ -1,14 +1,36 @@
 #include "nn/embedding_bag.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace recsim {
 namespace nn {
+
+namespace {
+
+/**
+ * Examples per forward chunk: target enough pooled accumulation work
+ * (~16K scalar adds) that chunk dispatch never dominates. Depends only
+ * on the batch shape, never on the thread count.
+ */
+std::size_t
+forwardGrain(const SparseBatch& batch, std::size_t dim)
+{
+    const std::size_t b = std::max<std::size_t>(batch.batchSize(), 1);
+    const std::size_t avg_lookups =
+        std::max<std::size_t>(batch.indices.size() / b, 1);
+    const std::size_t work_per_example = avg_lookups * dim;
+    return std::max<std::size_t>(
+        1, (std::size_t(1) << 14) /
+               std::max<std::size_t>(work_per_example, 1));
+}
+
+} // namespace
 
 EmbeddingBag::EmbeddingBag(uint64_t hash_size, std::size_t dim,
                            util::Rng& rng, Pooling pooling)
@@ -27,28 +49,44 @@ EmbeddingBag::forward(const SparseBatch& batch, tensor::Tensor& out) const
     RECSIM_TRACE_SPAN("nn.emb.fwd");
     const std::size_t b = batch.batchSize();
     if (out.rank() != 2 || out.rows() != b || out.cols() != dim_)
-        out = tensor::Tensor(b, dim_);
+        out.resize(b, dim_);
     else
         out.zero();
-    for (std::size_t ex = 0; ex < b; ++ex) {
-        const std::size_t begin = batch.offsets[ex];
-        const std::size_t end = batch.offsets[ex + 1];
-        RECSIM_ASSERT(begin <= end && end <= batch.indices.size(),
-                      "corrupt SparseBatch offsets");
-        float* orow = out.row(ex);
-        for (std::size_t k = begin; k < end; ++k) {
-            const auto row_id = static_cast<std::size_t>(
-                batch.indices[k] % hash_size_);
-            const float* erow = table.row(row_id);
-            for (std::size_t j = 0; j < dim_; ++j)
-                orow[j] += erow[j];
-        }
-        if (pooling_ == Pooling::Mean && end > begin) {
-            const float inv = 1.0f / static_cast<float>(end - begin);
-            for (std::size_t j = 0; j < dim_; ++j)
-                orow[j] *= inv;
-        }
-    }
+    RECSIM_ASSERT(batch.offsets.empty() ||
+                      (batch.offsets.front() == 0 &&
+                       batch.offsets.back() <= batch.indices.size()),
+                  "corrupt SparseBatch offsets");
+    const std::size_t dim = dim_;
+    const uint64_t hash = hash_size_;
+    const float* table_data = table.data();
+    float* out_data = out.data();
+    const Pooling pooling = pooling_;
+    // Each example's output row is owned by exactly one chunk, so the
+    // result is bit-identical at any thread count.
+    util::globalThreadPool().parallelFor(
+        0, b, forwardGrain(batch, dim_),
+        [&batch, table_data, out_data, dim, hash,
+         pooling](std::size_t e0, std::size_t e1) {
+            for (std::size_t ex = e0; ex < e1; ++ex) {
+                const std::size_t begin = batch.offsets[ex];
+                const std::size_t end = batch.offsets[ex + 1];
+                RECSIM_ASSERT(begin <= end, "corrupt SparseBatch offsets");
+                float* orow = out_data + ex * dim;
+                for (std::size_t k = begin; k < end; ++k) {
+                    const auto row_id = static_cast<std::size_t>(
+                        batch.indices[k] % hash);
+                    const float* erow = table_data + row_id * dim;
+                    for (std::size_t j = 0; j < dim; ++j)
+                        orow[j] += erow[j];
+                }
+                if (pooling == Pooling::Mean && end > begin) {
+                    const float inv =
+                        1.0f / static_cast<float>(end - begin);
+                    for (std::size_t j = 0; j < dim; ++j)
+                        orow[j] *= inv;
+                }
+            }
+        });
 }
 
 void
@@ -60,36 +98,64 @@ EmbeddingBag::backward(const SparseBatch& batch, const tensor::Tensor& dy,
     RECSIM_ASSERT(dy.rows() == b && dy.cols() == dim_,
                   "embedding backward dy {}", dy.shapeString());
 
-    // Coalesce duplicate rows: map row id -> slot in the dense grad block.
-    std::unordered_map<uint64_t, std::size_t> slot_of;
-    slot_of.reserve(batch.indices.size());
-    std::vector<uint64_t> rows;
-    std::vector<float> values;  // row-major [nrows, dim], grown on demand
-
-    for (std::size_t ex = 0; ex < b; ++ex) {
-        const std::size_t begin = batch.offsets[ex];
-        const std::size_t end = batch.offsets[ex + 1];
-        if (end == begin)
-            continue;
-        const float scale = pooling_ == Pooling::Mean
-            ? 1.0f / static_cast<float>(end - begin) : 1.0f;
-        const float* dyrow = dy.row(ex);
-        for (std::size_t k = begin; k < end; ++k) {
-            const uint64_t row_id = batch.indices[k] % hash_size_;
-            auto [it, inserted] = slot_of.try_emplace(row_id, rows.size());
-            if (inserted) {
-                rows.push_back(row_id);
-                values.resize(values.size() + dim_, 0.0f);
-            }
-            float* vrow = values.data() + it->second * dim_;
-            for (std::size_t j = 0; j < dim_; ++j)
-                vrow[j] += scale * dyrow[j];
-        }
+    // Phase 1 (serial): assign each touched row a slot in first-touch
+    // order — the same slot order the old single-pass kernel produced —
+    // and remember every lookup's slot so phase 2 never hashes.
+    BackwardScratch& ws = scratch_;
+    ws.slot_of.clear();
+    ws.rows.clear();
+    ws.slot_per_k.resize(batch.indices.size());
+    for (std::size_t k = 0; k < batch.indices.size(); ++k) {
+        const uint64_t row_id = batch.indices[k] % hash_size_;
+        auto [it, inserted] = ws.slot_of.try_emplace(row_id,
+                                                     ws.rows.size());
+        if (inserted)
+            ws.rows.push_back(row_id);
+        ws.slot_per_k[k] = it->second;
     }
 
-    grad.rows = std::move(rows);
-    grad.values = tensor::Tensor(grad.rows.size(), dim_);
-    std::copy(values.begin(), values.end(), grad.values.data());
+    const std::size_t nrows = ws.rows.size();
+    grad.rows.assign(ws.rows.begin(), ws.rows.end());
+    grad.values.resize(nrows, dim_);
+    if (nrows == 0)
+        return;
+
+    // Phase 2 (parallel): shard the gradient block by slot ranges so
+    // accumulation needs no atomics. Each chunk rescans the (cheap)
+    // per-lookup slot array and accumulates only its own slots, in
+    // batch order — so every gradient row sees the serial accumulation
+    // order no matter how many chunks or threads run. A handful of
+    // shards bounds the rescan overhead.
+    const std::size_t dim = dim_;
+    const Pooling pooling = pooling_;
+    const std::size_t nshards =
+        std::min<std::size_t>(util::globalThreadPool().numThreads(),
+                              nrows);
+    const std::size_t grain = (nrows + nshards - 1) / nshards;
+    float* values = grad.values.data();
+    const float* dyd = dy.data();
+    util::globalThreadPool().parallelFor(
+        0, nrows, grain,
+        [&batch, &ws, values, dyd, dim, pooling,
+         b](std::size_t lo, std::size_t hi) {
+            for (std::size_t ex = 0; ex < b; ++ex) {
+                const std::size_t begin = batch.offsets[ex];
+                const std::size_t end = batch.offsets[ex + 1];
+                if (end == begin)
+                    continue;
+                const float scale = pooling == Pooling::Mean
+                    ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+                const float* dyrow = dyd + ex * dim;
+                for (std::size_t k = begin; k < end; ++k) {
+                    const std::size_t s = ws.slot_per_k[k];
+                    if (s < lo || s >= hi)
+                        continue;
+                    float* vrow = values + s * dim;
+                    for (std::size_t j = 0; j < dim; ++j)
+                        vrow[j] += scale * dyrow[j];
+                }
+            }
+        });
 }
 
 } // namespace nn

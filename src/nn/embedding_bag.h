@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -57,6 +58,14 @@ struct SparseBatch
 /**
  * Embedding lookup table of @p hashSize rows by @p dim columns with
  * sum or mean pooling per example.
+ *
+ * forward() parallelizes over batch examples and backward() over
+ * shards of touched table rows on the global thread pool; both are
+ * bit-identical at any RECSIM_THREADS (each output row / gradient row
+ * is owned by exactly one chunk and accumulated in the serial order).
+ * backward() keeps reusable scratch on the instance, so one instance
+ * supports one in-flight backward at a time (per-thread model replicas
+ * are used for parallel training, as with Mlp).
  */
 class EmbeddingBag
 {
@@ -102,6 +111,18 @@ class EmbeddingBag
     uint64_t hash_size_;
     std::size_t dim_;
     Pooling pooling_;
+
+    /** Reusable backward() workspace (zero steady-state allocation). */
+    struct BackwardScratch
+    {
+        /** Hashed row id -> slot in the dense gradient block. */
+        std::unordered_map<uint64_t, std::size_t> slot_of;
+        /** Touched row ids in first-touch order. */
+        std::vector<uint64_t> rows;
+        /** Slot of each batch lookup, indexed like batch.indices. */
+        std::vector<std::size_t> slot_per_k;
+    };
+    mutable BackwardScratch scratch_;
 };
 
 } // namespace nn

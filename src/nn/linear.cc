@@ -46,13 +46,12 @@ Linear::backwardNoInputGrad(const tensor::Tensor& x,
     RECSIM_ASSERT(dy.cols() == out_ && dy.rows() == x.rows(),
                   "Linear backward dy {} vs x {}", dy.shapeString(),
                   x.shapeString());
-    // dW += x^T dy ; db += column sums of dy
-    tensor::Tensor dw;
-    tensor::matmulTransA(x, dy, dw);
-    tensor::axpy(1.0f, dw, gradWeight);
-    tensor::Tensor db;
-    tensor::sumRows(dy, db);
-    tensor::axpy(1.0f, db, gradBias);
+    // dW += x^T dy ; db += column sums of dy. The scratch tensors are
+    // members so their buffers persist across steps.
+    tensor::matmulTransA(x, dy, dw_scratch_);
+    tensor::axpy(1.0f, dw_scratch_, gradWeight);
+    tensor::sumRows(dy, db_scratch_);
+    tensor::axpy(1.0f, db_scratch_, gradBias);
 }
 
 void

@@ -60,6 +60,13 @@ class Linear
 
   private:
     std::size_t in_, out_;
+    /**
+     * Per-layer workspace for the backward GEMM/reduction outputs,
+     * kept across steps so steady-state training does no per-step
+     * heap allocation (one in-flight backward per instance).
+     */
+    tensor::Tensor dw_scratch_;
+    tensor::Tensor db_scratch_;
 };
 
 } // namespace nn

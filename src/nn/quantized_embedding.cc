@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace recsim {
 namespace nn {
@@ -132,23 +134,29 @@ QuantizedEmbeddingBag::quantizeFrom(const EmbeddingBag& source)
         values_i8_.resize(rows * dim_);
         scales_.resize(rows);
         biases_.resize(rows);
-        for (std::size_t r = 0; r < rows; ++r) {
-            const float* src = source.table.row(r);
-            float lo = src[0], hi = src[0];
-            for (std::size_t j = 1; j < dim_; ++j) {
-                lo = std::min(lo, src[j]);
-                hi = std::max(hi, src[j]);
-            }
-            const float scale = hi > lo
-                ? (hi - lo) / levels : 1e-8f;
-            scales_[r] = scale;
-            biases_[r] = lo;
-            for (std::size_t j = 0; j < dim_; ++j) {
-                const float q = std::round((src[j] - lo) / scale);
-                values_i8_[r * dim_ + j] = static_cast<int8_t>(
-                    std::clamp(q - 128.0f, -128.0f, 127.0f));
-            }
-        }
+        // Rows are independent: quantize row shards in parallel.
+        util::globalThreadPool().parallelFor(
+            0, rows, std::max<std::size_t>(1, 4096 / dim_),
+            [&](std::size_t r0, std::size_t r1) {
+                for (std::size_t r = r0; r < r1; ++r) {
+                    const float* src = source.table.row(r);
+                    float lo = src[0], hi = src[0];
+                    for (std::size_t j = 1; j < dim_; ++j) {
+                        lo = std::min(lo, src[j]);
+                        hi = std::max(hi, src[j]);
+                    }
+                    const float scale = hi > lo
+                        ? (hi - lo) / levels : 1e-8f;
+                    scales_[r] = scale;
+                    biases_[r] = lo;
+                    for (std::size_t j = 0; j < dim_; ++j) {
+                        const float q =
+                            std::round((src[j] - lo) / scale);
+                        values_i8_[r * dim_ + j] = static_cast<int8_t>(
+                            std::clamp(q - 128.0f, -128.0f, 127.0f));
+                    }
+                }
+            });
         break;
       }
     }
@@ -189,27 +197,35 @@ QuantizedEmbeddingBag::forward(const SparseBatch& batch,
 {
     const std::size_t b = batch.batchSize();
     if (out.rank() != 2 || out.rows() != b || out.cols() != dim_)
-        out = tensor::Tensor(b, dim_);
+        out.resize(b, dim_);
     else
         out.zero();
-    std::vector<float> row(dim_);
-    for (std::size_t ex = 0; ex < b; ++ex) {
-        const std::size_t begin = batch.offsets[ex];
-        const std::size_t end = batch.offsets[ex + 1];
-        float* orow = out.row(ex);
-        for (std::size_t k = begin; k < end; ++k) {
-            const auto row_id = static_cast<std::size_t>(
-                batch.indices[k] % hash_size_);
-            dequantizeRow(row_id, row.data());
-            for (std::size_t j = 0; j < dim_; ++j)
-                orow[j] += row[j];
-        }
-        if (pooling_ == Pooling::Mean && end > begin) {
-            const float inv = 1.0f / static_cast<float>(end - begin);
-            for (std::size_t j = 0; j < dim_; ++j)
-                orow[j] *= inv;
-        }
-    }
+    // Parallel over examples, like EmbeddingBag::forward; each chunk
+    // carries its own dequant scratch row. Bit-identical at any thread
+    // count (one owner per output row, lookups in batch order).
+    util::globalThreadPool().parallelFor(
+        0, b, std::max<std::size_t>(1, 8192 / dim_),
+        [&](std::size_t e0, std::size_t e1) {
+            std::vector<float> row(dim_);
+            for (std::size_t ex = e0; ex < e1; ++ex) {
+                const std::size_t begin = batch.offsets[ex];
+                const std::size_t end = batch.offsets[ex + 1];
+                float* orow = out.row(ex);
+                for (std::size_t k = begin; k < end; ++k) {
+                    const auto row_id = static_cast<std::size_t>(
+                        batch.indices[k] % hash_size_);
+                    dequantizeRow(row_id, row.data());
+                    for (std::size_t j = 0; j < dim_; ++j)
+                        orow[j] += row[j];
+                }
+                if (pooling_ == Pooling::Mean && end > begin) {
+                    const float inv =
+                        1.0f / static_cast<float>(end - begin);
+                    for (std::size_t j = 0; j < dim_; ++j)
+                        orow[j] *= inv;
+                }
+            }
+        });
 }
 
 std::size_t

@@ -1,0 +1,23 @@
+#include "obs/pool_metrics.h"
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace recsim {
+namespace obs {
+
+void
+publishThreadPoolMetrics()
+{
+    const util::ThreadPool& pool = util::globalThreadPool();
+    const util::ThreadPool::Stats stats = pool.stats();
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    metrics.set("pool.threads",
+                static_cast<double>(pool.numThreads()));
+    metrics.set("pool.jobs", static_cast<double>(stats.jobs));
+    metrics.set("pool.tasks", static_cast<double>(stats.tasks));
+    metrics.set("pool.idle_ns", static_cast<double>(stats.idle_ns));
+}
+
+} // namespace obs
+} // namespace recsim

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Bridge from the util::ThreadPool dispatch counters into the
+ * MetricsRegistry. Lives in obs (not util) so the base util library
+ * stays free of observability dependencies; callers that want pool
+ * utilization in their metrics report (trainers, benches, tests) call
+ * publishThreadPoolMetrics() at a natural boundary — end of a training
+ * run, end of a bench — rather than paying registry traffic per
+ * dispatch.
+ */
+#pragma once
+
+namespace recsim {
+namespace obs {
+
+/**
+ * Snapshot util::globalThreadPool() counters into the global registry:
+ *  - "pool.threads"  (gauge)   configured concurrency
+ *  - "pool.jobs"     (gauge)   parallelFor() calls dispatched so far
+ *  - "pool.tasks"    (gauge)   chunk executions so far
+ *  - "pool.idle_ns"  (gauge)   cumulative worker time spent blocked
+ * Values are cumulative since pool construction; call before and after
+ * a region to attribute dispatch activity to it.
+ */
+void publishThreadPoolMetrics();
+
+} // namespace obs
+} // namespace recsim

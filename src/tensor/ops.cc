@@ -4,6 +4,14 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
+
+/** Non-aliasing pointer hint for the GEMM inner loops. */
+#if defined(__GNUC__) || defined(__clang__)
+#  define RECSIM_RESTRICT __restrict__
+#else
+#  define RECSIM_RESTRICT
+#endif
 
 namespace recsim {
 namespace tensor {
@@ -17,6 +25,73 @@ requireRank2(const Tensor& t, const char* what)
                   what, t.shapeString());
 }
 
+/**
+ * Cache-blocking factors. kKc rows of B (a kKc x kNc panel, 256 KiB at
+ * kNc = 512) stay resident across the i-loop of a row chunk; a kNc
+ * output-row segment (2 KiB) stays in L1 across the p-loop. Fixed
+ * constants, not tuned per shape: blocking only changes *which* terms
+ * are in cache, never the order terms are added per output element, so
+ * results are bit-identical to the unblocked triple loop.
+ */
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNc = 512;
+
+/** Minimum per-chunk work so chunk dispatch never dominates. */
+constexpr std::size_t kMinWorkPerChunk = std::size_t(1) << 15;
+/** Elementwise kernels: elements per chunk. */
+constexpr std::size_t kElemGrain = std::size_t(1) << 14;
+
+/** Rows per chunk targeting kMinWorkPerChunk scalar ops per chunk. */
+std::size_t
+rowGrain(std::size_t work_per_row)
+{
+    return std::max<std::size_t>(
+        1, kMinWorkPerChunk / std::max<std::size_t>(work_per_row, 1));
+}
+
+/**
+ * The shared row-major GEMM core: od[m, n] += ad[m, k] * bd[k, n],
+ * blocked kKc x kNc, row-parallel. od must be zeroed (or hold the
+ * value being accumulated into). Per output element the k terms are
+ * added in increasing p exactly as in the naive ikj loop, so blocking
+ * and threading change nothing bitwise.
+ */
+void
+gemmRowMajor(const float* RECSIM_RESTRICT ad,
+             const float* RECSIM_RESTRICT bd, float* RECSIM_RESTRICT od,
+             std::size_t m, std::size_t k, std::size_t n)
+{
+    util::globalThreadPool().parallelFor(
+        0, m, rowGrain(2 * k * n),
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t jj = 0; jj < n; jj += kNc) {
+                const std::size_t jn = std::min(kNc, n - jj);
+                for (std::size_t pp = 0; pp < k; pp += kKc) {
+                    const std::size_t pk = std::min(kKc, k - pp);
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        const float* RECSIM_RESTRICT arow =
+                            ad + i * k + pp;
+                        float* RECSIM_RESTRICT orow = od + i * n + jj;
+                        for (std::size_t p = 0; p < pk; ++p) {
+                            const float av = arow[p];
+                            const float* RECSIM_RESTRICT brow =
+                                bd + (pp + p) * n + jj;
+                            for (std::size_t j = 0; j < jn; ++j)
+                                orow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/**
+ * Per-thread transpose scratch for matmulTransB. Thread-local so
+ * concurrent trainer threads never share it, persistent so the
+ * steady-state training loop reuses the buffer instead of allocating.
+ */
+thread_local Tensor tl_transpose_scratch;
+
 } // namespace
 
 void
@@ -27,22 +102,8 @@ matmul(const Tensor& a, const Tensor& b, Tensor& out)
     RECSIM_ASSERT(a.cols() == b.rows(), "matmul {} x {}",
                   a.shapeString(), b.shapeString());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
-        out = Tensor(m, n);
-    else
-        out.zero();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = a.row(i);
-        float* orow = out.row(i);
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float* brow = b.row(p);
-            for (std::size_t j = 0; j < n; ++j)
-                orow[j] += av * brow[j];
-        }
-    }
+    out.resize(m, n);
+    gemmRowMajor(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void
@@ -53,22 +114,33 @@ matmulTransA(const Tensor& a, const Tensor& b, Tensor& out)
     RECSIM_ASSERT(a.rows() == b.rows(), "matmulTransA {} x {}",
                   a.shapeString(), b.shapeString());
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
-        out = Tensor(m, n);
-    else
-        out.zero();
-    for (std::size_t p = 0; p < k; ++p) {
-        const float* arow = a.row(p);
-        const float* brow = b.row(p);
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float* orow = out.row(i);
-            for (std::size_t j = 0; j < n; ++j)
-                orow[j] += av * brow[j];
-        }
-    }
+    out.resize(m, n);
+    const float* RECSIM_RESTRICT ad = a.data();
+    const float* RECSIM_RESTRICT bd = b.data();
+    float* RECSIM_RESTRICT od = out.data();
+    util::globalThreadPool().parallelFor(
+        0, m, rowGrain(2 * k * n),
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t jj = 0; jj < n; jj += kNc) {
+                const std::size_t jn = std::min(kNc, n - jj);
+                for (std::size_t pp = 0; pp < k; pp += kKc) {
+                    const std::size_t pk = std::min(kKc, k - pp);
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        float* RECSIM_RESTRICT orow = od + i * n + jj;
+                        for (std::size_t p = 0; p < pk; ++p) {
+                            // a is [k, m]; column i walked with
+                            // stride m — k strided loads per output
+                            // row, negligible next to the k * n FMAs.
+                            const float av = ad[(pp + p) * m + i];
+                            const float* RECSIM_RESTRICT brow =
+                                bd + (pp + p) * n + jj;
+                            for (std::size_t j = 0; j < jn; ++j)
+                                orow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        });
 }
 
 void
@@ -79,19 +151,25 @@ matmulTransB(const Tensor& a, const Tensor& b, Tensor& out)
     RECSIM_ASSERT(a.cols() == b.cols(), "matmulTransB {} x {}",
                   a.shapeString(), b.shapeString());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    if (out.rank() != 2 || out.rows() != m || out.cols() != n)
-        out = Tensor(m, n);
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = a.row(i);
-        float* orow = out.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = b.row(j);
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            orow[j] = acc;
-        }
-    }
+    out.resize(m, n);
+    // Dot-product form (out[i][j] = arow . brow) keeps a serial
+    // dependence chain per element that cannot auto-vectorize without
+    // reassociation. Instead transpose b once into a per-thread
+    // persistent scratch and run the vectorized row-major core. Each
+    // output element still accumulates its k terms in increasing p, so
+    // the result is bitwise identical to the dot-product loop.
+    Tensor& bt = tl_transpose_scratch;
+    bt.resize(k, n);
+    const float* RECSIM_RESTRICT bd = b.data();
+    float* RECSIM_RESTRICT btd = bt.data();
+    util::globalThreadPool().parallelFor(
+        0, k, rowGrain(n),
+        [=](std::size_t p0, std::size_t p1) {
+            for (std::size_t p = p0; p < p1; ++p)
+                for (std::size_t j = 0; j < n; ++j)
+                    btd[p * n + j] = bd[j * k + p];
+        });
+    gemmRowMajor(a.data(), btd, out.data(), m, k, n);
 }
 
 void
@@ -100,11 +178,18 @@ addBiasRows(Tensor& x, const Tensor& bias)
     requireRank2(x, "addBiasRows");
     RECSIM_ASSERT(bias.size() == x.cols(), "bias {} for {}",
                   bias.shapeString(), x.shapeString());
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-        float* row = x.row(i);
-        for (std::size_t j = 0; j < x.cols(); ++j)
-            row[j] += bias[j];
-    }
+    const std::size_t cols = x.cols();
+    float* RECSIM_RESTRICT xd = x.data();
+    const float* RECSIM_RESTRICT bd = bias.data();
+    util::globalThreadPool().parallelFor(
+        0, x.rows(), rowGrain(cols),
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                float* RECSIM_RESTRICT row = xd + i * cols;
+                for (std::size_t j = 0; j < cols; ++j)
+                    row[j] += bd[j];
+            }
+        });
 }
 
 void
@@ -112,14 +197,23 @@ sumRows(const Tensor& x, Tensor& out)
 {
     requireRank2(x, "sumRows");
     if (out.size() != x.cols() || out.rank() != 1)
-        out = Tensor(x.cols());
+        out.resize(x.cols());
     else
         out.zero();
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-        const float* row = x.row(i);
-        for (std::size_t j = 0; j < x.cols(); ++j)
-            out[j] += row[j];
-    }
+    const std::size_t rows = x.rows(), cols = x.cols();
+    const float* RECSIM_RESTRICT xd = x.data();
+    float* RECSIM_RESTRICT od = out.data();
+    // Parallel over *columns*: each output element is owned by one
+    // chunk and accumulates in row order, identical to the serial loop.
+    util::globalThreadPool().parallelFor(
+        0, cols, rowGrain(rows),
+        [=](std::size_t j0, std::size_t j1) {
+            for (std::size_t i = 0; i < rows; ++i) {
+                const float* RECSIM_RESTRICT row = xd + i * cols;
+                for (std::size_t j = j0; j < j1; ++j)
+                    od[j] += row[j];
+            }
+        });
 }
 
 void
@@ -127,52 +221,80 @@ axpy(float alpha, const Tensor& x, Tensor& y)
 {
     RECSIM_ASSERT(x.size() == y.size(), "axpy {} into {}",
                   x.shapeString(), y.shapeString());
-    const float* xd = x.data();
-    float* yd = y.data();
-    for (std::size_t i = 0; i < x.size(); ++i)
-        yd[i] += alpha * xd[i];
+    const float* RECSIM_RESTRICT xd = x.data();
+    float* RECSIM_RESTRICT yd = y.data();
+    util::globalThreadPool().parallelFor(
+        0, x.size(), kElemGrain,
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                yd[i] += alpha * xd[i];
+        });
 }
 
 void
 scale(Tensor& x, float alpha)
 {
-    float* xd = x.data();
-    for (std::size_t i = 0; i < x.size(); ++i)
-        xd[i] *= alpha;
+    float* RECSIM_RESTRICT xd = x.data();
+    util::globalThreadPool().parallelFor(
+        0, x.size(), kElemGrain,
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                xd[i] *= alpha;
+        });
 }
 
 void
 reluInPlace(Tensor& x)
 {
-    float* xd = x.data();
-    for (std::size_t i = 0; i < x.size(); ++i)
-        xd[i] = std::max(xd[i], 0.0f);
+    float* RECSIM_RESTRICT xd = x.data();
+    util::globalThreadPool().parallelFor(
+        0, x.size(), kElemGrain,
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                xd[i] = std::max(xd[i], 0.0f);
+        });
 }
 
 void
 reluBackward(const Tensor& y, const Tensor& dy, Tensor& dx)
 {
     RECSIM_ASSERT(y.size() == dy.size(), "reluBackward shape mismatch");
-    if (!dx.sameShape(dy))
-        dx = dy;
-    const float* yd = y.data();
-    const float* dyd = dy.data();
-    float* dxd = dx.data();
-    for (std::size_t i = 0; i < y.size(); ++i)
-        dxd[i] = yd[i] > 0.0f ? dyd[i] : 0.0f;
+    if (!dx.sameShape(dy)) {
+        if (dy.rank() == 2)
+            dx.resize(dy.rows(), dy.cols());
+        else
+            dx.resize(dy.size());
+    }
+    const float* RECSIM_RESTRICT yd = y.data();
+    const float* RECSIM_RESTRICT dyd = dy.data();
+    float* RECSIM_RESTRICT dxd = dx.data();
+    util::globalThreadPool().parallelFor(
+        0, y.size(), kElemGrain,
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                dxd[i] = yd[i] > 0.0f ? dyd[i] : 0.0f;
+        });
 }
 
 void
 sigmoidInPlace(Tensor& x)
 {
-    float* xd = x.data();
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        const float v = xd[i];
-        // Split on sign to avoid overflow in exp().
-        xd[i] = v >= 0.0f
-            ? 1.0f / (1.0f + std::exp(-v))
-            : std::exp(v) / (1.0f + std::exp(v));
-    }
+    float* RECSIM_RESTRICT xd = x.data();
+    util::globalThreadPool().parallelFor(
+        0, x.size(), kElemGrain / 4,
+        [=](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float v = xd[i];
+                // Split on sign to avoid overflow in exp(); one exp()
+                // per element either way.
+                if (v >= 0.0f) {
+                    xd[i] = 1.0f / (1.0f + std::exp(-v));
+                } else {
+                    const float e = std::exp(v);
+                    xd[i] = e / (1.0f + e);
+                }
+            }
+        });
 }
 
 double

@@ -85,6 +85,24 @@ Tensor::reshape(std::size_t rows, std::size_t cols)
     cols_ = cols;
 }
 
+void
+Tensor::resize(std::size_t rows, std::size_t cols)
+{
+    data_.assign(rows * cols, 0.0f);
+    rank_ = 2;
+    rows_ = rows;
+    cols_ = cols;
+}
+
+void
+Tensor::resize(std::size_t n)
+{
+    data_.assign(n, 0.0f);
+    rank_ = 1;
+    rows_ = n;
+    cols_ = 1;
+}
+
 std::string
 Tensor::shapeString() const
 {

@@ -85,6 +85,17 @@ class Tensor
     /** Reshape in place; element count must be preserved. */
     void reshape(std::size_t rows, std::size_t cols);
 
+    /**
+     * Become a zeroed rank-2 tensor of shape [rows, cols], reusing the
+     * existing allocation when capacity suffices. The workspace-reuse
+     * primitive: kernels call this instead of constructing a fresh
+     * Tensor so steady-state training does no per-step heap allocation.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Become a zeroed rank-1 tensor of length n, reusing capacity. */
+    void resize(std::size_t n);
+
     /** "[rows x cols]" / "[n]" for diagnostics. */
     std::string shapeString() const;
 

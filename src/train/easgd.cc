@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "train/racy_traffic.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -57,15 +58,16 @@ trainEasgd(const model::DlrmConfig& model_config,
                 dataset.epochBatch(offset, base.batch_size);
 
             // Pull touched embedding rows from the shared tables.
+            // Lock-free: another worker may be pushing into the same
+            // rows (see racy_traffic.h).
             for (std::size_t f = 0; f < batch.sparse.size(); ++f) {
                 auto& ct = center.tables()[f];
                 auto& rt = replica.tables()[f];
                 for (uint64_t idx : batch.sparse[f].indices) {
                     const auto row = static_cast<std::size_t>(
                         idx % ct.hashSize());
-                    std::copy(ct.table.row(row),
-                              ct.table.row(row) + ct.dim(),
-                              rt.table.row(row));
+                    racy::copyRow(ct.table.row(row),
+                                  rt.table.row(row), ct.dim());
                 }
             }
 
@@ -78,10 +80,18 @@ trainEasgd(const model::DlrmConfig& model_config,
             // Local dense step on the replica.
             sgd.step(replica.bottomMlp());
             sgd.step(replica.topMlp());
-            // Sparse rows update the shared tables directly.
+            // Sparse rows update the shared tables directly, without
+            // locking (Hogwild-style across trainers).
             for (std::size_t f = 0; f < replica.tables().size(); ++f) {
-                sgd.stepSparse(center.tables()[f],
-                               replica.sparseGrads()[f]);
+                auto& table = center.tables()[f];
+                const auto& grad = replica.sparseGrads()[f];
+                for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+                    racy::pushRow(
+                        table.table.row(static_cast<std::size_t>(
+                            grad.rows[r])),
+                        grad.values.row(r), table.dim(),
+                        base.learning_rate);
+                }
             }
             replica.zeroGrad();
 

@@ -5,34 +5,28 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 #include "obs/trace.h"
+#include "train/racy_traffic.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace recsim {
 namespace train {
 
+// Hogwild's parameter traffic is *deliberately* lock-free: torn reads
+// and lost updates are part of the algorithm. All such accesses go
+// through the annotated raw-loop helpers in train/racy_traffic.h;
+// everything else in this file synchronizes normally and stays
+// ThreadSanitizer-instrumented.
 namespace {
 
-/**
- * Apply the dense gradients accumulated in @p replica's MLP layers to
- * @p master's parameters without locking (the Hogwild update).
- */
 void
 applyDenseGrads(model::Dlrm& master, model::Dlrm& replica, float lr)
 {
     auto apply = [lr](nn::Mlp& dst, nn::Mlp& src) {
-        for (std::size_t l = 0; l < dst.layers().size(); ++l) {
-            nn::Linear& d = dst.layers()[l];
-            nn::Linear& s = src.layers()[l];
-            float* w = d.weight.data();
-            const float* gw = s.gradWeight.data();
-            for (std::size_t i = 0; i < d.weight.size(); ++i)
-                w[i] -= lr * gw[i];
-            float* bias = d.bias.data();
-            const float* gb = s.gradBias.data();
-            for (std::size_t i = 0; i < d.bias.size(); ++i)
-                bias[i] -= lr * gb[i];
-        }
+        for (std::size_t l = 0; l < dst.layers().size(); ++l)
+            racy::applyLayerGrads(dst.layers()[l], src.layers()[l], lr);
     };
     apply(master.bottomMlp(), replica.bottomMlp());
     apply(master.topMlp(), replica.topMlp());
@@ -84,13 +78,9 @@ trainHogwild(const model::DlrmConfig& model_config,
                 RECSIM_TRACE_SPAN("hogwild.pull");
                 // Racy pull of the current dense parameters (no
                 // locks).
-                for (std::size_t i = 0; i < master_params.size();
-                     ++i) {
-                    std::copy(master_params[i]->data(),
-                              master_params[i]->data() +
-                                  master_params[i]->size(),
-                              replica_params[i]->data());
-                }
+                for (std::size_t i = 0; i < master_params.size(); ++i)
+                    racy::copyTensor(*master_params[i],
+                                     *replica_params[i]);
                 // Embedding rows are read from the master directly:
                 // copy the rows this batch touches. For simplicity and
                 // fidelity to Hogwild's sparse-access argument,
@@ -105,9 +95,8 @@ trainHogwild(const model::DlrmConfig& model_config,
                     for (uint64_t idx : batch.sparse[f].indices) {
                         const auto row = static_cast<std::size_t>(
                             idx % mt.hashSize());
-                        std::copy(mt.table.row(row),
-                                  mt.table.row(row) + mt.dim(),
-                                  rt.table.row(row));
+                        racy::copyRow(mt.table.row(row),
+                                      rt.table.row(row), mt.dim());
                     }
                 }
             }
@@ -128,13 +117,11 @@ trainHogwild(const model::DlrmConfig& model_config,
                      ++f) {
                     const auto& grad = replica.sparseGrads()[f];
                     auto& table = master.tables()[f];
-                    for (std::size_t r = 0; r < grad.rows.size();
-                         ++r) {
-                        float* row = table.table.row(
-                            static_cast<std::size_t>(grad.rows[r]));
-                        const float* g = grad.values.row(r);
-                        for (std::size_t j = 0; j < table.dim(); ++j)
-                            row[j] -= lr * g[j];
+                    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+                        racy::pushRow(
+                            table.table.row(static_cast<std::size_t>(
+                                grad.rows[r])),
+                            grad.values.row(r), table.dim(), lr);
                     }
                 }
             }
@@ -162,6 +149,7 @@ trainHogwild(const model::DlrmConfig& model_config,
     result.final_train_loss =
         loss / static_cast<double>(config.num_threads);
     evaluateModel(master, dataset, eval_examples, result);
+    obs::publishThreadPoolMetrics();
     return result;
 }
 

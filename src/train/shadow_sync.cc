@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "train/racy_traffic.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -69,15 +70,16 @@ trainShadowSync(const model::DlrmConfig& model_config,
                 dataset.epochBatch(offset, base.batch_size);
 
             // Pull touched embedding rows from the shared tables.
+            // Lock-free: another worker may be pushing into the same
+            // rows (see racy_traffic.h).
             for (std::size_t f = 0; f < batch.sparse.size(); ++f) {
                 auto& ct = center.tables()[f];
                 auto& rt = self.replica->tables()[f];
                 for (uint64_t idx : batch.sparse[f].indices) {
                     const auto row = static_cast<std::size_t>(
                         idx % ct.hashSize());
-                    std::copy(ct.table.row(row),
-                              ct.table.row(row) + ct.dim(),
-                              rt.table.row(row));
+                    racy::copyRow(ct.table.row(row),
+                                  rt.table.row(row), ct.dim());
                 }
             }
 
@@ -92,10 +94,18 @@ trainShadowSync(const model::DlrmConfig& model_config,
                 sgd.step(self.replica->bottomMlp());
                 sgd.step(self.replica->topMlp());
             }
+            // Sparse rows update the shared tables without locking.
             for (std::size_t f = 0;
                  f < self.replica->tables().size(); ++f) {
-                sgd.stepSparse(center.tables()[f],
-                               self.replica->sparseGrads()[f]);
+                auto& table = center.tables()[f];
+                const auto& grad = self.replica->sparseGrads()[f];
+                for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+                    racy::pushRow(
+                        table.table.row(static_cast<std::size_t>(
+                            grad.rows[r])),
+                        grad.values.row(r), table.dim(),
+                        base.learning_rate);
+                }
             }
             self.replica->zeroGrad();
             total_steps.fetch_add(1, std::memory_order_relaxed);
@@ -119,16 +129,14 @@ trainShadowSync(const model::DlrmConfig& model_config,
                     all_done = false;
                 std::lock_guard<std::mutex> lock(w.mutex);
                 auto worker_params = w.replica->denseParams();
-                const float alpha = config.elasticity;
+                // The lock excludes the worker's optimizer step only;
+                // its forward pass reads these params concurrently by
+                // design (racy_traffic.h).
                 for (std::size_t i = 0; i < center_params.size(); ++i) {
-                    float* c = center_params[i]->data();
-                    float* x = worker_params[i]->data();
-                    for (std::size_t j = 0;
-                         j < center_params[i]->size(); ++j) {
-                        const float diff = x[j] - c[j];
-                        x[j] -= alpha * diff;
-                        c[j] += alpha * diff;
-                    }
+                    racy::elasticAverage(center_params[i]->data(),
+                                         worker_params[i]->data(),
+                                         center_params[i]->size(),
+                                         config.elasticity);
                 }
             }
             shadow_passes.fetch_add(1, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include "nn/loss.h"
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -115,6 +116,7 @@ trainSingleThread(const model::DlrmConfig& model_config,
     result.final_train_loss =
         tail_count ? tail_loss / static_cast<double>(tail_count) : 0.0;
     evaluateModel(model, dataset, eval_examples, result);
+    obs::publishThreadPoolMetrics();
     return result;
 }
 

@@ -30,6 +30,7 @@
 #include "nn/quantized_embedding.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace recsim::nn {
 namespace {
@@ -476,6 +477,44 @@ TEST(GradCheck, DlrmEndToEndDenseParams)
     EXPECT_LT(quantile(0.5), 1e-3);   // bulk matches tightly
     EXPECT_LT(quantile(0.9), 2e-3);   // kink bias is a thin tail
     EXPECT_LT(quantile(0.99), 5e-2);
+}
+
+// ---------------------------------------------------------------------
+// Pool-enabled runs: the same checks with a multi-thread global pool.
+// The kernels' determinism contract makes parallel gradients bit-equal
+// to serial ones, so the identical tolerances must hold.
+// ---------------------------------------------------------------------
+
+/** Resizes the global pool for the test, restoring it on scope exit. */
+struct ScopedPoolThreads
+{
+    explicit ScopedPoolThreads(std::size_t threads)
+    {
+        util::globalThreadPool().resize(threads);
+    }
+    ~ScopedPoolThreads()
+    {
+        util::globalThreadPool().resize(util::configuredThreads());
+    }
+};
+
+TEST(GradCheck, LinearWithThreadPool)
+{
+    ScopedPoolThreads pool(4);
+    checkLinear(3, 5, 4, 11);
+}
+
+TEST(GradCheck, MlpWithThreadPool)
+{
+    ScopedPoolThreads pool(4);
+    checkMlp(3, 6, {5, 4}, 21);
+}
+
+TEST(GradCheck, EmbeddingBagWithThreadPool)
+{
+    ScopedPoolThreads pool(4);
+    checkEmbeddingBag(Pooling::Sum, 31);
+    checkEmbeddingBag(Pooling::Mean, 32);
 }
 
 // ---------------------------------------------------------------------

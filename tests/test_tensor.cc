@@ -147,6 +147,43 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(7, 13, 5),
                       std::make_tuple(32, 64, 17)));
 
+// Shapes that straddle the cache-block edges of the blocked kernel
+// (kKc = 128 rows of B, kNc = 512 output columns) plus odd primes, so
+// every partial-block path is exercised against the naive reference.
+INSTANTIATE_TEST_SUITE_P(
+    BlockEdges, MatmulShapes,
+    ::testing::Values(std::make_tuple(33, 17, 29),
+                      std::make_tuple(3, 127, 31),
+                      std::make_tuple(5, 128, 33),
+                      std::make_tuple(7, 129, 35),
+                      std::make_tuple(2, 130, 513),
+                      std::make_tuple(1, 257, 511),
+                      std::make_tuple(65, 256, 1)));
+
+TEST(Matmul, TransVariantsMatchNaiveAtBlockEdgeShapes)
+{
+    // [k, m] and [n, k] operands at sizes crossing the kKc boundary.
+    const std::size_t m = 33, k = 130, n = 29;
+    const Tensor a_t = randomMatrix(k, m, 90);  // transA operand
+    const Tensor b = randomMatrix(k, n, 91);
+    Tensor at(m, k);
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            at.at(j, i) = a_t.at(i, j);
+    Tensor got;
+    matmulTransA(a_t, b, got);
+    EXPECT_LT(maxAbsDiff(got, naiveMatmul(at, b)), 1e-3);
+
+    const Tensor a = randomMatrix(m, k, 92);
+    const Tensor b_t = randomMatrix(n, k, 93);  // transB operand
+    Tensor bt(k, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            bt.at(j, i) = b_t.at(i, j);
+    matmulTransB(a, b_t, got);
+    EXPECT_LT(maxAbsDiff(got, naiveMatmul(a, bt)), 1e-3);
+}
+
 TEST(Matmul, TransAMatchesExplicitTranspose)
 {
     const Tensor a = randomMatrix(6, 4, 33);  // [k=6, m=4]
