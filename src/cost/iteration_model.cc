@@ -61,7 +61,9 @@ IterationModel::IterationModel(model::DlrmConfig model_config,
     plan_ = placement::planPlacement(system_.placement, model_,
                                      system_.platform,
                                      system_.placement_options);
-    fp_ = model_.footprint();
+    graph_ = graph::buildModelStepGraph(model_);
+    placement::bindStepGraph(graph_, plan_, system_.num_sparse_ps);
+    summary_ = graph::summarize(graph_);
 }
 
 double
@@ -69,17 +71,19 @@ IterationModel::remoteCacheHitFraction() const
 {
     if (system_.remote_cache_bytes <= 0.0)
         return 0.0;
-    const double row_bytes = static_cast<double>(model_.emb_dim) *
+    const double row_bytes = static_cast<double>(summary_.emb_dim) *
         system_.emb_bytes_per_element;
     const double cache_rows = system_.remote_cache_bytes / row_bytes;
     const double total_access = std::max(
-        model_.meanLookupsPerExample(), 1e-9);
+        summary_.embedding_lookups, 1e-9);
     double hit = 0.0;
-    for (const auto& spec : model_.sparse) {
-        const double share = spec.effectiveMeanLength() / total_access;
+    for (const auto& node : graph_.nodes) {
+        if (node.kind != graph::NodeKind::EmbeddingLookup)
+            continue;
+        const double share = node.lookups_per_example / total_access;
         const auto rows = static_cast<uint64_t>(cache_rows * share);
-        hit += share * util::zipfTopMass(spec.hash_size,
-                                         spec.zipf_exponent, rows);
+        hit += share * util::zipfTopMass(node.rows,
+                                         node.zipf_exponent, rows);
     }
     return std::min(hit, 1.0);
 }
@@ -101,18 +105,18 @@ IterationModel::sparsePsCapacity() const
     // Trainer-side cache hits never reach the PS: only the cold share
     // of forward pulls plus the (write-through) gradient pushes remain.
     const double hit = remoteCacheHitFraction();
-    const double emb_train_bytes = fp_.embedding_bytes *
+    const double emb_train_bytes = summary_.embedding_bytes *
         ((1.0 - hit) + (params_.emb_train_bytes_multiplier - 1.0));
 
     // Pooling + gradient scatter arithmetic on the PS cores.
-    const double pool_flops = fp_.embedding_lookups *
-        static_cast<double>(model_.emb_dim) * 2.0 * 2.0;
+    const double pool_flops = summary_.embedding_lookups *
+        static_cast<double>(summary_.emb_dim) * 2.0 * 2.0;
     const double pool_rate = ps.host.peak_flops *
         params_.cpu_mlp_efficiency * params_.ps_pooling_flops_fraction;
 
     // NIC: pooled vectors out + gradients in + index requests.
-    const double nic_bytes = 2.0 * fp_.pooled_bytes +
-        fp_.embedding_lookups * params_.request_bytes_per_lookup;
+    const double nic_bytes = 2.0 * summary_.pooled_bytes +
+        summary_.embedding_lookups * params_.request_bytes_per_lookup;
     const double nic_rate = ps.network.bandwidth *
         params_.network_goodput;
 
@@ -151,23 +155,15 @@ IterationModel::estimateCpu() const
     const double b = static_cast<double>(system_.batch_size);
     const double n_tr = static_cast<double>(system_.num_trainers);
 
-    const double fwd_flops = fp_.mlp_flops + fp_.interaction_flops;
+    const double fwd_flops =
+        summary_.mlp_flops + summary_.interaction_flops;
     const double train_flops =
         fwd_flops * (1.0 + params_.backward_flops_multiplier);
-    const double dense_params =
-        static_cast<double>(model_.mlpParams());
+    const double dense_params = summary_.dense_param_count;
 
     // Cache pressure: activation working set past the LLC derates GEMMs
     // (the Fig 11 CPU batch-size roll-off).
-    double act_bytes_pe =
-        static_cast<double>(model_.num_dense) * sizeof(float);
-    for (std::size_t w : model_.bottomDims())
-        act_bytes_pe += static_cast<double>(w) * sizeof(float);
-    act_bytes_pe +=
-        static_cast<double>(model_.interactionWidth()) * sizeof(float);
-    for (std::size_t w : model_.topDims())
-        act_bytes_pe += static_cast<double>(w) * sizeof(float);
-    act_bytes_pe *= 2.0;  // forward activations + backward grads
+    const double act_bytes_pe = summary_.activation_bytes;
     // Only about half the LLC is available to the GEMM working set
     // (the rest serves the input pipeline and lookup staging).
     const double llc = 0.5 * kCpuLlcBytesPerSocket * p.num_cpu_sockets;
@@ -179,14 +175,14 @@ IterationModel::estimateCpu() const
 
     const double compute_s_pe = train_flops / host_flops +
         params_.cpu_per_example_overhead +
-        fp_.embedding_lookups * params_.cpu_per_lookup_overhead;
+        summary_.embedding_lookups * params_.cpu_per_lookup_overhead;
     const double t_compute = b * compute_s_pe +
         params_.cpu_iteration_overhead;
 
     // Trainer <-> sparse PS traffic: pooled vectors both ways plus
     // index requests; EASGD dense sync amortized over the period.
-    const double net_bytes_pe = 2.0 * fp_.pooled_bytes +
-        fp_.embedding_lookups * params_.request_bytes_per_lookup;
+    const double net_bytes_pe = 2.0 * summary_.pooled_bytes +
+        summary_.embedding_lookups * params_.request_bytes_per_lookup;
     const double sync_period = system_.sync_mode == SyncMode::Easgd
         ? static_cast<double>(std::max<std::size_t>(
               system_.easgd_sync_period, 1))
@@ -205,6 +201,9 @@ IterationModel::estimateCpu() const
 
     est.breakdown = {
         {"mlp_compute", b * train_flops / host_flops},
+        {"lookup_overhead",
+         b * summary_.embedding_lookups *
+             params_.cpu_per_lookup_overhead},
         {"framework_overhead",
          b * params_.cpu_per_example_overhead +
              params_.cpu_iteration_overhead},
@@ -235,8 +234,8 @@ IterationModel::estimateCpu() const
     }
 
     double reader_cap = 0.0;
-    const double read_bytes_pe = fp_.dense_input_bytes +
-        fp_.embedding_lookups * 8.0 + 4.0;
+    const double read_bytes_pe = summary_.dense_input_bytes +
+        summary_.embedding_lookups * 8.0 + 4.0;
     if (system_.num_readers > 0) {
         reader_cap = static_cast<double>(system_.num_readers) *
             nic_rate / read_bytes_pe;
@@ -305,29 +304,29 @@ IterationModel::estimateGpu() const
     const double nic_rate =
         p.network.bandwidth * params_.network_goodput;
 
-    const double fwd_flops = fp_.mlp_flops + fp_.interaction_flops;
+    const double fwd_flops =
+        summary_.mlp_flops + summary_.interaction_flops;
     const double train_flops =
         fwd_flops * (1.0 + params_.backward_flops_multiplier);
-    const double dense_params = static_cast<double>(model_.mlpParams());
-    const double d = static_cast<double>(model_.emb_dim);
+    const double dense_params = summary_.dense_param_count;
+    const double d = static_cast<double>(summary_.emb_dim);
     // Serving precision scales every byte the tables move or occupy
     // (quantization extension).
     const double compression = system_.emb_bytes_per_element / 4.0;
-    const double emb_train_bytes = fp_.embedding_bytes * compression *
-        params_.emb_train_bytes_multiplier;
+    const double emb_train_bytes = summary_.embedding_bytes *
+        compression * params_.emb_train_bytes_multiplier;
 
     // ---- MLP compute + kernel dispatch ------------------------------
     const double gpu_flops =
         g * p.gpu.peak_flops * params_.gpu_mlp_efficiency;
     const double t_mlp = bg * train_flops / gpu_flops;
-    const double n_layers = static_cast<double>(
-        model_.bottomDims().size() + model_.topDims().size());
+    const double n_layers = static_cast<double>(summary_.mlp_layers);
     // Embedding ops cannot batch across tables: every table costs
     // lookup + gradient + optimizer kernels, doubled when the tables
     // are sharded (routing indices to owners and results back).
     const bool sharded = !plan_.replicated && plan_.gpus_used > 1;
     const double emb_kernels = 3.0 *
-        static_cast<double>(model_.numSparse()) *
+        static_cast<double>(summary_.embedding_tables) *
         (sharded ? 2.0 : 1.0) * plan_.gpu_lookup_fraction;
     const double kernels = n_layers * params_.gpu_kernels_per_layer +
         params_.gpu_fixed_kernels + emb_kernels +
@@ -354,7 +353,7 @@ IterationModel::estimateGpu() const
             (g * p.gpu.mem_bandwidth * eff);
         const double touched_bytes = std::min(
             plan_.resident_bytes,
-            bg * fp_.embedding_lookups * d * sizeof(float));
+            bg * summary_.embedding_lookups * d * sizeof(float));
         t_a2a = 2.0 * touched_bytes * (g - 1.0) / g /
             (g * std::max(p.gpu_interconnect.bandwidth, 1.0)) +
             2.0 * p.gpu_interconnect.latency;
@@ -377,9 +376,9 @@ IterationModel::estimateGpu() const
         // Pooled embeddings all-to-all: senders are the table-owning
         // GPUs, consumers are all data-parallel GPUs. Raw indices must
         // also be routed to the owners.
-        const double index_bytes = bg_global * fp_.embedding_lookups *
+        const double index_bytes = bg_global * summary_.embedding_lookups *
             frac_gpu * 8.0 * (g - 1.0) / g;
-        t_a2a = (2.0 * bg_global * fp_.pooled_bytes * frac_gpu *
+        t_a2a = (2.0 * bg_global * summary_.pooled_bytes * frac_gpu *
                      (g - 1.0) / g + index_bytes) /
             (shards * std::max(p.gpu_interconnect.bandwidth, 1.0)) +
             2.0 * p.gpu_interconnect.latency;
@@ -389,7 +388,7 @@ IterationModel::estimateGpu() const
         // could not test.
         if (n_nodes > 1.0 &&
             plan_.gpus_used > static_cast<std::size_t>(g)) {
-            t_a2a += 2.0 * bg_global * fp_.pooled_bytes * frac_gpu *
+            t_a2a += 2.0 * bg_global * summary_.pooled_bytes * frac_gpu *
                 (n_nodes - 1.0) / n_nodes / (n_nodes * nic_rate) +
                 2.0 * p.network.latency;
         }
@@ -406,17 +405,17 @@ IterationModel::estimateGpu() const
             params_.cached_gather_efficiency);
         const double t_bw = bg_global * emb_train_bytes * frac_host /
             (n_nodes * p.host.mem_bandwidth * eff);
-        const double pool_flops = bg_global * fp_.embedding_lookups *
+        const double pool_flops = bg_global * summary_.embedding_lookups *
             frac_host * d * 2.0 * 2.0;
         const double t_pool = pool_flops /
             (n_nodes * p.host.peak_flops * params_.cpu_mlp_efficiency *
              params_.ps_pooling_flops_fraction);
         t_host = std::max(t_bw, t_pool);
-        t_pcie = 2.0 * bg * fp_.pooled_bytes * frac_host /
+        t_pcie = 2.0 * bg * summary_.pooled_bytes * frac_host /
             (g * p.host_gpu.bandwidth);
         // Host shards spanning nodes exchange pooled vectors over NICs.
         if (n_nodes > 1.0 && plan_.partition.shardsUsed() > 1) {
-            t_host += 2.0 * bg_global * fp_.pooled_bytes * frac_host *
+            t_host += 2.0 * bg_global * summary_.pooled_bytes * frac_host *
                 (n_nodes - 1.0) / n_nodes / (n_nodes * nic_rate) +
                 2.0 * p.network.latency;
         }
@@ -436,9 +435,9 @@ IterationModel::estimateGpu() const
         // pulls (caching extension); gradient pushes still go through.
         const double hit = remoteCacheHitFraction();
         const double bytes_rt = bg * frac_remote *
-            (fp_.pooled_bytes * compression * (1.0 - hit) +
-             fp_.pooled_bytes +
-             fp_.embedding_lookups * params_.request_bytes_per_lookup *
+            (summary_.pooled_bytes * compression * (1.0 - hit) +
+             summary_.pooled_bytes +
+             summary_.embedding_lookups * params_.request_bytes_per_lookup *
                  (1.0 - hit));
         const double t_net = bytes_rt /
             (p.network.bandwidth * params_.network_goodput) +
@@ -449,7 +448,7 @@ IterationModel::estimateGpu() const
         const double rtt = 2.0 * p.network.latency +
             params_.ps_service_time;
         const double requests = bg * frac_remote * (1.0 - hit) *
-            static_cast<double>(model_.numSparse());
+            static_cast<double>(summary_.embedding_tables);
         const double t_latency = requests * rtt /
             (params_.remote_inflight_rpcs * hogwild);
         t_remote = hogwild >= 2.0
@@ -477,12 +476,12 @@ IterationModel::estimateGpu() const
     }
 
     // ---- Input pipeline ---------------------------------------------
-    const double read_bytes_pe = fp_.dense_input_bytes +
-        fp_.embedding_lookups * 8.0 + 4.0;
+    const double read_bytes_pe = summary_.dense_input_bytes +
+        summary_.embedding_lookups * 8.0 + 4.0;
     const double t_input = bg * read_bytes_pe /
         (g * p.host_gpu.bandwidth) +
         bg * (params_.host_cpu_per_example +
-              fp_.embedding_lookups * params_.host_cpu_per_lookup) /
+              summary_.embedding_lookups * params_.host_cpu_per_lookup) /
             static_cast<double>(p.num_cpu_sockets);
 
     const double t_local = t_mlp + t_launch + t_gather_gpu + t_a2a +
@@ -550,7 +549,7 @@ IterationModel::estimateGpu() const
             (g * p.gpu.mem_bandwidth));
     if (p.gpu_interconnect.bandwidth > 0.0) {
         est.util.gpu_interconnect = std::min(
-            1.0, x * (2.0 * fp_.pooled_bytes * frac_gpu * (g - 1.0) / g +
+            1.0, x * (2.0 * summary_.pooled_bytes * frac_gpu * (g - 1.0) / g +
                       2.0 * dense_params * sizeof(float) * (g - 1.0) /
                           g / bg) /
                 (g * p.gpu_interconnect.bandwidth));
@@ -558,15 +557,15 @@ IterationModel::estimateGpu() const
     est.util.host_mem_bw = std::min(
         1.0, x * emb_train_bytes * frac_host / p.host.mem_bandwidth);
     est.util.pcie = std::min(
-        1.0, x * (2.0 * fp_.pooled_bytes * (frac_host + frac_remote) +
+        1.0, x * (2.0 * summary_.pooled_bytes * (frac_host + frac_remote) +
                   read_bytes_pe) / (g * p.host_gpu.bandwidth));
     est.util.trainer_cpu = std::min(
         1.0, x * (frac_remote + frac_host) *
-            (2.0 * fp_.pooled_bytes /
+            (2.0 * summary_.pooled_bytes /
              (params_.serialization_bw_per_socket *
               static_cast<double>(p.num_cpu_sockets))));
     est.util.trainer_network = std::min(
-        1.0, x * frac_remote * 2.0 * fp_.pooled_bytes /
+        1.0, x * frac_remote * 2.0 * summary_.pooled_bytes /
             (p.network.bandwidth * params_.network_goodput));
     est.util.trainer_mem_capacity = std::min(
         1.0, plan_.resident_bytes * frac_host /
@@ -584,6 +583,247 @@ IterationModel::estimateGpu() const
 
     est.power_watts = system_.totalPowerWatts();
     return est;
+}
+
+std::vector<NodeTime>
+IterationModel::nodeBreakdown() const
+{
+    if (!plan_.feasible)
+        return {};
+    return system_.platform.num_gpus > 0 ? nodeBreakdownGpu()
+                                         : nodeBreakdownCpu();
+}
+
+std::vector<NodeTime>
+IterationModel::nodeBreakdownCpu() const
+{
+    const hw::Platform& p = system_.platform;
+    const double b = static_cast<double>(system_.batch_size);
+    const double bwd = 1.0 + params_.backward_flops_multiplier;
+
+    // Trainer GEMM rate under cache pressure (as estimateCpu()).
+    const double llc = 0.5 * kCpuLlcBytesPerSocket * p.num_cpu_sockets;
+    const double ws = b * summary_.activation_bytes;
+    const double cache_factor = ws > llc
+        ? std::pow(llc / ws, params_.cpu_cache_pressure_exponent) : 1.0;
+    const double host_flops =
+        p.host.peak_flops * params_.cpu_mlp_efficiency * cache_factor;
+
+    const double nic_rate = p.network.bandwidth * params_.network_goodput;
+    const double sync_period = system_.sync_mode == SyncMode::Easgd
+        ? static_cast<double>(std::max<std::size_t>(
+              system_.easgd_sync_period, 1))
+        : 1.0;
+    const double dense_sync_bytes = 2.0 * summary_.dense_param_count *
+        sizeof(float) / sync_period;
+
+    // Sparse-PS service rates, mirroring the DES's resources.
+    const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
+    const double n_ps = static_cast<double>(
+        std::max<std::size_t>(system_.num_sparse_ps, 1));
+    const double gather_rate = ps_hw.host.mem_bandwidth *
+        gatherEfficiency(plan_.resident_bytes / n_ps,
+                         kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+                         ps_hw.host.random_access_efficiency,
+                         params_.cached_gather_efficiency);
+    const double pool_rate = ps_hw.host.peak_flops *
+        params_.cpu_mlp_efficiency * params_.ps_pooling_flops_fraction;
+    const double ps_nic_rate = ps_hw.network.bandwidth *
+        params_.network_goodput;
+    const double dense_rate = static_cast<double>(system_.num_dense_ps) *
+        ps_nic_rate;
+    const double d = static_cast<double>(summary_.emb_dim);
+
+    std::vector<NodeTime> out;
+    out.reserve(graph_.numNodes());
+    for (const auto& node : graph_.nodes) {
+        double s = 0.0;
+        switch (node.kind) {
+          case graph::NodeKind::Gemm:
+          case graph::NodeKind::Interaction:
+            s = b * node.fwd_flops * bwd / host_flops;
+            break;
+          case graph::NodeKind::EmbeddingLookup:
+            // Trainer-side id marshalling + pooled-vector handling; the
+            // gather itself runs on the PS (comm.ps_gather.* nodes).
+            s = b * node.lookups_per_example *
+                params_.cpu_per_lookup_overhead;
+            break;
+          case graph::NodeKind::OptimizerUpdate:
+            s = b * params_.cpu_per_example_overhead +
+                params_.cpu_iteration_overhead;
+            break;
+          case graph::NodeKind::Loss:
+            break;
+          case graph::NodeKind::Comm:
+            switch (node.comm) {
+              case graph::CommOp::PsRequest:
+                s = b * node.share *
+                    (summary_.pooled_bytes +
+                     summary_.embedding_lookups *
+                         params_.request_bytes_per_lookup) *
+                    0.1 / nic_rate;
+                break;
+              case graph::CommOp::PsGather:
+                s = b * node.share * summary_.embedding_bytes *
+                    params_.emb_train_bytes_multiplier / gather_rate;
+                break;
+              case graph::CommOp::PsPool:
+                s = b * node.share * summary_.embedding_lookups * d *
+                    4.0 / pool_rate;
+                break;
+              case graph::CommOp::PsResponse:
+                s = b * node.share * summary_.pooled_bytes /
+                    ps_nic_rate;
+                break;
+              case graph::CommOp::GradPush:
+                s = b * node.share * summary_.pooled_bytes / nic_rate;
+                break;
+              case graph::CommOp::DenseSync:
+                s = dense_rate > 0.0
+                    ? dense_sync_bytes / dense_rate : 0.0;
+                break;
+              default:
+                break;
+            }
+            break;
+        }
+        out.push_back({node.id, s});
+    }
+    return out;
+}
+
+std::vector<NodeTime>
+IterationModel::nodeBreakdownGpu() const
+{
+    // Phase totals from the estimate, attributed to the graph nodes that
+    // make them up so per-phase sums reproduce the breakdown exactly.
+    const IterationEstimate est = estimateGpu();
+    auto phase = [&est](const char* name) {
+        for (const auto& ph : est.breakdown) {
+            if (ph.name == name)
+                return ph.seconds;
+        }
+        return 0.0;
+    };
+
+    const hw::Platform& p = system_.platform;
+    const double g = static_cast<double>(p.num_gpus);
+    const double bg = static_cast<double>(system_.batch_size) * g;
+    const double frac_remote = plan_.remote_lookup_fraction;
+    const double d = static_cast<double>(summary_.emb_dim);
+
+    const double flops_total =
+        summary_.mlp_flops + summary_.interaction_flops;
+
+    // Gather-byte totals of each hosting device group.
+    double gpu_bytes = 0.0, host_bytes = 0.0;
+    for (const auto& node : graph_.nodes) {
+        if (node.kind != graph::NodeKind::EmbeddingLookup)
+            continue;
+        if (node.device == graph::Device::Gpu)
+            gpu_bytes += node.bytes_per_example;
+        else if (node.device == graph::Device::HostCpu)
+            host_bytes += node.bytes_per_example;
+    }
+
+    // The remote-PS phase splits over the RPC-leg nodes in proportion
+    // to their DES service demands.
+    const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
+    const double n_ps = static_cast<double>(
+        std::max<std::size_t>(system_.num_sparse_ps, 1));
+    const double gather_rate = ps_hw.host.mem_bandwidth *
+        gatherEfficiency(plan_.resident_bytes / n_ps,
+                         kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+                         ps_hw.host.random_access_efficiency,
+                         params_.cached_gather_efficiency);
+    const double pool_rate = ps_hw.host.peak_flops *
+        params_.cpu_mlp_efficiency * params_.ps_pooling_flops_fraction;
+    const double ps_nic_rate = ps_hw.network.bandwidth *
+        params_.network_goodput;
+    const double nic_rate = p.network.bandwidth * params_.network_goodput;
+    auto remoteWeight = [&](const graph::Node& node) {
+        switch (node.comm) {
+          case graph::CommOp::PsRequest:
+            return bg * node.share *
+                (summary_.pooled_bytes + summary_.embedding_lookups *
+                 params_.request_bytes_per_lookup) * 0.1 * frac_remote /
+                nic_rate;
+          case graph::CommOp::PsGather:
+            return bg * node.share * summary_.embedding_bytes *
+                params_.emb_train_bytes_multiplier * frac_remote /
+                gather_rate;
+          case graph::CommOp::PsPool:
+            return bg * node.share * summary_.embedding_lookups * d *
+                4.0 * frac_remote / pool_rate;
+          case graph::CommOp::PsResponse:
+            return bg * node.share * summary_.pooled_bytes *
+                frac_remote / ps_nic_rate;
+          case graph::CommOp::Deserialize:
+            return 2.0 * bg * summary_.pooled_bytes * frac_remote /
+                (params_.serialization_bw_per_socket *
+                 static_cast<double>(p.num_cpu_sockets));
+          default:
+            return 0.0;
+        }
+    };
+    double remote_total = 0.0;
+    for (const auto& node : graph_.nodes) {
+        if (node.kind == graph::NodeKind::Comm)
+            remote_total += remoteWeight(node);
+    }
+    const double remote_scale = remote_total > 0.0
+        ? phase("emb_remote") / remote_total : 0.0;
+
+    std::vector<NodeTime> out;
+    out.reserve(graph_.numNodes());
+    for (const auto& node : graph_.nodes) {
+        double s = 0.0;
+        switch (node.kind) {
+          case graph::NodeKind::Gemm:
+          case graph::NodeKind::Interaction:
+            if (flops_total > 0.0)
+                s = phase("mlp_compute") * node.fwd_flops / flops_total;
+            break;
+          case graph::NodeKind::EmbeddingLookup:
+            if (node.device == graph::Device::Gpu && gpu_bytes > 0.0) {
+                s = phase("emb_gather_gpu") * node.bytes_per_example /
+                    gpu_bytes;
+            } else if (node.device == graph::Device::HostCpu &&
+                       host_bytes > 0.0) {
+                s = phase("emb_gather_host") * node.bytes_per_example /
+                    host_bytes;
+            }
+            // SparsePs-hosted tables: served by the comm.ps_* legs.
+            break;
+          case graph::NodeKind::OptimizerUpdate:
+            s = phase("kernel_dispatch");
+            break;
+          case graph::NodeKind::Loss:
+            break;
+          case graph::NodeKind::Comm:
+            switch (node.comm) {
+              case graph::CommOp::Input:
+                s = phase("input_pipeline");
+                break;
+              case graph::CommOp::AllToAll:
+                s = phase("emb_alltoall");
+                break;
+              case graph::CommOp::PcieStage:
+                s = phase("emb_pcie");
+                break;
+              case graph::CommOp::AllReduce:
+                s = phase("dense_allreduce");
+                break;
+              default:
+                s = remote_scale * remoteWeight(node);
+                break;
+            }
+            break;
+        }
+        out.push_back({node.id, s});
+    }
+    return out;
 }
 
 } // namespace cost

@@ -7,10 +7,12 @@
  * breakdown, the binding bottleneck, per-resource utilizations and
  * power efficiency — everything the paper's evaluation figures plot.
  *
- * The model is a roofline-plus-bottleneck analysis:
+ * The model is a roofline-plus-bottleneck analysis over the model's
+ * StepGraph (graph/step_graph.h) — the same per-iteration operator IR
+ * the DES schedules and the real trainer executes:
  *  - every phase (MLP compute, embedding gather, collective or PS
  *    communication, input) is costed as max(work/rate) over the
- *    resources it exercises;
+ *    resources it exercises, with the work folded from graph nodes;
  *  - shared services (sparse/dense parameter servers, readers) impose
  *    system-wide throughput caps;
  *  - throughput = min(trainer-side rate, service caps), and
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "cost/system_config.h"
+#include "graph/step_graph.h"
 #include "model/config.h"
 #include "placement/placement.h"
 
@@ -100,6 +103,15 @@ struct PhaseTime
     double seconds = 0.0;
 };
 
+/** Estimated time attributed to one StepGraph node, seconds. */
+struct NodeTime
+{
+    /** graph::Node::id — the key the DES's node_seconds map and the
+     *  trainer's obs spans also report under. */
+    std::string node_id;
+    double seconds = 0.0;
+};
+
 /** Per-resource utilization in [0, 1] at the achieved throughput. */
 struct Utilizations
 {
@@ -123,7 +135,25 @@ struct Utilizations
     std::vector<std::pair<std::string, double>> asList() const;
 };
 
-/** Full result of one estimate. */
+/**
+ * Full result of one estimate.
+ *
+ * Phase composition rule (what the property tests assert): the phases in
+ * `breakdown` account for `iteration_seconds` under the model's
+ * max/sum bottleneck structure.
+ *  - CPU trainers: compute and communication pipeline across Hogwild
+ *    workers and async prefetch, so
+ *      iteration_seconds = max(mlp_compute + lookup_overhead +
+ *                              framework_overhead, trainer_network).
+ *  - GPU servers: the local phases serialize; the remote-PS phase
+ *    overlaps them only when >= 2 Hogwild workers pipeline batches:
+ *      local = sum of every phase except emb_remote;
+ *      iteration_seconds = max(local, emb_remote)   if hogwild >= 2
+ *                                                   and emb_remote > 0,
+ *                          local + emb_remote        otherwise.
+ * (Equalities hold to floating-point re-association, i.e. ~1e-12
+ * relative.)
+ */
 struct IterationEstimate
 {
     bool feasible = true;
@@ -150,8 +180,11 @@ struct IterationEstimate
 };
 
 /**
- * The estimator. Construction plans the embedding placement; estimate()
+ * The estimator. Construction plans the embedding placement, lowers the
+ * model into its StepGraph and binds the placement to it; estimate()
  * is pure and cheap, so sweeps construct one model per design point.
+ * All work quantities (FLOPs, bytes, lookups) are folds over the graph
+ * nodes — the same IR the DES schedules and the trainer executes.
  */
 class IterationModel
 {
@@ -162,20 +195,39 @@ class IterationModel
     /** Steady-state estimate for the configured system. */
     IterationEstimate estimate() const;
 
+    /**
+     * Per-node time attribution of one iteration: every compute node
+     * costed at its phase's rate, every Comm node at its link/service
+     * rate, mirroring the demand expressions the DES uses so the two
+     * line up node by node (bench/validation_graph_breakdown). Compute
+     * phases of estimate().breakdown are sums over their nodes; on the
+     * GPU path every phase is. Empty when the plan is infeasible.
+     */
+    std::vector<NodeTime> nodeBreakdown() const;
+
     const placement::PlacementPlan& plan() const { return plan_; }
     const model::DlrmConfig& modelConfig() const { return model_; }
     const SystemConfig& systemConfig() const { return system_; }
 
+    /** The bound operator graph of one training step. */
+    const graph::StepGraph& stepGraph() const { return graph_; }
+
+    /** Aggregate work totals folded from the graph (== footprint()). */
+    const graph::WorkSummary& workSummary() const { return summary_; }
+
     /**
      * Fraction of remote lookup traffic served by the trainer-side
      * hot-row cache (0 when no cache is configured). Analytic: Zipf
-     * top-k mass with the cache split across tables by access share.
+     * top-k mass with the cache split across the graph's embedding
+     * nodes by access share.
      */
     double remoteCacheHitFraction() const;
 
   private:
     IterationEstimate estimateCpu() const;
     IterationEstimate estimateGpu() const;
+    std::vector<NodeTime> nodeBreakdownCpu() const;
+    std::vector<NodeTime> nodeBreakdownGpu() const;
 
     /** Sparse-PS aggregate serving capacity, examples/s (0 = none). */
     double sparsePsCapacity() const;
@@ -184,7 +236,8 @@ class IterationModel
     SystemConfig system_;
     CostParams params_;
     placement::PlacementPlan plan_;
-    model::ExampleFootprint fp_;
+    graph::StepGraph graph_;
+    graph::WorkSummary summary_;
 };
 
 } // namespace cost

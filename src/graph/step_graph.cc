@@ -1,0 +1,264 @@
+#include "graph/step_graph.h"
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace graph {
+
+const Node*
+StepGraph::find(const std::string& id) const
+{
+    for (const auto& node : nodes) {
+        if (node.id == id)
+            return &node;
+    }
+    return nullptr;
+}
+
+std::vector<std::size_t>
+StepGraph::indicesOf(NodeKind kind) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].kind == kind)
+            out.push_back(i);
+    }
+    return out;
+}
+
+const Node*
+StepGraph::findComm(CommOp op, int shard) const
+{
+    for (const auto& node : nodes) {
+        if (node.kind == NodeKind::Comm && node.comm == op &&
+            (shard < 0 || node.shard == shard)) {
+            return &node;
+        }
+    }
+    return nullptr;
+}
+
+StepGraph
+buildModelStepGraph(const model::DlrmConfig& config)
+{
+    StepGraph g;
+    g.model_name = config.name;
+    g.num_dense = config.num_dense;
+    g.emb_dim = config.emb_dim;
+
+    // The per-node work annotations below use the exact expressions of
+    // DlrmConfig::footprint() / mlpParams() / placement::TableCosts so
+    // that summarize() and the per-table cost derivations reproduce the
+    // pre-graph values bit for bit.
+
+    auto addGemm = [&g](GemmRole role, const char* prefix, int layer,
+                        std::size_t in, std::size_t out) {
+        Node node;
+        node.id = std::string(prefix) + ".l" + std::to_string(layer);
+        node.kind = NodeKind::Gemm;
+        node.role = role;
+        node.layer = layer;
+        node.in_width = in;
+        node.out_width = out;
+        node.fwd_flops = 2.0 * static_cast<double>(in) *
+            static_cast<double>(out);
+        node.param_count = static_cast<double>(in * out + out);
+        node.param_bytes = node.param_count * sizeof(float);
+        g.nodes.push_back(std::move(node));
+    };
+
+    // Bottom MLP (including the implicit projection to emb_dim).
+    {
+        std::size_t in = config.num_dense;
+        int layer = 0;
+        for (std::size_t out : config.bottomDims()) {
+            addGemm(GemmRole::BottomMlp, "bottom_mlp", layer++, in, out);
+            in = out;
+        }
+    }
+
+    // Embedding tables, each followed by its mixed-dimension projection
+    // when the table is narrower than the shared width.
+    for (std::size_t t = 0; t < config.sparse.size(); ++t) {
+        const auto& spec = config.sparse[t];
+        const std::size_t dim = spec.effectiveDim(config.emb_dim);
+        const auto d = static_cast<double>(dim);
+        Node node;
+        node.id = "emb.t" + std::to_string(t);
+        node.kind = NodeKind::EmbeddingLookup;
+        node.table = static_cast<int>(t);
+        node.out_width = dim;
+        node.rows = spec.hash_size;
+        node.zipf_exponent = spec.zipf_exponent;
+        node.lookups_per_example = spec.effectiveMeanLength();
+        node.bytes_per_example =
+            spec.effectiveMeanLength() * d * sizeof(float);
+        node.pooled_bytes_per_example = d * sizeof(float);
+        node.param_bytes =
+            static_cast<double>(spec.hash_size) * d * sizeof(float);
+        g.nodes.push_back(std::move(node));
+
+        if (dim != config.emb_dim) {
+            Node proj;
+            proj.id = "proj.t" + std::to_string(t);
+            proj.kind = NodeKind::Gemm;
+            proj.role = GemmRole::Projection;
+            proj.table = static_cast<int>(t);
+            proj.in_width = dim;
+            proj.out_width = config.emb_dim;
+            proj.fwd_flops =
+                2.0 * d * static_cast<double>(config.emb_dim);
+            proj.param_count = static_cast<double>(
+                dim * config.emb_dim + config.emb_dim);
+            proj.param_bytes = proj.param_count * sizeof(float);
+            g.nodes.push_back(std::move(proj));
+        }
+    }
+
+    // Feature interaction.
+    {
+        Node node;
+        node.id = "interaction";
+        node.kind = NodeKind::Interaction;
+        node.in_width = config.emb_dim;
+        node.out_width = config.interactionWidth();
+        if (config.interaction == nn::InteractionKind::DotProduct) {
+            const auto f = static_cast<double>(config.numSparse() + 1);
+            node.fwd_flops = f * (f - 1.0) / 2.0 * 2.0 *
+                static_cast<double>(config.emb_dim);
+        }
+        g.nodes.push_back(std::move(node));
+    }
+
+    // Top MLP (including the implicit 1-wide logit layer).
+    {
+        std::size_t in = config.interactionWidth();
+        int layer = 0;
+        for (std::size_t out : config.topDims()) {
+            addGemm(GemmRole::TopMlp, "top_mlp", layer++, in, out);
+            in = out;
+        }
+    }
+
+    // Loss + optimizer close the step.
+    {
+        Node loss;
+        loss.id = "loss";
+        loss.kind = NodeKind::Loss;
+        loss.in_width = 1;
+        g.nodes.push_back(std::move(loss));
+
+        Node opt;
+        opt.id = "optimizer";
+        opt.kind = NodeKind::OptimizerUpdate;
+        g.nodes.push_back(std::move(opt));
+    }
+    return g;
+}
+
+WorkSummary
+summarize(const StepGraph& graph)
+{
+    WorkSummary s;
+    s.emb_dim = graph.emb_dim;
+
+    // MLP FLOPs: bottom sum + top sum, then projections in table order
+    // — the accumulation order of DlrmConfig::footprint().
+    double bottom_flops = 0.0, top_flops = 0.0;
+    double act_bytes =
+        static_cast<double>(graph.num_dense) * sizeof(float);
+    for (const auto& node : graph.nodes) {
+        if (node.kind != NodeKind::Gemm)
+            continue;
+        if (node.role == GemmRole::BottomMlp) {
+            bottom_flops += node.fwd_flops;
+            act_bytes +=
+                static_cast<double>(node.out_width) * sizeof(float);
+            ++s.mlp_layers;
+        } else if (node.role == GemmRole::TopMlp) {
+            top_flops += node.fwd_flops;
+            ++s.mlp_layers;
+        }
+    }
+    s.mlp_flops = bottom_flops + top_flops;
+
+    for (const auto& node : graph.nodes) {
+        switch (node.kind) {
+          case NodeKind::Gemm:
+            s.dense_param_count += node.param_count;
+            if (node.role == GemmRole::Projection)
+                s.mlp_flops += node.fwd_flops;
+            break;
+          case NodeKind::EmbeddingLookup:
+            s.embedding_lookups += node.lookups_per_example;
+            s.embedding_bytes += node.bytes_per_example;
+            s.pooled_bytes += node.pooled_bytes_per_example;
+            ++s.embedding_tables;
+            break;
+          case NodeKind::Interaction:
+            s.interaction_flops = node.fwd_flops;
+            act_bytes +=
+                static_cast<double>(node.out_width) * sizeof(float);
+            break;
+          default:
+            break;
+        }
+    }
+    // dense_param_count so far misses nothing: bottom + top + proj
+    // Gemm nodes are all counted above, matching mlpParams().
+
+    // Top-MLP activations follow the interaction in the working set.
+    for (const auto& node : graph.nodes) {
+        if (node.kind == NodeKind::Gemm && node.role == GemmRole::TopMlp)
+            act_bytes +=
+                static_cast<double>(node.out_width) * sizeof(float);
+    }
+    s.activation_bytes = act_bytes * 2.0;  // forward acts + grads
+
+    s.dense_input_bytes =
+        static_cast<double>(graph.num_dense) * sizeof(float);
+    return s;
+}
+
+std::string
+toString(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Gemm:
+        return "gemm";
+      case NodeKind::EmbeddingLookup:
+        return "embedding_lookup";
+      case NodeKind::Interaction:
+        return "interaction";
+      case NodeKind::Loss:
+        return "loss";
+      case NodeKind::OptimizerUpdate:
+        return "optimizer_update";
+      case NodeKind::Comm:
+        return "comm";
+    }
+    util::panic("unknown NodeKind");
+}
+
+std::string
+toString(Device device)
+{
+    switch (device) {
+      case Device::Unassigned:
+        return "unassigned";
+      case Device::TrainerCpu:
+        return "trainer_cpu";
+      case Device::Gpu:
+        return "gpu";
+      case Device::HostCpu:
+        return "host_cpu";
+      case Device::SparsePs:
+        return "sparse_ps";
+      case Device::DensePs:
+        return "dense_ps";
+    }
+    util::panic("unknown Device");
+}
+
+} // namespace graph
+} // namespace recsim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * StepGraph IR: one DLRM training iteration as a typed operator graph.
+ *
+ * The paper's methodology is a per-operator breakdown of one training
+ * step (Figs 9-14, Table III). Before this IR existed the repo encoded
+ * that step three separate times — closed-form phase formulas in
+ * cost/iteration_model, hand-wired DES events in sim/dist_sim, and the
+ * real layer sequence in train/trainer — which could silently drift
+ * apart. The StepGraph is the single source of truth the three share:
+ *
+ *  - buildModelStepGraph() lowers a DlrmConfig into per-layer Gemm
+ *    nodes, per-table EmbeddingLookup (and projection Gemm) nodes, an
+ *    Interaction node, Loss and OptimizerUpdate nodes, each annotated
+ *    with per-example FLOPs, bytes moved and parameter bytes using the
+ *    exact arithmetic of DlrmConfig::footprint() / mlpParams();
+ *  - placement::bindStepGraph() annotates the embedding nodes with
+ *    their device/shard and appends the Comm nodes (PS RPC legs,
+ *    all-to-all, allreduce, input pipeline) the placement implies;
+ *  - summarize() folds the node annotations back into the aggregate
+ *    work totals, reproducing ExampleFootprint bit-for-bit so every
+ *    consumer that previously called footprint() gets identical values.
+ *
+ * Consumers: cost/IterationModel folds phase times over the nodes,
+ * sim/dist_sim schedules the nodes as DES events, train/runGraphStep
+ * executes the real nn layers node by node (tagging obs spans with the
+ * node ids), and placement derives its TableCosts from the embedding
+ * nodes. bench/validation_graph_breakdown lines the three up per node.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace recsim {
+namespace graph {
+
+/** Operator type of a node. */
+enum class NodeKind
+{
+    Gemm,             ///< One Linear layer (fwd GEMM; bwd implied).
+    EmbeddingLookup,  ///< One table: gather + pool.
+    Interaction,      ///< Pairwise-dot (or concat) feature interaction.
+    Loss,             ///< BCE-with-logits loss + gradient seed.
+    OptimizerUpdate,  ///< Dense + sparse parameter update.
+    Comm              ///< Communication / RPC leg (see CommOp).
+};
+
+/** Which MLP a Gemm node belongs to. */
+enum class GemmRole
+{
+    BottomMlp,
+    TopMlp,
+    Projection  ///< Mixed-dimension up-projection for one table.
+};
+
+/** Communication op of a Comm node. */
+enum class CommOp
+{
+    None,
+    PsRequest,    ///< Trainer -> sparse-PS index request (one shard).
+    PsGather,     ///< PS-side embedding-row gather (one shard).
+    PsPool,       ///< PS-side pooling + gradient scatter (one shard).
+    PsResponse,   ///< Sparse-PS -> trainer pooled vectors (one shard).
+    GradPush,     ///< Trainer -> sparse-PS pooled gradients (one shard).
+    Deserialize,  ///< Host-CPU RPC deserialization of PS responses.
+    DenseSync,    ///< Amortized EASGD dense sync with the dense PS.
+    AllToAll,     ///< Pooled-embedding exchange across GPUs.
+    AllReduce,    ///< Dense-gradient allreduce across GPUs.
+    HostGather,   ///< Host-memory embedding gather on a GPU server.
+    PcieStage,    ///< Pooled vectors staged host <-> GPU over PCIe.
+    Input         ///< Input pipeline: reader bytes + host transform.
+};
+
+/** Where a node executes after placement binding. */
+enum class Device
+{
+    Unassigned,
+    TrainerCpu,
+    Gpu,
+    HostCpu,   ///< GPU server's host sockets.
+    SparsePs,
+    DensePs
+};
+
+/** One operator of the training step, annotated with its work. */
+struct Node
+{
+    /** Stable id, e.g. "bottom_mlp.l0", "emb.t3", "comm.ps_gather.s1".
+     *  These are the keys the cost model, the DES and the trainer's
+     *  obs spans all report under. */
+    std::string id;
+    NodeKind kind = NodeKind::Gemm;
+    GemmRole role = GemmRole::BottomMlp;
+    CommOp comm = CommOp::None;
+    Device device = Device::Unassigned;
+
+    /** Layer index within its MLP (Gemm), else -1. */
+    int layer = -1;
+    /** Sparse-feature index (EmbeddingLookup / Projection), else -1. */
+    int table = -1;
+    /** Hosting shard (PS index or GPU index) after binding, else -1. */
+    int shard = -1;
+
+    std::size_t in_width = 0;
+    std::size_t out_width = 0;
+
+    /** Forward FLOPs per example (backward is a model-level multiple). */
+    double fwd_flops = 0.0;
+    /** Learned parameters (weights + biases) owned by this node. */
+    double param_count = 0.0;
+    /** Resident parameter bytes (FP32, before serving compression). */
+    double param_bytes = 0.0;
+    /** Memory bytes touched per example (embedding-row reads). */
+    double bytes_per_example = 0.0;
+    /** Activated indices per example (EmbeddingLookup). */
+    double lookups_per_example = 0.0;
+    /** Pooled-vector bytes per example (EmbeddingLookup). */
+    double pooled_bytes_per_example = 0.0;
+
+    /** Embedding rows (hash size) of an EmbeddingLookup node. */
+    uint64_t rows = 0;
+    /** Zipf skew of this table's index popularity. */
+    double zipf_exponent = 0.0;
+
+    /**
+     * Comm nodes: this shard's fraction of the per-example lookup
+     * traffic (shard_access_bytes[s] / total), 1.0 for unsharded ops.
+     */
+    double share = 0.0;
+};
+
+/**
+ * Aggregate per-example work totals folded from the graph's nodes.
+ * The folds follow the exact accumulation order of
+ * DlrmConfig::footprint(), so every field that has a footprint
+ * counterpart is bit-identical to it.
+ */
+struct WorkSummary
+{
+    double mlp_flops = 0.0;          ///< == footprint().mlp_flops
+    double interaction_flops = 0.0;  ///< == footprint().interaction_flops
+    double embedding_bytes = 0.0;    ///< == footprint().embedding_bytes
+    double embedding_lookups = 0.0;  ///< == footprint().embedding_lookups
+    double pooled_bytes = 0.0;       ///< == footprint().pooled_bytes
+    double dense_input_bytes = 0.0;  ///< == footprint().dense_input_bytes
+
+    /** Activation + gradient working-set bytes per example (the cost
+     *  model's cache-pressure input): (dense in + every MLP layer out +
+     *  interaction out) * sizeof(float) * 2. */
+    double activation_bytes = 0.0;
+    /** Total dense parameters; == double(DlrmConfig::mlpParams()). */
+    double dense_param_count = 0.0;
+
+    std::size_t mlp_layers = 0;        ///< Bottom + top Gemm nodes.
+    std::size_t embedding_tables = 0;  ///< EmbeddingLookup nodes.
+    std::size_t emb_dim = 0;           ///< Shared embedding width.
+};
+
+/** The operator graph of one training iteration. */
+struct StepGraph
+{
+    /** Model name the graph was built from. */
+    std::string model_name;
+    /** Dense-feature count (bottom-MLP input width). */
+    std::size_t num_dense = 0;
+    /** Shared embedding dimension. */
+    std::size_t emb_dim = 0;
+
+    /**
+     * Nodes in forward execution order: bottom_mlp.l*, then per table
+     * emb.t* (followed by proj.t* when the table is narrow), then
+     * interaction, top_mlp.l*, loss, optimizer. Comm nodes appended by
+     * placement::bindStepGraph() follow.
+     */
+    std::vector<Node> nodes;
+
+    /** First node with @p id, or nullptr. */
+    const Node* find(const std::string& id) const;
+
+    /** Indices of nodes matching a predicate-free (kind) filter. */
+    std::vector<std::size_t> indicesOf(NodeKind kind) const;
+
+    /** First Comm node with @p op and @p shard (-1 = any), or null. */
+    const Node* findComm(CommOp op, int shard = -1) const;
+
+    std::size_t numNodes() const { return nodes.size(); }
+};
+
+/**
+ * Lower @p config into the compute nodes of one training step. Device
+ * and shard fields stay Unassigned / -1 until a placement is bound.
+ */
+StepGraph buildModelStepGraph(const model::DlrmConfig& config);
+
+/** Fold the graph's annotations into aggregate work totals. */
+WorkSummary summarize(const StepGraph& graph);
+
+/** Human-readable names for reporting. */
+std::string toString(NodeKind kind);
+std::string toString(Device device);
+
+} // namespace graph
+} // namespace recsim

@@ -46,54 +46,157 @@ Dlrm::Dlrm(const DlrmConfig& config, uint64_t seed, double max_bytes)
 }
 
 void
-Dlrm::forward(const data::MiniBatch& batch, tensor::Tensor& logits)
+Dlrm::forwardBottomLayer(std::size_t i, const data::MiniBatch& batch)
 {
-    RECSIM_ASSERT(batch.sparse.size() == tables_.size(),
-                  "batch has {} sparse features, model expects {}",
-                  batch.sparse.size(), tables_.size());
-    RECSIM_TRACE_SPAN("model.fwd");
-    bottom_->forward(batch.dense, bottom_out_);
-    for (std::size_t f = 0; f < tables_.size(); ++f) {
-        if (projections_[f]) {
-            tables_[f].forward(batch.sparse[f], pooled_raw_[f]);
-            projections_[f]->forward(pooled_raw_[f], pooled_[f]);
-        } else {
-            tables_[f].forward(batch.sparse[f], pooled_[f]);
-        }
-    }
+    bottom_->forwardLayer(i, batch.dense);
+    if (i + 1 == bottom_->numLayers())
+        bottom_out_ = bottom_->output();
+}
+
+void
+Dlrm::forwardEmbedding(std::size_t f, const data::MiniBatch& batch)
+{
+    // Narrow tables pool into the raw buffer their projection reads.
+    if (projections_[f])
+        tables_[f].forward(batch.sparse[f], pooled_raw_[f]);
+    else
+        tables_[f].forward(batch.sparse[f], pooled_[f]);
+}
+
+void
+Dlrm::forwardProjection(std::size_t f)
+{
+    projections_[f]->forward(pooled_raw_[f], pooled_[f]);
+}
+
+void
+Dlrm::forwardInteraction()
+{
     if (config_.interaction == nn::InteractionKind::DotProduct)
         dot_.forward(bottom_out_, pooled_, interact_out_);
     else
         cat_.forward(bottom_out_, pooled_, interact_out_);
-    top_->forward(interact_out_, logits);
+}
+
+void
+Dlrm::forwardTopLayer(std::size_t i)
+{
+    top_->forwardLayer(i, interact_out_);
+    if (i + 1 == top_->numLayers())
+        logits_ = top_->output();
 }
 
 double
-Dlrm::forwardBackward(const data::MiniBatch& batch)
+Dlrm::lossBackward(const data::MiniBatch& batch)
 {
-    forward(batch, logits_);
-    const double loss = nn::bceWithLogits(logits_, batch.labels,
-                                          d_logits_);
-    RECSIM_TRACE_SPAN("model.bwd");
-    top_->backward(interact_out_, d_logits_, d_interact_);
+    return nn::bceWithLogits(logits_, batch.labels, d_logits_);
+}
+
+void
+Dlrm::backwardTopLayer(std::size_t i)
+{
+    top_->backwardLayer(i, interact_out_, d_logits_, d_interact_);
+}
+
+void
+Dlrm::backwardInteraction()
+{
     if (config_.interaction == nn::InteractionKind::DotProduct)
         dot_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,
                       d_pooled_);
     else
         cat_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,
                       d_pooled_);
-    bottom_->backward(batch.dense, d_bottom_out_, d_dense_in_);
-    for (std::size_t f = 0; f < tables_.size(); ++f) {
-        if (projections_[f]) {
-            projections_[f]->backward(pooled_raw_[f], d_pooled_[f],
-                                      d_pooled_raw_[f]);
-            tables_[f].backward(batch.sparse[f], d_pooled_raw_[f],
-                                sparse_grads_[f]);
-        } else {
-            tables_[f].backward(batch.sparse[f], d_pooled_[f],
-                                sparse_grads_[f]);
-        }
+}
+
+void
+Dlrm::backwardBottomLayer(std::size_t i, const data::MiniBatch& batch)
+{
+    bottom_->backwardLayer(i, batch.dense, d_bottom_out_, d_dense_in_);
+}
+
+void
+Dlrm::backwardProjection(std::size_t f)
+{
+    projections_[f]->backward(pooled_raw_[f], d_pooled_[f],
+                              d_pooled_raw_[f]);
+}
+
+void
+Dlrm::backwardEmbedding(std::size_t f, const data::MiniBatch& batch)
+{
+    const tensor::Tensor& grad =
+        projections_[f] ? d_pooled_raw_[f] : d_pooled_[f];
+    tables_[f].backward(batch.sparse[f], grad, sparse_grads_[f]);
+}
+
+void
+Dlrm::runForwardGraph(const data::MiniBatch& batch)
+{
+    {
+        obs::TraceSpan mlp_span("nn.mlp.fwd");
+        for (std::size_t i = 0; i < bottom_->numLayers(); ++i)
+            forwardBottomLayer(i, batch);
     }
+    for (std::size_t f = 0; f < tables_.size(); ++f) {
+        forwardEmbedding(f, batch);
+        if (projections_[f])
+            forwardProjection(f);
+    }
+    forwardInteraction();
+    {
+        obs::TraceSpan mlp_span("nn.mlp.fwd");
+        for (std::size_t i = 0; i < top_->numLayers(); ++i)
+            forwardTopLayer(i);
+    }
+}
+
+void
+Dlrm::runBackwardGraph(const data::MiniBatch& batch)
+{
+    {
+        obs::TraceSpan mlp_span("nn.mlp.bwd");
+        for (std::size_t i = top_->numLayers(); i-- > 0;)
+            backwardTopLayer(i);
+    }
+    backwardInteraction();
+    {
+        obs::TraceSpan mlp_span("nn.mlp.bwd");
+        for (std::size_t i = bottom_->numLayers(); i-- > 0;)
+            backwardBottomLayer(i, batch);
+    }
+    for (std::size_t f = 0; f < tables_.size(); ++f) {
+        if (projections_[f])
+            backwardProjection(f);
+        backwardEmbedding(f, batch);
+    }
+}
+
+void
+Dlrm::forward(const data::MiniBatch& batch, tensor::Tensor& logits)
+{
+    RECSIM_ASSERT(batch.sparse.size() == tables_.size(),
+                  "batch has {} sparse features, model expects {}",
+                  batch.sparse.size(), tables_.size());
+    RECSIM_TRACE_SPAN("model.fwd");
+    runForwardGraph(batch);
+    logits = logits_;
+}
+
+double
+Dlrm::forwardBackward(const data::MiniBatch& batch)
+{
+    RECSIM_ASSERT(batch.sparse.size() == tables_.size(),
+                  "batch has {} sparse features, model expects {}",
+                  batch.sparse.size(), tables_.size());
+    double loss = 0.0;
+    {
+        RECSIM_TRACE_SPAN("model.fwd");
+        runForwardGraph(batch);
+    }
+    loss = lossBackward(batch);
+    RECSIM_TRACE_SPAN("model.bwd");
+    runBackwardGraph(batch);
     return loss;
 }
 

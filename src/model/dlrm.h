@@ -53,6 +53,34 @@ class Dlrm
      */
     double forwardBackward(const data::MiniBatch& batch);
 
+    // --- Graph-walk execution -------------------------------------
+    // Stepwise primitives mapping 1:1 onto the StepGraph nodes of one
+    // training step (graph/step_graph.h): bottom_mlp.l{i} -> the
+    // forward/backwardBottomLayer pair, emb.t{f} -> *Embedding,
+    // proj.t{f} -> *Projection, and so on. Visiting the nodes in graph
+    // order (reversed for the backward half) reproduces forward() /
+    // forwardBackward() exactly — that walk lives in
+    // train::runGraphStep, which tags an obs span with each node id.
+    // Each primitive assumes the ones its node depends on already ran.
+    void forwardBottomLayer(std::size_t i, const data::MiniBatch& batch);
+    void forwardEmbedding(std::size_t f, const data::MiniBatch& batch);
+    void forwardProjection(std::size_t f);
+    void forwardInteraction();
+    void forwardTopLayer(std::size_t i);
+    /** Loss + dLoss/dLogits; run between the two graph halves. */
+    double lossBackward(const data::MiniBatch& batch);
+    void backwardTopLayer(std::size_t i);
+    void backwardInteraction();
+    void backwardBottomLayer(std::size_t i, const data::MiniBatch& batch);
+    void backwardProjection(std::size_t f);
+    void backwardEmbedding(std::size_t f, const data::MiniBatch& batch);
+
+    /** True when table @p f projects up to the shared width. */
+    bool hasProjection(std::size_t f) const
+    {
+        return projections_[f] != nullptr;
+    }
+
     /** Zero dense grads and drop stored sparse grads. */
     void zeroGrad();
 
@@ -87,6 +115,11 @@ class Dlrm
     std::size_t numDenseParams() const;
 
   private:
+    /** The forward graph walk shared by forward() and the trainer. */
+    void runForwardGraph(const data::MiniBatch& batch);
+    /** The backward graph walk (after lossBackward()). */
+    void runBackwardGraph(const data::MiniBatch& batch);
+
     DlrmConfig config_;
     std::unique_ptr<nn::Mlp> bottom_;
     std::unique_ptr<nn::Mlp> top_;

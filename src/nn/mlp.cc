@@ -39,16 +39,37 @@ Mlp::numParams() const
 }
 
 void
+Mlp::forwardLayer(std::size_t i, const tensor::Tensor& x)
+{
+    const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
+    layers_[i].forward(input, acts_[i]);
+    if (i + 1 < layers_.size())
+        tensor::reluInPlace(acts_[i]);
+}
+
+void
+Mlp::backwardLayer(std::size_t i, const tensor::Tensor& x,
+                   const tensor::Tensor& dy, tensor::Tensor& dx)
+{
+    // The gradient flowing into layer i: dy for the last layer, else
+    // the scratch the (i+1)-th backwardLayer call just filled.
+    const tensor::Tensor& grad =
+        i + 1 == layers_.size() ? dy : grad_scratch_[i];
+    const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
+    tensor::Tensor& dxi = i == 0 ? dx : grad_scratch_[i - 1];
+    layers_[i].backward(input, grad, dxi);
+    if (i > 0) {
+        // Undo the ReLU applied after layer i-1 in forward().
+        tensor::reluBackward(acts_[i - 1], dxi, dxi);
+    }
+}
+
+void
 Mlp::forward(const tensor::Tensor& x, tensor::Tensor& y)
 {
     RECSIM_TRACE_SPAN("nn.mlp.fwd");
-    const tensor::Tensor* cur = &x;
-    for (std::size_t i = 0; i < layers_.size(); ++i) {
-        layers_[i].forward(*cur, acts_[i]);
-        if (i + 1 < layers_.size())
-            tensor::reluInPlace(acts_[i]);
-        cur = &acts_[i];
-    }
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        forwardLayer(i, x);
     y = acts_.back();
 }
 
@@ -59,17 +80,8 @@ Mlp::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
     RECSIM_ASSERT(acts_.back().rows() == dy.rows(),
                   "MLP backward without matching forward");
     RECSIM_TRACE_SPAN("nn.mlp.bwd");
-    const tensor::Tensor* grad = &dy;
-    for (std::size_t i = layers_.size(); i-- > 0;) {
-        const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
-        tensor::Tensor& dxi = i == 0 ? dx : grad_scratch_[i - 1];
-        layers_[i].backward(input, *grad, dxi);
-        if (i > 0) {
-            // Undo the ReLU applied after layer i-1 in forward().
-            tensor::reluBackward(acts_[i - 1], dxi, dxi);
-            grad = &dxi;
-        }
-    }
+    for (std::size_t i = layers_.size(); i-- > 0;)
+        backwardLayer(i, x, dy, dx);
 }
 
 void

@@ -51,6 +51,27 @@ class Mlp
     void backward(const tensor::Tensor& x, const tensor::Tensor& dy,
                   tensor::Tensor& dx);
 
+    /**
+     * Run layer @p i of the stack alone (graph-walk execution; the
+     * StepGraph's per-layer Gemm nodes map 1:1 onto these calls). The
+     * input is @p x for layer 0 and the cached activation of layer i-1
+     * otherwise; applies the inter-layer ReLU. Calling forwardLayer for
+     * i = 0..numLayers()-1 in order performs exactly forward().
+     */
+    void forwardLayer(std::size_t i, const tensor::Tensor& x);
+
+    /** Post-activation output of the last layer run forward. */
+    const tensor::Tensor& output() const { return acts_.back(); }
+
+    /**
+     * Backprop layer @p i alone. Layers must be visited in descending
+     * order; @p dy is the gradient wrt the stack output (consumed by the
+     * last layer), @p dx receives the input gradient when i == 0.
+     * Visiting i = numLayers()-1..0 performs exactly backward().
+     */
+    void backwardLayer(std::size_t i, const tensor::Tensor& x,
+                       const tensor::Tensor& dy, tensor::Tensor& dx);
+
     void zeroGrad();
 
     std::size_t inFeatures() const { return in_; }

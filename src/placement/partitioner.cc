@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "graph/step_graph.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -66,6 +67,22 @@ TableCosts::TableCosts(const std::vector<data::SparseFeatureSpec>& specs,
         access_bytes.push_back(s.effectiveMeanLength() * dim *
                                sizeof(float));
     }
+}
+
+TableCosts
+tableCostsFromGraph(const graph::StepGraph& g,
+                    double optimizer_state_factor)
+{
+    RECSIM_ASSERT(optimizer_state_factor >= 1.0,
+                  "optimizer state cannot shrink a table");
+    TableCosts costs(std::vector<data::SparseFeatureSpec>{}, 1);
+    for (const auto& node : g.nodes) {
+        if (node.kind != graph::NodeKind::EmbeddingLookup)
+            continue;
+        costs.bytes.push_back(node.param_bytes * optimizer_state_factor);
+        costs.access_bytes.push_back(node.bytes_per_example);
+    }
+    return costs;
 }
 
 ChunkedCosts

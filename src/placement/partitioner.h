@@ -15,6 +15,10 @@
 #include "data/spec.h"
 
 namespace recsim {
+namespace graph {
+struct StepGraph;
+} // namespace graph
+
 namespace placement {
 
 /** What the greedy partitioner balances. */
@@ -62,6 +66,16 @@ struct TableCosts
     TableCosts(const std::vector<data::SparseFeatureSpec>& specs,
                std::size_t emb_dim, double optimizer_state_factor = 1.0);
 };
+
+/**
+ * Derive per-table costs from a StepGraph's EmbeddingLookup nodes (the
+ * graph-IR twin of the spec-based constructor; values are bit-identical
+ * because the node annotations use the same expressions). This is the
+ * path planPlacement() uses, so the partitioners operate on the same IR
+ * the cost model, DES and trainer consume.
+ */
+TableCosts tableCostsFromGraph(const graph::StepGraph& graph,
+                               double optimizer_state_factor = 1.0);
 
 /**
  * Split any table whose bytes exceed @p shard_capacity into row-wise

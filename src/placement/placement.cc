@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/step_graph.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -34,13 +35,15 @@ totalOf(const std::vector<double>& v)
     return std::accumulate(v.begin(), v.end(), 0.0);
 }
 
-/** Per-table costs honoring the serving precision. */
+/** Per-table costs honoring the serving precision, derived from the
+ *  model's StepGraph embedding nodes. */
 TableCosts
 makeCosts(const model::DlrmConfig& config,
           const PlacementOptions& options)
 {
-    TableCosts costs(config.sparse, config.emb_dim,
-                     options.memory_overhead_factor);
+    const graph::StepGraph g = graph::buildModelStepGraph(config);
+    TableCosts costs =
+        tableCostsFromGraph(g, options.memory_overhead_factor);
     const double factor = options.emb_bytes_per_element / 4.0;
     if (factor != 1.0) {
         for (auto& b : costs.bytes)
@@ -308,6 +311,140 @@ advisePlacement(const model::DlrmConfig& config,
         return planPlacement(EmbeddingPlacement::RemotePs, config,
                              platform, options);
     return best;
+}
+
+void
+bindStepGraph(graph::StepGraph& g, const PlacementPlan& plan,
+              std::size_t num_sparse_ps)
+{
+    using graph::CommOp;
+    using graph::Device;
+    using graph::Node;
+    using graph::NodeKind;
+
+    // Dense compute (gemms, interaction, loss, optimizer) runs on the
+    // trainer CPU in the distributed-CPU system and on the GPU
+    // otherwise.
+    const Device compute_device =
+        plan.placement == EmbeddingPlacement::CpuLocal
+        ? Device::TrainerCpu : Device::Gpu;
+    for (auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm ||
+            node.kind == NodeKind::Interaction ||
+            node.kind == NodeKind::Loss ||
+            node.kind == NodeKind::OptimizerUpdate) {
+            node.device = compute_device;
+        }
+    }
+
+    // Device (and, where the partition maps tables 1:1, shard) of every
+    // embedding node.
+    const bool table_shards =
+        plan.partition.shard_of.size() ==
+        static_cast<std::size_t>(std::count_if(
+            g.nodes.begin(), g.nodes.end(), [](const Node& n) {
+                return n.kind == NodeKind::EmbeddingLookup;
+            }));
+    const auto gpu_shards = plan.placement == EmbeddingPlacement::Hybrid
+        ? plan.partition.numShards() - 1 : plan.partition.numShards();
+    for (auto& node : g.nodes) {
+        if (node.kind != NodeKind::EmbeddingLookup)
+            continue;
+        switch (plan.placement) {
+          case EmbeddingPlacement::GpuMemory:
+            node.device = Device::Gpu;
+            break;
+          case EmbeddingPlacement::HostMemory:
+            node.device = Device::HostCpu;
+            break;
+          case EmbeddingPlacement::RemotePs:
+          case EmbeddingPlacement::CpuLocal:
+            node.device = Device::SparsePs;
+            break;
+          case EmbeddingPlacement::Hybrid: {
+            const int s = table_shards
+                ? plan.partition.shard_of[static_cast<std::size_t>(
+                      node.table)]
+                : -1;
+            node.device = s >= 0 &&
+                    static_cast<std::size_t>(s) < gpu_shards
+                ? Device::Gpu : Device::HostCpu;
+            break;
+          }
+        }
+        if (table_shards) {
+            node.shard = plan.partition.shard_of[
+                static_cast<std::size_t>(node.table)];
+        }
+    }
+
+    // This fold (order and the 1e-9 floor) matches the DES's original
+    // per-shard share computation exactly.
+    double total_access = 0.0;
+    for (double a : plan.partition.shard_access_bytes)
+        total_access += a;
+    total_access = std::max(total_access, 1e-9);
+
+    auto addComm = [&g](std::string id, CommOp op, Device device,
+                        int shard, double share) {
+        Node node;
+        node.id = std::move(id);
+        node.kind = NodeKind::Comm;
+        node.comm = op;
+        node.device = device;
+        node.shard = shard;
+        node.share = share;
+        g.nodes.push_back(std::move(node));
+    };
+    auto addPsShards = [&](bool with_push) {
+        for (std::size_t i = 0; i < num_sparse_ps; ++i) {
+            const double share = i < plan.partition.numShards()
+                ? plan.partition.shard_access_bytes[i] / total_access
+                : 0.0;
+            const std::string s = ".s" + std::to_string(i);
+            const int shard = static_cast<int>(i);
+            addComm("comm.ps_request" + s, CommOp::PsRequest,
+                    Device::TrainerCpu, shard, share);
+            addComm("comm.ps_gather" + s, CommOp::PsGather,
+                    Device::SparsePs, shard, share);
+            addComm("comm.ps_pool" + s, CommOp::PsPool,
+                    Device::SparsePs, shard, share);
+            addComm("comm.ps_response" + s, CommOp::PsResponse,
+                    Device::SparsePs, shard, share);
+            if (with_push) {
+                addComm("comm.grad_push" + s, CommOp::GradPush,
+                        Device::TrainerCpu, shard, share);
+            }
+        }
+    };
+
+    if (plan.placement == EmbeddingPlacement::CpuLocal) {
+        // CPU distributed training: per-shard PS RPC legs plus the
+        // amortized dense-PS sync.
+        addPsShards(/*with_push=*/true);
+        addComm("comm.dense_sync", CommOp::DenseSync, Device::DensePs,
+                -1, 1.0);
+        return;
+    }
+
+    // GPU-server training.
+    addComm("comm.input", CommOp::Input, Device::HostCpu, -1, 1.0);
+    const double frac_host = std::max(
+        0.0, 1.0 - plan.gpu_lookup_fraction - plan.remote_lookup_fraction);
+    if (plan.gpu_lookup_fraction > 0.0) {
+        addComm("comm.emb_alltoall", CommOp::AllToAll, Device::Gpu, -1,
+                plan.gpu_lookup_fraction);
+    }
+    if (frac_host > 0.0) {
+        addComm("comm.host_pcie", CommOp::PcieStage, Device::HostCpu,
+                -1, frac_host);
+    }
+    if (plan.remote_lookup_fraction > 0.0) {
+        addPsShards(/*with_push=*/false);
+        addComm("comm.remote_deser", CommOp::Deserialize,
+                Device::HostCpu, -1, plan.remote_lookup_fraction);
+    }
+    addComm("comm.allreduce", CommOp::AllReduce, Device::Gpu, -1, 1.0);
 }
 
 } // namespace placement

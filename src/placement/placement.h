@@ -118,5 +118,22 @@ PlacementPlan advisePlacement(const model::DlrmConfig& config,
                               const hw::Platform& platform,
                               const PlacementOptions& options = {});
 
+/**
+ * Annotate @p graph with @p plan: every EmbeddingLookup node gets its
+ * device (and hosting shard where the partition maps tables 1:1), and
+ * the Comm nodes the placement implies are appended — per-PS-shard RPC
+ * legs (request / gather / pool / response / gradient push) carrying
+ * each shard's fraction of the lookup traffic, the amortized dense
+ * sync, and on GPU servers the input-pipeline, all-to-all, PCIe-staging,
+ * deserialization and allreduce ops. The per-shard `share` fields are
+ * computed with the exact fold the DES used pre-graph, so demands
+ * derived from them are bit-identical.
+ *
+ * @param num_sparse_ps Sparse-PS count of the system (shards beyond the
+ *        partition get share 0, mirroring idle servers).
+ */
+void bindStepGraph(graph::StepGraph& graph, const PlacementPlan& plan,
+                   std::size_t num_sparse_ps);
+
 } // namespace placement
 } // namespace recsim

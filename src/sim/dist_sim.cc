@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "cost/cache_model.h"
 #include "des/event_queue.h"
+#include "graph/step_graph.h"
 #include "des/sim_object.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -70,6 +72,50 @@ class Simulation
             obs::Tracer::global().addSimSpan(track, name, start, end);
     }
 
+    static constexpr std::size_t kNoNode =
+        std::numeric_limits<std::size_t>::max();
+
+    /**
+     * Attribute the interval [a, b) to one StepGraph node: per-node
+     * time bookkeeping for DistSimResult::node_seconds plus a sim span
+     * named by the node id when tracing.
+     */
+    void noteNode(std::size_t node_idx, const std::string& track,
+                  Tick a, Tick b)
+    {
+        if (node_idx == kNoNode || b <= a)
+            return;
+        iter_nodes_.push_back({node_idx, ticksToSeconds(b - a)});
+        if (obs::Tracer::enabled()) {
+            obs::Tracer::global().addSimSpan(
+                track, graph_->nodes[node_idx].id, a, b);
+        }
+    }
+
+    /**
+     * Subdivide [a, b) across several nodes proportionally to their
+     * modeled cost fractions (which sum to 1).
+     */
+    void noteInterval(
+        const std::vector<std::pair<std::size_t, double>>& weights,
+        const std::string& track, Tick a, Tick b)
+    {
+        if (b <= a || weights.empty())
+            return;
+        const auto span = static_cast<double>(b - a);
+        double acc = 0.0;
+        Tick cur = a;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            acc += weights[i].second;
+            Tick end = i + 1 == weights.size()
+                ? b
+                : a + static_cast<Tick>(span * acc + 0.5);
+            end = std::min(std::max(end, cur), b);
+            noteNode(weights[i].first, track, cur, end);
+            cur = end;
+        }
+    }
+
     const DistSimConfig& cfg_;
     cost::IterationModel analytical_;
     EventQueue eq_;
@@ -103,6 +149,25 @@ class Simulation
     double compute_seconds_iter_ = 0.0;
     double net_bytes_iter_ = 0.0;
     double dense_sync_bytes_ = 0.0;
+
+    // StepGraph bookkeeping: the bound graph, the graph-node index of
+    // every DES leg, and cost-fraction weights for subdividing the
+    // monolithic compute/gather intervals across their nodes.
+    const graph::StepGraph* graph_ = nullptr;
+    std::vector<std::size_t> ps_request_node_, ps_gather_node_,
+        ps_pool_node_, ps_response_node_, ps_push_node_;
+    std::size_t dense_sync_node_ = kNoNode;
+    std::size_t input_node_ = kNoNode, a2a_node_ = kNoNode,
+        pcie_node_ = kNoNode, deser_node_ = kNoNode,
+        allreduce_node_ = kNoNode, optimizer_node_ = kNoNode;
+    std::vector<std::pair<std::size_t, double>> compute_weights_;
+    std::vector<std::pair<std::size_t, double>> emb_gpu_weights_;
+    std::vector<std::pair<std::size_t, double>> emb_host_weights_;
+
+    /** Scratch: (node index, seconds) of the iteration in flight. */
+    std::vector<std::pair<std::size_t, double>> iter_nodes_;
+    /** Committed per-node seconds over the measurement window. */
+    std::vector<double> node_accum_;
 
     Tick measure_start_ = 0;
     Tick measure_end_ = 0;
@@ -140,26 +205,34 @@ Simulation::run()
     const auto& sys = cfg_.system;
     const auto& p = sys.platform;
     const auto& params = cfg_.params;
-    const auto fp = cfg_.model.footprint();
+    // Work quantities come from the model's StepGraph — the same IR the
+    // analytical model folds and the real trainer executes.
+    const auto& sum = analytical_.workSummary();
+    graph_ = &analytical_.stepGraph();
+    node_accum_.assign(graph_->nodes.size(), 0.0);
     gpu_mode_ = p.num_gpus > 0;
 
-    const double fwd_flops = fp.mlp_flops + fp.interaction_flops;
+    auto nodeIdx = [this](graph::CommOp op, int shard) {
+        for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
+            const auto& node = graph_->nodes[i];
+            if (node.kind == graph::NodeKind::Comm && node.comm == op &&
+                (shard < 0 || node.shard == shard)) {
+                return i;
+            }
+        }
+        return kNoNode;
+    };
+
+    const double fwd_flops = sum.mlp_flops + sum.interaction_flops;
     const double train_flops =
         fwd_flops * (1.0 + params.backward_flops_multiplier);
     const double b = static_cast<double>(sys.batch_size);
-    const double dense_params =
-        static_cast<double>(cfg_.model.mlpParams());
+    const double dense_params = sum.dense_param_count;
     const double sync_period = static_cast<double>(
         std::max<std::size_t>(sys.easgd_sync_period, 1));
     dense_sync_bytes_ = 2.0 * dense_params * sizeof(float) / sync_period;
 
     const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
-    const double total_access = [&] {
-        double total = 0.0;
-        for (double a : plan.partition.shard_access_bytes)
-            total += a;
-        return std::max(total, 1e-9);
-    }();
 
     // Sparse PS shards (CPU path and GPU remote path share this).
     const bool remote = !gpu_mode_ || plan.remote_lookup_fraction > 0.0;
@@ -185,34 +258,47 @@ Simulation::run()
                 eq_, name + ".nic",
                 ps_hw.network.bandwidth * params.network_goodput,
                 secondsToTicks(ps_hw.network.latency));
-            // This shard's share of the per-example lookup traffic.
-            const double share = i < plan.partition.numShards()
-                ? plan.partition.shard_access_bytes[i] / total_access
-                : 0.0;
-            ps.gather_bytes_pe = fp.embedding_bytes *
+            // This shard's share of the per-example lookup traffic,
+            // as bound onto the graph's RPC-leg nodes.
+            const std::size_t req =
+                nodeIdx(graph::CommOp::PsRequest, static_cast<int>(i));
+            const double share = req != kNoNode
+                ? graph_->nodes[req].share : 0.0;
+            ps_request_node_.push_back(req);
+            ps_gather_node_.push_back(
+                nodeIdx(graph::CommOp::PsGather, static_cast<int>(i)));
+            ps_pool_node_.push_back(
+                nodeIdx(graph::CommOp::PsPool, static_cast<int>(i)));
+            ps_response_node_.push_back(
+                nodeIdx(graph::CommOp::PsResponse, static_cast<int>(i)));
+            ps_push_node_.push_back(
+                nodeIdx(graph::CommOp::GradPush, static_cast<int>(i)));
+            ps.gather_bytes_pe = sum.embedding_bytes *
                 params.emb_train_bytes_multiplier * share;
-            ps.pool_flops_pe = fp.embedding_lookups *
-                static_cast<double>(cfg_.model.emb_dim) * 4.0 * share;
-            ps.response_bytes_pe = fp.pooled_bytes * share;
-            ps.request_bytes_pe = (fp.pooled_bytes +
-                fp.embedding_lookups *
+            ps.pool_flops_pe = sum.embedding_lookups *
+                static_cast<double>(sum.emb_dim) * 4.0 * share;
+            ps.response_bytes_pe = sum.pooled_bytes * share;
+            ps.request_bytes_pe = (sum.pooled_bytes +
+                sum.embedding_lookups *
                     params.request_bytes_per_lookup) * share;
             sparse_ps_.push_back(std::move(ps));
         }
+    }
+    dense_sync_node_ = nodeIdx(graph::CommOp::DenseSync, -1);
+    input_node_ = nodeIdx(graph::CommOp::Input, -1);
+    a2a_node_ = nodeIdx(graph::CommOp::AllToAll, -1);
+    pcie_node_ = nodeIdx(graph::CommOp::PcieStage, -1);
+    deser_node_ = nodeIdx(graph::CommOp::Deserialize, -1);
+    allreduce_node_ = nodeIdx(graph::CommOp::AllReduce, -1);
+    for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
+        if (graph_->nodes[i].kind == graph::NodeKind::OptimizerUpdate)
+            optimizer_node_ = i;
     }
 
     if (!gpu_mode_) {
         // CPU distributed training: per-trainer CPU (a rate-1 seconds
         // server) and NIC; one dense-PS NIC shared by all trainers.
-        double act_bytes_pe =
-            static_cast<double>(cfg_.model.num_dense) * sizeof(float);
-        for (std::size_t w : cfg_.model.bottomDims())
-            act_bytes_pe += static_cast<double>(w) * sizeof(float);
-        act_bytes_pe += static_cast<double>(
-            cfg_.model.interactionWidth()) * sizeof(float);
-        for (std::size_t w : cfg_.model.topDims())
-            act_bytes_pe += static_cast<double>(w) * sizeof(float);
-        act_bytes_pe *= 2.0;
+        const double act_bytes_pe = sum.activation_bytes;
         const double llc =
             0.5 * cost::kCpuLlcBytesPerSocket * p.num_cpu_sockets;
         const double ws = b * act_bytes_pe;
@@ -223,10 +309,45 @@ Simulation::run()
             params.cpu_mlp_efficiency * cache_factor;
         compute_seconds_iter_ = b * (train_flops / host_flops +
             params.cpu_per_example_overhead +
-            fp.embedding_lookups * params.cpu_per_lookup_overhead) +
+            sum.embedding_lookups * params.cpu_per_lookup_overhead) +
             params.cpu_iteration_overhead;
-        net_bytes_iter_ = b * (2.0 * fp.pooled_bytes +
-            fp.embedding_lookups * params.request_bytes_per_lookup);
+        net_bytes_iter_ = b * (2.0 * sum.pooled_bytes +
+            sum.embedding_lookups * params.request_bytes_per_lookup);
+
+        // The trainer-compute interval is one monolithic service
+        // acquisition; subdivide it across the graph's compute nodes by
+        // the same per-node costs the analytical nodeBreakdown uses.
+        {
+            double total = 0.0;
+            for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
+                const auto& node = graph_->nodes[i];
+                double c = 0.0;
+                switch (node.kind) {
+                  case graph::NodeKind::Gemm:
+                  case graph::NodeKind::Interaction:
+                    c = b * node.fwd_flops *
+                        (1.0 + params.backward_flops_multiplier) /
+                        host_flops;
+                    break;
+                  case graph::NodeKind::EmbeddingLookup:
+                    c = b * node.lookups_per_example *
+                        params.cpu_per_lookup_overhead;
+                    break;
+                  case graph::NodeKind::OptimizerUpdate:
+                    c = b * params.cpu_per_example_overhead +
+                        params.cpu_iteration_overhead;
+                    break;
+                  default:
+                    break;
+                }
+                if (c > 0.0) {
+                    compute_weights_.push_back({i, c});
+                    total += c;
+                }
+            }
+            for (auto& [idx, w] : compute_weights_)
+                w /= total;
+        }
 
         for (std::size_t t = 0; t < sys.num_trainers; ++t) {
             const std::string name = "trainer" + std::to_string(t);
@@ -292,6 +413,32 @@ Simulation::run()
             eq_, "gpu_server.nic",
             p.network.bandwidth * params.network_goodput,
             secondsToTicks(p.network.latency)));
+
+        // Subdivision weights: GPU compute by node FLOPs, the gather
+        // intervals by each table's bytes within its hosting device.
+        double gpu_bytes = 0.0, host_bytes = 0.0;
+        for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
+            const auto& node = graph_->nodes[i];
+            if ((node.kind == graph::NodeKind::Gemm ||
+                 node.kind == graph::NodeKind::Interaction) &&
+                node.fwd_flops > 0.0 && fwd_flops > 0.0) {
+                compute_weights_.push_back(
+                    {i, node.fwd_flops / fwd_flops});
+            }
+            if (node.kind != graph::NodeKind::EmbeddingLookup)
+                continue;
+            if (node.device == graph::Device::Gpu) {
+                emb_gpu_weights_.push_back({i, node.bytes_per_example});
+                gpu_bytes += node.bytes_per_example;
+            } else if (node.device == graph::Device::HostCpu) {
+                emb_host_weights_.push_back({i, node.bytes_per_example});
+                host_bytes += node.bytes_per_example;
+            }
+        }
+        for (auto& [idx, w] : emb_gpu_weights_)
+            w /= gpu_bytes;
+        for (auto& [idx, w] : emb_host_weights_)
+            w /= host_bytes;
     }
 
     // Launch workers and run.
@@ -348,6 +495,14 @@ Simulation::run()
         record(host_cpu_->name(), host_cpu_->utilization(end));
         record(pcie_->name(), pcie_->utilization(end));
     }
+    if (iterations_done_ > 0) {
+        const double n = static_cast<double>(iterations_done_);
+        for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
+            if (node_accum_[i] > 0.0)
+                result_.node_seconds[graph_->nodes[i].id] =
+                    node_accum_[i] / n;
+        }
+    }
     return result_;
 }
 
@@ -374,7 +529,10 @@ Simulation::finishIteration(std::size_t trainer, std::size_t worker,
     if (end >= measure_start_ && end <= measure_end_) {
         ++iterations_done_;
         latency_sum_ += ticksToSeconds(end - start);
+        for (const auto& [idx, s] : iter_nodes_)
+            node_accum_[idx] += s;
     }
+    iter_nodes_.clear();
     if (end >= measure_end_)
         return;
     eq_.schedule(end, [this, trainer, worker, end] {
@@ -399,10 +557,13 @@ Simulation::cpuIteration(std::size_t trainer, std::size_t worker,
     const double b = static_cast<double>(cfg_.system.batch_size);
     auto& nic = *trainer_nic_[trainer];
     auto& cpu = *trainer_cpu_[trainer];
+    const std::string track = obs::Tracer::enabled()
+        ? workerTrack(trainer, worker) : std::string();
 
     // 1. Issue lookup requests and wait for all pooled responses.
     Tick responses = start;
-    for (auto& ps : sparse_ps_) {
+    for (std::size_t i = 0; i < sparse_ps_.size(); ++i) {
+        auto& ps = sparse_ps_[i];
         if (ps.gather_bytes_pe <= 0.0 && ps.response_bytes_pe <= 0.0)
             continue;
         const Tick sent =
@@ -413,31 +574,36 @@ Simulation::cpuIteration(std::size_t trainer, std::size_t worker,
             ps.cpu->acquireAt(gathered, noisy(b * ps.pool_flops_pe));
         const Tick replied =
             ps.nic->transferAt(pooled, noisy(b * ps.response_bytes_pe));
+        noteNode(ps_request_node_[i], track, start, sent);
+        noteNode(ps_gather_node_[i], track, sent, gathered);
+        noteNode(ps_pool_node_[i], track, gathered, pooled);
+        noteNode(ps_response_node_[i], track, pooled, replied);
         responses = std::max(responses, replied);
     }
 
-    // 2. Forward/backward compute on the trainer.
+    // 2. Forward/backward compute on the trainer, attributed to the
+    // graph's compute nodes by their cost fractions.
     const Tick computed =
         cpu.acquireAt(responses, noisy(compute_seconds_iter_));
+    noteInterval(compute_weights_, track, responses, computed);
 
     // 3. Push pooled gradients back and amortized EASGD dense sync.
     Tick done = computed;
     auto& push = *trainer_push_[trainer];
-    for (auto& ps : sparse_ps_) {
+    for (std::size_t i = 0; i < sparse_ps_.size(); ++i) {
+        auto& ps = sparse_ps_[i];
         if (ps.response_bytes_pe <= 0.0)
             continue;
-        done = std::max(done, push.transferAt(
-            computed, noisy(b * ps.response_bytes_pe)));
+        const Tick pushed = push.transferAt(
+            computed, noisy(b * ps.response_bytes_pe));
+        noteNode(ps_push_node_[i], track, computed, pushed);
+        done = std::max(done, pushed);
     }
     if (dense_ps_nic_ && dense_sync_bytes_ > 0.0) {
-        done = std::max(done, dense_ps_nic_->transferAt(
-            computed, noisy(dense_sync_bytes_)));
-    }
-    if (obs::Tracer::enabled()) {
-        const std::string track = workerTrack(trainer, worker);
-        simSpan(track, "lookup", start, responses);
-        simSpan(track, "compute", responses, computed);
-        simSpan(track, "push", computed, done);
+        const Tick synced = dense_ps_nic_->transferAt(
+            computed, noisy(dense_sync_bytes_));
+        noteNode(dense_sync_node_, track, computed, synced);
+        done = std::max(done, synced);
     }
     return done;
 }
@@ -449,9 +615,11 @@ Simulation::gpuIteration(std::size_t worker, Tick start)
     const auto& p = sys.platform;
     const auto& params = cfg_.params;
     const auto& plan = analytical_.plan();
-    const auto fp = cfg_.model.footprint();
+    const auto& sum = analytical_.workSummary();
     const double g = static_cast<double>(p.num_gpus);
     const double bg = static_cast<double>(sys.batch_size) * g;
+    const std::string track = obs::Tracer::enabled()
+        ? workerTrack(0, worker) : std::string();
 
     const double frac_gpu = plan.gpu_lookup_fraction;
     const double frac_remote = plan.remote_lookup_fraction;
@@ -460,34 +628,40 @@ Simulation::gpuIteration(std::size_t worker, Tick start)
     // Input pipeline: host CPU transform + PCIe staging.
     const Tick input_cpu = host_cpu_->acquireAt(start, noisy(
         bg * (params.host_cpu_per_example +
-              fp.embedding_lookups * params.host_cpu_per_lookup)));
+              sum.embedding_lookups * params.host_cpu_per_lookup)));
     const double read_bytes =
-        bg * (fp.dense_input_bytes + fp.embedding_lookups * 8.0 + 4.0);
+        bg * (sum.dense_input_bytes + sum.embedding_lookups * 8.0 + 4.0);
     const Tick input_done =
         pcie_->transferAt(input_cpu, noisy(read_bytes));
+    noteNode(input_node_, track, start, input_done);
 
     // Embedding phase.
     Tick emb_done = input_done;
     if (frac_gpu > 0.0) {
         const Tick gathered = gpu_mem_->acquireAt(input_done, noisy(
-            bg * fp.embedding_bytes * params.emb_train_bytes_multiplier *
+            bg * sum.embedding_bytes * params.emb_train_bytes_multiplier *
             frac_gpu * std::max(plan.access_imbalance, 1.0)));
         const Tick exchanged = interconnect_->transferAt(gathered, noisy(
-            2.0 * bg * fp.pooled_bytes * frac_gpu * (g - 1.0) / g));
+            2.0 * bg * sum.pooled_bytes * frac_gpu * (g - 1.0) / g));
+        noteInterval(emb_gpu_weights_, track, input_done, gathered);
+        noteNode(a2a_node_, track, gathered, exchanged);
         emb_done = std::max(emb_done, exchanged);
     }
     if (frac_host > 0.0) {
         const Tick gathered = host_mem_->acquireAt(input_done, noisy(
-            bg * fp.embedding_bytes * params.emb_train_bytes_multiplier *
+            bg * sum.embedding_bytes * params.emb_train_bytes_multiplier *
             frac_host));
         const Tick staged = pcie_->transferAt(gathered, noisy(
-            2.0 * bg * fp.pooled_bytes * frac_host));
+            2.0 * bg * sum.pooled_bytes * frac_host));
+        noteInterval(emb_host_weights_, track, input_done, gathered);
+        noteNode(pcie_node_, track, gathered, staged);
         emb_done = std::max(emb_done, staged);
     }
     if (frac_remote > 0.0 && !sparse_ps_.empty()) {
         auto& nic = *trainer_nic_[0];
         Tick responses = input_done;
-        for (auto& ps : sparse_ps_) {
+        for (std::size_t i = 0; i < sparse_ps_.size(); ++i) {
+            auto& ps = sparse_ps_[i];
             const Tick sent = nic.transferAt(input_done, noisy(
                 bg * ps.request_bytes_pe * 0.1 * frac_remote));
             const Tick gathered = ps.mem->acquireAt(sent, noisy(
@@ -496,36 +670,36 @@ Simulation::gpuIteration(std::size_t worker, Tick start)
                 bg * ps.pool_flops_pe * frac_remote));
             const Tick replied = ps.nic->transferAt(pooled, noisy(
                 bg * ps.response_bytes_pe * frac_remote));
+            noteNode(ps_request_node_[i], track, input_done, sent);
+            noteNode(ps_gather_node_[i], track, sent, gathered);
+            noteNode(ps_pool_node_[i], track, gathered, pooled);
+            noteNode(ps_response_node_[i], track, pooled, replied);
             responses = std::max(responses, replied);
         }
         // Deserialization on the host CPUs.
         const Tick deserialized = host_cpu_->acquireAt(responses, noisy(
-            2.0 * bg * fp.pooled_bytes * frac_remote /
+            2.0 * bg * sum.pooled_bytes * frac_remote /
             params.serialization_bw_per_socket));
+        noteNode(deser_node_, track, responses, deserialized);
         emb_done = std::max(emb_done, deserialized);
     }
 
     // MLP compute + kernel dispatch + allreduce.
-    const double fwd_flops = fp.mlp_flops + fp.interaction_flops;
+    const double fwd_flops = sum.mlp_flops + sum.interaction_flops;
     const double train_flops =
         fwd_flops * (1.0 + params.backward_flops_multiplier);
     const Tick dispatched = emb_done +
         secondsToTicks(params.gpu_iteration_overhead);
     const Tick computed =
         gpu_compute_->acquireAt(dispatched, noisy(bg * train_flops));
-    const double dense_params =
-        static_cast<double>(cfg_.model.mlpParams());
+    noteNode(optimizer_node_, track, emb_done, dispatched);
+    noteInterval(compute_weights_, track, dispatched, computed);
+    const double dense_params = sum.dense_param_count;
     const double allreduce_bw = p.has_nvlink
         ? p.gpu_interconnect.bandwidth : p.host_gpu.bandwidth / 2.0;
     const Tick reduced = computed + secondsToTicks(
         dense_params * sizeof(float) * (g - 1.0) / g / allreduce_bw);
-    if (obs::Tracer::enabled()) {
-        const std::string track = workerTrack(0, worker);
-        simSpan(track, "input", start, input_done);
-        simSpan(track, "embedding", input_done, emb_done);
-        simSpan(track, "mlp", emb_done, computed);
-        simSpan(track, "allreduce", computed, reduced);
-    }
+    noteNode(allreduce_node_, track, computed, reduced);
     return reduced;
 }
 

@@ -9,6 +9,12 @@
  * at shared services, pipeline overlap across Hogwild workers, and
  * run-to-run variability (optional lognormal service-time noise) — the
  * machinery behind the utilization-distribution study (Fig 5).
+ *
+ * Service demands are folds over the model's StepGraph (the same IR the
+ * cost model and the real trainer consume): aggregate work from
+ * IterationModel::workSummary(), per-shard traffic shares from the
+ * graph's Comm nodes, and per-node time attribution reported back in
+ * DistSimResult::node_seconds under the graph node ids.
  */
 #pragma once
 
@@ -60,6 +66,15 @@ struct DistSimResult
      * resource name (e.g. "trainer0.cpu", "sparse_ps1.mem", ...).
      */
     std::map<std::string, double> utilization;
+
+    /**
+     * Mean simulated seconds per iteration attributed to each StepGraph
+     * node (keyed by graph::Node::id, the same ids the analytical
+     * nodeBreakdown() and the trainer's obs spans report under).
+     * Includes queueing delay at shared services; compute intervals are
+     * subdivided across the compute nodes by their modeled cost.
+     */
+    std::map<std::string, double> node_seconds;
 
     /** Mean utilization across resources whose name contains @p key. */
     double meanUtilization(const std::string& key) const;

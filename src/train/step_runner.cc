@@ -1,0 +1,153 @@
+#include "train/step_runner.h"
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace recsim {
+namespace train {
+
+namespace {
+
+/**
+ * Keeps one "nn.mlp.fwd"/"nn.mlp.bwd" span open across the run of Gemm
+ * nodes that belong to the same MLP stack, so the graph walk emits the
+ * same stack-level spans Mlp::forward()/backward() do, with the
+ * per-node spans nested inside. Like TraceSpan, the begin/end pairing
+ * survives the tracing flag flipping mid-span.
+ */
+class MlpSpanGroup
+{
+  public:
+    ~MlpSpanGroup() { close(); }
+
+    void open(const char* name)
+    {
+        if (open_)
+            return;
+        open_ = true;
+        if (obs::Tracer::enabled()) {
+            obs::Tracer::global().beginSpan(name);
+            traced_ = true;
+        }
+    }
+
+    void close()
+    {
+        if (open_ && traced_)
+            obs::Tracer::global().endSpan();
+        open_ = false;
+        traced_ = false;
+    }
+
+  private:
+    bool open_ = false;
+    bool traced_ = false;
+};
+
+} // namespace
+
+double
+runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
+             const graph::StepGraph& graph)
+{
+    RECSIM_ASSERT(graph.emb_dim == model.config().emb_dim &&
+                  graph.num_dense == model.config().num_dense,
+                  "StepGraph was built for a different model config");
+
+    double loss = 0.0;
+    {
+        RECSIM_TRACE_SPAN("model.fwd");
+        MlpSpanGroup mlp;
+        for (const auto& node : graph.nodes) {
+            switch (node.kind) {
+              case graph::NodeKind::Gemm:
+                if (node.role == graph::GemmRole::Projection) {
+                    mlp.close();
+                    obs::TraceSpan span(node.id.c_str());
+                    model.forwardProjection(
+                        static_cast<std::size_t>(node.table));
+                } else {
+                    mlp.open("nn.mlp.fwd");
+                    obs::TraceSpan span(node.id.c_str());
+                    if (node.role == graph::GemmRole::BottomMlp)
+                        model.forwardBottomLayer(
+                            static_cast<std::size_t>(node.layer), batch);
+                    else
+                        model.forwardTopLayer(
+                            static_cast<std::size_t>(node.layer));
+                }
+                break;
+              case graph::NodeKind::EmbeddingLookup: {
+                mlp.close();
+                obs::TraceSpan span(node.id.c_str());
+                model.forwardEmbedding(
+                    static_cast<std::size_t>(node.table), batch);
+                break;
+              }
+              case graph::NodeKind::Interaction: {
+                mlp.close();
+                obs::TraceSpan span(node.id.c_str());
+                model.forwardInteraction();
+                break;
+              }
+              default:
+                // Loss runs between the halves; OptimizerUpdate is the
+                // caller's step(); Comm nodes have no local work.
+                mlp.close();
+                break;
+            }
+        }
+    }
+
+    {
+        obs::TraceSpan span("loss");
+        loss = model.lossBackward(batch);
+    }
+
+    {
+        RECSIM_TRACE_SPAN("model.bwd");
+        MlpSpanGroup mlp;
+        for (std::size_t i = graph.nodes.size(); i-- > 0;) {
+            const auto& node = graph.nodes[i];
+            switch (node.kind) {
+              case graph::NodeKind::Gemm:
+                if (node.role == graph::GemmRole::Projection) {
+                    mlp.close();
+                    obs::TraceSpan span(node.id.c_str());
+                    model.backwardProjection(
+                        static_cast<std::size_t>(node.table));
+                } else {
+                    mlp.open("nn.mlp.bwd");
+                    obs::TraceSpan span(node.id.c_str());
+                    if (node.role == graph::GemmRole::BottomMlp)
+                        model.backwardBottomLayer(
+                            static_cast<std::size_t>(node.layer), batch);
+                    else
+                        model.backwardTopLayer(
+                            static_cast<std::size_t>(node.layer));
+                }
+                break;
+              case graph::NodeKind::EmbeddingLookup: {
+                mlp.close();
+                obs::TraceSpan span(node.id.c_str());
+                model.backwardEmbedding(
+                    static_cast<std::size_t>(node.table), batch);
+                break;
+              }
+              case graph::NodeKind::Interaction: {
+                mlp.close();
+                obs::TraceSpan span(node.id.c_str());
+                model.backwardInteraction();
+                break;
+              }
+              default:
+                mlp.close();
+                break;
+            }
+        }
+    }
+    return loss;
+}
+
+} // namespace train
+} // namespace recsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Graph-walk execution of one training step: the real trainer's side of
+ * the "one iteration, one source of truth" contract. runGraphStep walks
+ * the model's StepGraph (graph/step_graph.h) node by node, dispatching
+ * each node to the matching Dlrm stepwise primitive and tagging an obs
+ * trace span with the node's id — the same ids the analytical
+ * nodeBreakdown() and the DES's node_seconds report under, so measured,
+ * predicted and simulated per-node times line up
+ * (bench/validation_graph_breakdown).
+ */
+#pragma once
+
+#include "data/dataset.h"
+#include "graph/step_graph.h"
+#include "model/dlrm.h"
+
+namespace recsim {
+namespace train {
+
+/**
+ * Execute the forward + loss + backward of one step by walking
+ * @p graph in node order (reversed for the backward half).
+ *
+ * Numerically identical to model.forwardBackward(batch): the walk
+ * visits the same primitives in an equivalent order. @p graph must be
+ * built from the same DlrmConfig the model was instantiated with
+ * (checked). Comm nodes are skipped — this is the single-process
+ * trainer — and the OptimizerUpdate node is the caller's step().
+ *
+ * @return Mean BCE loss of the batch.
+ */
+double runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
+                    const graph::StepGraph& graph);
+
+} // namespace train
+} // namespace recsim

@@ -1,9 +1,11 @@
 #include "train/trainer.h"
 
+#include "graph/step_graph.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/pool_metrics.h"
 #include "obs/trace.h"
+#include "train/step_runner.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -63,6 +65,10 @@ trainSingleThread(const model::DlrmConfig& model_config,
                   config.batch_size, train_examples);
 
     model::Dlrm model(model_config, config.model_seed);
+    // The same per-step operator graph the cost model and the DES
+    // consume drives the real training loop (train/step_runner.h).
+    const graph::StepGraph graph =
+        graph::buildModelStepGraph(model_config);
     nn::Sgd sgd(config.learning_rate);
     nn::Adagrad adagrad(config.learning_rate);
 
@@ -89,10 +95,12 @@ trainSingleThread(const model::DlrmConfig& model_config,
             }
             {
                 RECSIM_TRACE_SPAN("train.fwd_bwd");
-                loss = model.forwardBackward(batch);
+                loss = runGraphStep(model, batch, graph);
             }
             {
                 RECSIM_TRACE_SPAN("train.optimizer");
+                // The graph's OptimizerUpdate node closes the step.
+                RECSIM_TRACE_SPAN("optimizer");
                 if (config.optimizer == OptimizerKind::Sgd)
                     model.step(sgd);
                 else

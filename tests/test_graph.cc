@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the StepGraph IR (src/graph): the builder lowers a
+ * DlrmConfig into typed per-step operator nodes, summarize() reproduces
+ * DlrmConfig::footprint() bit for bit (the cost model depends on it),
+ * and placement::bindStepGraph attaches devices, shards and traffic
+ * shares the way the DES expects.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/iteration_model.h"
+#include "graph/step_graph.h"
+#include "model/config.h"
+#include "placement/placement.h"
+
+namespace recsim {
+namespace {
+
+using graph::NodeKind;
+
+TEST(StepGraph, BuildsOneNodePerOperator)
+{
+    const auto m = model::DlrmConfig::testSuite(128, 6, 50000);
+    const auto g = graph::buildModelStepGraph(m);
+
+    EXPECT_EQ(g.indicesOf(NodeKind::EmbeddingLookup).size(),
+              m.numSparse());
+    const std::size_t gemms = g.indicesOf(NodeKind::Gemm).size();
+    EXPECT_EQ(gemms, m.bottomDims().size() + m.topDims().size());
+    EXPECT_EQ(g.indicesOf(NodeKind::Interaction).size(), 1u);
+    EXPECT_EQ(g.indicesOf(NodeKind::Loss).size(), 1u);
+    EXPECT_EQ(g.indicesOf(NodeKind::OptimizerUpdate).size(), 1u);
+
+    // Ids are the stable cross-consumer keys.
+    EXPECT_NE(g.find("bottom_mlp.l0"), nullptr);
+    EXPECT_NE(g.find("emb.t5"), nullptr);
+    EXPECT_NE(g.find("interaction"), nullptr);
+    EXPECT_NE(g.find("optimizer"), nullptr);
+    EXPECT_EQ(g.find("emb.t6"), nullptr);
+}
+
+TEST(StepGraph, SummarizeMatchesFootprintBitForBit)
+{
+    for (const auto& m : {model::DlrmConfig::testSuite(256, 8, 100000),
+                          model::DlrmConfig::m1Prod(),
+                          model::DlrmConfig::m2Prod(),
+                          model::DlrmConfig::m3Prod()}) {
+        const auto fp = m.footprint();
+        const auto s = graph::summarize(graph::buildModelStepGraph(m));
+        EXPECT_EQ(s.mlp_flops, fp.mlp_flops) << m.name;
+        EXPECT_EQ(s.interaction_flops, fp.interaction_flops) << m.name;
+        EXPECT_EQ(s.embedding_bytes, fp.embedding_bytes) << m.name;
+        EXPECT_EQ(s.embedding_lookups, fp.embedding_lookups) << m.name;
+        EXPECT_EQ(s.pooled_bytes, fp.pooled_bytes) << m.name;
+        EXPECT_EQ(s.dense_input_bytes, fp.dense_input_bytes) << m.name;
+        EXPECT_EQ(s.dense_param_count,
+                  static_cast<double>(m.mlpParams())) << m.name;
+        EXPECT_EQ(s.embedding_tables, m.numSparse()) << m.name;
+    }
+}
+
+TEST(StepGraph, MixedDimsGetProjectionNodes)
+{
+    // Uniform tables all keep the full width; spread the popularity so
+    // the mixed-dimension rule shrinks the tail.
+    auto m = model::DlrmConfig::testSuite(64, 4, 1000, 64, 2, 8.0, 0);
+    m.sparse[0].mean_length = 32.0;
+    m.sparse[1].mean_length = 8.0;
+    m.sparse[2].mean_length = 2.0;
+    m.sparse[3].mean_length = 0.5;
+    const auto without = graph::buildModelStepGraph(m);
+    EXPECT_EQ(without.findComm(graph::CommOp::None), nullptr);
+
+    const auto mixed = model::applyMixedDimensions(m, 0.5, 4);
+    const auto g = graph::buildModelStepGraph(mixed);
+    std::size_t projections = 0;
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::Projection) {
+            ++projections;
+            // A projection follows its (narrower) table.
+            const auto* emb = g.find(
+                "emb.t" + std::to_string(node.table));
+            ASSERT_NE(emb, nullptr);
+            EXPECT_EQ(emb->out_width, node.in_width);
+            EXPECT_LT(node.in_width, mixed.emb_dim);
+            EXPECT_EQ(node.out_width, mixed.emb_dim);
+        }
+    }
+    EXPECT_GT(projections, 0u);
+    // Summaries still match the config's own accounting.
+    const auto fp = mixed.footprint();
+    const auto s = graph::summarize(g);
+    EXPECT_EQ(s.mlp_flops, fp.mlp_flops);
+    EXPECT_EQ(s.embedding_bytes, fp.embedding_bytes);
+}
+
+TEST(StepGraph, BindAttachesCpuCommNodesWithShares)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    // IterationModel's construction is the canonical build+bind path.
+    const cost::IterationModel im(m, sys);
+    const auto& g = im.stepGraph();
+
+    double total_share = 0.0;
+    for (std::size_t s = 0; s < sys.num_sparse_ps; ++s) {
+        const auto* req = g.findComm(graph::CommOp::PsRequest,
+                                     static_cast<int>(s));
+        ASSERT_NE(req, nullptr) << "shard " << s;
+        EXPECT_GE(req->share, 0.0);
+        total_share += req->share;
+        EXPECT_NE(g.findComm(graph::CommOp::PsGather,
+                             static_cast<int>(s)), nullptr);
+        EXPECT_NE(g.findComm(graph::CommOp::GradPush,
+                             static_cast<int>(s)), nullptr);
+    }
+    EXPECT_NEAR(total_share, 1.0, 1e-12);
+    EXPECT_NE(g.findComm(graph::CommOp::DenseSync), nullptr);
+    // No GPU-only collectives on the CPU system.
+    EXPECT_EQ(g.findComm(graph::CommOp::AllReduce), nullptr);
+
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::EmbeddingLookup) {
+            EXPECT_EQ(node.device, graph::Device::SparsePs);
+        }
+        if (node.kind == NodeKind::Gemm) {
+            EXPECT_EQ(node.device, graph::Device::TrainerCpu);
+        }
+    }
+}
+
+TEST(StepGraph, BindAssignsGpuDevices)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::bigBasinSetup(
+        placement::EmbeddingPlacement::GpuMemory, 1600);
+    const cost::IterationModel im(m, sys);
+    const auto& g = im.stepGraph();
+
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::EmbeddingLookup ||
+            node.kind == NodeKind::Gemm) {
+            EXPECT_EQ(node.device, graph::Device::Gpu);
+        }
+    }
+    EXPECT_NE(g.findComm(graph::CommOp::AllReduce), nullptr);
+    EXPECT_NE(g.findComm(graph::CommOp::Input), nullptr);
+    EXPECT_EQ(g.findComm(graph::CommOp::DenseSync), nullptr);
+}
+
+} // namespace
+} // namespace recsim

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "cost/iteration_model.h"
@@ -226,6 +227,107 @@ TEST(Properties, PowerAdditivity)
     const auto a = cost::SystemConfig::cpuSetup(3, 2, 1);
     const auto b = cost::SystemConfig::cpuSetup(6, 4, 2);
     EXPECT_NEAR(2.0 * a.totalPowerWatts(), b.totalPowerWatts(), 1e-9);
+}
+
+namespace {
+
+double
+phase(const cost::IterationEstimate& est, const std::string& name)
+{
+    for (const auto& p : est.breakdown) {
+        if (p.name == name)
+            return p.seconds;
+    }
+    ADD_FAILURE() << "missing phase " << name;
+    return 0.0;
+}
+
+} // namespace
+
+// The phases of `breakdown` account for iteration_seconds under the
+// bottleneck rule documented on IterationEstimate; 1e-12 relative
+// covers floating-point re-association only.
+TEST(Properties, PhaseTimesComposeToIterationTime)
+{
+    const double rel = 1e-12;
+    for (const auto& m : configFamily()) {
+        // CPU trainers: compute pipelines against communication.
+        const auto cpu_sys = cost::SystemConfig::cpuSetup(2, 2, 1, 200, 2);
+        const auto cpu = cost::IterationModel(m, cpu_sys).estimate();
+        if (cpu.feasible) {
+            const double local = phase(cpu, "mlp_compute") +
+                phase(cpu, "lookup_overhead") +
+                phase(cpu, "framework_overhead");
+            const double expected =
+                std::max(local, phase(cpu, "trainer_network"));
+            EXPECT_NEAR(cpu.iteration_seconds, expected,
+                        rel * expected) << m.name;
+        }
+
+        // GPU servers: local phases serialize; the remote phase
+        // overlaps them only when Hogwild workers pipeline batches.
+        for (const auto placement :
+             {EmbeddingPlacement::GpuMemory,
+              EmbeddingPlacement::HostMemory,
+              EmbeddingPlacement::RemotePs}) {
+            for (const std::size_t hogwild : {1u, 3u}) {
+                auto sys = cost::SystemConfig::bigBasinSetup(
+                    placement, 800,
+                    placement == EmbeddingPlacement::RemotePs ? 4 : 0);
+                sys.hogwild_threads = hogwild;
+                const auto est = cost::IterationModel(m, sys).estimate();
+                if (!est.feasible)
+                    continue;
+                const double remote = phase(est, "emb_remote");
+                double local = 0.0;
+                for (const auto& p : est.breakdown) {
+                    if (p.name != "emb_remote")
+                        local += p.seconds;
+                }
+                const double expected = hogwild >= 2 && remote > 0.0
+                    ? std::max(local, remote)
+                    : local + remote;
+                EXPECT_NEAR(est.iteration_seconds, expected,
+                            rel * expected)
+                    << m.name << " " << placement::toString(placement)
+                    << " hogwild" << hogwild;
+            }
+        }
+    }
+}
+
+// The per-node attribution refines the phase breakdown: on the CPU
+// path the compute phases are exactly the sums of their nodes; on the
+// GPU path every phase is distributed across its nodes.
+TEST(Properties, NodeBreakdownSumsMatchPhases)
+{
+    for (const auto& m : configFamily()) {
+        const auto cpu_sys = cost::SystemConfig::cpuSetup(2, 2, 1, 200, 1);
+        const cost::IterationModel cpu_model(m, cpu_sys);
+        const auto est = cpu_model.estimate();
+        if (!est.feasible)
+            continue;
+        const auto nodes = cpu_model.nodeBreakdown();
+        ASSERT_FALSE(nodes.empty()) << m.name;
+        const auto& g = cpu_model.stepGraph();
+        double gemm_seconds = 0.0;
+        double lookup_seconds = 0.0;
+        for (const auto& nt : nodes) {
+            const auto* node = g.find(nt.node_id);
+            ASSERT_NE(node, nullptr) << nt.node_id;
+            EXPECT_GE(nt.seconds, 0.0) << nt.node_id;
+            if (node->kind == graph::NodeKind::Gemm ||
+                node->kind == graph::NodeKind::Interaction)
+                gemm_seconds += nt.seconds;
+            if (node->kind == graph::NodeKind::EmbeddingLookup)
+                lookup_seconds += nt.seconds;
+        }
+        const double mlp_phase = phase(est, "mlp_compute");
+        const double lookup_phase = phase(est, "lookup_overhead");
+        EXPECT_NEAR(gemm_seconds, mlp_phase, 1e-9 * mlp_phase) << m.name;
+        EXPECT_NEAR(lookup_seconds, lookup_phase,
+                    1e-9 * std::max(lookup_phase, 1e-300)) << m.name;
+    }
 }
 
 } // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Direct unit tests for train/sweep.cc: the learning-rate retuning
+ * protocol behind Fig 15 (train once per candidate, pick the lowest
+ * held-out normalized entropy).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/dataset.h"
+#include "model/config.h"
+#include "train/sweep.h"
+
+namespace recsim {
+namespace {
+
+model::DlrmConfig
+tinyModel()
+{
+    return model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+}
+
+data::DatasetConfig
+tinyDataConfig()
+{
+    const auto m = tinyModel();
+    data::DatasetConfig cfg;
+    cfg.num_dense = m.num_dense;
+    cfg.sparse = m.sparse;
+    cfg.seed = 31;
+    return cfg;
+}
+
+train::TrainConfig
+tinyTrainConfig()
+{
+    train::TrainConfig cfg;
+    cfg.batch_size = 64;
+    cfg.epochs = 1;
+    return cfg;
+}
+
+TEST(Sweep, DefaultLrGridIsPositiveAndAscending)
+{
+    const auto grid = train::defaultLrGrid();
+    ASSERT_FALSE(grid.empty());
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+    for (float lr : grid)
+        EXPECT_GT(lr, 0.0f);
+    // The documented log-spaced grid covering SGD and Adagrad.
+    const std::vector<float> expected = {0.01f, 0.02f, 0.05f,
+                                         0.1f,  0.2f,  0.5f};
+    EXPECT_EQ(grid, expected);
+}
+
+TEST(Sweep, TrainsOncePerCandidateAndPreservesOrder)
+{
+    data::SyntheticCtrDataset ds(tinyDataConfig());
+    ds.materialize(512 + 256);
+    const std::vector<float> candidates = {0.02f, 0.1f, 0.3f};
+    const auto sweep = train::sweepLearningRate(
+        tinyModel(), ds, tinyTrainConfig(), candidates, 256);
+
+    ASSERT_EQ(sweep.points.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        EXPECT_FLOAT_EQ(sweep.points[i].learning_rate, candidates[i]);
+        // Every point ran the full schedule of the base config.
+        EXPECT_EQ(sweep.points[i].result.steps, 512u / 64u);
+        EXPECT_TRUE(std::isfinite(sweep.points[i].result.eval_ne));
+    }
+}
+
+TEST(Sweep, BestIndexIsArgminOfEvalNe)
+{
+    data::SyntheticCtrDataset ds(tinyDataConfig());
+    ds.materialize(512 + 256);
+    const auto sweep = train::sweepLearningRate(
+        tinyModel(), ds, tinyTrainConfig(), {0.001f, 0.05f, 0.2f}, 256);
+
+    ASSERT_LT(sweep.best_index, sweep.points.size());
+    for (const auto& point : sweep.points) {
+        EXPECT_LE(sweep.best().result.eval_ne, point.result.eval_ne);
+    }
+    // best() is the indexed point, not a copy with drifted fields.
+    EXPECT_FLOAT_EQ(sweep.best().learning_rate,
+                    sweep.points[sweep.best_index].learning_rate);
+}
+
+TEST(Sweep, SingleCandidateIsAlwaysBest)
+{
+    data::SyntheticCtrDataset ds(tinyDataConfig());
+    ds.materialize(256 + 128);
+    train::TrainConfig cfg = tinyTrainConfig();
+    cfg.batch_size = 32;
+    const auto sweep = train::sweepLearningRate(tinyModel(), ds, cfg,
+                                                {0.1f}, 128);
+    ASSERT_EQ(sweep.points.size(), 1u);
+    EXPECT_EQ(sweep.best_index, 0u);
+    EXPECT_FLOAT_EQ(sweep.best().learning_rate, 0.1f);
+}
+
+TEST(Sweep, IsDeterministicForIdenticalInputs)
+{
+    data::SyntheticCtrDataset ds(tinyDataConfig());
+    ds.materialize(256 + 128);
+    train::TrainConfig cfg = tinyTrainConfig();
+    cfg.batch_size = 32;
+    const auto a = train::sweepLearningRate(tinyModel(), ds, cfg,
+                                            {0.05f, 0.2f}, 128);
+    const auto b = train::sweepLearningRate(tinyModel(), ds, cfg,
+                                            {0.05f, 0.2f}, 128);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    EXPECT_EQ(a.best_index, b.best_index);
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.points[i].result.eval_ne,
+                         b.points[i].result.eval_ne);
+        EXPECT_DOUBLE_EQ(a.points[i].result.final_train_loss,
+                         b.points[i].result.final_train_loss);
+    }
+}
+
+} // namespace
+} // namespace recsim
