@@ -26,10 +26,12 @@ main(int argc, char** argv)
     bench::banner("Validation: DES vs analytical model",
                   "Cross-check of the two performance models",
                   "Throughput ratio sim/analytical over a config grid "
-                  "(1.0 = perfect agreement).");
+                  "(1.0 = perfect agreement). overlap = critical path "
+                  "/ serial node sum\nover the StepGraph edges (lower "
+                  "= the placement hides more comm behind compute).");
 
     util::TextTable table;
-    table.header({"config", "analytical", "DES", "ratio"});
+    table.header({"config", "analytical", "DES", "ratio", "overlap"});
     stats::RunningStat log_ratios;
 
     auto check = [&](const std::string& label,
@@ -43,7 +45,7 @@ main(int argc, char** argv)
         cfg.measure_seconds = 0.5;
         const auto simulated = sim::runDistSim(cfg);
         if (!analytical.feasible || !simulated.feasible) {
-            table.row({label, "infeasible", "infeasible", "-"});
+            table.row({label, "infeasible", "infeasible", "-", "-"});
             return;
         }
         const double ratio =
@@ -51,7 +53,8 @@ main(int argc, char** argv)
         log_ratios.add(std::log(ratio));
         table.row({label, bench::kexps(analytical.throughput),
                    bench::kexps(simulated.throughput),
-                   bench::ratio(ratio)});
+                   bench::ratio(ratio),
+                   util::fixed(analytical.overlap_efficiency, 2)});
     };
 
     for (std::size_t sparse : {8, 32}) {

@@ -142,9 +142,28 @@ IterationModel::estimate() const
         est.power_watts = system_.totalPowerWatts();
         return est;
     }
-    if (system_.platform.num_gpus > 0)
-        return estimateGpu();
-    return estimateCpu();
+    est = system_.platform.num_gpus > 0 ? estimateGpu()
+                                        : estimateCpu();
+
+    // Critical-path fold over the graph edges: the iteration's lower
+    // bound under perfect overlap. nodeBreakdown() emits one entry per
+    // graph node in node order, so entry i costs graph node i. This
+    // rides alongside the calibrated max/sum estimate above — it does
+    // not change iteration_seconds — and overlap_efficiency =
+    // critical/sum is how much of the serial work the edges can hide
+    // (PS-sharded placements hide most sparse comm, Sec. V).
+    const std::vector<NodeTime> nodes = nodeBreakdown();
+    if (nodes.size() == graph_.numNodes() && !nodes.empty()) {
+        double sum = 0.0;
+        for (const NodeTime& t : nodes)
+            sum += t.seconds;
+        est.serial_sum_seconds = sum;
+        est.critical_path_seconds = graph_.criticalPath(
+            [&nodes](std::size_t i) { return nodes[i].seconds; });
+        est.overlap_efficiency = sum > 0.0
+            ? est.critical_path_seconds / sum : 1.0;
+    }
+    return est;
 }
 
 IterationEstimate

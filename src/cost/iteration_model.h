@@ -171,6 +171,19 @@ struct IterationEstimate
     std::vector<PhaseTime> breakdown;
     Utilizations util;
 
+    /** Sum of nodeBreakdown() seconds: the no-overlap iteration time
+     *  (every node serialized). */
+    double serial_sum_seconds = 0.0;
+    /** Longest path through the StepGraph's dep edges with each node
+     *  costed at its nodeBreakdown() seconds: the iteration's lower
+     *  bound under perfect comm/compute overlap. */
+    double critical_path_seconds = 0.0;
+    /** critical_path_seconds / serial_sum_seconds, in (0, 1]. Low
+     *  values = the edges hide most of the work (e.g. async PS
+     *  placements hiding sparse comm behind the MLP); 1 = a pure
+     *  chain with nothing to overlap. */
+    double overlap_efficiency = 1.0;
+
     double power_watts = 0.0;
     /** examples / second / watt. */
     double perfPerWatt() const

@@ -1,5 +1,8 @@
 #include "graph/step_graph.h"
 
+#include <algorithm>
+#include <queue>
+
 #include "util/logging.h"
 
 namespace recsim {
@@ -8,11 +11,22 @@ namespace graph {
 const Node*
 StepGraph::find(const std::string& id) const
 {
-    for (const auto& node : nodes) {
-        if (node.id == id)
-            return &node;
+    const std::size_t i = indexOf(id);
+    return i == npos ? nullptr : &nodes[i];
+}
+
+std::size_t
+StepGraph::indexOf(const std::string& id) const
+{
+    if (indexFresh()) {
+        auto it = id_index_.find(id);
+        return it == id_index_.end() ? npos : it->second;
     }
-    return nullptr;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].id == id)
+            return i;
+    }
+    return npos;
 }
 
 std::vector<std::size_t>
@@ -29,6 +43,10 @@ StepGraph::indicesOf(NodeKind kind) const
 const Node*
 StepGraph::findComm(CommOp op, int shard) const
 {
+    if (indexFresh()) {
+        auto it = comm_index_.find(commKey(op, shard));
+        return it == comm_index_.end() ? nullptr : &nodes[it->second];
+    }
     for (const auto& node : nodes) {
         if (node.kind == NodeKind::Comm && node.comm == op &&
             (shard < 0 || node.shard == shard)) {
@@ -36,6 +54,134 @@ StepGraph::findComm(CommOp op, int shard) const
         }
     }
     return nullptr;
+}
+
+void
+StepGraph::reindex()
+{
+    id_index_.clear();
+    comm_index_.clear();
+    id_index_.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        id_index_.emplace(nodes[i].id, i);  // first id wins, like find()
+        if (nodes[i].kind != NodeKind::Comm)
+            continue;
+        // "Any shard" entry (shard key 0) plus the exact-shard entry;
+        // for an unsharded comm node the two coincide.
+        comm_index_.emplace(commKey(nodes[i].comm, -1), i);
+        if (nodes[i].shard >= 0)
+            comm_index_.emplace(commKey(nodes[i].comm, nodes[i].shard),
+                                i);
+    }
+    indexed_count_ = nodes.size();
+}
+
+std::vector<std::size_t>
+StepGraph::topoOrder() const
+{
+    const std::size_t n = nodes.size();
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> successors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d : nodes[i].deps) {
+            RECSIM_ASSERT(d < n, "StepGraph dep index out of range");
+            ++indegree[i];
+            successors[d].push_back(i);
+        }
+    }
+    // Min-heap on the node index makes the order deterministic and
+    // keeps simultaneously-ready nodes in build order.
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<std::size_t>> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            ready.push(i);
+    }
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const std::size_t i = ready.top();
+        ready.pop();
+        order.push_back(i);
+        for (std::size_t s : successors[i]) {
+            if (--indegree[s] == 0)
+                ready.push(s);
+        }
+    }
+    RECSIM_ASSERT(order.size() == n,
+                  "StepGraph has a dependency cycle");
+    return order;
+}
+
+std::string
+StepGraph::validate() const
+{
+    const std::size_t n = nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::size_t> seen;
+        for (std::size_t d : nodes[i].deps) {
+            if (d >= n) {
+                return "node '" + nodes[i].id + "' dep " +
+                    std::to_string(d) + " out of range (" +
+                    std::to_string(n) + " nodes)";
+            }
+            if (d == i)
+                return "node '" + nodes[i].id + "' depends on itself";
+            seen.push_back(d);
+        }
+        std::sort(seen.begin(), seen.end());
+        if (std::adjacent_find(seen.begin(), seen.end()) != seen.end())
+            return "node '" + nodes[i].id + "' has a duplicate dep";
+    }
+    // Kahn count check (edges validated above, so no asserts fire).
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> successors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d : nodes[i].deps) {
+            ++indegree[i];
+            successors[d].push_back(i);
+        }
+    }
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            frontier.push_back(i);
+    }
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+        const std::size_t i = frontier.back();
+        frontier.pop_back();
+        ++visited;
+        for (std::size_t s : successors[i]) {
+            if (--indegree[s] == 0)
+                frontier.push_back(s);
+        }
+    }
+    if (visited != n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (indegree[i] > 0) {
+                return "dependency cycle through node '" + nodes[i].id +
+                    "'";
+            }
+        }
+    }
+    return "";
+}
+
+double
+StepGraph::criticalPath(
+    const std::function<double(std::size_t)>& node_cost) const
+{
+    std::vector<double> finish(nodes.size(), 0.0);
+    double longest = 0.0;
+    for (std::size_t i : topoOrder()) {
+        double start = 0.0;
+        for (std::size_t d : nodes[i].deps)
+            start = std::max(start, finish[d]);
+        finish[i] = start + node_cost(i);
+        longest = std::max(longest, finish[i]);
+    }
+    return longest;
 }
 
 StepGraph
@@ -52,7 +198,8 @@ buildModelStepGraph(const model::DlrmConfig& config)
     // pre-graph values bit for bit.
 
     auto addGemm = [&g](GemmRole role, const char* prefix, int layer,
-                        std::size_t in, std::size_t out) {
+                        std::size_t in, std::size_t out,
+                        std::vector<std::size_t> deps) {
         Node node;
         node.id = std::string(prefix) + ".l" + std::to_string(layer);
         node.kind = NodeKind::Gemm;
@@ -64,21 +211,34 @@ buildModelStepGraph(const model::DlrmConfig& config)
             static_cast<double>(out);
         node.param_count = static_cast<double>(in * out + out);
         node.param_bytes = node.param_count * sizeof(float);
+        node.deps = std::move(deps);
         g.nodes.push_back(std::move(node));
+        return g.nodes.size() - 1;
     };
 
-    // Bottom MLP (including the implicit projection to emb_dim).
+    // Bottom MLP (including the implicit projection to emb_dim). The
+    // layers chain; l0 consumes only the input batch.
+    std::size_t last_bottom = StepGraph::npos;
     {
         std::size_t in = config.num_dense;
         int layer = 0;
         for (std::size_t out : config.bottomDims()) {
-            addGemm(GemmRole::BottomMlp, "bottom_mlp", layer++, in, out);
+            last_bottom = addGemm(
+                GemmRole::BottomMlp, "bottom_mlp", layer++, in, out,
+                last_bottom == StepGraph::npos
+                    ? std::vector<std::size_t>{}
+                    : std::vector<std::size_t>{last_bottom});
             in = out;
         }
     }
 
     // Embedding tables, each followed by its mixed-dimension projection
-    // when the table is narrower than the shared width.
+    // when the table is narrower than the shared width. Every table
+    // depends only on the input batch, so lookups are mutually
+    // independent and independent of the bottom MLP — the parallelism
+    // the paper's Figs 9-11 breakdowns presume.
+    std::vector<std::size_t> pooled_producers;
+    pooled_producers.reserve(config.sparse.size());
     for (std::size_t t = 0; t < config.sparse.size(); ++t) {
         const auto& spec = config.sparse[t];
         const std::size_t dim = spec.effectiveDim(config.emb_dim);
@@ -97,6 +257,8 @@ buildModelStepGraph(const model::DlrmConfig& config)
         node.param_bytes =
             static_cast<double>(spec.hash_size) * d * sizeof(float);
         g.nodes.push_back(std::move(node));
+        const std::size_t emb_index = g.nodes.size() - 1;
+        std::size_t producer = emb_index;
 
         if (dim != config.emb_dim) {
             Node proj;
@@ -111,11 +273,15 @@ buildModelStepGraph(const model::DlrmConfig& config)
             proj.param_count = static_cast<double>(
                 dim * config.emb_dim + config.emb_dim);
             proj.param_bytes = proj.param_count * sizeof(float);
+            proj.deps = {emb_index};
             g.nodes.push_back(std::move(proj));
+            producer = g.nodes.size() - 1;
         }
+        pooled_producers.push_back(producer);
     }
 
-    // Feature interaction.
+    // Feature interaction: joins the bottom-MLP output with every
+    // pooled (and, where present, projected) embedding, in table order.
     {
         Node node;
         node.id = "interaction";
@@ -127,15 +293,21 @@ buildModelStepGraph(const model::DlrmConfig& config)
             node.fwd_flops = f * (f - 1.0) / 2.0 * 2.0 *
                 static_cast<double>(config.emb_dim);
         }
+        if (last_bottom != StepGraph::npos)
+            node.deps.push_back(last_bottom);
+        for (std::size_t p : pooled_producers)
+            node.deps.push_back(p);
         g.nodes.push_back(std::move(node));
     }
+    std::size_t prev = g.nodes.size() - 1;  // interaction
 
     // Top MLP (including the implicit 1-wide logit layer).
     {
         std::size_t in = config.interactionWidth();
         int layer = 0;
         for (std::size_t out : config.topDims()) {
-            addGemm(GemmRole::TopMlp, "top_mlp", layer++, in, out);
+            prev = addGemm(GemmRole::TopMlp, "top_mlp", layer++, in,
+                           out, {prev});
             in = out;
         }
     }
@@ -146,13 +318,16 @@ buildModelStepGraph(const model::DlrmConfig& config)
         loss.id = "loss";
         loss.kind = NodeKind::Loss;
         loss.in_width = 1;
+        loss.deps = {prev};
         g.nodes.push_back(std::move(loss));
 
         Node opt;
         opt.id = "optimizer";
         opt.kind = NodeKind::OptimizerUpdate;
+        opt.deps = {g.nodes.size() - 1};
         g.nodes.push_back(std::move(opt));
     }
+    g.reindex();
     return g;
 }
 

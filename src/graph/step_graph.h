@@ -30,7 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/config.h"
@@ -131,6 +133,16 @@ struct Node
      * traffic (shard_access_bytes[s] / total), 1.0 for unsharded ops.
      */
     double share = 0.0;
+
+    /**
+     * Predecessors: indices into StepGraph::nodes of the nodes whose
+     * outputs this node consumes. Empty = the node is ready at
+     * iteration start (consumes only the input batch). Populated by
+     * buildModelStepGraph() (compute dataflow) and bindStepGraph()
+     * (comm legs + comm->compute joins). Edges may point forward in
+     * the nodes vector — only topoOrder() is execution-ordered.
+     */
+    std::vector<std::size_t> deps;
 };
 
 /**
@@ -178,16 +190,74 @@ struct StepGraph
      */
     std::vector<Node> nodes;
 
-    /** First node with @p id, or nullptr. */
+    /** Sentinel index for "no such node". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** First node with @p id, or nullptr. O(1) after reindex(). */
     const Node* find(const std::string& id) const;
+
+    /** Index of the first node with @p id, or npos. O(1) after
+     *  reindex(). */
+    std::size_t indexOf(const std::string& id) const;
 
     /** Indices of nodes matching a predicate-free (kind) filter. */
     std::vector<std::size_t> indicesOf(NodeKind kind) const;
 
-    /** First Comm node with @p op and @p shard (-1 = any), or null. */
+    /** First Comm node with @p op and @p shard (-1 = any), or null.
+     *  O(1) after reindex(). */
     const Node* findComm(CommOp op, int shard = -1) const;
 
     std::size_t numNodes() const { return nodes.size(); }
+
+    /**
+     * Rebuild the id -> index and (comm op, shard) -> index maps that
+     * make find()/indexOf()/findComm() O(1). buildModelStepGraph() and
+     * bindStepGraph() call this; call it again after mutating `nodes`
+     * by hand. Lookups on a graph whose maps are stale (indexed node
+     * count != nodes.size()) fall back to the linear scan, so
+     * hand-assembled test graphs keep working without it.
+     */
+    void reindex();
+
+    /**
+     * Indices of every node in a topological order of the dep edges.
+     * Deterministic: among simultaneously-ready nodes the lowest index
+     * comes first (Kahn's algorithm with a min-heap). Panics on a
+     * cyclic or malformed graph — call validate() first when the deps
+     * are untrusted.
+     */
+    std::vector<std::size_t> topoOrder() const;
+
+    /**
+     * Check the dep edges: every index in range, no self-deps, no
+     * duplicate deps, no cycles. Returns an empty string when the
+     * graph is valid, else a description of the first problem found.
+     */
+    std::string validate() const;
+
+    /**
+     * Length of the longest path through the dep DAG where node i
+     * contributes node_cost(i): finish(i) = node_cost(i) +
+     * max(finish(dep)), result = max over nodes. With per-node seconds
+     * this is the iteration lower bound under perfect overlap — the
+     * serial sum divided by it is the graph's inherent parallelism.
+     */
+    double criticalPath(
+        const std::function<double(std::size_t)>& node_cost) const;
+
+  private:
+    /** id -> index; valid while indexed_count_ == nodes.size(). */
+    std::unordered_map<std::string, std::size_t> id_index_;
+    /** (comm op, shard+1) -> index; shard key 0 = first with the op. */
+    std::unordered_map<uint64_t, std::size_t> comm_index_;
+    std::size_t indexed_count_ = 0;
+
+    bool indexFresh() const { return indexed_count_ == nodes.size(); }
+    static uint64_t commKey(CommOp op, int shard)
+    {
+        return (static_cast<uint64_t>(op) << 32) |
+            static_cast<uint32_t>(shard + 1);
+    }
 };
 
 /**

@@ -61,8 +61,12 @@ jsonEscape(const std::string& s)
 
 /**
  * One thread's track. The owning thread is the only writer of `stack`
- * and the only appender to `spans`; `mutex` serializes appends against
- * concurrent snapshot()/export readers.
+ * and the only appender to `spans`, but `mutex` guards both: readers
+ * (snapshot()/numOpenSpans()) and the graph executor's worker threads
+ * may observe a track while its owner is mid-push, so every stack or
+ * span access — including the owner's own begin/end — takes the lock.
+ * The lock is uncontended in the common case (one owner, no readers),
+ * and only taken while tracing is enabled.
  */
 struct ThreadTrack
 {
@@ -145,6 +149,7 @@ Tracer::beginSpan(std::string name)
         t_track = track.get();
         impl_->threads.push_back(std::move(track));
     }
+    std::lock_guard<std::mutex> lock(t_track->mutex);
     t_track->stack.push_back(
         {std::move(name), nowNs(), t_track->next_seq++});
 }
@@ -152,7 +157,10 @@ Tracer::beginSpan(std::string name)
 void
 Tracer::endSpan()
 {
-    if (t_track == nullptr || t_track->stack.empty())
+    if (t_track == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(t_track->mutex);
+    if (t_track->stack.empty())
         return;  // Unbalanced end; drop rather than crash.
     ThreadTrack::Open open = std::move(t_track->stack.back());
     t_track->stack.pop_back();
@@ -162,7 +170,6 @@ Tracer::endSpan()
     record.end_ns = nowNs();
     record.depth = static_cast<int>(t_track->stack.size());
     record.seq = open.seq;
-    std::lock_guard<std::mutex> lock(t_track->mutex);
     t_track->spans.push_back(std::move(record));
 }
 
@@ -222,8 +229,10 @@ Tracer::numOpenSpans() const
 {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     std::size_t n = 0;
-    for (const auto& track : impl_->threads)
+    for (const auto& track : impl_->threads) {
+        std::lock_guard<std::mutex> tlock(track->mutex);
         n += track->stack.size();
+    }
     return n;
 }
 

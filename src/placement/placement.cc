@@ -385,8 +385,19 @@ bindStepGraph(graph::StepGraph& g, const PlacementPlan& plan,
         total_access += a;
     total_access = std::max(total_access, 1e-9);
 
+    // Anchor nodes the comm edges attach to. The interaction node is
+    // where remotely-pooled embeddings join the compute dataflow; the
+    // optimizer is what gradient traffic waits on.
+    const std::size_t interaction_idx =
+        g.indexOf("interaction");
+    const std::size_t optimizer_idx = g.indexOf("optimizer");
+    RECSIM_ASSERT(interaction_idx != graph::StepGraph::npos &&
+                  optimizer_idx != graph::StepGraph::npos,
+                  "bindStepGraph needs a model-built StepGraph");
+
     auto addComm = [&g](std::string id, CommOp op, Device device,
-                        int shard, double share) {
+                        int shard, double share,
+                        std::vector<std::size_t> deps) {
         Node node;
         node.id = std::move(id);
         node.kind = NodeKind::Comm;
@@ -394,57 +405,106 @@ bindStepGraph(graph::StepGraph& g, const PlacementPlan& plan,
         node.device = device;
         node.shard = shard;
         node.share = share;
+        node.deps = std::move(deps);
         g.nodes.push_back(std::move(node));
+        return g.nodes.size() - 1;
     };
-    auto addPsShards = [&](bool with_push) {
+    // One RPC chain per sparse-PS shard, request -> gather -> pool ->
+    // response; the chains are mutually independent. Returns the
+    // response indices so the caller can join them into the compute
+    // dataflow (interaction on CPU, deserialize on GPU).
+    auto addPsShards = [&](bool with_push,
+                           std::vector<std::size_t> request_deps) {
+        std::vector<std::size_t> responses;
         for (std::size_t i = 0; i < num_sparse_ps; ++i) {
             const double share = i < plan.partition.numShards()
                 ? plan.partition.shard_access_bytes[i] / total_access
                 : 0.0;
             const std::string s = ".s" + std::to_string(i);
             const int shard = static_cast<int>(i);
-            addComm("comm.ps_request" + s, CommOp::PsRequest,
-                    Device::TrainerCpu, shard, share);
-            addComm("comm.ps_gather" + s, CommOp::PsGather,
-                    Device::SparsePs, shard, share);
-            addComm("comm.ps_pool" + s, CommOp::PsPool,
-                    Device::SparsePs, shard, share);
-            addComm("comm.ps_response" + s, CommOp::PsResponse,
-                    Device::SparsePs, shard, share);
+            std::size_t leg = addComm(
+                "comm.ps_request" + s, CommOp::PsRequest,
+                Device::TrainerCpu, shard, share, request_deps);
+            leg = addComm("comm.ps_gather" + s, CommOp::PsGather,
+                          Device::SparsePs, shard, share, {leg});
+            leg = addComm("comm.ps_pool" + s, CommOp::PsPool,
+                          Device::SparsePs, shard, share, {leg});
+            leg = addComm("comm.ps_response" + s, CommOp::PsResponse,
+                          Device::SparsePs, shard, share, {leg});
+            responses.push_back(leg);
             if (with_push) {
                 addComm("comm.grad_push" + s, CommOp::GradPush,
-                        Device::TrainerCpu, shard, share);
+                        Device::TrainerCpu, shard, share,
+                        {optimizer_idx});
             }
         }
+        return responses;
     };
 
     if (plan.placement == EmbeddingPlacement::CpuLocal) {
         // CPU distributed training: per-shard PS RPC legs plus the
-        // amortized dense-PS sync.
-        addPsShards(/*with_push=*/true);
+        // amortized dense-PS sync. The pooled vectors arrive over RPC,
+        // so the interaction joins on every shard's response — that
+        // edge is what lets the bottom MLP overlap the sparse comm.
+        const auto responses =
+            addPsShards(/*with_push=*/true, /*request_deps=*/{});
+        for (std::size_t r : responses)
+            g.nodes[interaction_idx].deps.push_back(r);
         addComm("comm.dense_sync", CommOp::DenseSync, Device::DensePs,
-                -1, 1.0);
+                -1, 1.0, {optimizer_idx});
+        g.reindex();
         return;
     }
 
-    // GPU-server training.
-    addComm("comm.input", CommOp::Input, Device::HostCpu, -1, 1.0);
+    // GPU-server training. Everything downstream of the batch waits on
+    // the input pipeline.
+    const std::size_t input_idx = addComm(
+        "comm.input", CommOp::Input, Device::HostCpu, -1, 1.0, {});
+    std::vector<std::size_t> gpu_embs, host_embs;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        Node& node = g.nodes[i];
+        const bool roots_on_input =
+            (node.kind == NodeKind::Gemm &&
+             node.role == graph::GemmRole::BottomMlp &&
+             node.layer == 0) ||
+            node.kind == NodeKind::EmbeddingLookup;
+        if (roots_on_input)
+            node.deps.push_back(input_idx);
+        if (node.kind == NodeKind::EmbeddingLookup) {
+            (node.device == Device::Gpu ? gpu_embs : host_embs)
+                .push_back(i);
+        }
+    }
     const double frac_host = std::max(
         0.0, 1.0 - plan.gpu_lookup_fraction - plan.remote_lookup_fraction);
     if (plan.gpu_lookup_fraction > 0.0) {
-        addComm("comm.emb_alltoall", CommOp::AllToAll, Device::Gpu, -1,
-                plan.gpu_lookup_fraction);
+        if (gpu_embs.empty())
+            gpu_embs.push_back(input_idx);
+        const std::size_t a2a = addComm(
+            "comm.emb_alltoall", CommOp::AllToAll, Device::Gpu, -1,
+            plan.gpu_lookup_fraction, std::move(gpu_embs));
+        g.nodes[interaction_idx].deps.push_back(a2a);
     }
     if (frac_host > 0.0) {
-        addComm("comm.host_pcie", CommOp::PcieStage, Device::HostCpu,
-                -1, frac_host);
+        if (host_embs.empty())
+            host_embs.push_back(input_idx);
+        const std::size_t pcie = addComm(
+            "comm.host_pcie", CommOp::PcieStage, Device::HostCpu, -1,
+            frac_host, std::move(host_embs));
+        g.nodes[interaction_idx].deps.push_back(pcie);
     }
     if (plan.remote_lookup_fraction > 0.0) {
-        addPsShards(/*with_push=*/false);
-        addComm("comm.remote_deser", CommOp::Deserialize,
-                Device::HostCpu, -1, plan.remote_lookup_fraction);
+        const auto responses =
+            addPsShards(/*with_push=*/false,
+                        /*request_deps=*/{input_idx});
+        const std::size_t deser = addComm(
+            "comm.remote_deser", CommOp::Deserialize, Device::HostCpu,
+            -1, plan.remote_lookup_fraction, responses);
+        g.nodes[interaction_idx].deps.push_back(deser);
     }
-    addComm("comm.allreduce", CommOp::AllReduce, Device::Gpu, -1, 1.0);
+    addComm("comm.allreduce", CommOp::AllReduce, Device::Gpu, -1, 1.0,
+            {optimizer_idx});
+    g.reindex();
 }
 
 } // namespace placement

@@ -164,6 +164,18 @@ class Simulation
     std::vector<std::pair<std::size_t, double>> emb_gpu_weights_;
     std::vector<std::pair<std::size_t, double>> emb_host_weights_;
 
+    /**
+     * Edge-derived split of the compute interval: nodes with no comm
+     * leg upstream (bottom MLP, projections, lookup marshalling) start
+     * at iteration start and overlap the RPC/exchange legs; nodes
+     * downstream of a comm leg (interaction onward) wait for it.
+     * compute_pre_share_ is the pre-side fraction of the compute cost;
+     * the weight lists are renormalized within their own interval.
+     */
+    double compute_pre_share_ = 0.0;
+    std::vector<std::pair<std::size_t, double>> compute_pre_weights_;
+    std::vector<std::pair<std::size_t, double>> compute_post_weights_;
+
     /** Scratch: (node index, seconds) of the iteration in flight. */
     std::vector<std::pair<std::size_t, double>> iter_nodes_;
     /** Committed per-node seconds over the measurement window. */
@@ -212,15 +224,12 @@ Simulation::run()
     node_accum_.assign(graph_->nodes.size(), 0.0);
     gpu_mode_ = p.num_gpus > 0;
 
+    // O(1) per lookup: bindStepGraph() indexed the graph's comm nodes.
     auto nodeIdx = [this](graph::CommOp op, int shard) {
-        for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
-            const auto& node = graph_->nodes[i];
-            if (node.kind == graph::NodeKind::Comm && node.comm == op &&
-                (shard < 0 || node.shard == shard)) {
-                return i;
-            }
-        }
-        return kNoNode;
+        const graph::Node* node = graph_->findComm(op, shard);
+        return node == nullptr
+            ? kNoNode
+            : static_cast<std::size_t>(node - graph_->nodes.data());
     };
 
     const double fwd_flops = sum.mlp_flops + sum.interaction_flops;
@@ -290,10 +299,9 @@ Simulation::run()
     pcie_node_ = nodeIdx(graph::CommOp::PcieStage, -1);
     deser_node_ = nodeIdx(graph::CommOp::Deserialize, -1);
     allreduce_node_ = nodeIdx(graph::CommOp::AllReduce, -1);
-    for (std::size_t i = 0; i < graph_->nodes.size(); ++i) {
-        if (graph_->nodes[i].kind == graph::NodeKind::OptimizerUpdate)
-            optimizer_node_ = i;
-    }
+    optimizer_node_ = graph_->indexOf("optimizer");
+    if (optimizer_node_ == graph::StepGraph::npos)
+        optimizer_node_ = kNoNode;
 
     if (!gpu_mode_) {
         // CPU distributed training: per-trainer CPU (a rate-1 seconds
@@ -441,6 +449,47 @@ Simulation::run()
             w /= host_bytes;
     }
 
+    // Split the compute interval on the graph's dependency edges: a
+    // compute node downstream of a comm leg (interaction and everything
+    // after it — the pooled vectors join there) cannot start before the
+    // leg completes, while the rest (bottom MLP, projections, lookup
+    // marshalling) is ready at iteration start and genuinely overlaps
+    // the comm. The input pipeline is excluded: it gates the whole
+    // iteration and is scheduled explicitly on the GPU path.
+    {
+        std::vector<char> downstream(graph_->nodes.size(), 0);
+        for (std::size_t i : graph_->topoOrder()) {
+            const auto& node = graph_->nodes[i];
+            bool flag = node.kind == graph::NodeKind::Comm &&
+                node.comm != graph::CommOp::Input;
+            for (std::size_t d : node.deps)
+                flag = flag || downstream[d] != 0;
+            downstream[i] = flag ? 1 : 0;
+        }
+        double pre_mass = 0.0, total_mass = 0.0;
+        for (const auto& [idx, w] : compute_weights_) {
+            total_mass += w;
+            if (downstream[idx] == 0)
+                pre_mass += w;
+        }
+        compute_pre_share_ =
+            total_mass > 0.0 ? pre_mass / total_mass : 0.0;
+        for (const auto& [idx, w] : compute_weights_) {
+            (downstream[idx] != 0 ? compute_post_weights_
+                                  : compute_pre_weights_)
+                .push_back({idx, w});
+        }
+        const double post_mass = total_mass - pre_mass;
+        for (auto& [idx, w] : compute_pre_weights_) {
+            if (pre_mass > 0.0)
+                w /= pre_mass;
+        }
+        for (auto& [idx, w] : compute_post_weights_) {
+            if (post_mass > 0.0)
+                w /= post_mass;
+        }
+    }
+
     // Launch workers and run.
     const std::size_t workers_per_trainer =
         std::max<std::size_t>(sys.hogwild_threads, 1);
@@ -560,7 +609,9 @@ Simulation::cpuIteration(std::size_t trainer, std::size_t worker,
     const std::string track = obs::Tracer::enabled()
         ? workerTrack(trainer, worker) : std::string();
 
-    // 1. Issue lookup requests and wait for all pooled responses.
+    // 1. Issue lookup requests; the per-shard RPC chains run
+    // independently (graph edges: request -> gather -> pool ->
+    // response per shard).
     Tick responses = start;
     for (std::size_t i = 0; i < sparse_ps_.size(); ++i) {
         auto& ps = sparse_ps_[i];
@@ -581,11 +632,26 @@ Simulation::cpuIteration(std::size_t trainer, std::size_t worker,
         responses = std::max(responses, replied);
     }
 
-    // 2. Forward/backward compute on the trainer, attributed to the
-    // graph's compute nodes by their cost fractions.
-    const Tick computed =
-        cpu.acquireAt(responses, noisy(compute_seconds_iter_));
-    noteInterval(compute_weights_, track, responses, computed);
+    // 2a. Compute with no comm upstream (bottom MLP, projections,
+    // lookup marshalling) overlaps the RPC legs — the comm/compute
+    // overlap the paper's async CPU training relies on (Sec. V).
+    Tick pre_done = start;
+    const double pre_seconds =
+        compute_seconds_iter_ * compute_pre_share_;
+    if (pre_seconds > 0.0) {
+        pre_done = cpu.acquireAt(start, noisy(pre_seconds));
+        noteInterval(compute_pre_weights_, track, start, pre_done);
+    }
+
+    // 2b. Compute downstream of the pooled responses (interaction,
+    // top MLP, loss, optimizer) joins on responses + local compute.
+    const Tick join = std::max(pre_done, responses);
+    Tick computed = join;
+    const double post_seconds = compute_seconds_iter_ - pre_seconds;
+    if (post_seconds > 0.0) {
+        computed = cpu.acquireAt(join, noisy(post_seconds));
+        noteInterval(compute_post_weights_, track, join, computed);
+    }
 
     // 3. Push pooled gradients back and amortized EASGD dense sync.
     Tick done = computed;
@@ -684,16 +750,26 @@ Simulation::gpuIteration(std::size_t worker, Tick start)
         emb_done = std::max(emb_done, deserialized);
     }
 
-    // MLP compute + kernel dispatch + allreduce.
+    // MLP compute + kernel dispatch + allreduce. Compute with no comm
+    // upstream (the bottom MLP) overlaps the embedding exchange, per
+    // the graph edges — dense compute hiding the all-to-all; the rest
+    // (interaction onward) waits for the pooled embeddings.
     const double fwd_flops = sum.mlp_flops + sum.interaction_flops;
     const double train_flops =
         fwd_flops * (1.0 + params.backward_flops_multiplier);
-    const Tick dispatched = emb_done +
+    Tick pre_done = input_done;
+    const double pre_flops = bg * train_flops * compute_pre_share_;
+    if (pre_flops > 0.0) {
+        pre_done = gpu_compute_->acquireAt(input_done, noisy(pre_flops));
+        noteInterval(compute_pre_weights_, track, input_done, pre_done);
+    }
+    const Tick joined = std::max(emb_done, pre_done);
+    const Tick dispatched = joined +
         secondsToTicks(params.gpu_iteration_overhead);
-    const Tick computed =
-        gpu_compute_->acquireAt(dispatched, noisy(bg * train_flops));
-    noteNode(optimizer_node_, track, emb_done, dispatched);
-    noteInterval(compute_weights_, track, dispatched, computed);
+    const Tick computed = gpu_compute_->acquireAt(
+        dispatched, noisy(bg * train_flops - pre_flops));
+    noteNode(optimizer_node_, track, joined, dispatched);
+    noteInterval(compute_post_weights_, track, dispatched, computed);
     const double dense_params = sum.dense_param_count;
     const double allreduce_bw = p.has_nvlink
         ? p.gpu_interconnect.bandwidth : p.host_gpu.bandwidth / 2.0;

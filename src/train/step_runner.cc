@@ -1,5 +1,7 @@
 #include "train/step_runner.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -7,6 +9,15 @@ namespace recsim {
 namespace train {
 
 namespace {
+
+/** Nodes the trainer dispatches to a model primitive. */
+bool
+executableNode(const graph::Node& node)
+{
+    return node.kind == graph::NodeKind::Gemm ||
+        node.kind == graph::NodeKind::EmbeddingLookup ||
+        node.kind == graph::NodeKind::Interaction;
+}
 
 /**
  * Keeps one "nn.mlp.fwd"/"nn.mlp.bwd" span open across the run of Gemm
@@ -145,6 +156,174 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
                 break;
             }
         }
+    }
+    return loss;
+}
+
+GraphExecutor::GraphExecutor(const graph::StepGraph& graph,
+                             util::ThreadPool& pool)
+    : graph_(&graph), pool_(&pool)
+{
+    const std::string problem = graph.validate();
+    RECSIM_ASSERT(problem.empty(), "invalid StepGraph: {}", problem);
+
+    const std::size_t n = graph.nodes.size();
+    std::vector<char> exec(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        exec[i] = executableNode(graph.nodes[i]) ? 1 : 0;
+
+    // Effective deps: each node's executable predecessors, looking
+    // through non-executable nodes (comm legs, loss, optimizer) so a
+    // bound graph schedules exactly like its compute skeleton.
+    const auto order = graph.topoOrder();
+    std::vector<std::vector<std::size_t>> eff(n);
+    for (std::size_t i : order) {
+        std::vector<std::size_t> e;
+        for (std::size_t d : graph.nodes[i].deps) {
+            if (exec[d])
+                e.push_back(d);
+            else
+                e.insert(e.end(), eff[d].begin(), eff[d].end());
+        }
+        std::sort(e.begin(), e.end());
+        e.erase(std::unique(e.begin(), e.end()), e.end());
+        eff[i] = std::move(e);
+    }
+
+    // Forward wave of a node = longest executable-dep chain below it.
+    std::vector<std::size_t> level(n, 0);
+    std::size_t deepest = 0;
+    for (std::size_t i : order) {
+        if (!exec[i])
+            continue;
+        for (std::size_t d : eff[i])
+            level[i] = std::max(level[i], level[d] + 1);
+        deepest = std::max(deepest, level[i]);
+    }
+    fwd_waves_.assign(deepest + 1, {});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (exec[i])
+            fwd_waves_[level[i]].push_back(i);
+    }
+
+    // Backward waves: levels of the reversed DAG. Visiting the topo
+    // order backwards, every successor of i has already pushed its
+    // level into blevel[i], so blevel[i] is final when visited.
+    std::vector<std::size_t> blevel(n, 0);
+    deepest = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const std::size_t i = *it;
+        if (!exec[i])
+            continue;
+        deepest = std::max(deepest, blevel[i]);
+        for (std::size_t d : eff[i])
+            blevel[d] = std::max(blevel[d], blevel[i] + 1);
+    }
+    bwd_waves_.assign(deepest + 1, {});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (exec[i])
+            bwd_waves_[blevel[i]].push_back(i);
+    }
+}
+
+void
+GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
+                        const data::MiniBatch& batch,
+                        bool forward) const
+{
+    const graph::Node& node = graph_->nodes[node_index];
+    // The span opens on the executing thread, so concurrent nodes land
+    // on their worker's track under the same node-id names the serial
+    // walk, the cost model and the DES report.
+    obs::TraceSpan span(node.id.c_str());
+    switch (node.kind) {
+      case graph::NodeKind::Gemm:
+        if (node.role == graph::GemmRole::Projection) {
+            if (forward)
+                model.forwardProjection(
+                    static_cast<std::size_t>(node.table));
+            else
+                model.backwardProjection(
+                    static_cast<std::size_t>(node.table));
+        } else if (node.role == graph::GemmRole::BottomMlp) {
+            if (forward)
+                model.forwardBottomLayer(
+                    static_cast<std::size_t>(node.layer), batch);
+            else
+                model.backwardBottomLayer(
+                    static_cast<std::size_t>(node.layer), batch);
+        } else {
+            if (forward)
+                model.forwardTopLayer(
+                    static_cast<std::size_t>(node.layer));
+            else
+                model.backwardTopLayer(
+                    static_cast<std::size_t>(node.layer));
+        }
+        break;
+      case graph::NodeKind::EmbeddingLookup:
+        if (forward)
+            model.forwardEmbedding(
+                static_cast<std::size_t>(node.table), batch);
+        else
+            model.backwardEmbedding(
+                static_cast<std::size_t>(node.table), batch);
+        break;
+      case graph::NodeKind::Interaction:
+        if (forward)
+            model.forwardInteraction();
+        else
+            model.backwardInteraction();
+        break;
+      default:
+        util::panic("GraphExecutor dispatched a non-executable node");
+    }
+}
+
+void
+GraphExecutor::runWave(const std::vector<std::size_t>& wave,
+                       model::Dlrm& model, const data::MiniBatch& batch,
+                       bool forward) const
+{
+    if (wave.empty())
+        return;
+    if (wave.size() == 1) {
+        dispatch(wave[0], model, batch, forward);
+        return;
+    }
+    // Grain 1: one node per pool task. Each node writes only its own
+    // layer/table buffers, and its inner kernel parallelFor runs
+    // inline on the worker (nested-submit rule) with the same chunk
+    // geometry as the serial walk — hence bit-identical results.
+    pool_->parallelFor(
+        0, wave.size(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k)
+                dispatch(wave[k], model, batch, forward);
+        });
+}
+
+double
+GraphExecutor::runStep(model::Dlrm& model,
+                       const data::MiniBatch& batch) const
+{
+    RECSIM_ASSERT(graph_->emb_dim == model.config().emb_dim &&
+                  graph_->num_dense == model.config().num_dense,
+                  "StepGraph was built for a different model config");
+
+    double loss = 0.0;
+    {
+        RECSIM_TRACE_SPAN("model.fwd");
+        for (const auto& wave : fwd_waves_)
+            runWave(wave, model, batch, /*forward=*/true);
+    }
+    {
+        obs::TraceSpan span("loss");
+        loss = model.lossBackward(batch);
+    }
+    {
+        RECSIM_TRACE_SPAN("model.bwd");
+        for (const auto& wave : bwd_waves_)
+            runWave(wave, model, batch, /*forward=*/false);
     }
     return loss;
 }

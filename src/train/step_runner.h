@@ -11,9 +11,12 @@
  */
 #pragma once
 
+#include <vector>
+
 #include "data/dataset.h"
 #include "graph/step_graph.h"
 #include "model/dlrm.h"
+#include "util/thread_pool.h"
 
 namespace recsim {
 namespace train {
@@ -32,6 +35,88 @@ namespace train {
  */
 double runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
                     const graph::StepGraph& graph);
+
+/**
+ * Dependency-aware parallel execution of one training step.
+ *
+ * Construction partitions the graph's executable nodes (Gemm,
+ * EmbeddingLookup, Interaction — the nodes runGraphStep dispatches to
+ * model primitives) into forward *wavefronts*: wave k holds every node
+ * whose longest dependency chain through executable nodes has length
+ * k. Non-executable nodes (Loss runs between the halves, Optimizer is
+ * the caller's step(), Comm has no local work) are skipped by taking
+ * the transitive closure of their edges, so e.g. a bottom-MLP layer
+ * gated on `comm.input` is simply ready at step start. The backward
+ * half mirrors the waves over the reversed edges.
+ *
+ * runStep() executes the waves in order, dispatching the nodes of one
+ * wave concurrently on the thread pool — per-table EmbeddingBag
+ * lookups, mixed-dimension projection GEMMs and bottom-MLP layers
+ * overlap, which is where the paper's CPU iteration time goes
+ * (Figs 9-11).
+ *
+ * Determinism: results are bit-identical to runGraphStep() at any
+ * pool size. Wave membership depends only on the graph; every node
+ * writes only its own per-table / per-layer buffers inside the model;
+ * and nested kernel parallelFors issued from a wave worker run inline
+ * with the same chunk geometry as the serial walk (ThreadPool
+ * guarantee), so each node's arithmetic is unchanged — only the
+ * interleaving across *independent* nodes varies.
+ *
+ * Obs spans: "model.fwd", "loss" and "model.bwd" open on the calling
+ * thread exactly as in runGraphStep(); per-node spans open on
+ * whichever worker runs the node, landing on that thread's track
+ * (the Tracer is thread-safe for concurrent begin/end).
+ */
+class GraphExecutor
+{
+  public:
+    /**
+     * Build the wavefront schedule for @p graph, which must stay
+     * alive (and unmodified) for the executor's lifetime. Panics if
+     * the graph fails validate(). Dispatches to @p pool — the global
+     * kernel pool by default, whose inline-nesting rule keeps inner
+     * kernels deterministic.
+     */
+    explicit GraphExecutor(const graph::StepGraph& graph,
+                           util::ThreadPool& pool =
+                               util::globalThreadPool());
+
+    /**
+     * Forward + loss + backward of one step, waves dispatched in
+     * parallel. Same contract as runGraphStep(): @p graph must match
+     * the model's config (checked), and the return value / model
+     * state are bit-identical to the serial walk.
+     *
+     * @return Mean BCE loss of the batch.
+     */
+    double runStep(model::Dlrm& model,
+                   const data::MiniBatch& batch) const;
+
+    /** Forward waves: indices into the graph's nodes, per level. */
+    const std::vector<std::vector<std::size_t>>& forwardWaves() const
+    {
+        return fwd_waves_;
+    }
+
+    /** Backward waves (reversed-edge levels), executed in order. */
+    const std::vector<std::vector<std::size_t>>& backwardWaves() const
+    {
+        return bwd_waves_;
+    }
+
+  private:
+    void runWave(const std::vector<std::size_t>& wave,
+                 model::Dlrm& model, const data::MiniBatch& batch,
+                 bool forward) const;
+    void dispatch(std::size_t node_index, model::Dlrm& model,
+                  const data::MiniBatch& batch, bool forward) const;
+
+    const graph::StepGraph* graph_;
+    util::ThreadPool* pool_;
+    std::vector<std::vector<std::size_t>> fwd_waves_;
+    std::vector<std::vector<std::size_t>> bwd_waves_;
+};
 
 } // namespace train
 } // namespace recsim

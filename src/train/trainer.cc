@@ -67,8 +67,12 @@ trainSingleThread(const model::DlrmConfig& model_config,
     model::Dlrm model(model_config, config.model_seed);
     // The same per-step operator graph the cost model and the DES
     // consume drives the real training loop (train/step_runner.h).
+    // The executor dispatches independent nodes (per-table lookups,
+    // projections, bottom MLP) concurrently; results are bit-identical
+    // to the serial runGraphStep() walk at any RECSIM_THREADS.
     const graph::StepGraph graph =
         graph::buildModelStepGraph(model_config);
+    const GraphExecutor executor(graph);
     nn::Sgd sgd(config.learning_rate);
     nn::Adagrad adagrad(config.learning_rate);
 
@@ -95,7 +99,7 @@ trainSingleThread(const model::DlrmConfig& model_config,
             }
             {
                 RECSIM_TRACE_SPAN("train.fwd_bwd");
-                loss = runGraphStep(model, batch, graph);
+                loss = executor.runStep(model, batch);
             }
             {
                 RECSIM_TRACE_SPAN("train.optimizer");

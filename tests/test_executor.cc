@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for train::GraphExecutor, the dependency-aware step executor:
+ * its wavefront schedule must cover every executable node exactly once,
+ * and a training run through it must stay bitwise-identical to the
+ * serial runGraphStep walk at every thread-pool size — losses per step
+ * and final dense parameters alike. The equivalence is the whole
+ * contract: inter-op parallelism is only admissible because it cannot
+ * change a single bit of the result.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "cost/iteration_model.h"
+#include "data/dataset.h"
+#include "graph/step_graph.h"
+#include "model/dlrm.h"
+#include "nn/optimizer.h"
+#include "train/step_runner.h"
+#include "util/thread_pool.h"
+
+namespace recsim::train {
+namespace {
+
+/** Model zoo exercising uniform tables, mixed dims, and tiny shapes. */
+std::vector<model::DlrmConfig>
+modelZoo()
+{
+    std::vector<model::DlrmConfig> zoo;
+    zoo.push_back(model::DlrmConfig::tinyReplica(8, 13, 2000, 16));
+    zoo.push_back(model::DlrmConfig::tinyReplica(4, 8, 500, 8));
+    // Mixed dimensions add proj.t* nodes (emb -> proj chains).
+    auto m = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    for (std::size_t f = 0; f < m.sparse.size(); ++f)
+        m.sparse[f].mean_length = 0.5 + static_cast<double>(f);
+    zoo.push_back(model::applyMixedDimensions(m, 0.5, 4));
+    return zoo;
+}
+
+data::DatasetConfig
+datasetFor(const model::DlrmConfig& m)
+{
+    data::DatasetConfig cfg;
+    cfg.num_dense = m.num_dense;
+    cfg.sparse = m.sparse;
+    cfg.seed = 7;
+    return cfg;
+}
+
+bool
+bitwiseEqual(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/** Bitwise comparison of every dense parameter tensor. */
+void
+expectParamsBitwiseEqual(model::Dlrm& a, model::Dlrm& b,
+                         const std::string& context)
+{
+    auto pa = a.denseParams();
+    auto pb = b.denseParams();
+    ASSERT_EQ(pa.size(), pb.size()) << context;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->size(), pb[i]->size()) << context;
+        EXPECT_EQ(std::memcmp(pa[i]->data(), pb[i]->data(),
+                              pa[i]->size() * sizeof(float)),
+                  0)
+            << context << " tensor " << i;
+    }
+}
+
+/**
+ * Train @p steps via the serial walk and via the executor on same-seed
+ * models with identical batches, applying SGD each step, and require
+ * bitwise-equal losses and final parameters.
+ */
+void
+checkSerialEquivalence(const model::DlrmConfig& cfg,
+                       const graph::StepGraph& graph,
+                       const GraphExecutor& executor,
+                       std::size_t threads)
+{
+    auto& pool = util::globalThreadPool();
+    pool.resize(threads);
+    const std::string context =
+        cfg.name + " @" + std::to_string(threads) + "t";
+
+    model::Dlrm serial_model(cfg, 3);
+    model::Dlrm exec_model(cfg, 3);
+    data::SyntheticCtrDataset ds(datasetFor(cfg));
+    const nn::Sgd sgd(0.05f);
+    for (std::size_t step = 0; step < 5; ++step) {
+        const auto batch = ds.nextBatch(32);
+        const double a = runGraphStep(serial_model, batch, graph);
+        const double b = executor.runStep(exec_model, batch);
+        EXPECT_TRUE(bitwiseEqual(a, b))
+            << context << " step " << step << ": " << a << " vs " << b;
+        serial_model.step(sgd);
+        exec_model.step(sgd);
+    }
+    expectParamsBitwiseEqual(serial_model, exec_model, context);
+    pool.resize(1);
+}
+
+TEST(GraphExecutor, BitwiseEqualToSerialWalkAcrossThreadCounts)
+{
+    for (const auto& cfg : modelZoo()) {
+        const auto graph = graph::buildModelStepGraph(cfg);
+        const GraphExecutor executor(graph);
+        for (const std::size_t threads : {1u, 2u, 8u})
+            checkSerialEquivalence(cfg, graph, executor, threads);
+    }
+}
+
+TEST(GraphExecutor, BoundGraphSchedulesLikeComputeSkeleton)
+{
+    // A placement-bound graph carries Comm/Loss/Optimizer nodes the
+    // executor must look through; the result must still match the
+    // serial walk over the same bound graph.
+    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    const cost::IterationModel im(cfg, sys);
+    const auto& bound = im.stepGraph();
+    ASSERT_NE(bound.findComm(graph::CommOp::PsRequest), nullptr);
+
+    const GraphExecutor executor(bound);
+    for (const std::size_t threads : {1u, 8u})
+        checkSerialEquivalence(cfg, bound, executor, threads);
+}
+
+TEST(GraphExecutor, WavesCoverEachExecutableNodeExactlyOnce)
+{
+    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    const cost::IterationModel im(cfg, sys);
+    const auto& g = im.stepGraph();
+    const GraphExecutor executor(g);
+
+    std::set<std::size_t> executable;
+    for (std::size_t i = 0; i < g.numNodes(); ++i) {
+        const auto& node = g.nodes[i];
+        if (node.kind == graph::NodeKind::Gemm ||
+            node.kind == graph::NodeKind::EmbeddingLookup ||
+            node.kind == graph::NodeKind::Interaction)
+            executable.insert(i);
+    }
+    ASSERT_FALSE(executable.empty());
+
+    for (const auto* waves :
+         {&executor.forwardWaves(), &executor.backwardWaves()}) {
+        std::set<std::size_t> seen;
+        for (const auto& wave : *waves) {
+            EXPECT_FALSE(wave.empty());
+            for (std::size_t i : wave) {
+                EXPECT_TRUE(seen.insert(i).second)
+                    << "node " << g.nodes[i].id << " scheduled twice";
+            }
+        }
+        EXPECT_EQ(seen, executable);
+    }
+}
+
+TEST(GraphExecutor, ForwardWavesRespectDependencies)
+{
+    // Every effective predecessor of a node must sit in an earlier
+    // wave: within the model graph the deps are all executable, so the
+    // raw edges already must be honored.
+    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    const auto g = graph::buildModelStepGraph(cfg);
+    const GraphExecutor executor(g);
+
+    std::vector<std::size_t> wave_of(g.numNodes(), 0);
+    for (std::size_t w = 0; w < executor.forwardWaves().size(); ++w) {
+        for (std::size_t i : executor.forwardWaves()[w])
+            wave_of[i] = w;
+    }
+    for (const auto& wave : executor.forwardWaves()) {
+        for (std::size_t i : wave) {
+            for (std::size_t d : g.nodes[i].deps) {
+                if (g.nodes[d].kind == graph::NodeKind::Gemm ||
+                    g.nodes[d].kind ==
+                        graph::NodeKind::EmbeddingLookup ||
+                    g.nodes[d].kind == graph::NodeKind::Interaction) {
+                    EXPECT_LT(wave_of[d], wave_of[i])
+                        << g.nodes[d].id << " !< " << g.nodes[i].id;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace recsim::train

@@ -20,7 +20,10 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "data/dataset.h"
+#include "graph/step_graph.h"
 #include "model/dlrm.h"
 #include "nn/embedding_bag.h"
 #include "nn/interaction.h"
@@ -29,6 +32,7 @@
 #include "nn/mlp.h"
 #include "nn/quantized_embedding.h"
 #include "tensor/tensor.h"
+#include "train/step_runner.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -515,6 +519,70 @@ TEST(GradCheck, EmbeddingBagWithThreadPool)
     ScopedPoolThreads pool(4);
     checkEmbeddingBag(Pooling::Sum, 31);
     checkEmbeddingBag(Pooling::Mean, 32);
+}
+
+// The wavefront executor must produce the exact gradients of the fused
+// forwardBackward() — bit for bit, at any pool size. The gradients the
+// per-layer suites above validate therefore transfer unchanged to the
+// parallel step path.
+TEST(GradCheck, ExecutorGradientsMatchFusedForwardBackward)
+{
+    const auto cfg = model::DlrmConfig::tinyReplica(3, 4, 50, 4);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = cfg.num_dense;
+    ds_cfg.sparse = cfg.sparse;
+    ds_cfg.seed = 71;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(64);
+    const data::MiniBatch batch = ds.epochBatch(0, 8);
+
+    const auto graph = graph::buildModelStepGraph(cfg);
+    const train::GraphExecutor executor(graph);
+    for (const std::size_t threads : {1u, 8u}) {
+        ScopedPoolThreads pool(threads);
+        model::Dlrm fused(cfg, 7);
+        model::Dlrm stepped(cfg, 7);
+        fused.zeroGrad();
+        stepped.zeroGrad();
+        const double a = fused.forwardBackward(batch);
+        const double b = executor.runStep(stepped, batch);
+        EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+            << threads << " threads: " << a << " vs " << b;
+
+        auto check_layers = [&](Mlp& fa, Mlp& fb,
+                                const std::string& tag) {
+            ASSERT_EQ(fa.layers().size(), fb.layers().size());
+            for (std::size_t l = 0; l < fa.layers().size(); ++l) {
+                Linear& x = fa.layers()[l];
+                Linear& y = fb.layers()[l];
+                EXPECT_EQ(std::memcmp(x.gradWeight.data(),
+                                      y.gradWeight.data(),
+                                      x.gradWeight.size() *
+                                          sizeof(float)),
+                          0)
+                    << tag << l << " @" << threads << "t";
+                EXPECT_EQ(std::memcmp(x.gradBias.data(),
+                                      y.gradBias.data(),
+                                      x.gradBias.size() * sizeof(float)),
+                          0)
+                    << tag << l << " @" << threads << "t";
+            }
+        };
+        check_layers(fused.bottomMlp(), stepped.bottomMlp(), "bottom");
+        check_layers(fused.topMlp(), stepped.topMlp(), "top");
+
+        ASSERT_EQ(fused.sparseGrads().size(),
+                  stepped.sparseGrads().size());
+        for (std::size_t t = 0; t < fused.sparseGrads().size(); ++t) {
+            const SparseGrad& x = fused.sparseGrads()[t];
+            const SparseGrad& y = stepped.sparseGrads()[t];
+            ASSERT_EQ(x.rows, y.rows) << "table " << t;
+            EXPECT_EQ(std::memcmp(x.values.data(), y.values.data(),
+                                  x.values.size() * sizeof(float)),
+                      0)
+                << "table " << t << " @" << threads << "t";
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

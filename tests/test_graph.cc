@@ -8,7 +8,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "cost/iteration_model.h"
 #include "graph/step_graph.h"
@@ -149,6 +152,316 @@ TEST(StepGraph, BindAssignsGpuDevices)
     EXPECT_NE(g.findComm(graph::CommOp::AllReduce), nullptr);
     EXPECT_NE(g.findComm(graph::CommOp::Input), nullptr);
     EXPECT_EQ(g.findComm(graph::CommOp::DenseSync), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Dependency edges, topological order, validation, critical path
+// ---------------------------------------------------------------------
+
+/** Position of each node in @p order (inverse permutation). */
+std::vector<std::size_t>
+positionsOf(const graph::StepGraph& g,
+            const std::vector<std::size_t>& order)
+{
+    std::vector<std::size_t> pos(g.numNodes(), graph::StepGraph::npos);
+    for (std::size_t p = 0; p < order.size(); ++p)
+        pos[order[p]] = p;
+    return pos;
+}
+
+TEST(StepGraphDeps, TopoOrderIsAValidSchedule)
+{
+    // Model-built and placement-bound graphs alike: topoOrder() is a
+    // permutation in which every dep precedes its consumer.
+    std::vector<graph::StepGraph> graphs;
+    graphs.push_back(graph::buildModelStepGraph(
+        model::DlrmConfig::testSuite(128, 6, 50000)));
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    graphs.push_back(cost::IterationModel(
+        m, cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1)).stepGraph());
+    graphs.push_back(cost::IterationModel(
+        m, cost::SystemConfig::bigBasinSetup(
+               placement::EmbeddingPlacement::RemotePs, 1600, 4))
+        .stepGraph());
+
+    for (const auto& g : graphs) {
+        EXPECT_EQ(g.validate(), "");
+        const auto order = g.topoOrder();
+        ASSERT_EQ(order.size(), g.numNodes());
+        const auto pos = positionsOf(g, order);
+        for (std::size_t i = 0; i < g.numNodes(); ++i) {
+            ASSERT_NE(pos[i], graph::StepGraph::npos);
+            for (std::size_t d : g.nodes[i].deps) {
+                EXPECT_LT(pos[d], pos[i])
+                    << g.nodes[d].id << " !< " << g.nodes[i].id;
+            }
+        }
+    }
+}
+
+TEST(StepGraphDeps, ModelGraphWiresTheDataflow)
+{
+    auto m = model::DlrmConfig::testSuite(64, 4, 1000, 64, 2, 8.0, 0);
+    m.sparse[0].mean_length = 32.0;
+    m.sparse[3].mean_length = 0.5;
+    const auto mixed = model::applyMixedDimensions(m, 0.5, 4);
+    const auto g = graph::buildModelStepGraph(mixed);
+
+    // Bottom MLP chains layer by layer from the input.
+    EXPECT_TRUE(g.find("bottom_mlp.l0")->deps.empty());
+    ASSERT_EQ(g.find("bottom_mlp.l1")->deps.size(), 1u);
+    EXPECT_EQ(g.find("bottom_mlp.l1")->deps[0],
+              g.indexOf("bottom_mlp.l0"));
+
+    // Tables are roots; a projection consumes exactly its table.
+    std::size_t last_bottom = graph::StepGraph::npos;
+    for (std::size_t i = 0; i < g.numNodes(); ++i) {
+        const auto& node = g.nodes[i];
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::BottomMlp)
+            last_bottom = i;
+        if (node.kind == NodeKind::EmbeddingLookup)
+            EXPECT_TRUE(node.deps.empty()) << node.id;
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::Projection) {
+            ASSERT_EQ(node.deps.size(), 1u) << node.id;
+            EXPECT_EQ(node.deps[0],
+                      g.indexOf("emb.t" + std::to_string(node.table)));
+        }
+    }
+
+    // Interaction joins the bottom output and one producer per table
+    // (the table itself, or its projection when narrow).
+    const auto& ix = g.nodes[g.indexOf("interaction")];
+    ASSERT_EQ(ix.deps.size(), 1u + mixed.numSparse());
+    EXPECT_EQ(ix.deps[0], last_bottom);
+    for (std::size_t f = 0; f < mixed.numSparse(); ++f) {
+        const std::size_t producer = ix.deps[1 + f];
+        const auto& p = g.nodes[producer];
+        EXPECT_EQ(p.table, static_cast<int>(f));
+        if (p.kind == NodeKind::Gemm)
+            EXPECT_EQ(p.role, graph::GemmRole::Projection);
+    }
+
+    // Top MLP -> loss -> optimizer is a chain.
+    EXPECT_EQ(g.find("top_mlp.l0")->deps[0], g.indexOf("interaction"));
+    ASSERT_EQ(g.find("loss")->deps.size(), 1u);
+    ASSERT_EQ(g.find("optimizer")->deps.size(), 1u);
+    EXPECT_EQ(g.find("optimizer")->deps[0], g.indexOf("loss"));
+}
+
+TEST(StepGraphDeps, DepsStableAcrossRebuilds)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    const auto a = cost::IterationModel(m, sys).stepGraph();
+    const auto b = cost::IterationModel(m, sys).stepGraph();
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    for (std::size_t i = 0; i < a.numNodes(); ++i) {
+        EXPECT_EQ(a.nodes[i].id, b.nodes[i].id);
+        EXPECT_EQ(a.nodes[i].deps, b.nodes[i].deps) << a.nodes[i].id;
+    }
+    EXPECT_EQ(a.topoOrder(), b.topoOrder());
+}
+
+TEST(StepGraphDeps, ValidateRejectsMalformedEdges)
+{
+    const auto m = model::DlrmConfig::testSuite(128, 4, 10000);
+
+    auto g = graph::buildModelStepGraph(m);
+    EXPECT_EQ(g.validate(), "");
+
+    auto bad = g;
+    bad.nodes[1].deps.push_back(bad.numNodes() + 5);
+    EXPECT_NE(bad.validate(), "");
+
+    bad = g;
+    bad.nodes[2].deps.push_back(2);
+    EXPECT_NE(bad.validate(), "");
+
+    bad = g;
+    bad.nodes[1].deps.push_back(0);
+    bad.nodes[1].deps.push_back(0);
+    EXPECT_NE(bad.validate(), "");
+
+    // A cycle: make node 0 depend on the optimizer (which transitively
+    // depends on everything).
+    bad = g;
+    bad.nodes[0].deps.push_back(bad.indexOf("optimizer"));
+    EXPECT_NE(bad.validate(), "");
+}
+
+TEST(StepGraphDeps, CpuBindChainsPsLegsAndJoinsInteraction)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    const auto g =
+        cost::IterationModel(m, sys).stepGraph();
+
+    const auto idx = [&g](const graph::Node* node) {
+        return static_cast<std::size_t>(node - g.nodes.data());
+    };
+    const auto& ix = g.nodes[g.indexOf("interaction")];
+    for (std::size_t s = 0; s < sys.num_sparse_ps; ++s) {
+        const int shard = static_cast<int>(s);
+        const auto* req = g.findComm(graph::CommOp::PsRequest, shard);
+        const auto* gather = g.findComm(graph::CommOp::PsGather, shard);
+        const auto* pool = g.findComm(graph::CommOp::PsPool, shard);
+        const auto* resp = g.findComm(graph::CommOp::PsResponse, shard);
+        ASSERT_NE(req, nullptr);
+        ASSERT_NE(resp, nullptr);
+        // request -> gather -> pool -> response, rooted at the start.
+        EXPECT_TRUE(req->deps.empty());
+        EXPECT_EQ(gather->deps, std::vector<std::size_t>{idx(req)});
+        EXPECT_EQ(pool->deps, std::vector<std::size_t>{idx(gather)});
+        EXPECT_EQ(resp->deps, std::vector<std::size_t>{idx(pool)});
+        // The pooled vectors join the compute at the interaction.
+        EXPECT_NE(std::find(ix.deps.begin(), ix.deps.end(), idx(resp)),
+                  ix.deps.end());
+        // Gradient push waits on the optimizer.
+        const auto* push = g.findComm(graph::CommOp::GradPush, shard);
+        ASSERT_NE(push, nullptr);
+        EXPECT_EQ(push->deps, std::vector<std::size_t>{
+                                  g.indexOf("optimizer")});
+    }
+    const auto* sync = g.findComm(graph::CommOp::DenseSync);
+    ASSERT_NE(sync, nullptr);
+    EXPECT_EQ(sync->deps,
+              std::vector<std::size_t>{g.indexOf("optimizer")});
+}
+
+TEST(StepGraphDeps, GpuBindRootsComputeOnInputPipeline)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto g = cost::IterationModel(
+        m, cost::SystemConfig::bigBasinSetup(
+               placement::EmbeddingPlacement::GpuMemory, 1600))
+        .stepGraph();
+
+    const auto* input = g.findComm(graph::CommOp::Input);
+    ASSERT_NE(input, nullptr);
+    const std::size_t input_idx =
+        static_cast<std::size_t>(input - g.nodes.data());
+    EXPECT_TRUE(input->deps.empty());
+
+    // First bottom layer and every table wait on the input pipeline.
+    const auto& l0 = *g.find("bottom_mlp.l0");
+    EXPECT_NE(std::find(l0.deps.begin(), l0.deps.end(), input_idx),
+              l0.deps.end());
+    for (const auto& node : g.nodes) {
+        if (node.kind != NodeKind::EmbeddingLookup)
+            continue;
+        EXPECT_NE(
+            std::find(node.deps.begin(), node.deps.end(), input_idx),
+            node.deps.end())
+            << node.id;
+    }
+
+    // The all-to-all consumes the GPU-resident tables and feeds the
+    // interaction; the allreduce waits on the optimizer.
+    const auto* a2a = g.findComm(graph::CommOp::AllToAll);
+    ASSERT_NE(a2a, nullptr);
+    EXPECT_FALSE(a2a->deps.empty());
+    const std::size_t a2a_idx =
+        static_cast<std::size_t>(a2a - g.nodes.data());
+    const auto& ix = g.nodes[g.indexOf("interaction")];
+    EXPECT_NE(std::find(ix.deps.begin(), ix.deps.end(), a2a_idx),
+              ix.deps.end());
+    const auto* ar = g.findComm(graph::CommOp::AllReduce);
+    ASSERT_NE(ar, nullptr);
+    EXPECT_EQ(ar->deps,
+              std::vector<std::size_t>{g.indexOf("optimizer")});
+}
+
+TEST(StepGraphDeps, EveryNodeConnectsToTheOptimizer)
+{
+    // Reachability: each node either feeds the optimizer (transitively)
+    // or consumes it (gradient traffic) — no disconnected islands.
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    for (const auto& g :
+         {cost::IterationModel(
+              m, cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1))
+              .stepGraph(),
+          cost::IterationModel(
+              m, cost::SystemConfig::bigBasinSetup(
+                     placement::EmbeddingPlacement::RemotePs, 1600, 4))
+              .stepGraph()}) {
+        const std::size_t opt = g.indexOf("optimizer");
+        std::vector<char> feeds_opt(g.numNodes(), 0);
+        feeds_opt[opt] = 1;
+        const auto order = g.topoOrder();
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            for (std::size_t d : g.nodes[*it].deps) {
+                if (feeds_opt[*it])
+                    feeds_opt[d] = 1;
+            }
+        }
+        for (std::size_t i = 0; i < g.numNodes(); ++i) {
+            if (feeds_opt[i])
+                continue;
+            const auto& deps = g.nodes[i].deps;
+            EXPECT_NE(std::find(deps.begin(), deps.end(), opt),
+                      deps.end())
+                << g.nodes[i].id << " is disconnected";
+        }
+    }
+}
+
+TEST(StepGraphDeps, CriticalPathMatchesHandComputedChain)
+{
+    // Diamond: 0 -> {1, 2} -> 3 with costs 1, 10, 2, 5: the longest
+    // path is 0 -> 1 -> 3 = 16.
+    graph::StepGraph g;
+    for (int i = 0; i < 4; ++i) {
+        graph::Node node;
+        node.id = "n" + std::to_string(i);
+        g.nodes.push_back(node);
+    }
+    g.nodes[1].deps = {0};
+    g.nodes[2].deps = {0};
+    g.nodes[3].deps = {1, 2};
+    const std::vector<double> costs = {1.0, 10.0, 2.0, 5.0};
+    EXPECT_DOUBLE_EQ(
+        g.criticalPath([&costs](std::size_t i) { return costs[i]; }),
+        16.0);
+    // Uniform zero cost collapses the path to zero.
+    EXPECT_DOUBLE_EQ(g.criticalPath([](std::size_t) { return 0.0; }),
+                     0.0);
+}
+
+TEST(StepGraphDeps, IndexedLookupsMatchLinearScan)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    auto g = cost::IterationModel(
+        m, cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1)).stepGraph();
+
+    // The indexed graph answers exactly like a linear scan would.
+    for (std::size_t i = 0; i < g.numNodes(); ++i) {
+        const auto& node = g.nodes[i];
+        EXPECT_EQ(g.indexOf(node.id),
+                  static_cast<std::size_t>(
+                      g.find(node.id) - g.nodes.data()));
+        EXPECT_EQ(g.nodes[g.indexOf(node.id)].id, node.id);
+    }
+    EXPECT_EQ(g.indexOf("no_such_node"), graph::StepGraph::npos);
+    EXPECT_EQ(g.find("no_such_node"), nullptr);
+
+    // Mutating nodes without reindex() falls back to the linear scan:
+    // lookups stay correct, including for the new node.
+    graph::Node extra;
+    extra.id = "hand_added";
+    extra.kind = NodeKind::Comm;
+    extra.comm = graph::CommOp::DenseSync;
+    extra.shard = 7;
+    g.nodes.push_back(extra);
+    EXPECT_EQ(g.indexOf("hand_added"), g.numNodes() - 1);
+    EXPECT_EQ(g.findComm(graph::CommOp::DenseSync, 7),
+              &g.nodes.back());
+    // After reindex() the maps cover the new node too.
+    g.reindex();
+    EXPECT_EQ(g.indexOf("hand_added"), g.numNodes() - 1);
+    EXPECT_EQ(g.findComm(graph::CommOp::DenseSync, 7),
+              &g.nodes.back());
 }
 
 } // namespace

@@ -489,5 +489,44 @@ TEST_F(ObsTest, ConcurrentSpansFromManyThreadsStayBalanced)
     EXPECT_TRUE(JsonParser(Tracer::global().chromeTraceJson()).parse());
 }
 
+TEST_F(ObsTest, ReadersRacingWritersSeeConsistentState)
+{
+    // The executor's worker threads emit spans while other code (the
+    // trainer's metrics, a trace dump) reads the tracer concurrently.
+    // Run writers and readers together — under TSan this is the data-
+    // race proof for the span path; everywhere else it checks the
+    // reader always sees complete (begin+end) spans.
+    constexpr int kWriters = 4;
+    constexpr int kSpansPerWriter = 300;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kWriters; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpansPerWriter; ++i) {
+                TraceSpan outer("outer");
+                TraceSpan inner("inner");
+            }
+        });
+    }
+    threads.emplace_back([] {
+        for (int i = 0; i < 50; ++i) {
+            const auto tracks = Tracer::global().snapshot();
+            for (const auto& track : tracks) {
+                for (const auto& span : track.spans) {
+                    // A recorded span is always finished.
+                    EXPECT_LE(span.start_ns, span.end_ns);
+                }
+            }
+            (void)Tracer::global().numSpans();
+            (void)Tracer::global().numOpenSpans();
+        }
+    });
+    for (auto& thread : threads)
+        thread.join();
+
+    EXPECT_EQ(Tracer::global().numOpenSpans(), 0u);
+    EXPECT_EQ(Tracer::global().numSpans(),
+              static_cast<std::size_t>(kWriters) * kSpansPerWriter * 2);
+}
+
 } // namespace
 } // namespace recsim::obs

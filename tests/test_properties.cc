@@ -330,5 +330,48 @@ TEST(Properties, NodeBreakdownSumsMatchPhases)
     }
 }
 
+// The critical path through the dep edges can never exceed the serial
+// node sum, and their ratio — overlap_efficiency — is a proper
+// fraction: (0, 1] everywhere, and strictly below 1 wherever the
+// placement gives the graph concurrent branches (sharded PS legs
+// overlapping the bottom MLP).
+TEST(Properties, CriticalPathBoundedBySerialSum)
+{
+    for (const auto& m : configFamily()) {
+        for (const auto& sys :
+             {cost::SystemConfig::cpuSetup(2, 4, 1, 200, 1),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::GpuMemory, 1600),
+              cost::SystemConfig::bigBasinSetup(
+                  EmbeddingPlacement::RemotePs, 1600, 4)}) {
+            const auto est = cost::IterationModel(m, sys).estimate();
+            if (!est.feasible)
+                continue;
+            EXPECT_GT(est.serial_sum_seconds, 0.0) << m.name;
+            EXPECT_GT(est.critical_path_seconds, 0.0) << m.name;
+            EXPECT_LE(est.critical_path_seconds,
+                      est.serial_sum_seconds * (1.0 + 1e-12))
+                << m.name;
+            EXPECT_GT(est.overlap_efficiency, 0.0) << m.name;
+            EXPECT_LE(est.overlap_efficiency, 1.0 + 1e-12) << m.name;
+        }
+    }
+}
+
+TEST(Properties, ShardedCpuPlacementOverlapsStrictly)
+{
+    // Multi-shard PS legs run concurrently with each other and with
+    // the bottom MLP, so the critical path must be strictly shorter
+    // than executing the nodes back to back.
+    for (const auto& m : configFamily()) {
+        const auto est = cost::IterationModel(
+            m, cost::SystemConfig::cpuSetup(2, 4, 1, 200, 1))
+            .estimate();
+        if (!est.feasible)
+            continue;
+        EXPECT_LT(est.overlap_efficiency, 1.0) << m.name;
+    }
+}
+
 } // namespace
 } // namespace recsim
