@@ -331,6 +331,67 @@ buildModelStepGraph(const model::DlrmConfig& config)
     return g;
 }
 
+StepGraph
+forwardSubgraph(const StepGraph& graph)
+{
+    const std::string problem = graph.validate();
+    RECSIM_ASSERT(problem.empty(), "invalid StepGraph: {}", problem);
+
+    const std::size_t n = graph.nodes.size();
+    std::vector<char> kept(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeKind kind = graph.nodes[i].kind;
+        kept[i] = (kind == NodeKind::Gemm ||
+                   kind == NodeKind::EmbeddingLookup ||
+                   kind == NodeKind::Interaction)
+            ? 1
+            : 0;
+    }
+
+    // Effective deps of each node: its kept ancestors, looking through
+    // dropped nodes (same closure the GraphExecutor takes over
+    // non-executable nodes, so the subgraph schedules identically).
+    const auto order = graph.topoOrder();
+    std::vector<std::vector<std::size_t>> eff(n);
+    for (std::size_t i : order) {
+        std::vector<std::size_t> e;
+        for (std::size_t d : graph.nodes[i].deps) {
+            if (kept[d])
+                e.push_back(d);
+            else
+                e.insert(e.end(), eff[d].begin(), eff[d].end());
+        }
+        std::sort(e.begin(), e.end());
+        e.erase(std::unique(e.begin(), e.end()), e.end());
+        eff[i] = std::move(e);
+    }
+
+    StepGraph g;
+    g.model_name = graph.model_name;
+    g.num_dense = graph.num_dense;
+    g.emb_dim = graph.emb_dim;
+    // Two passes because dep edges may point forward in the nodes
+    // vector: first assign the compacted indices, then rewire.
+    std::vector<std::size_t> new_index(n, StepGraph::npos);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!kept[i])
+            continue;
+        new_index[i] = g.nodes.size();
+        g.nodes.push_back(graph.nodes[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!kept[i])
+            continue;
+        Node& node = g.nodes[new_index[i]];
+        node.deps.clear();
+        node.deps.reserve(eff[i].size());
+        for (std::size_t d : eff[i])
+            node.deps.push_back(new_index[d]);
+    }
+    g.reindex();
+    return g;
+}
+
 WorkSummary
 summarize(const StepGraph& graph)
 {

@@ -266,6 +266,18 @@ struct StepGraph
  */
 StepGraph buildModelStepGraph(const model::DlrmConfig& config);
 
+/**
+ * The forward-only (inference) subgraph of @p graph: every executable
+ * compute node (Gemm, EmbeddingLookup, Interaction) with its
+ * annotations intact, Loss / OptimizerUpdate / Comm nodes dropped and
+ * the dep edges rewired through them (transitively), so a node gated
+ * only on a dropped node becomes ready at query start. Node order,
+ * ids and work annotations are preserved, which is what lets the
+ * serving engine (serve/engine.h) execute the exact forward half the
+ * trainer runs and stay bitwise-equal to it.
+ */
+StepGraph forwardSubgraph(const StepGraph& graph);
+
 /** Fold the graph's annotations into aggregate work totals. */
 WorkSummary summarize(const StepGraph& graph);
 

@@ -96,6 +96,14 @@ class Dlrm
     /** Normalized entropy on a batch. */
     double evalNormalizedEntropy(const data::MiniBatch& batch);
 
+    /**
+     * Logits of the most recent forward pass ([B, 1]); valid after
+     * forward(), forwardBackward() or a graph-walk forward. The
+     * serving engine reads scores here after
+     * GraphExecutor::runForward() without paying forward()'s copy.
+     */
+    const tensor::Tensor& logits() const { return logits_; }
+
     const DlrmConfig& config() const { return config_; }
     nn::Mlp& bottomMlp() { return *bottom_; }
     nn::Mlp& topMlp() { return *top_; }

@@ -1,0 +1,108 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace serve {
+
+LoadGenConfig
+loadForModel(const model::DlrmConfig& m, double mean_qps, double sla_s)
+{
+    LoadGenConfig cfg;
+    cfg.mean_qps = mean_qps;
+    cfg.sla_s = sla_s;
+    // Stable per-model seed so two benches over the same config see
+    // the same stream.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : m.name)
+        h = (h ^ static_cast<uint64_t>(c)) * 0x100000001b3ULL;
+    cfg.seed = h;
+    // Size queries so each carries comparable embedding work across
+    // models: ~16k activated rows per query at the mean, clamped to
+    // the ranking-service range.
+    const double lookups =
+        std::max(1.0, m.footprint().embedding_lookups);
+    cfg.mean_candidates = std::clamp(16384.0 / lookups, 8.0, 256.0);
+    cfg.max_candidates =
+        static_cast<std::size_t>(cfg.mean_candidates * 8.0);
+    return cfg;
+}
+
+LoadGenerator::LoadGenerator(const LoadGenConfig& config)
+    : config_(config), rng_(config.seed)
+{
+    RECSIM_ASSERT(config_.mean_qps > 0.0, "mean_qps must be positive");
+    RECSIM_ASSERT(config_.diurnal_amplitude >= 0.0 &&
+                      config_.diurnal_amplitude < 1.0,
+                  "diurnal amplitude must be in [0, 1)");
+    RECSIM_ASSERT(config_.diurnal_period_s > 0.0,
+                  "diurnal period must be positive");
+    RECSIM_ASSERT(config_.mean_candidates > 0.0 &&
+                      config_.min_candidates >= 1 &&
+                      config_.max_candidates >= config_.min_candidates,
+                  "bad candidate distribution");
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean_candidates.
+    candidate_mu_ = std::log(config_.mean_candidates) -
+        0.5 * config_.candidate_sigma * config_.candidate_sigma;
+}
+
+double
+LoadGenerator::rate(double t) const
+{
+    return config_.mean_qps *
+        (1.0 +
+         config_.diurnal_amplitude *
+             std::sin(2.0 * M_PI * t / config_.diurnal_period_s));
+}
+
+Query
+LoadGenerator::next()
+{
+    // Lewis-Shedler thinning: homogeneous arrivals at the peak rate,
+    // accepted with probability lambda(t) / lambda_max. With A == 0
+    // every candidate is accepted and this is a plain Poisson process.
+    const double lambda_max =
+        config_.mean_qps * (1.0 + config_.diurnal_amplitude);
+    for (;;) {
+        clock_ += rng_.exponential(lambda_max);
+        if (config_.diurnal_amplitude == 0.0 ||
+            rng_.uniform() * lambda_max <= rate(clock_))
+            break;
+    }
+    Query q;
+    q.id = next_id_++;
+    q.arrival_s = clock_;
+    const double drawn =
+        rng_.lognormal(candidate_mu_, config_.candidate_sigma);
+    const auto rounded =
+        static_cast<std::size_t>(std::llround(std::max(drawn, 1.0)));
+    q.candidates = std::clamp(rounded, config_.min_candidates,
+                              config_.max_candidates);
+    q.deadline_s = q.arrival_s + config_.sla_s;
+    return q;
+}
+
+std::vector<Query>
+LoadGenerator::generate(double duration_s)
+{
+    std::vector<Query> out;
+    out.reserve(static_cast<std::size_t>(
+        config_.mean_qps * std::max(duration_s, 0.0) * 1.2 + 16.0));
+    for (;;) {
+        Query q = next();
+        if (q.arrival_s >= duration_s) {
+            // Rewind the id so a subsequent generate() reuses it; the
+            // overshoot arrival stays consumed (stream semantics).
+            --next_id_;
+            break;
+        }
+        out.push_back(q);
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace recsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic serving load generator: the DeepRecSys-style front of
+ * the inference stack. Production recommendation services see query
+ * streams whose arrival process is Poisson at short timescales,
+ * modulated by the diurnal traffic cycle at long ones, and whose
+ * per-query size (candidate items to score) follows a use-case
+ * specific distribution. The generator reproduces all three from one
+ * explicit seed, so a serving experiment is exactly replayable: the
+ * same seed yields the same queries bit for bit, on any machine and
+ * at any thread-pool size (generation never touches the pool).
+ *
+ * Arrivals are a non-homogeneous Poisson process with rate
+ *   lambda(t) = mean_qps * (1 + A * sin(2*pi*t / period)),
+ * sampled by Lewis-Shedler thinning of a homogeneous process at
+ * lambda_max = mean_qps * (1 + A). Over whole periods the modulation
+ * integrates to zero, so the empirical rate converges to mean_qps —
+ * a property test in tests/test_serve.cc holds the generator to both
+ * identities.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.h"
+#include "util/random.h"
+
+namespace recsim {
+namespace serve {
+
+/** One inference query: score `candidates` items for one user. */
+struct Query
+{
+    uint64_t id = 0;
+    /** Arrival time, seconds from stream start. */
+    double arrival_s = 0.0;
+    /** Candidate items this query scores (inference batch rows). */
+    std::size_t candidates = 1;
+    /** SLA deadline: arrival_s + the configured per-query SLA. */
+    double deadline_s = 0.0;
+};
+
+/** Configuration of the synthetic query stream. */
+struct LoadGenConfig
+{
+    uint64_t seed = 1;
+    /** Mean arrival rate over a whole diurnal period (queries/s). */
+    double mean_qps = 200.0;
+    /** Diurnal swing A in [0, 1): peak = mean * (1+A), trough (1-A). */
+    double diurnal_amplitude = 0.0;
+    /** Diurnal period (production: 86400 s; benches compress it). */
+    double diurnal_period_s = 86400.0;
+    /** Per-query latency SLA (deadline offset from arrival). */
+    double sla_s = 0.05;
+    /** Arithmetic mean of candidates per query. */
+    double mean_candidates = 64.0;
+    /** Lognormal shape of the candidate distribution. */
+    double candidate_sigma = 0.5;
+    std::size_t min_candidates = 1;
+    std::size_t max_candidates = 512;
+};
+
+/**
+ * Load profile for serving @p m, in the spirit of DeepRecSys's
+ * per-model query-size distributions: query sizes are set so every
+ * model sees comparable per-query embedding work — lookup-heavy
+ * models (M3-like) get few candidates per query, MLP-dominant ones
+ * (M2-like) get many. Deterministic in the model's footprint.
+ */
+LoadGenConfig loadForModel(const model::DlrmConfig& m, double mean_qps,
+                           double sla_s);
+
+/**
+ * Seeded query-stream generator. Single-stream and stateful: next()
+ * advances one arrival at a time; generate() drains a time window.
+ */
+class LoadGenerator
+{
+  public:
+    explicit LoadGenerator(const LoadGenConfig& config);
+
+    /** The next query of the stream (strictly increasing arrivals). */
+    Query next();
+
+    /** Every query arriving in [0, duration_s), from stream start. */
+    std::vector<Query> generate(double duration_s);
+
+    /** Instantaneous arrival rate lambda(t), queries/s. */
+    double rate(double t) const;
+
+    const LoadGenConfig& config() const { return config_; }
+
+  private:
+    LoadGenConfig config_;
+    util::Rng rng_;
+    double clock_ = 0.0;
+    uint64_t next_id_ = 0;
+    /** Lognormal mu hitting mean_candidates with candidate_sigma. */
+    double candidate_mu_ = 0.0;
+};
+
+} // namespace serve
+} // namespace recsim

@@ -1,0 +1,108 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace serve {
+
+std::size_t
+Batch::totalItems() const
+{
+    std::size_t items = 0;
+    for (const Query& q : queries)
+        items += q.candidates;
+    return items;
+}
+
+BatchScheduler::BatchScheduler(const BatchingConfig& config)
+    : config_(config)
+{
+    RECSIM_ASSERT(config_.max_batch_queries >= 1,
+                  "max_batch_queries must be >= 1");
+    RECSIM_ASSERT(config_.max_batch_items >= 1,
+                  "max_batch_items must be >= 1");
+    RECSIM_ASSERT(config_.max_wait_s >= 0.0,
+                  "max_wait_s must be non-negative");
+}
+
+void
+BatchScheduler::enqueue(const Query& q)
+{
+    RECSIM_ASSERT(queue_.empty() || q.arrival_s >= last_arrival_,
+                  "arrivals must be enqueued in nondecreasing order");
+    last_arrival_ = q.arrival_s;
+    queue_.push_back(q);
+}
+
+double
+BatchScheduler::releaseTime(double now) const
+{
+    RECSIM_ASSERT(!queue_.empty(), "releaseTime on an idle scheduler");
+    const Query& head = queue_.front();
+    const double earliest = std::max(now, head.arrival_s);
+
+    // Hold for more arrivals at most max_wait past the head's arrival,
+    // and never past the head's deadline.
+    const double hold =
+        std::min(head.arrival_s + config_.max_wait_s, head.deadline_s);
+
+    // ... but dispatch the moment already-queued queries fill a cap.
+    // The queue is in arrival order, so the cap fills when the
+    // saturating query arrives.
+    double t_full = std::numeric_limits<double>::infinity();
+    std::size_t nq = 0, items = 0;
+    for (const Query& q : queue_) {
+        ++nq;
+        items += q.candidates;
+        if (nq >= config_.max_batch_queries ||
+            items >= config_.max_batch_items) {
+            t_full = q.arrival_s;
+            break;
+        }
+    }
+    return std::max(earliest, std::min(hold, t_full));
+}
+
+Batch
+BatchScheduler::pop(double start)
+{
+    Batch batch;
+    batch.release_s = start;
+    std::size_t items = 0;
+    while (!queue_.empty()) {
+        const Query& q = queue_.front();
+        if (q.arrival_s > start)
+            break;  // Not yet arrived at dispatch time.
+        if (q.deadline_s < start) {
+            // Deadline already passed: serving it would only burn
+            // engine time on a guaranteed SLA miss.
+            evicted_.push_back(q);
+            ++evicted_total_;
+            queue_.pop_front();
+            continue;
+        }
+        if (batch.queries.size() >= config_.max_batch_queries)
+            break;
+        if (!batch.queries.empty() &&
+            items + q.candidates > config_.max_batch_items)
+            break;
+        items += q.candidates;
+        batch.queries.push_back(q);
+        queue_.pop_front();
+    }
+    return batch;
+}
+
+std::vector<Query>
+BatchScheduler::drainEvicted()
+{
+    std::vector<Query> out;
+    out.swap(evicted_);
+    return out;
+}
+
+} // namespace serve
+} // namespace recsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dynamic batching scheduler: the middle of the serving stack. Queued
+ * queries are coalesced into inference batches under three pressures —
+ * bigger batches amortize the forward pass (throughput), but every
+ * query the batch waits for adds queueing delay (latency), and a query
+ * held past its deadline is worthless. The scheduler trades these off
+ * with a batch-size cap (queries and summed candidate items), a
+ * max-wait bound on the head-of-line query, and deadline-aware
+ * eviction of queries that can no longer dispatch in time — the
+ * batch-size/latency tradeoff DeepRecSys tunes per platform.
+ *
+ * The scheduler is a pure virtual-time component: it never sleeps,
+ * threads or measures. The driver (serve::InferenceEngine::replay or
+ * a test) feeds it arrivals and asks, "engine free at `now`: when may
+ * the next batch dispatch, and of what?" — which makes every batching
+ * invariant (FIFO order, caps, no-late-dispatch, starvation freedom)
+ * directly unit-testable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/load_gen.h"
+
+namespace recsim {
+namespace serve {
+
+/** One batching policy: the knobs of the size/latency tradeoff. */
+struct BatchingConfig
+{
+    /** Max queries coalesced into one batch. */
+    std::size_t max_batch_queries = 16;
+    /** Max summed candidate items per batch; a single query larger
+     *  than this still dispatches, alone. */
+    std::size_t max_batch_items = 2048;
+    /** Longest the head-of-line query may wait for the batch to fill
+     *  after arriving (0 = dispatch greedily). */
+    double max_wait_s = 0.002;
+};
+
+/** A dispatched batch: FIFO run of queries released together. */
+struct Batch
+{
+    /** Dispatch time the batch was formed for. */
+    double release_s = 0.0;
+    std::vector<Query> queries;
+
+    /** Summed candidate items (inference batch rows). */
+    std::size_t totalItems() const;
+};
+
+/**
+ * FIFO queue + batch former. Queries enter in arrival order; batches
+ * leave as FIFO prefixes, so inter-query ordering is never reshuffled
+ * (re-ranking fairness) and the starvation bound is the max-wait knob.
+ */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const BatchingConfig& config);
+
+    /** Add an arrival. @pre nondecreasing arrival_s (checked). */
+    void enqueue(const Query& q);
+
+    bool idle() const { return queue_.empty(); }
+    std::size_t pendingQueries() const { return queue_.size(); }
+
+    /**
+     * Earliest time the next batch may dispatch, the engine being
+     * free at @p now: the head's arrival (no dispatching before the
+     * query exists), extended while waiting could still fill the
+     * batch — but never beyond head.arrival + max_wait, never beyond
+     * the head's deadline (deadline-aware: holding a query past its
+     * deadline only converts it into an eviction), and cut short the
+     * moment already-queued queries saturate a cap. @pre !idle().
+     */
+    double releaseTime(double now) const;
+
+    /**
+     * Form the batch dispatching at @p start: first evict every
+     * leading query whose deadline has already passed (deadline_s <
+     * start — they could no longer be served in time; collect them
+     * via drainEvicted()), then pop the longest FIFO prefix of
+     * already-arrived queries (arrival_s <= start) under both caps.
+     * May return an empty batch when everything admissible was
+     * evicted. @p start must be >= the last pop's start.
+     */
+    Batch pop(double start);
+
+    /** Queries evicted by pop() since the last drain. */
+    std::vector<Query> drainEvicted();
+
+    /** Total evictions over the scheduler's lifetime. */
+    uint64_t evictedCount() const { return evicted_total_; }
+
+    const BatchingConfig& config() const { return config_; }
+
+  private:
+    BatchingConfig config_;
+    std::deque<Query> queue_;
+    std::vector<Query> evicted_;
+    uint64_t evicted_total_ = 0;
+    double last_arrival_ = 0.0;
+};
+
+} // namespace serve
+} // namespace recsim

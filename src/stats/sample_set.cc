@@ -82,6 +82,81 @@ SampleSet::describe(int precision) const
         util::fixed(s.p95, precision), util::fixed(s.max, precision));
 }
 
+namespace {
+
+/** Interpolated order statistic of an already-sorted sample. */
+double
+sortedPercentile(const std::vector<double>& sorted, double pct)
+{
+    const double pos =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    RECSIM_ASSERT(!values.empty(), "percentile of empty sample");
+    RECSIM_ASSERT(pct >= 0.0 && pct <= 100.0,
+                  "percentile out of range: {}", pct);
+    std::sort(values.begin(), values.end());
+    return sortedPercentile(values, pct);
+}
+
+TailSummary
+tailSummary(std::vector<double> values)
+{
+    TailSummary t;
+    t.count = values.size();
+    if (values.empty())
+        return t;
+    std::sort(values.begin(), values.end());
+    t.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+        static_cast<double>(values.size());
+    t.p50 = sortedPercentile(values, 50.0);
+    t.p95 = sortedPercentile(values, 95.0);
+    t.p99 = sortedPercentile(values, 99.0);
+    t.max = values.back();
+    return t;
+}
+
+void
+ConcurrentSampleSet::add(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(x);
+}
+
+std::size_t
+ConcurrentSampleSet::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_.size();
+}
+
+SampleSet
+ConcurrentSampleSet::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return SampleSet(values_);
+}
+
+TailSummary
+ConcurrentSampleSet::tail() const
+{
+    std::vector<double> copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        copy = values_;
+    }
+    return tailSummary(std::move(copy));
+}
+
 double
 pearson(const std::vector<double>& x, const std::vector<double>& y)
 {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,61 @@ class SampleSet
     std::string describe(int precision = 2) const;
 
   private:
+    std::vector<double> values_;
+};
+
+/**
+ * Tail-latency summary of a sample population: the serving metrics the
+ * inference literature reports against SLA targets (p50/p95/p99).
+ */
+struct TailSummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Exact percentile of @p values by linear interpolation between order
+ * statistics: position p/100 * (n-1) in the sorted sample (the same
+ * rule as SampleSet::quantile, exposed over a raw vector so callers
+ * need not copy into a SampleSet first). @p pct in [0, 100]; a
+ * single-element sample returns that element for every percentile.
+ * @pre @p values is non-empty.
+ */
+double percentile(std::vector<double> values, double pct);
+
+/** Exact p50/p95/p99 + mean/max of @p values in one sort. */
+TailSummary tailSummary(std::vector<double> values);
+
+/**
+ * Mutex-guarded sample container for concurrent recording: the
+ * serving path's completion latencies are recorded by whichever
+ * thread retires a batch, and neither SampleSet nor Histogram is safe
+ * for that (both mutate unsynchronized state — see histogram.h).
+ * add() is cheap (one lock, one push_back); snapshots copy out so
+ * quantile math runs unlocked.
+ */
+class ConcurrentSampleSet
+{
+  public:
+    /** Record one observation. Thread-safe. */
+    void add(double x);
+
+    /** Number of recorded observations. Thread-safe. */
+    std::size_t size() const;
+
+    /** Copy of the samples recorded so far. Thread-safe. */
+    SampleSet snapshot() const;
+
+    /** tailSummary() of the samples recorded so far. Thread-safe. */
+    TailSummary tail() const;
+
+  private:
+    mutable std::mutex mutex_;
     std::vector<double> values_;
 };
 

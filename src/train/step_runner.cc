@@ -302,6 +302,18 @@ GraphExecutor::runWave(const std::vector<std::size_t>& wave,
         });
 }
 
+void
+GraphExecutor::runForward(model::Dlrm& model,
+                          const data::MiniBatch& batch) const
+{
+    RECSIM_ASSERT(graph_->emb_dim == model.config().emb_dim &&
+                  graph_->num_dense == model.config().num_dense,
+                  "StepGraph was built for a different model config");
+    RECSIM_TRACE_SPAN("model.fwd");
+    for (const auto& wave : fwd_waves_)
+        runWave(wave, model, batch, /*forward=*/true);
+}
+
 double
 GraphExecutor::runStep(model::Dlrm& model,
                        const data::MiniBatch& batch) const

@@ -93,6 +93,19 @@ class GraphExecutor
     double runStep(model::Dlrm& model,
                    const data::MiniBatch& batch) const;
 
+    /**
+     * Forward pass only: the forward waves dispatched in parallel, no
+     * loss and no backward — the serving path (serve/engine.h). The
+     * model's logits afterwards are bit-identical to
+     * Dlrm::forward() / the forward half of runGraphStep() on the
+     * same batch at any pool size. Usable with a full training graph
+     * or with a graph::forwardSubgraph()-pruned one (both yield the
+     * same forward waves, since pruning only drops nodes the schedule
+     * already looked through).
+     */
+    void runForward(model::Dlrm& model,
+                    const data::MiniBatch& batch) const;
+
     /** Forward waves: indices into the graph's nodes, per level. */
     const std::vector<std::vector<std::size_t>>& forwardWaves() const
     {

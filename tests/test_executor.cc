@@ -132,6 +132,71 @@ TEST(GraphExecutor, BoundGraphSchedulesLikeComputeSkeleton)
         checkSerialEquivalence(cfg, bound, executor, threads);
 }
 
+TEST(GraphExecutor, ForwardSubgraphMatchesTrainingForwardBitwise)
+{
+    // The serving contract: the pruned forward StepGraph, run through
+    // runForward on the executor, must produce logits memcmp-equal to
+    // the forward half of the serial training walk — on plain and
+    // mixed-dim models, at 1/2/8 threads.
+    auto& pool = util::globalThreadPool();
+    for (const auto& cfg : modelZoo()) {
+        const auto training = graph::buildModelStepGraph(cfg);
+        const auto serving = graph::forwardSubgraph(training);
+        const GraphExecutor executor(serving);
+        data::SyntheticCtrDataset ds(datasetFor(cfg));
+        for (std::size_t step = 0; step < 3; ++step) {
+            const auto batch = ds.nextBatch(32);
+
+            // Serial reference: the forward half of runGraphStep
+            // (identical to Dlrm::forward by the PR-4 contract).
+            model::Dlrm ref_model(cfg, 3);
+            tensor::Tensor ref_logits;
+            ref_model.forward(batch, ref_logits);
+
+            for (const std::size_t threads : {1u, 2u, 8u}) {
+                pool.resize(threads);
+                model::Dlrm serve_model(cfg, 3);
+                executor.runForward(serve_model, batch);
+                const auto& logits = serve_model.logits();
+                ASSERT_EQ(logits.size(), ref_logits.size());
+                EXPECT_EQ(std::memcmp(logits.data(), ref_logits.data(),
+                                      logits.size() * sizeof(float)),
+                          0)
+                    << cfg.name << " step " << step << " @" << threads
+                    << "t: serving forward diverged from training "
+                       "forward";
+            }
+        }
+    }
+    pool.resize(1);
+}
+
+TEST(GraphExecutor, RunForwardOnFullGraphMatchesPrunedGraph)
+{
+    // Pruning only drops nodes the schedule looks through, so the
+    // full training graph and its forward subgraph must yield the
+    // same forward waves — and the same bits.
+    const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);
+    const auto training = graph::buildModelStepGraph(cfg);
+    const auto serving = graph::forwardSubgraph(training);
+    const GraphExecutor full(training);
+    const GraphExecutor pruned(serving);
+    ASSERT_EQ(full.forwardWaves().size(), pruned.forwardWaves().size());
+    for (std::size_t w = 0; w < full.forwardWaves().size(); ++w)
+        EXPECT_EQ(full.forwardWaves()[w].size(),
+                  pruned.forwardWaves()[w].size());
+
+    data::SyntheticCtrDataset ds(datasetFor(cfg));
+    const auto batch = ds.nextBatch(16);
+    model::Dlrm a(cfg, 3), b(cfg, 3);
+    full.runForward(a, batch);
+    pruned.runForward(b, batch);
+    ASSERT_EQ(a.logits().size(), b.logits().size());
+    EXPECT_EQ(std::memcmp(a.logits().data(), b.logits().data(),
+                          a.logits().size() * sizeof(float)),
+              0);
+}
+
 TEST(GraphExecutor, WavesCoverEachExecutableNodeExactlyOnce)
 {
     const auto cfg = model::DlrmConfig::tinyReplica(8, 13, 2000, 16);

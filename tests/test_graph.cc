@@ -220,8 +220,9 @@ TEST(StepGraphDeps, ModelGraphWiresTheDataflow)
         if (node.kind == NodeKind::Gemm &&
             node.role == graph::GemmRole::BottomMlp)
             last_bottom = i;
-        if (node.kind == NodeKind::EmbeddingLookup)
+        if (node.kind == NodeKind::EmbeddingLookup) {
             EXPECT_TRUE(node.deps.empty()) << node.id;
+        }
         if (node.kind == NodeKind::Gemm &&
             node.role == graph::GemmRole::Projection) {
             ASSERT_EQ(node.deps.size(), 1u) << node.id;
@@ -239,8 +240,9 @@ TEST(StepGraphDeps, ModelGraphWiresTheDataflow)
         const std::size_t producer = ix.deps[1 + f];
         const auto& p = g.nodes[producer];
         EXPECT_EQ(p.table, static_cast<int>(f));
-        if (p.kind == NodeKind::Gemm)
+        if (p.kind == NodeKind::Gemm) {
             EXPECT_EQ(p.role, graph::GemmRole::Projection);
+        }
     }
 
     // Top MLP -> loss -> optimizer is a chain.
@@ -462,6 +464,107 @@ TEST(StepGraphDeps, IndexedLookupsMatchLinearScan)
     EXPECT_EQ(g.indexOf("hand_added"), g.numNodes() - 1);
     EXPECT_EQ(g.findComm(graph::CommOp::DenseSync, 7),
               &g.nodes.back());
+}
+
+TEST(ForwardSubgraph, ModelGraphDropsOnlyTheTrainingSinks)
+{
+    // In the unbound model graph Loss and OptimizerUpdate are pure
+    // sinks, so pruning must keep every other node with its dep list
+    // verbatim (modulo index compaction, which is the identity here
+    // because the sinks sit at the end of the vector).
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto full = graph::buildModelStepGraph(m);
+    const auto fwd = graph::forwardSubgraph(full);
+
+    EXPECT_TRUE(fwd.validate().empty());
+    ASSERT_EQ(fwd.numNodes(), full.numNodes() - 2);
+    for (std::size_t i = 0; i < fwd.numNodes(); ++i) {
+        EXPECT_EQ(fwd.nodes[i].id, full.nodes[i].id);
+        EXPECT_EQ(fwd.nodes[i].deps, full.nodes[i].deps);
+    }
+    EXPECT_EQ(fwd.find("loss"), nullptr);
+    EXPECT_EQ(fwd.find("optimizer"), nullptr);
+}
+
+TEST(ForwardSubgraph, BoundGraphRewiresThroughCommNodes)
+{
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    const auto bound = cost::IterationModel(m, sys).stepGraph();
+    ASSERT_NE(bound.findComm(graph::CommOp::PsRequest), nullptr);
+    const auto fwd = graph::forwardSubgraph(bound);
+    EXPECT_TRUE(fwd.validate().empty());
+
+    // Exactly the executable nodes survive, in vector order, with
+    // their annotations (shard/device/size metadata) untouched.
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < bound.numNodes(); ++i) {
+        const auto kind = bound.nodes[i].kind;
+        if (kind == NodeKind::Gemm ||
+            kind == NodeKind::EmbeddingLookup ||
+            kind == NodeKind::Interaction)
+            kept.push_back(i);
+    }
+    ASSERT_EQ(fwd.numNodes(), kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        const auto& orig = bound.nodes[kept[i]];
+        const auto& node = fwd.nodes[i];
+        EXPECT_EQ(node.id, orig.id);
+        EXPECT_EQ(node.kind, orig.kind);
+        EXPECT_EQ(node.shard, orig.shard);
+        EXPECT_EQ(node.device, orig.device);
+        EXPECT_EQ(node.in_width, orig.in_width);
+        EXPECT_EQ(node.out_width, orig.out_width);
+        EXPECT_DOUBLE_EQ(node.fwd_flops, orig.fwd_flops);
+    }
+
+    // Every rewired dep edge must correspond to a real path in the
+    // bound graph whose interior nodes were all dropped: walk back
+    // from the dependent through dropped nodes only and require the
+    // dep to be reachable.
+    for (std::size_t i = 0; i < fwd.numNodes(); ++i) {
+        const std::size_t node_orig = kept[i];
+        for (std::size_t d : fwd.nodes[i].deps) {
+            ASSERT_LT(d, kept.size());
+            const std::size_t dep_orig = kept[d];
+            // BFS over original deps, passing through dropped nodes.
+            std::vector<std::size_t> frontier = {node_orig};
+            std::vector<char> seen(bound.numNodes(), 0);
+            bool reachable = false;
+            while (!frontier.empty() && !reachable) {
+                const std::size_t cur = frontier.back();
+                frontier.pop_back();
+                for (std::size_t p : bound.nodes[cur].deps) {
+                    if (p == dep_orig) {
+                        reachable = true;
+                        break;
+                    }
+                    const auto kind = bound.nodes[p].kind;
+                    const bool dropped =
+                        kind == NodeKind::Comm ||
+                        kind == NodeKind::Loss ||
+                        kind == NodeKind::OptimizerUpdate;
+                    if (dropped && !seen[p]) {
+                        seen[p] = 1;
+                        frontier.push_back(p);
+                    }
+                }
+            }
+            EXPECT_TRUE(reachable)
+                << fwd.nodes[i].id << " -> " << fwd.nodes[d].id
+                << " has no dropped-node path in the bound graph";
+        }
+    }
+
+    // Spot check: the interaction reached the PS legs only through
+    // comm nodes; after pruning it must join the embedding lookups
+    // (its kept ancestors through PsResponse) directly.
+    const auto& ix = fwd.nodes[fwd.indexOf("interaction")];
+    std::size_t emb_deps = 0;
+    for (std::size_t d : ix.deps)
+        if (fwd.nodes[d].kind == NodeKind::EmbeddingLookup)
+            ++emb_deps;
+    EXPECT_GT(emb_deps, 0u);
 }
 
 } // namespace

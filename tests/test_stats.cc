@@ -218,6 +218,78 @@ TEST(SampleSet, DescribeMentionsCount)
     EXPECT_NE(s.describe().find("n=2"), std::string::npos);
 }
 
+TEST(Percentile, SingleElementReturnsItAtEveryPercentile)
+{
+    const std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 50.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 95.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 99.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 100.0), 42.0);
+}
+
+TEST(Percentile, HandComputedInterpolation)
+{
+    // Linear interpolation at position p/100 * (n-1); n = 10, values
+    // 1..10 (unsorted input must not matter).
+    const std::vector<double> v = {10, 1, 9, 2, 8, 3, 7, 4, 6, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.5);    // pos 4.5
+    EXPECT_NEAR(percentile(v, 95.0), 9.55, 1e-12); // pos 8.55
+    EXPECT_DOUBLE_EQ(percentile(v, 99.0), 9.91);   // pos 8.91
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+}
+
+TEST(Percentile, DuplicateHeavySample)
+{
+    // n = 5: sorted {2, 2, 2, 2, 7}.
+    const std::vector<double> v = {2.0, 7.0, 2.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);   // pos 2.0
+    EXPECT_NEAR(percentile(v, 95.0), 6.0, 1e-12); // pos 3.8 -> 2+0.8*5
+    EXPECT_DOUBLE_EQ(percentile(v, 99.0), 6.8);   // pos 3.96
+    // All-duplicate sample: every percentile is the value.
+    const std::vector<double> dup(7, 3.5);
+    EXPECT_DOUBLE_EQ(percentile(dup, 50.0), 3.5);
+    EXPECT_DOUBLE_EQ(percentile(dup, 99.0), 3.5);
+}
+
+TEST(Percentile, AgreesWithSampleSetQuantile)
+{
+    util::Rng rng(17);
+    std::vector<double> v;
+    for (int i = 0; i < 257; ++i)
+        v.push_back(rng.lognormal(0.0, 1.0));
+    const SampleSet s(v);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(percentile(v, q * 100.0), s.quantile(q));
+}
+
+TEST(TailSummary, HandComputedFields)
+{
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0, 5.0};
+    const TailSummary t = tailSummary(v);
+    EXPECT_EQ(t.count, 5u);
+    EXPECT_DOUBLE_EQ(t.mean, 3.0);
+    EXPECT_DOUBLE_EQ(t.p50, 3.0);
+    EXPECT_DOUBLE_EQ(t.p95, 4.8);  // pos 3.8 -> 4 + 0.8 * 1
+    EXPECT_DOUBLE_EQ(t.p99, 4.96);
+    EXPECT_DOUBLE_EQ(t.max, 5.0);
+
+    const TailSummary empty = tailSummary({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
+
+TEST(ConcurrentSampleSet, SnapshotMatchesSequentialAdds)
+{
+    ConcurrentSampleSet c;
+    for (int i = 1; i <= 5; ++i)
+        c.add(static_cast<double>(i));
+    EXPECT_EQ(c.size(), 5u);
+    EXPECT_DOUBLE_EQ(c.snapshot().mean(), 3.0);
+    EXPECT_DOUBLE_EQ(c.tail().p50, 3.0);
+}
+
 TEST(Correlation, PerfectPositive)
 {
     const std::vector<double> x = {1, 2, 3, 4, 5};
