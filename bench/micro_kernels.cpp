@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/pool_metrics.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -173,9 +174,11 @@ main(int argc, char** argv)
 
     util::Rng rng(1);
     std::cout << util::format(
-        "micro_kernels: {} threads (hardware_concurrency {})\n\n",
+        "micro_kernels: {} threads (hardware_concurrency {}), "
+        "simd kernels: {}\n\n",
         threads,
-        static_cast<unsigned>(std::thread::hardware_concurrency()));
+        static_cast<unsigned>(std::thread::hardware_concurrency()),
+        tensor::simd::activeKernels());
 
     // --- GEMM family ---------------------------------------------------
     for (const std::size_t n : {std::size_t(128), std::size_t(256),
@@ -204,6 +207,21 @@ main(int argc, char** argv)
               [&] { tensor::matmulTransA(a, b, out); });
         h.run(util::format("gemm_transB_{}", n), "GFLOP/s", flops,
               [&] { tensor::matmulTransB(a, b, out); });
+
+        // Epilogue fusion: bias + relu folded into the GEMM's final
+        // k-block store, vs the three-pass pipeline it replaces. Same
+        // FLOP count on both rows so the delta is pure memory traffic.
+        tensor::Tensor bias(n);
+        bias.fillNormal(rng, 1.0f);
+        h.run(util::format("gemm_bias_relu_fused_{}", n), "GFLOP/s",
+              flops,
+              [&] { tensor::matmulBiasAct(a, b, bias, true, out); });
+        h.run(util::format("gemm_bias_relu_unfused_{}", n), "GFLOP/s",
+              flops, [&] {
+                  tensor::matmul(a, b, out);
+                  tensor::addBiasRows(out, bias);
+                  tensor::reluInPlace(out);
+              });
     }
 
     // --- Elementwise / reduction kernels -------------------------------
@@ -284,6 +302,8 @@ main(int argc, char** argv)
     out << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n";
     out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"simd_kernels\": \"" << tensor::simd::activeKernels()
+        << "\",\n";
     out << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < h.results.size(); ++i) {
         const auto& r = h.results[i];

@@ -11,6 +11,12 @@
  * graph the same way; the residual gaps are the documented abstractions
  * (queueing in the DES, malloc/dispatch noise in the measurement).
  *
+ * The whole pipeline runs twice, unfused and fused (graph::fusePass:
+ * GEMM epilogue fusion + per-device embedding-lookup grouping), so the
+ * fusion win appears in all three columns at once — the same pass that
+ * rewrites the executor's graph rewrites the cost model's and the
+ * DES's.
+ *
  * Usage: validation_graph_breakdown [--json PATH] [--trace out.json]
  * Emits BENCH_graph_breakdown.json for the CI artifact.
  */
@@ -33,6 +39,10 @@ using namespace recsim;
 
 namespace {
 
+constexpr std::size_t kBatch = 256;
+constexpr std::size_t kSteps = 20;
+constexpr std::size_t kEval = 1024;
+
 std::string
 us(double seconds)
 {
@@ -49,6 +59,135 @@ jsonValue(const std::map<std::string, double>& m, const std::string& id)
     os.precision(12);
     os << it->second;
     return os.str();
+}
+
+/** One full predicted/simulated/measured pass over one graph variant. */
+struct Variant
+{
+    cost::IterationModel analytical;
+    cost::IterationEstimate estimate;
+    sim::DistSimResult simulated;
+    std::map<std::string, double> predicted;
+    std::map<std::string, double> measured;
+    double measured_iter_seconds = 0.0;
+    std::size_t measured_iters = 0;
+};
+
+Variant
+runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
+           const cost::CostParams& params, bool fuse, bool own_tracing)
+{
+    Variant v{cost::IterationModel(m, sys, params),
+              {}, {}, {}, {}, 0.0, 0};
+    v.estimate = v.analytical.estimate();
+    for (const auto& node : v.analytical.nodeBreakdown())
+        v.predicted[node.node_id] = node.seconds;
+
+    // Simulated: the DES schedules the same (fused or not) graph nodes
+    // as events; CostParams::fuse_step_graph flows through.
+    sim::DistSimConfig sim_cfg;
+    sim_cfg.model = m;
+    sim_cfg.system = sys;
+    sim_cfg.params = params;
+    sim_cfg.measure_seconds = 0.5;
+    v.simulated = sim::runDistSim(sim_cfg);
+
+    // Measured: the real trainer walks the same graph; every node id
+    // becomes a wall-clock span. Comm nodes have no in-process
+    // counterpart and stay blank in the measured column.
+    data::DatasetConfig data_cfg;
+    data_cfg.num_dense = m.num_dense;
+    data_cfg.sparse = m.sparse;
+    data_cfg.seed = 7;
+    data::SyntheticCtrDataset dataset(data_cfg);
+    dataset.materialize(kSteps * kBatch + kEval);
+    train::TrainConfig train_cfg;
+    train_cfg.batch_size = kBatch;
+    train_cfg.epochs = 1;
+    train_cfg.fuse_graph = fuse;
+
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (own_tracing) {
+        tracer.reset();
+        tracer.setEnabled(true);
+    }
+    train::trainSingleThread(m, dataset, train_cfg, kEval);
+    const auto tracks = tracer.snapshot();
+    if (own_tracing) {
+        tracer.setEnabled(false);
+        tracer.reset();
+    }
+
+    std::map<std::string, double> measured_total;
+    for (const auto& track : tracks) {
+        if (track.simulated)
+            continue;
+        for (const auto& span : track.spans) {
+            measured_total[span.name] += span.seconds();
+            if (span.name == "train.iteration") {
+                ++v.measured_iters;
+                v.measured_iter_seconds += span.seconds();
+            }
+        }
+    }
+    if (v.measured_iters > 0) {
+        const auto n = static_cast<double>(v.measured_iters);
+        for (const auto& node : v.analytical.stepGraph().nodes) {
+            const auto it = measured_total.find(node.id);
+            if (it != measured_total.end())
+                v.measured[node.id] = it->second / n;
+        }
+        v.measured_iter_seconds /= n;
+    }
+    return v;
+}
+
+void
+printVariantTable(const char* title, const Variant& v)
+{
+    std::cout << title << "\n";
+    util::TextTable table;
+    table.header({"node", "device", "predicted", "simulated",
+                  "measured"});
+    auto cell = [](const std::map<std::string, double>& column,
+                   const std::string& id) {
+        const auto it = column.find(id);
+        return it == column.end() ? std::string("-") : us(it->second);
+    };
+    for (const auto& node : v.analytical.stepGraph().nodes) {
+        table.row({node.id, graph::toString(node.device),
+                   cell(v.predicted, node.id),
+                   cell(v.simulated.node_seconds, node.id),
+                   cell(v.measured, node.id)});
+    }
+    table.row({"iteration", "-", us(v.estimate.iteration_seconds),
+               us(v.simulated.mean_iteration_seconds),
+               us(v.measured_iter_seconds)});
+    std::cout << table.render() << "\n";
+}
+
+void
+emitNodes(std::ofstream& out, const Variant& v)
+{
+    const auto& nodes = v.analytical.stepGraph().nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto& node = nodes[i];
+        out << "    {\"id\": \"" << node.id << "\", \"kind\": \""
+            << graph::toString(node.kind) << "\", \"device\": \""
+            << graph::toString(node.device) << "\", \"predicted_s\": "
+            << jsonValue(v.predicted, node.id) << ", \"simulated_s\": "
+            << jsonValue(v.simulated.node_seconds, node.id)
+            << ", \"measured_s\": " << jsonValue(v.measured, node.id)
+            << "}" << (i + 1 < nodes.size() ? "," : "") << "\n";
+    }
+}
+
+void
+emitIterationSeconds(std::ofstream& out, const Variant& v)
+{
+    out << "{\"predicted\": " << v.estimate.iteration_seconds
+        << ", \"simulated\": " << v.simulated.mean_iteration_seconds
+        << ", \"measured\": " << v.measured_iter_seconds << "}";
 }
 
 } // namespace
@@ -70,97 +209,50 @@ main(int argc, char** argv)
                   "StepGraph as the single source of truth",
                   "Predicted vs simulated vs measured time per StepGraph "
                   "node (us/iteration,\nsame node ids across all three "
-                  "consumers).");
+                  "consumers), unfused and after graph::fusePass.");
 
     // A shape small enough to actually train in-process, on the CPU
     // distributed setup so the graph carries PS comm nodes too.
-    constexpr std::size_t kBatch = 256;
     const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
     const auto sys = cost::SystemConfig::cpuSetup(1, 2, 1, kBatch, 1);
 
-    // Predicted: closed-form per-node rates.
-    const cost::IterationModel analytical(m, sys);
-    const auto estimate = analytical.estimate();
-    std::map<std::string, double> predicted;
-    for (const auto& node : analytical.nodeBreakdown())
-        predicted[node.node_id] = node.seconds;
+    // The same per-node dispatch cost prices both variants, so the
+    // fused column's win comes only from the graph rewrite: fewer
+    // EmbeddingLookup nodes to dispatch and no separate bias/relu
+    // passes over the GEMM outputs.
+    cost::CostParams params;
+    params.cpu_per_table_dispatch = 2.0e-6;
+    cost::CostParams fused_params = params;
+    fused_params.fuse_step_graph = true;
 
-    // Simulated: the DES schedules the same graph nodes as events.
-    sim::DistSimConfig sim_cfg;
-    sim_cfg.model = m;
-    sim_cfg.system = sys;
-    sim_cfg.measure_seconds = 0.5;
-    const auto simulated = sim::runDistSim(sim_cfg);
-
-    // Measured: the real trainer walks the same graph; every node id
-    // becomes a wall-clock span. Comm nodes have no in-process
-    // counterpart and stay blank in the measured column.
-    constexpr std::size_t kSteps = 20;
-    constexpr std::size_t kEval = 1024;
-    data::DatasetConfig data_cfg;
-    data_cfg.num_dense = m.num_dense;
-    data_cfg.sparse = m.sparse;
-    data_cfg.seed = 7;
-    data::SyntheticCtrDataset dataset(data_cfg);
-    dataset.materialize(kSteps * kBatch + kEval);
-    train::TrainConfig train_cfg;
-    train_cfg.batch_size = kBatch;
-    train_cfg.epochs = 1;
-
-    obs::Tracer& tracer = obs::Tracer::global();
     const bool own_tracing = !trace_session.active();
-    if (own_tracing) {
-        tracer.reset();
-        tracer.setEnabled(true);
-    }
-    train::trainSingleThread(m, dataset, train_cfg, kEval);
-    const auto tracks = tracer.snapshot();
-    if (own_tracing)
-        tracer.setEnabled(false);
+    const Variant unfused =
+        runVariant(m, sys, params, false, own_tracing);
+    const Variant fused =
+        runVariant(m, sys, fused_params, true, own_tracing);
 
-    std::map<std::string, double> measured_total;
-    std::size_t measured_iters = 0;
-    double measured_iter_seconds = 0.0;
-    for (const auto& track : tracks) {
-        if (track.simulated)
-            continue;
-        for (const auto& span : track.spans) {
-            measured_total[span.name] += span.seconds();
-            if (span.name == "train.iteration") {
-                ++measured_iters;
-                measured_iter_seconds += span.seconds();
-            }
-        }
-    }
-    std::map<std::string, double> measured;
-    if (measured_iters > 0) {
-        const auto n = static_cast<double>(measured_iters);
-        for (const auto& node : analytical.stepGraph().nodes) {
-            const auto it = measured_total.find(node.id);
-            if (it != measured_total.end())
-                measured[node.id] = it->second / n;
-        }
-        measured_iter_seconds /= n;
-    }
+    printVariantTable("unfused graph:", unfused);
+    printVariantTable("fused graph (fusePass):", fused);
 
-    util::TextTable table;
-    table.header({"node", "device", "predicted", "simulated",
-                  "measured"});
-    auto cell = [](const std::map<std::string, double>& column,
-                   const std::string& id) {
-        const auto it = column.find(id);
-        return it == column.end() ? std::string("-") : us(it->second);
+    util::TextTable cmp;
+    cmp.header({"iteration", "unfused", "fused", "speedup"});
+    auto speedup = [](double before, double after) {
+        return after > 0.0 ? util::fixed(before / after, 3)
+                           : std::string("-");
     };
-    for (const auto& node : analytical.stepGraph().nodes) {
-        table.row({node.id, graph::toString(node.device),
-                   cell(predicted, node.id),
-                   cell(simulated.node_seconds, node.id),
-                   cell(measured, node.id)});
-    }
-    table.row({"iteration", "-", us(estimate.iteration_seconds),
-               us(simulated.mean_iteration_seconds),
-               us(measured_iter_seconds)});
-    std::cout << table.render() << "\n";
+    cmp.row({"predicted", us(unfused.estimate.iteration_seconds),
+             us(fused.estimate.iteration_seconds),
+             speedup(unfused.estimate.iteration_seconds,
+                     fused.estimate.iteration_seconds)});
+    cmp.row({"simulated", us(unfused.simulated.mean_iteration_seconds),
+             us(fused.simulated.mean_iteration_seconds),
+             speedup(unfused.simulated.mean_iteration_seconds,
+                     fused.simulated.mean_iteration_seconds)});
+    cmp.row({"measured", us(unfused.measured_iter_seconds),
+             us(fused.measured_iter_seconds),
+             speedup(unfused.measured_iter_seconds,
+                     fused.measured_iter_seconds)});
+    std::cout << cmp.render() << "\n";
 
     std::ofstream out(json_path);
     if (!out) {
@@ -169,22 +261,16 @@ main(int argc, char** argv)
     }
     out << "{\n  \"config\": \"" << m.name << "\",\n"
         << "  \"batch_size\": " << kBatch << ",\n"
-        << "  \"measured_iterations\": " << measured_iters << ",\n"
-        << "  \"iteration_seconds\": {\"predicted\": "
-        << estimate.iteration_seconds << ", \"simulated\": "
-        << simulated.mean_iteration_seconds << ", \"measured\": "
-        << measured_iter_seconds << "},\n  \"nodes\": [\n";
-    const auto& nodes = analytical.stepGraph().nodes;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const auto& node = nodes[i];
-        out << "    {\"id\": \"" << node.id << "\", \"kind\": \""
-            << graph::toString(node.kind) << "\", \"device\": \""
-            << graph::toString(node.device) << "\", \"predicted_s\": "
-            << jsonValue(predicted, node.id) << ", \"simulated_s\": "
-            << jsonValue(simulated.node_seconds, node.id)
-            << ", \"measured_s\": " << jsonValue(measured, node.id)
-            << "}" << (i + 1 < nodes.size() ? "," : "") << "\n";
-    }
+        << "  \"measured_iterations\": " << unfused.measured_iters
+        << ",\n"
+        << "  \"iteration_seconds\": ";
+    emitIterationSeconds(out, unfused);
+    out << ",\n  \"fused_iteration_seconds\": ";
+    emitIterationSeconds(out, fused);
+    out << ",\n  \"nodes\": [\n";
+    emitNodes(out, unfused);
+    out << "  ],\n  \"fused_nodes\": [\n";
+    emitNodes(out, fused);
     out << "  ]\n}\n";
     std::cout << "wrote " << json_path << "\n\n";
 
@@ -193,6 +279,9 @@ main(int argc, char** argv)
         "across all three\ncolumns; comm rows exist only for the "
         "predicted/simulated distributed system.\nThe measured embedding "
         "rows run the real pooled lookups, which the cost model\nfolds "
-        "into its per-lookup trainer overhead.\n";
+        "into its per-lookup trainer overhead. In the fused table the "
+        "per-table\nemb.* rows collapse into one emb.grouped.* row per "
+        "device and the gemm rows\nlose their epilogue traffic, so the "
+        "fused iteration is faster in all three\ncolumns.\n";
     return 0;
 }

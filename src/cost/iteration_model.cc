@@ -63,6 +63,8 @@ IterationModel::IterationModel(model::DlrmConfig model_config,
                                      system_.placement_options);
     graph_ = graph::buildModelStepGraph(model_);
     placement::bindStepGraph(graph_, plan_, system_.num_sparse_ps);
+    if (params_.fuse_step_graph)
+        graph::fusePass(graph_);
     summary_ = graph::summarize(graph_);
 }
 
@@ -76,14 +78,17 @@ IterationModel::remoteCacheHitFraction() const
     const double cache_rows = system_.remote_cache_bytes / row_bytes;
     const double total_access = std::max(
         summary_.embedding_lookups, 1e-9);
+    // Fold over the model's sparse specs rather than the graph's
+    // lookup nodes: fusePass merges per-table nodes into grouped ones
+    // (losing per-table rows/zipf), and the cache splits by *table*
+    // either way. Specs and unfused emb nodes are in the same order
+    // with identical annotations, so this is the same arithmetic.
     double hit = 0.0;
-    for (const auto& node : graph_.nodes) {
-        if (node.kind != graph::NodeKind::EmbeddingLookup)
-            continue;
-        const double share = node.lookups_per_example / total_access;
+    for (const auto& spec : model_.sparse) {
+        const double share = spec.effectiveMeanLength() / total_access;
         const auto rows = static_cast<uint64_t>(cache_rows * share);
-        hit += share * util::zipfTopMass(node.rows,
-                                         node.zipf_exponent, rows);
+        hit += share * util::zipfTopMass(spec.hash_size,
+                                         spec.zipf_exponent, rows);
     }
     return std::min(hit, 1.0);
 }
@@ -192,10 +197,20 @@ IterationModel::estimateCpu() const
     const double host_flops =
         p.host.peak_flops * params_.cpu_mlp_efficiency * cache_factor;
 
+    // Unfused GEMM epilogues (bias + ReLU passes over the activations)
+    // are extra streaming memory traffic; fusePass zeroes the summary
+    // term, which is the analytical fusion win.
+    const double epilogue_s_pe =
+        summary_.epilogue_traffic_bytes / p.host.mem_bandwidth;
     const double compute_s_pe = train_flops / host_flops +
-        params_.cpu_per_example_overhead +
+        epilogue_s_pe + params_.cpu_per_example_overhead +
         summary_.embedding_lookups * params_.cpu_per_lookup_overhead;
-    const double t_compute = b * compute_s_pe +
+    // Per-iteration op dispatch, once per EmbeddingLookup *node* —
+    // grouped nodes pay it once per group.
+    const double dispatch_s =
+        static_cast<double>(summary_.embedding_tables) *
+        params_.cpu_per_table_dispatch;
+    const double t_compute = b * compute_s_pe + dispatch_s +
         params_.cpu_iteration_overhead;
 
     // Trainer <-> sparse PS traffic: pooled vectors both ways plus
@@ -219,10 +234,11 @@ IterationModel::estimateCpu() const
     const double trainer_agg = n_tr * trainer_rate;
 
     est.breakdown = {
-        {"mlp_compute", b * train_flops / host_flops},
+        {"mlp_compute",
+         b * (train_flops / host_flops + epilogue_s_pe)},
         {"lookup_overhead",
          b * summary_.embedding_lookups *
-             params_.cpu_per_lookup_overhead},
+             params_.cpu_per_lookup_overhead + dispatch_s},
         {"framework_overhead",
          b * params_.cpu_per_example_overhead +
              params_.cpu_iteration_overhead},
@@ -271,7 +287,7 @@ IterationModel::estimateCpu() const
     // Utilizations at the achieved throughput.
     const double x_tr = throughput / n_tr;  // examples/s per trainer
     est.util.trainer_cpu = std::min(1.0, x_tr * compute_s_pe +
-        params_.cpu_iteration_overhead * x_tr / b);
+        (params_.cpu_iteration_overhead + dispatch_s) * x_tr / b);
     // Trainer memory traffic: activations (fwd + bwd re-reads), weight
     // streams amortized over the batch, and the moderate arithmetic
     // intensity of DLRM GEMMs (~0.12 B/FLOP of DRAM traffic).
@@ -660,13 +676,17 @@ IterationModel::nodeBreakdownCpu() const
         switch (node.kind) {
           case graph::NodeKind::Gemm:
           case graph::NodeKind::Interaction:
-            s = b * node.fwd_flops * bwd / host_flops;
+            s = b * node.fwd_flops * bwd / host_flops +
+                b * node.epilogue_traffic_bytes / p.host.mem_bandwidth;
             break;
           case graph::NodeKind::EmbeddingLookup:
-            // Trainer-side id marshalling + pooled-vector handling; the
-            // gather itself runs on the PS (comm.ps_gather.* nodes).
+            // Trainer-side id marshalling + pooled-vector handling (the
+            // gather itself runs on the PS, comm.ps_gather.* nodes)
+            // plus the per-node op-dispatch charge grouped nodes
+            // amortize.
             s = b * node.lookups_per_example *
-                params_.cpu_per_lookup_overhead;
+                    params_.cpu_per_lookup_overhead +
+                params_.cpu_per_table_dispatch;
             break;
           case graph::NodeKind::OptimizerUpdate:
             s = b * params_.cpu_per_example_overhead +

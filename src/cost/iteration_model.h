@@ -94,6 +94,24 @@ struct CostParams
 
     /** Fraction of host FLOPs usable for PS-side pooling. */
     double ps_pooling_flops_fraction = 0.5;
+
+    /**
+     * Host-seconds of per-iteration op dispatch for each
+     * EmbeddingLookup *node* in the step graph (Caffe2-era per-op
+     * overhead). Grouped lookup nodes (graph::fusePass) pay this once
+     * per group instead of once per table, which is how the batching
+     * win surfaces in the analytical column. Default 0: calibration of
+     * the headline figures predates this term, so it is opt-in.
+     */
+    double cpu_per_table_dispatch = 0.0;
+
+    /**
+     * Run graph::fusePass over the bound step graph at construction:
+     * GEMM epilogue traffic drops to zero and per-device lookups merge
+     * into grouped nodes, so estimate()/nodeBreakdown() price the
+     * fused iteration (bench/validation_graph_breakdown compares both).
+     */
+    bool fuse_step_graph = false;
 };
 
 /** One named time component of an iteration, seconds. */

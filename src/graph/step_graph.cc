@@ -198,7 +198,7 @@ buildModelStepGraph(const model::DlrmConfig& config)
     // pre-graph values bit for bit.
 
     auto addGemm = [&g](GemmRole role, const char* prefix, int layer,
-                        std::size_t in, std::size_t out,
+                        std::size_t in, std::size_t out, bool relu,
                         std::vector<std::size_t> deps) {
         Node node;
         node.id = std::string(prefix) + ".l" + std::to_string(layer);
@@ -211,6 +211,11 @@ buildModelStepGraph(const model::DlrmConfig& config)
             static_cast<double>(out);
         node.param_count = static_cast<double>(in * out + out);
         node.param_bytes = node.param_count * sizeof(float);
+        // Unfused epilogue traffic: one read+write pass over the
+        // [B, out] output for the bias add, a second for the ReLU
+        // (hidden layers only — the last layer of each MLP has none).
+        node.epilogue_traffic_bytes = (relu ? 4.0 : 2.0) *
+            static_cast<double>(out) * sizeof(float);
         node.deps = std::move(deps);
         g.nodes.push_back(std::move(node));
         return g.nodes.size() - 1;
@@ -220,15 +225,16 @@ buildModelStepGraph(const model::DlrmConfig& config)
     // layers chain; l0 consumes only the input batch.
     std::size_t last_bottom = StepGraph::npos;
     {
+        const auto dims = config.bottomDims();
         std::size_t in = config.num_dense;
-        int layer = 0;
-        for (std::size_t out : config.bottomDims()) {
+        for (std::size_t l = 0; l < dims.size(); ++l) {
             last_bottom = addGemm(
-                GemmRole::BottomMlp, "bottom_mlp", layer++, in, out,
+                GemmRole::BottomMlp, "bottom_mlp", static_cast<int>(l),
+                in, dims[l], /*relu=*/l + 1 < dims.size(),
                 last_bottom == StepGraph::npos
                     ? std::vector<std::size_t>{}
                     : std::vector<std::size_t>{last_bottom});
-            in = out;
+            in = dims[l];
         }
     }
 
@@ -273,6 +279,10 @@ buildModelStepGraph(const model::DlrmConfig& config)
             proj.param_count = static_cast<double>(
                 dim * config.emb_dim + config.emb_dim);
             proj.param_bytes = proj.param_count * sizeof(float);
+            // Bias-only epilogue: projections have no activation.
+            proj.epilogue_traffic_bytes =
+                2.0 * static_cast<double>(config.emb_dim) *
+                sizeof(float);
             proj.deps = {emb_index};
             g.nodes.push_back(std::move(proj));
             producer = g.nodes.size() - 1;
@@ -303,12 +313,13 @@ buildModelStepGraph(const model::DlrmConfig& config)
 
     // Top MLP (including the implicit 1-wide logit layer).
     {
+        const auto dims = config.topDims();
         std::size_t in = config.interactionWidth();
-        int layer = 0;
-        for (std::size_t out : config.topDims()) {
-            prev = addGemm(GemmRole::TopMlp, "top_mlp", layer++, in,
-                           out, {prev});
-            in = out;
+        for (std::size_t l = 0; l < dims.size(); ++l) {
+            prev = addGemm(GemmRole::TopMlp, "top_mlp",
+                           static_cast<int>(l), in, dims[l],
+                           /*relu=*/l + 1 < dims.size(), {prev});
+            in = dims[l];
         }
     }
 
@@ -422,6 +433,7 @@ summarize(const StepGraph& graph)
         switch (node.kind) {
           case NodeKind::Gemm:
             s.dense_param_count += node.param_count;
+            s.epilogue_traffic_bytes += node.epilogue_traffic_bytes;
             if (node.role == GemmRole::Projection)
                 s.mlp_flops += node.fwd_flops;
             break;
@@ -454,6 +466,136 @@ summarize(const StepGraph& graph)
     s.dense_input_bytes =
         static_cast<double>(graph.num_dense) * sizeof(float);
     return s;
+}
+
+void
+fusePass(StepGraph& g)
+{
+    const std::string problem = g.validate();
+    RECSIM_ASSERT(problem.empty(), "invalid StepGraph: {}", problem);
+
+    // 1. GEMM epilogue fusion. Annotation-level: the node keeps its id
+    // and FLOPs (the arithmetic is unchanged — the bias/activation ops
+    // just move into the GEMM store), only the extra epilogue memory
+    // passes disappear.
+    for (auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm) {
+            node.fused_epilogue = true;
+            node.epilogue_traffic_bytes = 0.0;
+        }
+    }
+
+    // 2. Batch EmbeddingLookup nodes into per-device grouped nodes.
+    // Grouping by device only (never by shard) keeps the grouped id
+    // identical between a bound graph (tables spread over PS shards)
+    // and the trainer's unbound graph, so the three columns of
+    // validation_graph_breakdown keep sharing node ids.
+    const std::size_t n = g.nodes.size();
+    std::vector<Device> group_devices;
+    std::vector<std::vector<std::size_t>> members;
+    std::vector<std::size_t> member_group(n, StepGraph::npos);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (g.nodes[i].kind != NodeKind::EmbeddingLookup)
+            continue;
+        std::size_t gi = 0;
+        while (gi < group_devices.size() &&
+               group_devices[gi] != g.nodes[i].device)
+            ++gi;
+        if (gi == group_devices.size()) {
+            group_devices.push_back(g.nodes[i].device);
+            members.emplace_back();
+        }
+        members[gi].push_back(i);
+        member_group[i] = gi;
+    }
+
+    // Groups of one (including already-grouped nodes on a re-run) are
+    // left untouched — that is what makes the pass idempotent.
+    std::vector<char> is_first(n, 0), dropped(n, 0);
+    bool any_merge = false;
+    for (const auto& mem : members) {
+        if (mem.size() < 2)
+            continue;
+        any_merge = true;
+        is_first[mem[0]] = 1;
+        for (std::size_t j = 1; j < mem.size(); ++j)
+            dropped[mem[j]] = 1;
+    }
+    if (!any_merge) {
+        g.reindex();
+        return;
+    }
+
+    // Two passes, like forwardSubgraph(): dep edges may point forward
+    // in the nodes vector, so first place the surviving nodes and
+    // assign compacted indices, then rewire every edge.
+    std::vector<Node> out;
+    out.reserve(n);
+    std::vector<std::size_t> new_index(n, StepGraph::npos);
+    std::size_t ordinal = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dropped[i])
+            continue;
+        new_index[i] = out.size();
+        if (!is_first[i]) {
+            out.push_back(g.nodes[i]);
+            continue;
+        }
+        const auto& mem = members[member_group[i]];
+        Node grouped;
+        grouped.id = "emb.grouped.g" + std::to_string(ordinal++);
+        grouped.kind = NodeKind::EmbeddingLookup;
+        grouped.device = g.nodes[i].device;
+        int shard = g.nodes[mem[0]].shard;
+        for (std::size_t j : mem) {
+            if (g.nodes[j].shard != shard)
+                shard = -1;  // members span shards
+        }
+        grouped.shard = shard;
+        // Annotations are the member sums, in member (= node) order;
+        // per-table fields (rows, zipf, out_width) have no grouped
+        // meaning and stay at their zero defaults — consumers that
+        // need them (cost::remoteCacheHitFraction) read the model
+        // config, not the graph.
+        for (std::size_t j : mem) {
+            const Node& mn = g.nodes[j];
+            grouped.lookups_per_example += mn.lookups_per_example;
+            grouped.bytes_per_example += mn.bytes_per_example;
+            grouped.pooled_bytes_per_example +=
+                mn.pooled_bytes_per_example;
+            grouped.param_bytes += mn.param_bytes;
+            if (mn.fused_tables.empty()) {
+                grouped.fused_tables.push_back(mn.table);
+            } else {
+                grouped.fused_tables.insert(grouped.fused_tables.end(),
+                                            mn.fused_tables.begin(),
+                                            mn.fused_tables.end());
+            }
+            // Union of member deps (old indices; rewired below).
+            for (std::size_t d : mn.deps)
+                grouped.deps.push_back(d);
+        }
+        out.push_back(std::move(grouped));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dropped[i])
+            continue;
+        Node& node = out[new_index[i]];
+        const std::vector<std::size_t> old = std::move(node.deps);
+        node.deps.clear();
+        for (std::size_t d : old) {
+            const std::size_t nd = dropped[d] || is_first[d]
+                ? new_index[members[member_group[d]][0]]
+                : new_index[d];
+            if (nd == new_index[i])
+                continue;  // edge between merged members
+            if (std::find(node.deps.begin(), node.deps.end(), nd) ==
+                node.deps.end())
+                node.deps.push_back(nd);
+        }
+    }
+    g.nodes = std::move(out);
+    g.reindex();
 }
 
 std::string

@@ -129,6 +129,29 @@ struct Node
     double zipf_exponent = 0.0;
 
     /**
+     * Gemm nodes: activation bytes per example the *unfused* bias +
+     * activation epilogue re-reads and re-writes as separate passes
+     * over the layer output (2 * out_width * 4 per pass). Set by
+     * buildModelStepGraph(), zeroed by fusePass() when the epilogue is
+     * folded into the GEMM store — the memory-traffic saving fusion
+     * buys, priced by cost::IterationModel and sim::runDistSim.
+     */
+    double epilogue_traffic_bytes = 0.0;
+    /**
+     * Gemm nodes: the bias(+activation) epilogue runs inside the GEMM
+     * (tensor::matmulBiasAct) instead of as separate passes. Set by
+     * fusePass(); the trainer dispatches on it.
+     */
+    bool fused_epilogue = false;
+    /**
+     * Grouped-lookup nodes (fusePass): the member tables, in merge
+     * order. Empty for ordinary nodes. The trainer dispatches a
+     * grouped node to Dlrm::forwardEmbeddingGroup over these tables;
+     * annotation fields hold the member sums (in this order).
+     */
+    std::vector<int> fused_tables;
+
+    /**
      * Comm nodes: this shard's fraction of the per-example lookup
      * traffic (shard_access_bytes[s] / total), 1.0 for unsharded ops.
      */
@@ -164,6 +187,9 @@ struct WorkSummary
      *  model's cache-pressure input): (dense in + every MLP layer out +
      *  interaction out) * sizeof(float) * 2. */
     double activation_bytes = 0.0;
+    /** Unfused-epilogue traffic per example, summed over Gemm nodes in
+     *  node order; zero after fusePass(). */
+    double epilogue_traffic_bytes = 0.0;
     /** Total dense parameters; == double(DlrmConfig::mlpParams()). */
     double dense_param_count = 0.0;
 
@@ -277,6 +303,36 @@ StepGraph buildModelStepGraph(const model::DlrmConfig& config);
  * trainer runs and stay bitwise-equal to it.
  */
 StepGraph forwardSubgraph(const StepGraph& graph);
+
+/**
+ * Operator-fusion rewrite of the IR, in place. Two rewrites:
+ *
+ *  1. GEMM epilogue fusion: every Gemm node's bias + activation
+ *     epilogue is folded into the GEMM store pass — the node keeps its
+ *     id (predicted / simulated / measured columns keep lining up),
+ *     gains fused_epilogue = true and drops epilogue_traffic_bytes to
+ *     zero. Execution via tensor::matmulBiasAct is bitwise identical
+ *     to the unfused passes; only memory traffic changes.
+ *
+ *  2. Embedding-lookup batching: EmbeddingLookup nodes on the same
+ *     device are merged (in node order) into one grouped node
+ *     "emb.grouped.g{ordinal}" placed at the first member's position,
+ *     with fused_tables listing the member tables, annotations summed
+ *     in member order, deps the (deduplicated) union of member deps,
+ *     and every consumer edge rewired to the group. Groups of one are
+ *     left untouched. The trainer runs a grouped node as one flattened
+ *     parallelFor over all member (table, example-chunk) units with
+ *     per-table chunk geometry unchanged — bitwise identical to the
+ *     per-table dispatches — and the cost model / DES price the
+ *     saving as one dispatch instead of N.
+ *
+ * Idempotent: fusing an already-fused graph changes nothing. Comm /
+ * Loss / Optimizer nodes and all non-merged annotations are preserved;
+ * reindex() is re-run. Aggregate summarize() totals are unchanged
+ * (exactly, when each device hosts one group — FP re-association only
+ * otherwise).
+ */
+void fusePass(StepGraph& graph);
 
 /** Fold the graph's annotations into aggregate work totals. */
 WorkSummary summarize(const StepGraph& graph);

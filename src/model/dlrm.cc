@@ -1,10 +1,13 @@
 #include "model/dlrm.h"
 
+#include <algorithm>
+
 #include "nn/loss.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace recsim {
 namespace model {
@@ -46,9 +49,10 @@ Dlrm::Dlrm(const DlrmConfig& config, uint64_t seed, double max_bytes)
 }
 
 void
-Dlrm::forwardBottomLayer(std::size_t i, const data::MiniBatch& batch)
+Dlrm::forwardBottomLayer(std::size_t i, const data::MiniBatch& batch,
+                         bool fused)
 {
-    bottom_->forwardLayer(i, batch.dense);
+    bottom_->forwardLayer(i, batch.dense, fused);
     if (i + 1 == bottom_->numLayers())
         bottom_out_ = bottom_->output();
 }
@@ -64,9 +68,58 @@ Dlrm::forwardEmbedding(std::size_t f, const data::MiniBatch& batch)
 }
 
 void
-Dlrm::forwardProjection(std::size_t f)
+Dlrm::forwardEmbeddingGroup(const std::vector<int>& group,
+                            const data::MiniBatch& batch)
 {
-    projections_[f]->forward(pooled_raw_[f], pooled_[f]);
+    RECSIM_TRACE_SPAN("nn.emb.fwd");
+    struct Unit
+    {
+        std::size_t f, e0, e1;
+    };
+    std::vector<Unit> units;
+    for (int fi : group) {
+        const auto f = static_cast<std::size_t>(fi);
+        const nn::SparseBatch& sb = batch.sparse[f];
+        tensor::Tensor& out =
+            projections_[f] ? pooled_raw_[f] : pooled_[f];
+        const std::size_t b = sb.batchSize();
+        const std::size_t dim = tables_[f].dim();
+        if (out.rank() != 2 || out.rows() != b || out.cols() != dim)
+            out.resize(b, dim);
+        else
+            out.zero();
+        RECSIM_ASSERT(sb.offsets.empty() ||
+                          (sb.offsets.front() == 0 &&
+                           sb.offsets.back() <= sb.indices.size()),
+                      "corrupt SparseBatch offsets");
+        // Chunks at multiples of the per-table grain from 0 — the same
+        // geometry EmbeddingBag::forward's parallelFor produces.
+        const std::size_t g =
+            nn::EmbeddingBag::forwardChunkGrain(sb, dim);
+        for (std::size_t e0 = 0; e0 < b; e0 += g)
+            units.push_back({f, e0, std::min(e0 + g, b)});
+    }
+    util::globalThreadPool().parallelFor(
+        0, units.size(), 1,
+        [this, &units, &batch](std::size_t u0, std::size_t u1) {
+            for (std::size_t u = u0; u < u1; ++u) {
+                const Unit& unit = units[u];
+                tensor::Tensor& out = projections_[unit.f]
+                    ? pooled_raw_[unit.f]
+                    : pooled_[unit.f];
+                tables_[unit.f].forwardRange(batch.sparse[unit.f], out,
+                                             unit.e0, unit.e1);
+            }
+        });
+}
+
+void
+Dlrm::forwardProjection(std::size_t f, bool fused)
+{
+    if (fused)
+        projections_[f]->forwardFused(pooled_raw_[f], pooled_[f], false);
+    else
+        projections_[f]->forward(pooled_raw_[f], pooled_[f]);
 }
 
 void
@@ -79,9 +132,9 @@ Dlrm::forwardInteraction()
 }
 
 void
-Dlrm::forwardTopLayer(std::size_t i)
+Dlrm::forwardTopLayer(std::size_t i, bool fused)
 {
-    top_->forwardLayer(i, interact_out_);
+    top_->forwardLayer(i, interact_out_, fused);
     if (i + 1 == top_->numLayers())
         logits_ = top_->output();
 }
@@ -128,6 +181,14 @@ Dlrm::backwardEmbedding(std::size_t f, const data::MiniBatch& batch)
     const tensor::Tensor& grad =
         projections_[f] ? d_pooled_raw_[f] : d_pooled_[f];
     tables_[f].backward(batch.sparse[f], grad, sparse_grads_[f]);
+}
+
+void
+Dlrm::backwardEmbeddingGroup(const std::vector<int>& group,
+                             const data::MiniBatch& batch)
+{
+    for (int fi : group)
+        backwardEmbedding(static_cast<std::size_t>(fi), batch);
 }
 
 void

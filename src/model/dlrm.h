@@ -62,11 +62,27 @@ class Dlrm
     // forwardBackward() exactly — that walk lives in
     // train::runGraphStep, which tags an obs span with each node id.
     // Each primitive assumes the ones its node depends on already ran.
-    void forwardBottomLayer(std::size_t i, const data::MiniBatch& batch);
+    // The MLP/projection primitives take @p fused from the node's
+    // fused_epilogue flag (graph::fusePass): the bias (+ ReLU) runs as
+    // the GEMM's epilogue. Bitwise identical either way.
+    void forwardBottomLayer(std::size_t i, const data::MiniBatch& batch,
+                            bool fused = false);
     void forwardEmbedding(std::size_t f, const data::MiniBatch& batch);
-    void forwardProjection(std::size_t f);
+    /**
+     * Grouped lookup for a fused EmbeddingLookup node: pool every table
+     * in @p group with ONE parallelFor over the flattened (table,
+     * example-chunk) units instead of one dispatch per table. Each
+     * unit's bounds replicate exactly the chunks forwardEmbedding()'s
+     * inner parallelFor would produce (EmbeddingBag::forwardChunkGrain,
+     * chunks at multiples of the grain), and every output row is owned
+     * by exactly one unit — so the result is bit-identical to calling
+     * forwardEmbedding(f) for each member in order, at any thread count.
+     */
+    void forwardEmbeddingGroup(const std::vector<int>& group,
+                               const data::MiniBatch& batch);
+    void forwardProjection(std::size_t f, bool fused = false);
     void forwardInteraction();
-    void forwardTopLayer(std::size_t i);
+    void forwardTopLayer(std::size_t i, bool fused = false);
     /** Loss + dLoss/dLogits; run between the two graph halves. */
     double lossBackward(const data::MiniBatch& batch);
     void backwardTopLayer(std::size_t i);
@@ -74,6 +90,13 @@ class Dlrm
     void backwardBottomLayer(std::size_t i, const data::MiniBatch& batch);
     void backwardProjection(std::size_t f);
     void backwardEmbedding(std::size_t f, const data::MiniBatch& batch);
+    /**
+     * Backward of a fused EmbeddingLookup node: runs each member's
+     * backwardEmbedding in group order (each is internally parallel) —
+     * bit-identical to the unfused walk.
+     */
+    void backwardEmbeddingGroup(const std::vector<int>& group,
+                                const data::MiniBatch& batch);
 
     /** True when table @p f projects up to the shared width. */
     bool hasProjection(std::size_t f) const

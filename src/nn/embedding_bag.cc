@@ -11,26 +11,25 @@
 namespace recsim {
 namespace nn {
 
-namespace {
-
 /**
  * Examples per forward chunk: target enough pooled accumulation work
- * (~16K scalar adds) that chunk dispatch never dominates. Depends only
- * on the batch shape, never on the thread count.
+ * (~64K scalar adds) that chunk dispatch never dominates. The gather
+ * loop is memory-bound, so chunks must be much coarser than for
+ * arithmetic kernels — a 16K-add grain left typical DLRM batches split
+ * into dozens of tiny jobs and made the parallel path slower than
+ * serial. Depends only on the batch shape, never on the thread count.
  */
 std::size_t
-forwardGrain(const SparseBatch& batch, std::size_t dim)
+EmbeddingBag::forwardChunkGrain(const SparseBatch& batch, std::size_t dim)
 {
     const std::size_t b = std::max<std::size_t>(batch.batchSize(), 1);
     const std::size_t avg_lookups =
         std::max<std::size_t>(batch.indices.size() / b, 1);
     const std::size_t work_per_example = avg_lookups * dim;
     return std::max<std::size_t>(
-        1, (std::size_t(1) << 14) /
+        1, (std::size_t(1) << 16) /
                std::max<std::size_t>(work_per_example, 1));
 }
-
-} // namespace
 
 EmbeddingBag::EmbeddingBag(uint64_t hash_size, std::size_t dim,
                            util::Rng& rng, Pooling pooling)
@@ -56,37 +55,41 @@ EmbeddingBag::forward(const SparseBatch& batch, tensor::Tensor& out) const
                       (batch.offsets.front() == 0 &&
                        batch.offsets.back() <= batch.indices.size()),
                   "corrupt SparseBatch offsets");
+    // Each example's output row is owned by exactly one chunk, so the
+    // result is bit-identical at any thread count.
+    util::globalThreadPool().parallelFor(
+        0, b, forwardChunkGrain(batch, dim_),
+        [this, &batch, &out](std::size_t e0, std::size_t e1) {
+            forwardRange(batch, out, e0, e1);
+        });
+}
+
+void
+EmbeddingBag::forwardRange(const SparseBatch& batch, tensor::Tensor& out,
+                           std::size_t e0, std::size_t e1) const
+{
     const std::size_t dim = dim_;
     const uint64_t hash = hash_size_;
     const float* table_data = table.data();
     float* out_data = out.data();
-    const Pooling pooling = pooling_;
-    // Each example's output row is owned by exactly one chunk, so the
-    // result is bit-identical at any thread count.
-    util::globalThreadPool().parallelFor(
-        0, b, forwardGrain(batch, dim_),
-        [&batch, table_data, out_data, dim, hash,
-         pooling](std::size_t e0, std::size_t e1) {
-            for (std::size_t ex = e0; ex < e1; ++ex) {
-                const std::size_t begin = batch.offsets[ex];
-                const std::size_t end = batch.offsets[ex + 1];
-                RECSIM_ASSERT(begin <= end, "corrupt SparseBatch offsets");
-                float* orow = out_data + ex * dim;
-                for (std::size_t k = begin; k < end; ++k) {
-                    const auto row_id = static_cast<std::size_t>(
-                        batch.indices[k] % hash);
-                    const float* erow = table_data + row_id * dim;
-                    for (std::size_t j = 0; j < dim; ++j)
-                        orow[j] += erow[j];
-                }
-                if (pooling == Pooling::Mean && end > begin) {
-                    const float inv =
-                        1.0f / static_cast<float>(end - begin);
-                    for (std::size_t j = 0; j < dim; ++j)
-                        orow[j] *= inv;
-                }
-            }
-        });
+    for (std::size_t ex = e0; ex < e1; ++ex) {
+        const std::size_t begin = batch.offsets[ex];
+        const std::size_t end = batch.offsets[ex + 1];
+        RECSIM_ASSERT(begin <= end, "corrupt SparseBatch offsets");
+        float* orow = out_data + ex * dim;
+        for (std::size_t k = begin; k < end; ++k) {
+            const auto row_id =
+                static_cast<std::size_t>(batch.indices[k] % hash);
+            const float* erow = table_data + row_id * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                orow[j] += erow[j];
+        }
+        if (pooling_ == Pooling::Mean && end > begin) {
+            const float inv = 1.0f / static_cast<float>(end - begin);
+            for (std::size_t j = 0; j < dim; ++j)
+                orow[j] *= inv;
+        }
+    }
 }
 
 void

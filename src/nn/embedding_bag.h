@@ -87,6 +87,23 @@ class EmbeddingBag
     void forward(const SparseBatch& batch, tensor::Tensor& out) const;
 
     /**
+     * The body of one forward() chunk: pool examples [e0, e1) into
+     * @p out, which must already be sized [B, dim] and zeroed. The
+     * batched grouped-lookup path (model::Dlrm::forwardEmbeddingGroup)
+     * flattens (table, chunk) pairs over all tables into a single
+     * parallelFor and dispatches each unit here with the same chunk
+     * boundaries forward() would use (forwardChunkGrain) — hence
+     * bit-identical results with one pool job instead of one per table.
+     */
+    void forwardRange(const SparseBatch& batch, tensor::Tensor& out,
+                      std::size_t e0, std::size_t e1) const;
+
+    /** Examples per forward() chunk for @p batch at width @p dim —
+     *  the exact grain forward() hands parallelFor. */
+    static std::size_t forwardChunkGrain(const SparseBatch& batch,
+                                         std::size_t dim);
+
+    /**
      * Accumulate the sparse gradient of the last forward.
      * @param batch Same batch as the matching forward().
      * @param dy    Gradient wrt the pooled output, [B, dim].

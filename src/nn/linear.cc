@@ -30,6 +30,16 @@ Linear::forward(const tensor::Tensor& x, tensor::Tensor& y) const
 }
 
 void
+Linear::forwardFused(const tensor::Tensor& x, tensor::Tensor& y,
+                     bool relu) const
+{
+    RECSIM_ASSERT(x.cols() == in_, "Linear forward {} into [{} -> {}]",
+                  x.shapeString(), in_, out_);
+    RECSIM_TRACE_SPAN("nn.linear.fwd");
+    tensor::matmulBiasAct(x, weight, bias, relu, y);
+}
+
+void
 Linear::backward(const tensor::Tensor& x, const tensor::Tensor& dy,
                  tensor::Tensor& dx)
 {

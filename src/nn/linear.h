@@ -35,6 +35,18 @@ class Linear
     void forward(const tensor::Tensor& x, tensor::Tensor& y) const;
 
     /**
+     * Fused-epilogue forward: the bias add (and, when @p relu, the
+     * activation) run inside the GEMM's final-block store
+     * (tensor::matmulBiasAct) instead of as separate passes over y.
+     * Bitwise identical to forward() (+ reluInPlace when @p relu);
+     * the fused path only saves the epilogue's memory traffic. The
+     * trainer takes this path for StepGraph nodes with
+     * fused_epilogue set (graph::fusePass).
+     */
+    void forwardFused(const tensor::Tensor& x, tensor::Tensor& y,
+                      bool relu) const;
+
+    /**
      * Accumulate parameter grads and produce the input grad.
      * @param x       The forward input.
      * @param dy      Gradient wrt the forward output, [B, out].

@@ -39,11 +39,16 @@ Mlp::numParams() const
 }
 
 void
-Mlp::forwardLayer(std::size_t i, const tensor::Tensor& x)
+Mlp::forwardLayer(std::size_t i, const tensor::Tensor& x, bool fused)
 {
     const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
+    const bool relu = i + 1 < layers_.size();
+    if (fused) {
+        layers_[i].forwardFused(input, acts_[i], relu);
+        return;
+    }
     layers_[i].forward(input, acts_[i]);
-    if (i + 1 < layers_.size())
+    if (relu)
         tensor::reluInPlace(acts_[i]);
 }
 

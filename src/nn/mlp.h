@@ -57,8 +57,14 @@ class Mlp
      * input is @p x for layer 0 and the cached activation of layer i-1
      * otherwise; applies the inter-layer ReLU. Calling forwardLayer for
      * i = 0..numLayers()-1 in order performs exactly forward().
+     *
+     * With @p fused the bias + inter-layer ReLU run as the GEMM's
+     * fused epilogue (Linear::forwardFused) — bitwise identical
+     * output, fewer memory passes. Backward is unchanged either way
+     * (it reads the same post-activation cache).
      */
-    void forwardLayer(std::size_t i, const tensor::Tensor& x);
+    void forwardLayer(std::size_t i, const tensor::Tensor& x,
+                      bool fused = false);
 
     /** Post-activation output of the last layer run forward. */
     const tensor::Tensor& output() const { return acts_.back(); }

@@ -315,9 +315,16 @@ Simulation::run()
             : 1.0;
         const double host_flops = p.host.peak_flops *
             params.cpu_mlp_efficiency * cache_factor;
+        // Mirrors IterationModel::estimateCpu(): unfused GEMM epilogue
+        // traffic and the per-lookup-node dispatch charge ride the
+        // compute interval, so fusePass shrinks the simulated column
+        // exactly as it shrinks the analytical one.
         compute_seconds_iter_ = b * (train_flops / host_flops +
+            sum.epilogue_traffic_bytes / p.host.mem_bandwidth +
             params.cpu_per_example_overhead +
             sum.embedding_lookups * params.cpu_per_lookup_overhead) +
+            static_cast<double>(sum.embedding_tables) *
+                params.cpu_per_table_dispatch +
             params.cpu_iteration_overhead;
         net_bytes_iter_ = b * (2.0 * sum.pooled_bytes +
             sum.embedding_lookups * params.request_bytes_per_lookup);
@@ -335,11 +342,14 @@ Simulation::run()
                   case graph::NodeKind::Interaction:
                     c = b * node.fwd_flops *
                         (1.0 + params.backward_flops_multiplier) /
-                        host_flops;
+                        host_flops +
+                        b * node.epilogue_traffic_bytes /
+                            p.host.mem_bandwidth;
                     break;
                   case graph::NodeKind::EmbeddingLookup:
                     c = b * node.lookups_per_example *
-                        params.cpu_per_lookup_overhead;
+                            params.cpu_per_lookup_overhead +
+                        params.cpu_per_table_dispatch;
                     break;
                   case graph::NodeKind::OptimizerUpdate:
                     c = b * params.cpu_per_example_overhead +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -11,6 +12,11 @@
 #  define RECSIM_RESTRICT __restrict__
 #else
 #  define RECSIM_RESTRICT
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#  define RECSIM_SIMD_X86 1
+#  include <immintrin.h>
 #endif
 
 namespace recsim {
@@ -30,8 +36,9 @@ requireRank2(const Tensor& t, const char* what)
  * kNc = 512) stay resident across the i-loop of a row chunk; a kNc
  * output-row segment (2 KiB) stays in L1 across the p-loop. Fixed
  * constants, not tuned per shape: blocking only changes *which* terms
- * are in cache, never the order terms are added per output element, so
- * results are bit-identical to the unblocked triple loop.
+ * are in cache, never the order terms are added per output element
+ * (the fma fold documented in ops.h), so results are bit-identical to
+ * an unblocked loop following the same contract.
  */
 constexpr std::size_t kKc = 128;
 constexpr std::size_t kNc = 512;
@@ -49,37 +56,221 @@ rowGrain(std::size_t work_per_row)
         1, kMinWorkPerChunk / std::max<std::size_t>(work_per_row, 1));
 }
 
+/** Register-tile shape of the AVX2 microkernel: 6 rows x 16 cols. */
+constexpr std::size_t kMr = 6;
+
 /**
- * The shared row-major GEMM core: od[m, n] += ad[m, k] * bd[k, n],
- * blocked kKc x kNc, row-parallel. od must be zeroed (or hold the
- * value being accumulated into). Per output element the k terms are
- * added in increasing p exactly as in the naive ikj loop, so blocking
- * and threading change nothing bitwise.
+ * Scalar GEMM block, the portable fallback. Computes, for rows
+ * [i0, i1) and the (jj, pp) cache block, od[i, jj+j] (+)= sum over the
+ * k-panel of fma(A(i, pp+p), b[pp+p, jj+j], acc) with A(i, p) =
+ * ad[i * a_rs + p * a_cs] (a_cs = m for the transposed-A variant).
+ *
+ * Accumulation-order contract (shared with the AVX2 kernel): per
+ * output element the accumulator starts from the value in od, adds
+ * terms in increasing p, each as one fused multiply-add (std::fma here
+ * == vfmadd there: both correctly rounded), and stores once per
+ * k-panel. When @p bias is non-null and this is the last k-panel, the
+ * epilogue adds bias[j] (one plain add) and, if @p relu, clamps at
+ * zero — exactly the per-element ops of addBiasRows + reluInPlace.
  */
 void
-gemmRowMajor(const float* RECSIM_RESTRICT ad,
-             const float* RECSIM_RESTRICT bd, float* RECSIM_RESTRICT od,
-             std::size_t m, std::size_t k, std::size_t n)
+gemmBlockScalar(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
+                std::size_t a_cs, const float* RECSIM_RESTRICT bd,
+                float* RECSIM_RESTRICT od, std::size_t n,
+                std::size_t i0, std::size_t i1, std::size_t jj,
+                std::size_t jn, std::size_t pp, std::size_t pk,
+                std::size_t k, const float* RECSIM_RESTRICT bias,
+                bool relu)
 {
+    const bool epilogue = bias != nullptr && pp + pk == k;
+    for (std::size_t i = i0; i < i1; ++i) {
+        const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
+        const float* RECSIM_RESTRICT bpan = bd + pp * n + jj;
+        float* RECSIM_RESTRICT orow = od + i * n + jj;
+        for (std::size_t jt = 0; jt < jn; jt += 8) {
+            const std::size_t w = std::min<std::size_t>(8, jn - jt);
+            float acc[8];
+            for (std::size_t u = 0; u < w; ++u)
+                acc[u] = orow[jt + u];
+            for (std::size_t p = 0; p < pk; ++p) {
+                const float av = ab[p * a_cs];
+                const float* RECSIM_RESTRICT brow = bpan + p * n + jt;
+                for (std::size_t u = 0; u < w; ++u)
+                    acc[u] = std::fma(av, brow[u], acc[u]);
+            }
+            if (epilogue) {
+                for (std::size_t u = 0; u < w; ++u) {
+                    acc[u] += bias[jj + jt + u];
+                    if (relu)
+                        acc[u] = std::max(acc[u], 0.0f);
+                }
+            }
+            for (std::size_t u = 0; u < w; ++u)
+                orow[jt + u] = acc[u];
+        }
+    }
+}
+
+#if defined(RECSIM_SIMD_X86)
+
+/**
+ * AVX2/FMA GEMM block: kMr x 16 register tiles (12 ymm accumulators,
+ * two b loads shared across the 6 rows per k step) inside the same
+ * kKc x kNc cache block, with 8-wide and scalar column tails and a
+ * 1-row tail; every path follows the same per-element contract as
+ * gemmBlockScalar, so the two are bitwise interchangeable.
+ */
+__attribute__((target("avx2,fma"))) void
+gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
+              std::size_t a_cs, const float* RECSIM_RESTRICT bd,
+              float* RECSIM_RESTRICT od, std::size_t n, std::size_t i0,
+              std::size_t i1, std::size_t jj, std::size_t jn,
+              std::size_t pp, std::size_t pk, std::size_t k,
+              const float* RECSIM_RESTRICT bias, bool relu)
+{
+    const bool epilogue = bias != nullptr && pp + pk == k;
+    const float* RECSIM_RESTRICT bpan = bd + pp * n + jj;
+    const __m256 zero = _mm256_setzero_ps();
+
+    std::size_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+        const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
+        float* RECSIM_RESTRICT obase = od + i * n + jj;
+        std::size_t jt = 0;
+        for (; jt + 16 <= jn; jt += 16) {
+            __m256 acc[kMr][2];
+            for (std::size_t r = 0; r < kMr; ++r) {
+                acc[r][0] = _mm256_loadu_ps(obase + r * n + jt);
+                acc[r][1] = _mm256_loadu_ps(obase + r * n + jt + 8);
+            }
+            for (std::size_t p = 0; p < pk; ++p) {
+                const float* RECSIM_RESTRICT brow = bpan + p * n + jt;
+                const __m256 b0 = _mm256_loadu_ps(brow);
+                const __m256 b1 = _mm256_loadu_ps(brow + 8);
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    const __m256 av =
+                        _mm256_broadcast_ss(ab + r * a_rs + p * a_cs);
+                    acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+                    acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+                }
+            }
+            if (epilogue) {
+                const __m256 bv0 = _mm256_loadu_ps(bias + jj + jt);
+                const __m256 bv1 = _mm256_loadu_ps(bias + jj + jt + 8);
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    acc[r][0] = _mm256_add_ps(acc[r][0], bv0);
+                    acc[r][1] = _mm256_add_ps(acc[r][1], bv1);
+                    if (relu) {
+                        acc[r][0] = _mm256_max_ps(acc[r][0], zero);
+                        acc[r][1] = _mm256_max_ps(acc[r][1], zero);
+                    }
+                }
+            }
+            for (std::size_t r = 0; r < kMr; ++r) {
+                _mm256_storeu_ps(obase + r * n + jt, acc[r][0]);
+                _mm256_storeu_ps(obase + r * n + jt + 8, acc[r][1]);
+            }
+        }
+        for (; jt + 8 <= jn; jt += 8) {
+            __m256 acc[kMr];
+            for (std::size_t r = 0; r < kMr; ++r)
+                acc[r] = _mm256_loadu_ps(obase + r * n + jt);
+            for (std::size_t p = 0; p < pk; ++p) {
+                const __m256 b0 = _mm256_loadu_ps(bpan + p * n + jt);
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    const __m256 av =
+                        _mm256_broadcast_ss(ab + r * a_rs + p * a_cs);
+                    acc[r] = _mm256_fmadd_ps(av, b0, acc[r]);
+                }
+            }
+            if (epilogue) {
+                const __m256 bv = _mm256_loadu_ps(bias + jj + jt);
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    acc[r] = _mm256_add_ps(acc[r], bv);
+                    if (relu)
+                        acc[r] = _mm256_max_ps(acc[r], zero);
+                }
+            }
+            for (std::size_t r = 0; r < kMr; ++r)
+                _mm256_storeu_ps(obase + r * n + jt, acc[r]);
+        }
+        if (jt < jn)
+            gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i, i + kMr,
+                            jj + jt, jn - jt, pp, pk, k, bias, relu);
+    }
+    for (; i < i1; ++i) {
+        const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
+        float* RECSIM_RESTRICT orow = od + i * n + jj;
+        std::size_t jt = 0;
+        for (; jt + 16 <= jn; jt += 16) {
+            __m256 a0 = _mm256_loadu_ps(orow + jt);
+            __m256 a1 = _mm256_loadu_ps(orow + jt + 8);
+            for (std::size_t p = 0; p < pk; ++p) {
+                const float* RECSIM_RESTRICT brow = bpan + p * n + jt;
+                const __m256 av =
+                    _mm256_broadcast_ss(ab + p * a_cs);
+                a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), a0);
+                a1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8),
+                                     a1);
+            }
+            if (epilogue) {
+                a0 = _mm256_add_ps(a0, _mm256_loadu_ps(bias + jj + jt));
+                a1 = _mm256_add_ps(a1,
+                                   _mm256_loadu_ps(bias + jj + jt + 8));
+                if (relu) {
+                    a0 = _mm256_max_ps(a0, zero);
+                    a1 = _mm256_max_ps(a1, zero);
+                }
+            }
+            _mm256_storeu_ps(orow + jt, a0);
+            _mm256_storeu_ps(orow + jt + 8, a1);
+        }
+        if (jt < jn)
+            gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i, i + 1,
+                            jj + jt, jn - jt, pp, pk, k, bias, relu);
+    }
+}
+
+#endif // RECSIM_SIMD_X86
+
+/**
+ * The shared GEMM core: od[m, n] (+)= A[m, k] * bd[k, n], blocked
+ * kKc x kNc, row-parallel, with A(i, p) = ad[i * a_rs + p * a_cs] so
+ * the same core serves matmul (a_rs = k, a_cs = 1) and matmulTransA
+ * (a_rs = 1, a_cs = m). od must be zeroed (or hold the value being
+ * accumulated into). When @p bias is non-null the bias(+relu) epilogue
+ * runs inside the final k-panel store. Per output element the k terms
+ * are added in increasing p, one fma each (see ops.h contract), so
+ * blocking, register tiling, vector width and threading change nothing
+ * bitwise.
+ */
+void
+gemmBlocked(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
+            std::size_t a_cs, const float* RECSIM_RESTRICT bd,
+            float* RECSIM_RESTRICT od, std::size_t m, std::size_t k,
+            std::size_t n, const float* RECSIM_RESTRICT bias = nullptr,
+            bool relu = false)
+{
+    // At least kMr rows per chunk so the register tile stays full;
+    // grain only changes which rows share a chunk, never the result.
+    const std::size_t grain =
+        std::max<std::size_t>(rowGrain(2 * k * n), kMr);
     util::globalThreadPool().parallelFor(
-        0, m, rowGrain(2 * k * n),
-        [=](std::size_t i0, std::size_t i1) {
+        0, m, grain, [=](std::size_t i0, std::size_t i1) {
             for (std::size_t jj = 0; jj < n; jj += kNc) {
                 const std::size_t jn = std::min(kNc, n - jj);
                 for (std::size_t pp = 0; pp < k; pp += kKc) {
                     const std::size_t pk = std::min(kKc, k - pp);
-                    for (std::size_t i = i0; i < i1; ++i) {
-                        const float* RECSIM_RESTRICT arow =
-                            ad + i * k + pp;
-                        float* RECSIM_RESTRICT orow = od + i * n + jj;
-                        for (std::size_t p = 0; p < pk; ++p) {
-                            const float av = arow[p];
-                            const float* RECSIM_RESTRICT brow =
-                                bd + (pp + p) * n + jj;
-                            for (std::size_t j = 0; j < jn; ++j)
-                                orow[j] += av * brow[j];
-                        }
+#if defined(RECSIM_SIMD_X86)
+                    if (simd::enabled()) {
+                        gemmBlockAvx2(ad, a_rs, a_cs, bd, od, n, i0,
+                                      i1, jj, jn, pp, pk, k, bias,
+                                      relu);
+                        continue;
                     }
+#endif
+                    gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i0, i1,
+                                    jj, jn, pp, pk, k, bias, relu);
                 }
             }
         });
@@ -103,7 +294,23 @@ matmul(const Tensor& a, const Tensor& b, Tensor& out)
                   a.shapeString(), b.shapeString());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     out.resize(m, n);
-    gemmRowMajor(a.data(), b.data(), out.data(), m, k, n);
+    gemmBlocked(a.data(), k, 1, b.data(), out.data(), m, k, n);
+}
+
+void
+matmulBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
+              bool relu, Tensor& out)
+{
+    requireRank2(a, "matmulBiasAct");
+    requireRank2(b, "matmulBiasAct");
+    RECSIM_ASSERT(a.cols() == b.rows(), "matmulBiasAct {} x {}",
+                  a.shapeString(), b.shapeString());
+    RECSIM_ASSERT(bias.size() == b.cols(), "bias {} for {}",
+                  bias.shapeString(), b.shapeString());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    out.resize(m, n);
+    gemmBlocked(a.data(), k, 1, b.data(), out.data(), m, k, n,
+                bias.data(), relu);
 }
 
 void
@@ -115,32 +322,10 @@ matmulTransA(const Tensor& a, const Tensor& b, Tensor& out)
                   a.shapeString(), b.shapeString());
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
     out.resize(m, n);
-    const float* RECSIM_RESTRICT ad = a.data();
-    const float* RECSIM_RESTRICT bd = b.data();
-    float* RECSIM_RESTRICT od = out.data();
-    util::globalThreadPool().parallelFor(
-        0, m, rowGrain(2 * k * n),
-        [=](std::size_t i0, std::size_t i1) {
-            for (std::size_t jj = 0; jj < n; jj += kNc) {
-                const std::size_t jn = std::min(kNc, n - jj);
-                for (std::size_t pp = 0; pp < k; pp += kKc) {
-                    const std::size_t pk = std::min(kKc, k - pp);
-                    for (std::size_t i = i0; i < i1; ++i) {
-                        float* RECSIM_RESTRICT orow = od + i * n + jj;
-                        for (std::size_t p = 0; p < pk; ++p) {
-                            // a is [k, m]; column i walked with
-                            // stride m — k strided loads per output
-                            // row, negligible next to the k * n FMAs.
-                            const float av = ad[(pp + p) * m + i];
-                            const float* RECSIM_RESTRICT brow =
-                                bd + (pp + p) * n + jj;
-                            for (std::size_t j = 0; j < jn; ++j)
-                                orow[j] += av * brow[j];
-                        }
-                    }
-                }
-            }
-        });
+    // a is [k, m]; column i is walked with stride m — k strided
+    // broadcasts per register tile row, negligible next to the
+    // k * n FMAs.
+    gemmBlocked(a.data(), 1, m, b.data(), out.data(), m, k, n);
 }
 
 void
@@ -169,7 +354,7 @@ matmulTransB(const Tensor& a, const Tensor& b, Tensor& out)
                 for (std::size_t j = 0; j < n; ++j)
                     btd[p * n + j] = bd[j * k + p];
         });
-    gemmRowMajor(a.data(), btd, out.data(), m, k, n);
+    gemmBlocked(a.data(), k, 1, btd, out.data(), m, k, n);
 }
 
 void
@@ -192,6 +377,59 @@ addBiasRows(Tensor& x, const Tensor& bias)
         });
 }
 
+namespace {
+
+#if defined(RECSIM_SIMD_X86)
+
+/**
+ * Column-tiled row reduction: 32-column register tiles accumulated
+ * across all rows before one store, instead of a read-modify-write of
+ * od per (row, column). Each column still adds its rows in increasing
+ * i with plain float adds — the exact per-element ops of the scalar
+ * loop — so the paths are bitwise interchangeable.
+ */
+__attribute__((target("avx2"))) void
+sumRowsAvx2(const float* RECSIM_RESTRICT xd, float* RECSIM_RESTRICT od,
+            std::size_t rows, std::size_t cols, std::size_t j0,
+            std::size_t j1)
+{
+    std::size_t j = j0;
+    for (; j + 32 <= j1; j += 32) {
+        __m256 acc0 = _mm256_loadu_ps(od + j);
+        __m256 acc1 = _mm256_loadu_ps(od + j + 8);
+        __m256 acc2 = _mm256_loadu_ps(od + j + 16);
+        __m256 acc3 = _mm256_loadu_ps(od + j + 24);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const float* RECSIM_RESTRICT row = xd + i * cols + j;
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(row));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(row + 8));
+            acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(row + 16));
+            acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(row + 24));
+        }
+        _mm256_storeu_ps(od + j, acc0);
+        _mm256_storeu_ps(od + j + 8, acc1);
+        _mm256_storeu_ps(od + j + 16, acc2);
+        _mm256_storeu_ps(od + j + 24, acc3);
+    }
+    for (; j + 8 <= j1; j += 8) {
+        __m256 acc = _mm256_loadu_ps(od + j);
+        for (std::size_t i = 0; i < rows; ++i)
+            acc = _mm256_add_ps(acc,
+                                _mm256_loadu_ps(xd + i * cols + j));
+        _mm256_storeu_ps(od + j, acc);
+    }
+    for (; j < j1; ++j) {
+        float acc = od[j];
+        for (std::size_t i = 0; i < rows; ++i)
+            acc += xd[i * cols + j];
+        od[j] = acc;
+    }
+}
+
+#endif // RECSIM_SIMD_X86
+
+} // namespace
+
 void
 sumRows(const Tensor& x, Tensor& out)
 {
@@ -208,6 +446,12 @@ sumRows(const Tensor& x, Tensor& out)
     util::globalThreadPool().parallelFor(
         0, cols, rowGrain(rows),
         [=](std::size_t j0, std::size_t j1) {
+#if defined(RECSIM_SIMD_X86)
+            if (simd::enabled()) {
+                sumRowsAvx2(xd, od, rows, cols, j0, j1);
+                return;
+            }
+#endif
             for (std::size_t i = 0; i < rows; ++i) {
                 const float* RECSIM_RESTRICT row = xd + i * cols;
                 for (std::size_t j = j0; j < j1; ++j)
@@ -280,20 +524,14 @@ void
 sigmoidInPlace(Tensor& x)
 {
     float* RECSIM_RESTRICT xd = x.data();
+    // Full elementwise grain (the libm-exp version used a quarter of
+    // it because each element cost a libm call; the fast exp is ~20x
+    // cheaper). Grain only changes chunk boundaries, and the kernel is
+    // elementwise, so results are unchanged by the grain choice.
     util::globalThreadPool().parallelFor(
-        0, x.size(), kElemGrain / 4,
+        0, x.size(), kElemGrain,
         [=](std::size_t i0, std::size_t i1) {
-            for (std::size_t i = i0; i < i1; ++i) {
-                const float v = xd[i];
-                // Split on sign to avoid overflow in exp(); one exp()
-                // per element either way.
-                if (v >= 0.0f) {
-                    xd[i] = 1.0f / (1.0f + std::exp(-v));
-                } else {
-                    const float e = std::exp(v);
-                    xd[i] = e / (1.0f + e);
-                }
-            }
+            simd::sigmoidSpan(xd + i0, i1 - i0);
         });
 }
 

@@ -15,8 +15,17 @@ namespace tensor {
 
 /**
  * out = a (*) b for rank-2 tensors: [m, k] x [k, n] -> [m, n].
- * @p out is resized/overwritten. Uses an ikj loop order so the inner
- * loop streams rows of b (cache-friendly without an explicit pack).
+ * @p out is resized/overwritten. Cache-blocked with register-blocked
+ * AVX2/FMA microkernels inside the blocks (scalar std::fma fallback
+ * when the CPU lacks AVX2 or RECSIM_NO_SIMD=1; see simd.h).
+ *
+ * Accumulation-order contract (all matmul variants): each output
+ * element starts from the value already in @p out (zero here, since
+ * out is resized) and adds its k terms in increasing p, every term as
+ * ONE fused multiply-add — acc = fma(a[i,p], b[p,j], acc). The
+ * contract is independent of cache blocks, register tiles, vector
+ * width and thread count, so results are bitwise identical across all
+ * of them (tested in test_tensor.cc against an explicit fma fold).
  */
 void matmul(const Tensor& a, const Tensor& b, Tensor& out);
 
@@ -25,6 +34,17 @@ void matmulTransA(const Tensor& a, const Tensor& b, Tensor& out);
 
 /** out = a (*) b^T: [m, k] x [n, k]^T -> [m, n]. */
 void matmulTransB(const Tensor& a, const Tensor& b, Tensor& out);
+
+/**
+ * Fused GEMM epilogue: out = a (*) b, then out[i, :] += bias, then
+ * (if @p relu) out = max(out, 0) — applied inside the GEMM's final
+ * k-block store instead of as separate passes over @p out, saving the
+ * extra read+write memory traffic of addBiasRows / reluInPlace.
+ * Bitwise identical to matmul + addBiasRows (+ reluInPlace): the
+ * per-element float op sequence is unchanged, only when it runs moves.
+ */
+void matmulBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   bool relu, Tensor& out);
 
 /** Add row-vector @p bias [n] to every row of @p x [m, n], in place. */
 void addBiasRows(Tensor& x, const Tensor& bias);
@@ -47,7 +67,12 @@ void reluInPlace(Tensor& x);
  */
 void reluBackward(const Tensor& y, const Tensor& dy, Tensor& dx);
 
-/** Numerically stable logistic sigmoid in place. */
+/**
+ * Logistic sigmoid in place, via the vectorized fast exp (simd.h):
+ * within 1e-6 relative of the libm-exact value, overflow-safe for any
+ * finite input, and bit-identical across thread counts and between
+ * the AVX2 and scalar dispatch paths.
+ */
 void sigmoidInPlace(Tensor& x);
 
 /** Sum of all elements. */

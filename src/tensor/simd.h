@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime SIMD dispatch and the vectorized exp approximation shared by
+ * the tensor kernels (ops.cc).
+ *
+ * Dispatch contract: the library is compiled for the baseline ISA; the
+ * AVX2/FMA kernels are per-function `target("avx2,fma")` specializations
+ * selected once at startup with `__builtin_cpu_supports`. Setting
+ * RECSIM_NO_SIMD=1 in the environment (read once, before first use)
+ * forces the scalar fallbacks — the sanitizer matrix exercises that
+ * path. Every kernel pair (scalar, AVX2) computes bit-identical
+ * results: the scalar fallbacks use std::fma where the vector code uses
+ * vfmadd, and both share the per-element operation order documented on
+ * each kernel, so switching paths — like switching thread counts —
+ * never changes a single bit.
+ *
+ * Fast exp: a Cephes-style degree-5 polynomial after base-2 range
+ * reduction, max relative error <= 1e-6 against libm over the clamped
+ * domain (tested by a dense sweep in test_tensor.cc). Inputs are
+ * clamped to [-87.336544, 88.376259] so the result saturates at the
+ * smallest-normal / near-FLT_MAX ends instead of producing denormals
+ * or infinities.
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace recsim {
+namespace tensor {
+namespace simd {
+
+/** True when AVX2+FMA kernels are compiled in and the CPU has them. */
+bool available();
+
+/**
+ * True when the AVX2 kernels are actually dispatched to: available()
+ * and RECSIM_NO_SIMD is unset/empty/"0". Cached after the first call.
+ */
+bool enabled();
+
+/** "avx2-fma" or "scalar"; what enabled() resolves to. */
+const char* activeKernels();
+
+/**
+ * Scalar reference fast exp — the exact per-lane arithmetic of the
+ * AVX2 path (same fma sequence, same rounding trick), used by the
+ * scalar fallbacks and by tail elements of vector loops.
+ */
+float fastExpScalar(float x);
+
+/** Dispatching fast exp for a single value (== fastExpScalar). */
+float fastExp(float x);
+
+/**
+ * In-place logistic sigmoid over a span: x[i] = 1 / (1 + exp(-x[i]))
+ * with the fast exp. Branchless and overflow-safe via the exp clamp.
+ * No threading — callers chunk via parallelFor; scalar and AVX2 paths
+ * are bit-identical.
+ */
+void sigmoidSpan(float* x, std::size_t n);
+
+} // namespace simd
+} // namespace tensor
+} // namespace recsim

@@ -76,23 +76,30 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
                     mlp.close();
                     obs::TraceSpan span(node.id.c_str());
                     model.forwardProjection(
-                        static_cast<std::size_t>(node.table));
+                        static_cast<std::size_t>(node.table),
+                        node.fused_epilogue);
                 } else {
                     mlp.open("nn.mlp.fwd");
                     obs::TraceSpan span(node.id.c_str());
                     if (node.role == graph::GemmRole::BottomMlp)
                         model.forwardBottomLayer(
-                            static_cast<std::size_t>(node.layer), batch);
+                            static_cast<std::size_t>(node.layer), batch,
+                            node.fused_epilogue);
                     else
                         model.forwardTopLayer(
-                            static_cast<std::size_t>(node.layer));
+                            static_cast<std::size_t>(node.layer),
+                            node.fused_epilogue);
                 }
                 break;
               case graph::NodeKind::EmbeddingLookup: {
                 mlp.close();
                 obs::TraceSpan span(node.id.c_str());
-                model.forwardEmbedding(
-                    static_cast<std::size_t>(node.table), batch);
+                if (!node.fused_tables.empty())
+                    model.forwardEmbeddingGroup(node.fused_tables,
+                                                batch);
+                else
+                    model.forwardEmbedding(
+                        static_cast<std::size_t>(node.table), batch);
                 break;
               }
               case graph::NodeKind::Interaction: {
@@ -141,8 +148,12 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
               case graph::NodeKind::EmbeddingLookup: {
                 mlp.close();
                 obs::TraceSpan span(node.id.c_str());
-                model.backwardEmbedding(
-                    static_cast<std::size_t>(node.table), batch);
+                if (!node.fused_tables.empty())
+                    model.backwardEmbeddingGroup(node.fused_tables,
+                                                 batch);
+                else
+                    model.backwardEmbedding(
+                        static_cast<std::size_t>(node.table), batch);
                 break;
               }
               case graph::NodeKind::Interaction: {
@@ -241,33 +252,43 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
         if (node.role == graph::GemmRole::Projection) {
             if (forward)
                 model.forwardProjection(
-                    static_cast<std::size_t>(node.table));
+                    static_cast<std::size_t>(node.table),
+                    node.fused_epilogue);
             else
                 model.backwardProjection(
                     static_cast<std::size_t>(node.table));
         } else if (node.role == graph::GemmRole::BottomMlp) {
             if (forward)
                 model.forwardBottomLayer(
-                    static_cast<std::size_t>(node.layer), batch);
+                    static_cast<std::size_t>(node.layer), batch,
+                    node.fused_epilogue);
             else
                 model.backwardBottomLayer(
                     static_cast<std::size_t>(node.layer), batch);
         } else {
             if (forward)
                 model.forwardTopLayer(
-                    static_cast<std::size_t>(node.layer));
+                    static_cast<std::size_t>(node.layer),
+                    node.fused_epilogue);
             else
                 model.backwardTopLayer(
                     static_cast<std::size_t>(node.layer));
         }
         break;
       case graph::NodeKind::EmbeddingLookup:
-        if (forward)
-            model.forwardEmbedding(
-                static_cast<std::size_t>(node.table), batch);
-        else
-            model.backwardEmbedding(
-                static_cast<std::size_t>(node.table), batch);
+        if (forward) {
+            if (!node.fused_tables.empty())
+                model.forwardEmbeddingGroup(node.fused_tables, batch);
+            else
+                model.forwardEmbedding(
+                    static_cast<std::size_t>(node.table), batch);
+        } else {
+            if (!node.fused_tables.empty())
+                model.backwardEmbeddingGroup(node.fused_tables, batch);
+            else
+                model.backwardEmbedding(
+                    static_cast<std::size_t>(node.table), batch);
+        }
         break;
       case graph::NodeKind::Interaction:
         if (forward)

@@ -70,8 +70,9 @@ trainSingleThread(const model::DlrmConfig& model_config,
     // The executor dispatches independent nodes (per-table lookups,
     // projections, bottom MLP) concurrently; results are bit-identical
     // to the serial runGraphStep() walk at any RECSIM_THREADS.
-    const graph::StepGraph graph =
-        graph::buildModelStepGraph(model_config);
+    graph::StepGraph graph = graph::buildModelStepGraph(model_config);
+    if (config.fuse_graph)
+        graph::fusePass(graph);
     const GraphExecutor executor(graph);
     nn::Sgd sgd(config.learning_rate);
     nn::Adagrad adagrad(config.learning_rate);

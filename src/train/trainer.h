@@ -30,6 +30,13 @@ struct TrainConfig
     /** Evaluate on the held-out set every this many iterations
      *  (0 = only at the end). */
     std::size_t eval_every = 0;
+    /**
+     * Run graph::fusePass over the step graph before training: bias +
+     * ReLU fold into GEMM epilogues and per-device embedding lookups
+     * batch into grouped nodes. Results are bit-identical to the
+     * unfused walk; only the per-step wall time changes.
+     */
+    bool fuse_graph = false;
 };
 
 /** Outcome of a training run. */

@@ -448,6 +448,35 @@ TEST(IterationModel, MoreTrainersScaleUntilPsBound)
     EXPECT_EQ(est32.bottleneck, "sparse_ps");
 }
 
+TEST(IterationModel, FusedStepGraphNeverSlowerAndWinsWithDispatchCost)
+{
+    const auto m = model::DlrmConfig::m1Prod();
+    const auto sys = SystemConfig::cpuSetup(4, 8, 2, 200, 2);
+
+    // With free dispatch the fusion win is the epilogue traffic alone,
+    // so fused must be at least as fast and never changes feasibility.
+    CostParams fused_params;
+    fused_params.fuse_step_graph = true;
+    const auto plain = IterationModel(m, sys).estimate();
+    const auto fused = IterationModel(m, sys, fused_params).estimate();
+    ASSERT_TRUE(plain.feasible);
+    ASSERT_TRUE(fused.feasible);
+    EXPECT_LE(fused.iteration_seconds, plain.iteration_seconds);
+
+    // A nonzero per-table dispatch cost makes lookup grouping a strict
+    // win: the fused graph has one EmbeddingLookup node per device
+    // instead of one per table.
+    CostParams dispatch;
+    dispatch.cpu_per_table_dispatch = 5.0e-6;
+    auto fused_dispatch = dispatch;
+    fused_dispatch.fuse_step_graph = true;
+    const auto plain_d = IterationModel(m, sys, dispatch).estimate();
+    const auto fused_d =
+        IterationModel(m, sys, fused_dispatch).estimate();
+    EXPECT_LT(fused_d.iteration_seconds, plain_d.iteration_seconds);
+    EXPECT_GT(fused_d.throughput, plain_d.throughput);
+}
+
 TEST(IterationModel, EasgdSyncPeriodReducesDensePsLoad)
 {
     const auto m2 = model::DlrmConfig::m2Prod();

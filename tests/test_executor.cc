@@ -116,6 +116,54 @@ TEST(GraphExecutor, BitwiseEqualToSerialWalkAcrossThreadCounts)
     }
 }
 
+TEST(GraphExecutor, FusedGraphBitwiseEqualToUnfusedSerialWalk)
+{
+    // fusePass rewrites the IR (epilogue-fused GEMMs, grouped
+    // lookups); execution through the fused graph — serial walk and
+    // wavefront executor alike — must stay bit-identical to the
+    // unfused serial walk at every thread count. This is the whole
+    // license for the fusion pass.
+    auto& pool = util::globalThreadPool();
+    for (const auto& cfg : modelZoo()) {
+        const auto unfused = graph::buildModelStepGraph(cfg);
+        auto fused_graph = graph::buildModelStepGraph(cfg);
+        graph::fusePass(fused_graph);
+        ASSERT_NE(fused_graph.find("emb.grouped.g0"), nullptr);
+        const GraphExecutor executor(fused_graph);
+
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            pool.resize(threads);
+            const std::string context = cfg.name + " fused @" +
+                std::to_string(threads) + "t";
+            model::Dlrm unfused_model(cfg, 3);
+            model::Dlrm fused_serial(cfg, 3);
+            model::Dlrm fused_exec(cfg, 3);
+            data::SyntheticCtrDataset ds(datasetFor(cfg));
+            const nn::Sgd sgd(0.05f);
+            for (std::size_t step = 0; step < 5; ++step) {
+                const auto batch = ds.nextBatch(32);
+                const double a =
+                    runGraphStep(unfused_model, batch, unfused);
+                const double b =
+                    runGraphStep(fused_serial, batch, fused_graph);
+                const double c = executor.runStep(fused_exec, batch);
+                EXPECT_TRUE(bitwiseEqual(a, b))
+                    << context << " serial step " << step;
+                EXPECT_TRUE(bitwiseEqual(a, c))
+                    << context << " executor step " << step;
+                unfused_model.step(sgd);
+                fused_serial.step(sgd);
+                fused_exec.step(sgd);
+            }
+            expectParamsBitwiseEqual(unfused_model, fused_serial,
+                                     context + " serial");
+            expectParamsBitwiseEqual(unfused_model, fused_exec,
+                                     context + " executor");
+            pool.resize(1);
+        }
+    }
+}
+
 TEST(GraphExecutor, BoundGraphSchedulesLikeComputeSkeleton)
 {
     // A placement-bound graph carries Comm/Loss/Optimizer nodes the

@@ -585,6 +585,73 @@ TEST(GradCheck, ExecutorGradientsMatchFusedForwardBackward)
     }
 }
 
+// The fused graph (graph::fusePass — epilogue-fused GEMMs, grouped
+// embedding lookups) must leave every gradient bit-identical to
+// forwardBackward(), so the analytic-vs-numeric validation above
+// covers the fused execution path unchanged.
+TEST(GradCheck, FusedGraphGradientsMatchForwardBackward)
+{
+    const auto cfg = model::DlrmConfig::tinyReplica(3, 4, 50, 4);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = cfg.num_dense;
+    ds_cfg.sparse = cfg.sparse;
+    ds_cfg.seed = 71;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(64);
+    const data::MiniBatch batch = ds.epochBatch(0, 8);
+
+    auto graph = graph::buildModelStepGraph(cfg);
+    graph::fusePass(graph);
+    const train::GraphExecutor executor(graph);
+    for (const std::size_t threads : {1u, 8u}) {
+        ScopedPoolThreads pool(threads);
+        model::Dlrm reference(cfg, 7);
+        model::Dlrm stepped(cfg, 7);
+        reference.zeroGrad();
+        stepped.zeroGrad();
+        const double a = reference.forwardBackward(batch);
+        const double b = executor.runStep(stepped, batch);
+        EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+            << threads << " threads: " << a << " vs " << b;
+
+        auto check_layers = [&](Mlp& fa, Mlp& fb,
+                                const std::string& tag) {
+            ASSERT_EQ(fa.layers().size(), fb.layers().size());
+            for (std::size_t l = 0; l < fa.layers().size(); ++l) {
+                Linear& x = fa.layers()[l];
+                Linear& y = fb.layers()[l];
+                EXPECT_EQ(std::memcmp(x.gradWeight.data(),
+                                      y.gradWeight.data(),
+                                      x.gradWeight.size() *
+                                          sizeof(float)),
+                          0)
+                    << tag << l << " @" << threads << "t";
+                EXPECT_EQ(std::memcmp(x.gradBias.data(),
+                                      y.gradBias.data(),
+                                      x.gradBias.size() * sizeof(float)),
+                          0)
+                    << tag << l << " @" << threads << "t";
+            }
+        };
+        check_layers(reference.bottomMlp(), stepped.bottomMlp(),
+                     "bottom");
+        check_layers(reference.topMlp(), stepped.topMlp(), "top");
+
+        ASSERT_EQ(reference.sparseGrads().size(),
+                  stepped.sparseGrads().size());
+        for (std::size_t t = 0; t < reference.sparseGrads().size();
+             ++t) {
+            const SparseGrad& x = reference.sparseGrads()[t];
+            const SparseGrad& y = stepped.sparseGrads()[t];
+            ASSERT_EQ(x.rows, y.rows) << "table " << t;
+            EXPECT_EQ(std::memcmp(x.values.data(), y.values.data(),
+                                  x.values.size() * sizeof(float)),
+                      0)
+                << "table " << t << " @" << threads << "t";
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Mutation spot-check: a corrupted analytic gradient must be rejected,
 // proving the checker has teeth (a backward bug cannot pass silently).

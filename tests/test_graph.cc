@@ -567,5 +567,182 @@ TEST(ForwardSubgraph, BoundGraphRewiresThroughCommNodes)
     EXPECT_GT(emb_deps, 0u);
 }
 
+// ---- fusePass -------------------------------------------------------
+
+/** Mixed-dim config: emb -> proj chains exercise the dep rewiring. */
+model::DlrmConfig
+fusionConfig()
+{
+    auto m = model::DlrmConfig::testSuite(64, 6, 1000, 64, 2, 8.0, 0);
+    for (std::size_t f = 0; f < m.sparse.size(); ++f)
+        m.sparse[f].mean_length = 0.5 + static_cast<double>(f);
+    return model::applyMixedDimensions(m, 0.5, 4);
+}
+
+TEST(FusePass, MarksEveryGemmEpilogueFused)
+{
+    auto g = graph::buildModelStepGraph(fusionConfig());
+    const auto before = graph::summarize(g);
+    EXPECT_GT(before.epilogue_traffic_bytes, 0.0);
+
+    graph::fusePass(g);
+    for (const auto& node : g.nodes) {
+        if (node.kind != NodeKind::Gemm)
+            continue;
+        EXPECT_TRUE(node.fused_epilogue) << node.id;
+        EXPECT_EQ(node.epilogue_traffic_bytes, 0.0) << node.id;
+    }
+    EXPECT_EQ(graph::summarize(g).epilogue_traffic_bytes, 0.0);
+}
+
+TEST(FusePass, BuilderEpilogueBytesFollowTheTrafficFormula)
+{
+    // Hidden MLP layers pay a bias pass plus a ReLU pass (4 bytes
+    // moved per output element per pass direction); last layers and
+    // projections pay bias only.
+    const auto cfg = fusionConfig();
+    const auto g = graph::buildModelStepGraph(cfg);
+    const auto dims = cfg.bottomDims();
+    for (std::size_t l = 0; l < dims.size(); ++l) {
+        const auto* node =
+            g.find("bottom_mlp.l" + std::to_string(l));
+        ASSERT_NE(node, nullptr);
+        const double passes = l + 1 < dims.size() ? 4.0 : 2.0;
+        EXPECT_EQ(node->epilogue_traffic_bytes,
+                  passes * static_cast<double>(dims[l]) *
+                      sizeof(float))
+            << node->id;
+    }
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::Projection) {
+            EXPECT_EQ(node.epilogue_traffic_bytes,
+                      2.0 * static_cast<double>(node.out_width) *
+                          sizeof(float))
+                << node.id;
+        }
+    }
+}
+
+TEST(FusePass, GroupsLookupsWithExactAnnotationSums)
+{
+    const auto cfg = fusionConfig();
+    const auto unfused = graph::buildModelStepGraph(cfg);
+    auto g = graph::buildModelStepGraph(cfg);
+    graph::fusePass(g);
+    EXPECT_TRUE(g.validate().empty());
+
+    // Unbound graph: every lookup shares one (unassigned) device, so
+    // exactly one grouped node replaces them all.
+    EXPECT_EQ(g.indicesOf(NodeKind::EmbeddingLookup).size(), 1u);
+    const auto* grouped = g.find("emb.grouped.g0");
+    ASSERT_NE(grouped, nullptr);
+
+    // fused_tables lists the members in merge (= node) order, and each
+    // annotation is the exact member-order sum.
+    std::vector<int> want_tables;
+    double lookups = 0.0, bytes = 0.0, pooled = 0.0, params = 0.0;
+    for (const auto& node : unfused.nodes) {
+        if (node.kind != NodeKind::EmbeddingLookup)
+            continue;
+        want_tables.push_back(node.table);
+        lookups += node.lookups_per_example;
+        bytes += node.bytes_per_example;
+        pooled += node.pooled_bytes_per_example;
+        params += node.param_bytes;
+    }
+    EXPECT_EQ(grouped->fused_tables, want_tables);
+    EXPECT_EQ(grouped->lookups_per_example, lookups);
+    EXPECT_EQ(grouped->bytes_per_example, bytes);
+    EXPECT_EQ(grouped->pooled_bytes_per_example, pooled);
+    EXPECT_EQ(grouped->param_bytes, params);
+
+    // Work totals the cost model folds are preserved exactly; only the
+    // node count collapses.
+    const auto before = graph::summarize(unfused);
+    const auto after = graph::summarize(g);
+    EXPECT_EQ(after.embedding_lookups, before.embedding_lookups);
+    EXPECT_EQ(after.embedding_bytes, before.embedding_bytes);
+    EXPECT_EQ(after.pooled_bytes, before.pooled_bytes);
+    EXPECT_EQ(after.mlp_flops, before.mlp_flops);
+    EXPECT_EQ(after.embedding_tables, 1u);
+}
+
+TEST(FusePass, RewiresConsumersOntoTheGroupedNode)
+{
+    const auto cfg = fusionConfig();
+    auto g = graph::buildModelStepGraph(cfg);
+    graph::fusePass(g);
+    ASSERT_TRUE(g.validate().empty());
+    EXPECT_FALSE(g.topoOrder().empty());
+
+    const std::size_t gi = g.indexOf("emb.grouped.g0");
+    ASSERT_NE(gi, graph::StepGraph::npos);
+
+    // Every pre-fusion consumer of a per-table lookup (projections and
+    // the interaction) must now depend on the grouped node instead,
+    // with the edge deduplicated.
+    bool found_proj = false;
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::Projection) {
+            found_proj = true;
+            EXPECT_EQ(std::count(node.deps.begin(), node.deps.end(),
+                                 gi),
+                      1)
+                << node.id;
+        }
+    }
+    ASSERT_TRUE(found_proj);
+    const auto& ix = g.nodes[g.indexOf("interaction")];
+    EXPECT_EQ(std::count(ix.deps.begin(), ix.deps.end(), gi), 1);
+    // No dangling references to the merged per-table ids.
+    EXPECT_EQ(g.find("emb.t0"), nullptr);
+}
+
+TEST(FusePass, Idempotent)
+{
+    auto g = graph::buildModelStepGraph(fusionConfig());
+    graph::fusePass(g);
+    const auto once = g;
+    graph::fusePass(g);
+    ASSERT_EQ(g.nodes.size(), once.nodes.size());
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        EXPECT_EQ(g.nodes[i].id, once.nodes[i].id);
+        EXPECT_EQ(g.nodes[i].deps, once.nodes[i].deps);
+        EXPECT_EQ(g.nodes[i].lookups_per_example,
+                  once.nodes[i].lookups_per_example);
+        EXPECT_EQ(g.nodes[i].fused_tables, once.nodes[i].fused_tables);
+    }
+}
+
+TEST(FusePass, BoundGraphGroupsPerDeviceWithStableIds)
+{
+    // A CPU PS system spreads the tables over shards of one device
+    // (SparsePs). Grouping is per device — never per shard — so the
+    // bound graph produces the same grouped id the unbound graph does,
+    // keeping the three validation columns keyed alike.
+    const auto m = model::DlrmConfig::testSuite(256, 8, 100000);
+    const auto sys = cost::SystemConfig::cpuSetup(2, 3, 1, 200, 1);
+    cost::CostParams params;
+    params.fuse_step_graph = true;
+    const cost::IterationModel im(m, sys, params);
+    const auto& g = im.stepGraph();
+    ASSERT_TRUE(g.validate().empty());
+
+    EXPECT_EQ(g.indicesOf(NodeKind::EmbeddingLookup).size(), 1u);
+    const auto* grouped = g.find("emb.grouped.g0");
+    ASSERT_NE(grouped, nullptr);
+    EXPECT_EQ(grouped->device, graph::Device::SparsePs);
+    EXPECT_EQ(grouped->fused_tables.size(), m.numSparse());
+    // Members span PS shards, so the grouped node claims none.
+    EXPECT_EQ(grouped->shard, -1);
+    // Comm legs survive untouched, one chain per shard.
+    for (std::size_t s = 0; s < sys.num_sparse_ps; ++s) {
+        EXPECT_NE(g.findComm(graph::CommOp::PsGather,
+                             static_cast<int>(s)), nullptr);
+    }
+}
+
 } // namespace
 } // namespace recsim

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
 
@@ -329,6 +331,166 @@ TEST(Ops, ClipL2Norm)
     Tensor y{0.3f, 0.4f};
     clipL2Norm(y, 2.5);
     EXPECT_NEAR(l2Norm(y), 0.5, 1e-6);
+}
+
+// ---- SIMD microkernel contracts ------------------------------------
+
+bool
+bitwiseEqualTensors(const Tensor& a, const Tensor& b)
+{
+    return a.size() == b.size() &&
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/**
+ * The accumulation-order contract of ops.h, executed literally: per
+ * output element the k products fold in increasing p, each as one
+ * std::fma, starting from zero. Every matmul code path (scalar tiles,
+ * AVX2 register blocks, any cache blocking, any thread count) must
+ * reproduce this bit for bit.
+ */
+Tensor
+contractMatmul(const Tensor& a, const Tensor& b)
+{
+    Tensor out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < a.cols(); ++p)
+                acc = std::fma(a.at(i, p), b.at(p, j), acc);
+            out.at(i, j) = acc;
+        }
+    return out;
+}
+
+TEST(Simd, FastExpDenseSweepWithinRelTol)
+{
+    // Dense sweep over the whole un-clamped domain: the kernel promises
+    // <= 1e-6 relative error against libm everywhere it is used
+    // (sigmoid). 350k points at 0.5e-3 spacing.
+    double max_rel = 0.0;
+    for (double x = -87.0; x <= 88.0; x += 0.5e-3) {
+        const auto xf = static_cast<float>(x);
+        const double want = std::exp(static_cast<double>(xf));
+        const double got = simd::fastExp(xf);
+        max_rel = std::max(max_rel, std::abs(got - want) / want);
+    }
+    EXPECT_LE(max_rel, 1e-6);
+}
+
+TEST(Simd, FastExpClampsAndEdgeValues)
+{
+    EXPECT_EQ(simd::fastExp(0.0f), 1.0f);
+    // Far outside the clamp range: finite, monotone-consistent limits.
+    EXPECT_GT(simd::fastExp(1000.0f), 1e38f);
+    EXPECT_TRUE(std::isfinite(simd::fastExp(1000.0f)));
+    EXPECT_LT(simd::fastExp(-1000.0f), 1e-37f);
+    EXPECT_GE(simd::fastExp(-1000.0f), 0.0f);
+    // Scalar reference path and dispatched path agree bitwise.
+    for (float x : {-80.0f, -1.5f, 0.0f, 0.7f, 42.0f}) {
+        EXPECT_EQ(simd::fastExp(x), simd::fastExpScalar(x));
+    }
+}
+
+TEST(Simd, SigmoidVectorLaneMatchesScalarTail)
+{
+    // 9 copies of one value: element 0 runs in the 8-wide vector body,
+    // element 8 in the scalar tail. The dispatch contract requires the
+    // two paths to be bit-identical for non-NaN inputs.
+    for (float x : {-30.0f, -2.5f, -0.1f, 0.0f, 0.3f, 4.0f, 50.0f}) {
+        float buf[9];
+        for (float& v : buf)
+            v = x;
+        simd::sigmoidSpan(buf, 9);
+        EXPECT_EQ(std::memcmp(&buf[0], &buf[8], sizeof(float)), 0)
+            << "vector lane and scalar tail disagree at x = " << x;
+    }
+}
+
+TEST(Matmul, AccumulationOrderContractBitwise)
+{
+    // Odd sizes: exercise the 6-row blocks, the 16/8-wide column tiles,
+    // the scalar tails and a k crossing the 128-deep panel boundary.
+    const Tensor a = randomMatrix(13, 131, 7);
+    const Tensor b = randomMatrix(131, 37, 8);
+    const Tensor want = contractMatmul(a, b);
+    Tensor got;
+    matmul(a, b, got);
+    EXPECT_TRUE(bitwiseEqualTensors(got, want));
+}
+
+TEST(Matmul, TransVariantsHonorAccumulationContractBitwise)
+{
+    const Tensor a = randomMatrix(13, 131, 9);
+    const Tensor b = randomMatrix(131, 37, 10);
+
+    // A^T path: matmulTransA(a', b) with a' = a^T must equal the
+    // contract fold of (a, b).
+    Tensor at(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            at.at(j, i) = a.at(i, j);
+    Tensor got;
+    matmulTransA(at, b, got);
+    EXPECT_TRUE(bitwiseEqualTensors(got, contractMatmul(a, b)));
+
+    // B^T path likewise.
+    Tensor bt(b.cols(), b.rows());
+    for (std::size_t i = 0; i < b.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            bt.at(j, i) = b.at(i, j);
+    matmulTransB(a, bt, got);
+    EXPECT_TRUE(bitwiseEqualTensors(got, contractMatmul(a, b)));
+}
+
+TEST(Matmul, FusedBiasActBitwiseEqualsUnfusedPipeline)
+{
+    const Tensor a = randomMatrix(9, 131, 11);
+    const Tensor b = randomMatrix(131, 33, 12);
+    util::Rng rng(13);
+    Tensor bias(33);
+    bias.fillNormal(rng, 1.0f);
+
+    for (bool relu : {false, true}) {
+        Tensor unfused;
+        matmul(a, b, unfused);
+        addBiasRows(unfused, bias);
+        if (relu)
+            reluInPlace(unfused);
+        Tensor fused;
+        matmulBiasAct(a, b, bias, relu, fused);
+        EXPECT_TRUE(bitwiseEqualTensors(fused, unfused))
+            << "relu = " << relu;
+    }
+}
+
+TEST(Ops, SumRowsBitwiseMatchesSerialRowOrderFold)
+{
+    const Tensor x = randomMatrix(37, 23, 14);
+    Tensor want(x.cols());
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < x.rows(); ++i)
+            acc += x.at(i, j);
+        want[j] = acc;
+    }
+    Tensor got;
+    sumRows(x, got);
+    EXPECT_TRUE(bitwiseEqualTensors(got, want));
+}
+
+TEST(Ops, SumRowsAccumulatesInRowOrder)
+{
+    // (1e8 + 1) - 1e8 == 0 in float because 1e8 + 1 rounds back to
+    // 1e8; any other accumulation order gives 1. Pins the top-to-bottom
+    // fold the vectorized column tiles must preserve.
+    Tensor x(3, 1);
+    x.at(0, 0) = 1e8f;
+    x.at(1, 0) = 1.0f;
+    x.at(2, 0) = -1e8f;
+    Tensor out;
+    sumRows(x, out);
+    EXPECT_EQ(out[0], 0.0f);
 }
 
 } // namespace
