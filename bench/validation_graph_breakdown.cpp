@@ -30,6 +30,8 @@
 #include "cost/iteration_model.h"
 #include "data/dataset.h"
 #include "graph/step_graph.h"
+#include "obs/drift.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sim/dist_sim.h"
 #include "train/trainer.h"
@@ -71,6 +73,10 @@ struct Variant
     std::map<std::string, double> measured;
     double measured_iter_seconds = 0.0;
     std::size_t measured_iters = 0;
+    /** Flight-recorder samples from the measured run. */
+    std::vector<obs::Sample> rec_samples;
+    /** Measured-vs-predicted verdicts from those samples. */
+    obs::DriftReport drift;
 };
 
 Variant
@@ -78,7 +84,7 @@ runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
            const cost::CostParams& params, bool fuse, bool own_tracing)
 {
     Variant v{cost::IterationModel(m, sys, params),
-              {}, {}, {}, {}, 0.0, 0};
+              {}, {}, {}, {}, 0.0, 0, {}, {}};
     v.estimate = v.analytical.estimate();
     for (const auto& node : v.analytical.nodeBreakdown())
         v.predicted[node.node_id] = node.seconds;
@@ -111,12 +117,25 @@ runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
         tracer.reset();
         tracer.setEnabled(true);
     }
+    // The flight recorder captures per-node samples alongside the
+    // trace spans; the drift monitor folds them against the
+    // prediction column.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    recorder.configure(1 << 15);
+    recorder.setEnabled(true);
     train::trainSingleThread(m, dataset, train_cfg, kEval);
+    recorder.setEnabled(false);
+    v.rec_samples = recorder.snapshot();
+    recorder.reset();
     const auto tracks = tracer.snapshot();
     if (own_tracing) {
         tracer.setEnabled(false);
         tracer.reset();
     }
+
+    obs::DriftMonitor monitor(v.predicted);
+    monitor.ingest(recorder, v.rec_samples);
+    v.drift = monitor.report();
 
     std::map<std::string, double> measured_total;
     for (const auto& track : tracks) {
@@ -148,36 +167,128 @@ printVariantTable(const char* title, const Variant& v)
     std::cout << title << "\n";
     util::TextTable table;
     table.header({"node", "device", "predicted", "simulated",
-                  "measured"});
+                  "measured", "drift"});
     auto cell = [](const std::map<std::string, double>& column,
                    const std::string& id) {
         const auto it = column.find(id);
         return it == column.end() ? std::string("-") : us(it->second);
     };
+    std::map<std::string, const obs::NodeDrift*> drift_by_id;
+    for (const auto& node : v.drift.nodes)
+        drift_by_id[node.node_id] = &node;
+    auto drift_cell = [&drift_by_id](const std::string& id) {
+        const auto it = drift_by_id.find(id);
+        if (it == drift_by_id.end() || it->second->ratio == 0.0)
+            return std::string("-");
+        return util::fixed(it->second->ratio, 2) +
+            (it->second->flagged ? " !" : "");
+    };
     for (const auto& node : v.analytical.stepGraph().nodes) {
         table.row({node.id, graph::toString(node.device),
                    cell(v.predicted, node.id),
                    cell(v.simulated.node_seconds, node.id),
-                   cell(v.measured, node.id)});
+                   cell(v.measured, node.id), drift_cell(node.id)});
     }
     table.row({"iteration", "-", us(v.estimate.iteration_seconds),
                us(v.simulated.mean_iteration_seconds),
-               us(v.measured_iter_seconds)});
+               us(v.measured_iter_seconds), "-"});
     std::cout << table.render() << "\n";
+}
+
+/**
+ * Drift-monitor self-test: take the measured per-iteration node means
+ * as the "prediction" (so every ratio is exactly 1), inject a 3x
+ * slowdown into one node's recorded samples, and check the monitor
+ * flags that node and only that node.
+ */
+struct SelfTest
+{
+    std::string node_id;
+    bool pass = false;
+    double flagged_ratio = 0.0;
+    std::size_t flagged_count = 0;
+};
+
+SelfTest
+driftSelfTest(const Variant& v)
+{
+    SelfTest st;
+    std::map<std::string, double> baseline;
+    uint64_t best_samples = 0;
+    for (const auto& node : v.drift.nodes) {
+        if (node.samples < 3)
+            continue;
+        baseline[node.node_id] = node.measured_mean_s;
+        // Inject into the best-sampled node (ties: first in id order).
+        if (node.samples > best_samples) {
+            best_samples = node.samples;
+            st.node_id = node.node_id;
+        }
+    }
+    if (st.node_id.empty())
+        return st;
+
+    const obs::FlightRecorder& recorder =
+        obs::FlightRecorder::global();
+    const std::vector<std::string> names = recorder.channels();
+    uint32_t target = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == st.node_id) {
+            target = static_cast<uint32_t>(i);
+            found = true;
+        }
+    }
+    if (!found)
+        return st;
+
+    std::vector<obs::Sample> perturbed = v.rec_samples;
+    for (obs::Sample& sample : perturbed) {
+        if (sample.channel == target)
+            sample.value *= 3.0;
+    }
+    obs::DriftMonitor monitor(baseline);
+    monitor.ingest(recorder, perturbed);
+    const obs::DriftReport report = monitor.report();
+    const auto flagged = report.flaggedNodes();
+    st.flagged_count = flagged.size();
+    for (const auto& node : report.nodes) {
+        if (node.node_id == st.node_id)
+            st.flagged_ratio = node.ratio;
+    }
+    st.pass = flagged.size() == 1 && flagged[0] == st.node_id;
+    return st;
 }
 
 void
 emitNodes(std::ofstream& out, const Variant& v)
 {
+    std::map<std::string, const obs::NodeDrift*> drift_by_id;
+    for (const auto& node : v.drift.nodes)
+        drift_by_id[node.node_id] = &node;
     const auto& nodes = v.analytical.stepGraph().nodes;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const auto& node = nodes[i];
+        const auto dit = drift_by_id.find(node.id);
+        const obs::NodeDrift* drift =
+            dit == drift_by_id.end() ? nullptr : dit->second;
         out << "    {\"id\": \"" << node.id << "\", \"kind\": \""
             << graph::toString(node.kind) << "\", \"device\": \""
             << graph::toString(node.device) << "\", \"predicted_s\": "
             << jsonValue(v.predicted, node.id) << ", \"simulated_s\": "
             << jsonValue(v.simulated.node_seconds, node.id)
             << ", \"measured_s\": " << jsonValue(v.measured, node.id)
+            << ", \"drift_ratio\": ";
+        if (drift != nullptr && drift->ratio != 0.0) {
+            std::ostringstream os;
+            os.precision(12);
+            os << drift->ratio;
+            out << os.str();
+        } else {
+            out << "null";
+        }
+        out << ", \"drift_flagged\": "
+            << (drift != nullptr && drift->flagged ? "true" : "false")
             << "}" << (i + 1 < nodes.size() ? "," : "") << "\n";
     }
 }
@@ -254,6 +365,18 @@ main(int argc, char** argv)
                      fused.measured_iter_seconds)});
     std::cout << cmp.render() << "\n";
 
+    // The drift monitor's end-to-end self-test: with the measured
+    // means as the prediction and a 3x slowdown injected into one
+    // node's samples, exactly that node must flag.
+    const SelfTest selftest = driftSelfTest(unfused);
+    std::cout << "drift self-test: injected 3x into "
+              << (selftest.node_id.empty() ? "(none)"
+                                           : selftest.node_id)
+              << "  ->  flagged " << selftest.flagged_count
+              << " node(s), ratio "
+              << util::fixed(selftest.flagged_ratio, 2) << "  ["
+              << (selftest.pass ? "PASS" : "FAIL") << "]\n\n";
+
     std::ofstream out(json_path);
     if (!out) {
         std::cerr << "cannot write " << json_path << "\n";
@@ -263,6 +386,13 @@ main(int argc, char** argv)
         << "  \"batch_size\": " << kBatch << ",\n"
         << "  \"measured_iterations\": " << unfused.measured_iters
         << ",\n"
+        << "  \"drift\": {\"selftest_pass\": "
+        << (selftest.pass ? "true" : "false")
+        << ", \"selftest_node\": \"" << selftest.node_id
+        << "\", \"steps_observed\": " << unfused.drift.steps_observed
+        << ", \"stragglers\": " << unfused.drift.stragglers.size()
+        << ", \"worst_abs_log_ratio\": "
+        << unfused.drift.worst_abs_log_ratio << "},\n"
         << "  \"iteration_seconds\": ";
     emitIterationSeconds(out, unfused);
     out << ",\n  \"fused_iteration_seconds\": ";

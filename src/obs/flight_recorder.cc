@@ -1,0 +1,256 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_recorder_enabled{false};
+} // namespace detail
+
+namespace {
+
+constexpr std::size_t kStripes = 16;
+constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+/**
+ * One stripe: a ring written by (usually) one thread. The mutex is
+ * per-stripe, so record() takes it uncontended in the common case;
+ * snapshot()/size() walk all stripes.
+ */
+struct Stripe
+{
+    mutable std::mutex mutex;
+    std::vector<Sample> ring;
+    /** Next write position (ring.size() == capacity once full). */
+    std::size_t head = 0;
+    /** Retained sample count (<= stripe capacity). */
+    std::size_t filled = 0;
+    uint64_t written = 0;
+};
+
+struct FlightRecorder::Impl
+{
+    Stripe stripes[kStripes];
+    std::size_t stripe_capacity = kDefaultCapacity / kStripes;
+    std::atomic<uint64_t> epoch_ns{steadyNowNs()};
+    std::atomic<std::size_t> next_stripe{0};
+
+    mutable std::mutex channel_mutex;
+    std::unordered_map<std::string, uint32_t> channel_ids;
+    std::vector<std::string> channel_names;
+};
+
+namespace {
+
+/** Round-robin stripe assignment, sticky per thread. */
+std::size_t
+threadStripe(std::atomic<std::size_t>& next)
+{
+    thread_local std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder() : impl_(new Impl()) {}
+
+FlightRecorder&
+FlightRecorder::global()
+{
+    // Leaky singleton, same rationale as Tracer::global(): worker
+    // threads may record during static destruction.
+    static FlightRecorder* recorder = new FlightRecorder();
+    return *recorder;
+}
+
+void
+FlightRecorder::setEnabled(bool on)
+{
+    detail::g_recorder_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::configure(std::size_t capacity)
+{
+    RECSIM_ASSERT(capacity >= kStripes,
+                  "flight recorder capacity {} < {} stripes", capacity,
+                  kStripes);
+    for (auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.ring.clear();
+        stripe.ring.shrink_to_fit();
+        stripe.head = 0;
+        stripe.filled = 0;
+        stripe.written = 0;
+    }
+    impl_->stripe_capacity = capacity / kStripes;
+    impl_->epoch_ns.store(steadyNowNs(), std::memory_order_relaxed);
+}
+
+std::size_t
+FlightRecorder::capacity() const
+{
+    return impl_->stripe_capacity * kStripes;
+}
+
+std::size_t
+FlightRecorder::numStripes() const
+{
+    return kStripes;
+}
+
+uint32_t
+FlightRecorder::internChannel(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->channel_mutex);
+    const auto it = impl_->channel_ids.find(name);
+    if (it != impl_->channel_ids.end())
+        return it->second;
+    const uint32_t id =
+        static_cast<uint32_t>(impl_->channel_names.size());
+    impl_->channel_ids.emplace(name, id);
+    impl_->channel_names.push_back(name);
+    return id;
+}
+
+std::string
+FlightRecorder::channelName(uint32_t channel) const
+{
+    std::lock_guard<std::mutex> lock(impl_->channel_mutex);
+    if (channel >= impl_->channel_names.size())
+        return "?";
+    return impl_->channel_names[channel];
+}
+
+std::vector<std::string>
+FlightRecorder::channels() const
+{
+    std::lock_guard<std::mutex> lock(impl_->channel_mutex);
+    return impl_->channel_names;
+}
+
+void
+FlightRecorder::record(uint32_t channel, uint64_t step, double value,
+                       uint32_t rows)
+{
+    if (!enabled())
+        return;
+    Sample sample;
+    sample.t_ns = nowNs();
+    sample.step = step;
+    sample.channel = channel;
+    sample.rows = rows;
+    sample.value = value;
+
+    Stripe& stripe =
+        impl_->stripes[threadStripe(impl_->next_stripe)];
+    const std::size_t cap = impl_->stripe_capacity;
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (stripe.ring.size() < cap) {
+        // Grow lazily toward the stripe capacity: an idle stripe
+        // costs nothing.
+        stripe.ring.push_back(sample);
+        stripe.head = stripe.ring.size() % cap;
+        stripe.filled = stripe.ring.size();
+    } else {
+        stripe.ring[stripe.head] = sample;
+        stripe.head = (stripe.head + 1) % cap;
+    }
+    ++stripe.written;
+}
+
+uint64_t
+FlightRecorder::nowNs() const
+{
+    return steadyNowNs() -
+        impl_->epoch_ns.load(std::memory_order_relaxed);
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    std::size_t total = 0;
+    for (const auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total += stripe.filled;
+    }
+    return total;
+}
+
+uint64_t
+FlightRecorder::totalRecorded() const
+{
+    uint64_t total = 0;
+    for (const auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total += stripe.written;
+    }
+    return total;
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    uint64_t written = 0;
+    std::size_t held = 0;
+    for (const auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        written += stripe.written;
+        held += stripe.filled;
+    }
+    return written - static_cast<uint64_t>(held);
+}
+
+std::vector<Sample>
+FlightRecorder::snapshot() const
+{
+    std::vector<Sample> out;
+    for (const auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        out.insert(out.end(), stripe.ring.begin(),
+                   stripe.ring.begin() +
+                       static_cast<std::ptrdiff_t>(stripe.filled));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) {
+                  if (a.t_ns != b.t_ns)
+                      return a.t_ns < b.t_ns;
+                  if (a.step != b.step)
+                      return a.step < b.step;
+                  return a.channel < b.channel;
+              });
+    return out;
+}
+
+void
+FlightRecorder::reset()
+{
+    for (auto& stripe : impl_->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.ring.clear();
+        stripe.head = 0;
+        stripe.filled = 0;
+        stripe.written = 0;
+    }
+    impl_->epoch_ns.store(steadyNowNs(), std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace recsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Flight recorder: a fixed-capacity, per-thread-striped ring buffer of
+ * structured per-step / per-batch samples — the time-resolved side of
+ * the observability layer. Where the MetricsRegistry aggregates
+ * (count/mean/min/max forever) and the Tracer records unbounded span
+ * lists, the recorder answers "what happened around step 4812" with
+ * bounded memory: the last `capacity()` samples are always available,
+ * older ones are overwritten (and counted as dropped).
+ *
+ * A sample is a 32-byte POD: timestamp (ns since the recorder epoch),
+ * step/batch sequence number, an interned channel id (a named series —
+ * "train.step_s", "serve.batch_s", or a StepGraph node id recorded by
+ * the executor), the batch row count, and a double value. Channels are
+ * interned once (mutex + map) and recorded by integer id, so the
+ * record path never hashes strings.
+ *
+ * Cost model, mirroring the Tracer: every instrumentation site starts
+ * with one relaxed atomic load (FlightRecorder::enabled(), via
+ * recorderEnabled() which additionally folds to `false` at compile
+ * time under RECSIM_OBS_DISABLED). The enabled path takes one
+ * uncontended per-stripe mutex: stripes are assigned per thread
+ * (round-robin over a fixed stripe array), so trainer, executor
+ * workers and serving drivers never contend on one lock, and
+ * snapshot() can read consistent samples without stopping writers.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace recsim {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_recorder_enabled;
+} // namespace detail
+
+/** One recorded observation. POD, 32 bytes. */
+struct Sample
+{
+    uint64_t t_ns = 0;     ///< Nanoseconds since the recorder epoch.
+    uint64_t step = 0;     ///< Step / batch sequence number.
+    uint32_t channel = 0;  ///< Interned channel id.
+    uint32_t rows = 0;     ///< Batch rows (0 when not applicable).
+    double value = 0.0;
+};
+
+/**
+ * The process-wide flight recorder. Disabled by default; when
+ * disabled, record() returns after one relaxed load and instrumented
+ * code skips its measurement entirely (see recorderEnabled()).
+ */
+class FlightRecorder
+{
+  public:
+    static FlightRecorder& global();
+
+    /** Fast path for instrumentation sites: one relaxed load. */
+    static bool enabled()
+    {
+        return detail::g_recorder_enabled.load(
+            std::memory_order_relaxed);
+    }
+
+    /** Turn recording on/off. Samples offered while off are dropped
+     *  before any work happens. */
+    void setEnabled(bool on);
+
+    /**
+     * Resize total capacity (split evenly over the stripes, so the
+     * retention per thread is capacity / numStripes). Drops all held
+     * samples and restarts the epoch; interned channels survive.
+     */
+    void configure(std::size_t capacity);
+
+    std::size_t capacity() const;
+    std::size_t numStripes() const;
+
+    /**
+     * Id of channel @p name, creating it on first use. Ids are dense,
+     * stable for the process lifetime (reset() keeps them) and safe to
+     * cache at instrumentation sites.
+     */
+    uint32_t internChannel(const std::string& name);
+
+    /** Name of @p channel ("?" for an unknown id). */
+    std::string channelName(uint32_t channel) const;
+
+    /** All interned channel names, indexed by id. */
+    std::vector<std::string> channels() const;
+
+    /** Record one sample (timestamped now) on the calling thread's
+     *  stripe. No-op while disabled. Thread-safe. */
+    void record(uint32_t channel, uint64_t step, double value,
+                uint32_t rows = 0);
+
+    /** Nanoseconds since the recorder epoch (construction, configure()
+     *  or reset()). */
+    uint64_t nowNs() const;
+
+    /** Samples currently retained across all stripes. */
+    std::size_t size() const;
+
+    /** Samples ever offered to record() while enabled (monotone). */
+    uint64_t totalRecorded() const;
+
+    /** Samples overwritten by ring wraparound: totalRecorded - size. */
+    uint64_t dropped() const;
+
+    /**
+     * Copy of the retained samples, merged across stripes and sorted
+     * by (t_ns, step, channel). Thread-safe against concurrent
+     * record() calls.
+     */
+    std::vector<Sample> snapshot() const;
+
+    /** Drop all samples and restart the epoch. Channels and capacity
+     *  survive (live instrumentation sites keep their cached ids). */
+    void reset();
+
+  private:
+    FlightRecorder();
+    struct Impl;
+    Impl* impl_;
+};
+
+/**
+ * The guard instrumentation sites use: one relaxed atomic load, and a
+ * compile-time `false` under RECSIM_OBS_DISABLED so the measurement
+ * code folds away entirely in obs-free builds.
+ */
+#ifndef RECSIM_OBS_DISABLED
+inline bool
+recorderEnabled()
+{
+    return FlightRecorder::enabled();
+}
+#else
+constexpr bool
+recorderEnabled()
+{
+    return false;
+}
+#endif
+
+} // namespace obs
+} // namespace recsim

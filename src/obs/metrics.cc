@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <functional>
 #include <sstream>
 #include <vector>
 
@@ -16,71 +17,123 @@ MetricsRegistry::global()
     return *registry;
 }
 
+MetricsRegistry::Stripe&
+MetricsRegistry::stripeFor(const std::string& name) const
+{
+    return stripes_[std::hash<std::string>{}(name) % kStripes];
+}
+
 void
 MetricsRegistry::incr(const std::string& name, uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_[name] += delta;
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.counters[name] += delta;
 }
 
 void
 MetricsRegistry::set(const std::string& name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    gauges_[name] = value;
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.gauges[name] = value;
 }
 
 void
 MetricsRegistry::observe(const std::string& name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    timings_[name].add(value);
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.timings[name].add(value);
 }
 
 uint64_t
 MetricsRegistry::counter(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.counters.find(name);
+    return it == stripe.counters.end() ? 0 : it->second;
 }
 
 double
 MetricsRegistry::gauge(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = gauges_.find(name);
-    return it == gauges_.end() ? 0.0 : it->second;
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.gauges.find(name);
+    return it == stripe.gauges.end() ? 0.0 : it->second;
 }
 
 stats::RunningStat
 MetricsRegistry::timing(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = timings_.find(name);
-    return it == timings_.end() ? stats::RunningStat() : it->second;
+    Stripe& stripe = stripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.timings.find(name);
+    return it == stripe.timings.end() ? stats::RunningStat()
+                                      : it->second;
 }
 
 std::size_t
 MetricsRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return counters_.size() + gauges_.size() + timings_.size();
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total += stripe.counters.size() + stripe.gauges.size() +
+            stripe.timings.size();
+    }
+    return total;
+}
+
+std::map<std::string, uint64_t>
+MetricsRegistry::counters() const
+{
+    std::map<std::string, uint64_t> merged;
+    for (const Stripe& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        merged.insert(stripe.counters.begin(), stripe.counters.end());
+    }
+    return merged;
+}
+
+std::map<std::string, double>
+MetricsRegistry::gauges() const
+{
+    std::map<std::string, double> merged;
+    for (const Stripe& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        merged.insert(stripe.gauges.begin(), stripe.gauges.end());
+    }
+    return merged;
+}
+
+std::map<std::string, stats::RunningStat>
+MetricsRegistry::timings() const
+{
+    std::map<std::string, stats::RunningStat> merged;
+    for (const Stripe& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        merged.insert(stripe.timings.begin(), stripe.timings.end());
+    }
+    return merged;
 }
 
 std::string
 MetricsRegistry::report() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Merge-then-render keeps the output byte-identical to the old
+    // single-map implementation: std::map iteration is sorted by name.
     std::ostringstream os;
     os << "=== metrics ===\n";
-    for (const auto& [name, value] : counters_)
+    for (const auto& [name, value] : counters())
         os << "  " << util::padRight(name, 36) << " counter "
            << value << "\n";
-    for (const auto& [name, value] : gauges_)
+    for (const auto& [name, value] : gauges())
         os << "  " << util::padRight(name, 36) << " gauge   "
            << util::fixed(value, 6) << "\n";
-    for (const auto& [name, stat] : timings_) {
+    for (const auto& [name, stat] : timings()) {
         os << "  " << util::padRight(name, 36) << " timing  n="
            << stat.count() << " mean=" << util::fixed(stat.mean(), 6)
            << " min=" << util::fixed(stat.min(), 6)
@@ -93,10 +146,12 @@ MetricsRegistry::report() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.clear();
-    gauges_.clear();
-    timings_.clear();
+    for (Stripe& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.counters.clear();
+        stripe.gauges.clear();
+        stripe.timings.clear();
+    }
 }
 
 } // namespace obs

@@ -9,6 +9,12 @@
  *
  * Thread safety: all member functions are safe to call concurrently
  * (Hogwild/EASGD/ShadowSync workers record into one registry).
+ * Contention: names hash onto a fixed array of lock stripes, so
+ * concurrent observe()/incr() on different metrics (the common case —
+ * each worker records its own series) proceed in parallel instead of
+ * serializing on one global mutex. report() output is byte-identical
+ * to the single-map implementation: entries are merged and sorted by
+ * name before rendering.
  */
 #pragma once
 
@@ -54,6 +60,15 @@ class MetricsRegistry
     /** Total number of distinct metric names of any kind. */
     std::size_t size() const;
 
+    /** All counters, merged across stripes and sorted by name. */
+    std::map<std::string, uint64_t> counters() const;
+
+    /** All gauges, merged across stripes and sorted by name. */
+    std::map<std::string, double> gauges() const;
+
+    /** All timing series, merged across stripes and sorted by name. */
+    std::map<std::string, stats::RunningStat> timings() const;
+
     /** Human-readable dump of every metric, sorted by name. */
     std::string report() const;
 
@@ -61,10 +76,19 @@ class MetricsRegistry
     void reset();
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, uint64_t> counters_;
-    std::map<std::string, double> gauges_;
-    std::map<std::string, stats::RunningStat> timings_;
+    static constexpr std::size_t kStripes = 16;
+
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, stats::RunningStat> timings;
+    };
+
+    Stripe& stripeFor(const std::string& name) const;
+
+    mutable Stripe stripes_[kStripes];
 };
 
 } // namespace obs

@@ -1,22 +1,57 @@
 #include "obs/pool_metrics.h"
 
 #include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace recsim {
 namespace obs {
 
-void
-publishThreadPoolMetrics()
+PoolSnapshot
+snapshotThreadPool()
 {
     const util::ThreadPool& pool = util::globalThreadPool();
     const util::ThreadPool::Stats stats = pool.stats();
+    PoolSnapshot snap;
+    snap.threads = pool.numThreads();
+    snap.jobs = stats.jobs;
+    snap.tasks = stats.tasks;
+    snap.idle_ns = stats.idle_ns;
+    return snap;
+}
+
+PoolSnapshot
+poolDelta(const PoolSnapshot& before, const PoolSnapshot& after)
+{
+    RECSIM_ASSERT(after.jobs >= before.jobs &&
+                      after.tasks >= before.tasks &&
+                      after.idle_ns >= before.idle_ns,
+                  "poolDelta: 'after' snapshot is older than 'before'");
+    PoolSnapshot delta;
+    delta.threads = after.threads;
+    delta.jobs = after.jobs - before.jobs;
+    delta.tasks = after.tasks - before.tasks;
+    delta.idle_ns = after.idle_ns - before.idle_ns;
+    return delta;
+}
+
+void
+publishThreadPoolMetrics()
+{
+    publishThreadPoolMetrics("pool", snapshotThreadPool());
+}
+
+void
+publishThreadPoolMetrics(const std::string& prefix,
+                         const PoolSnapshot& snap)
+{
     MetricsRegistry& metrics = MetricsRegistry::global();
-    metrics.set("pool.threads",
-                static_cast<double>(pool.numThreads()));
-    metrics.set("pool.jobs", static_cast<double>(stats.jobs));
-    metrics.set("pool.tasks", static_cast<double>(stats.tasks));
-    metrics.set("pool.idle_ns", static_cast<double>(stats.idle_ns));
+    metrics.set(prefix + ".threads",
+                static_cast<double>(snap.threads));
+    metrics.set(prefix + ".jobs", static_cast<double>(snap.jobs));
+    metrics.set(prefix + ".tasks", static_cast<double>(snap.tasks));
+    metrics.set(prefix + ".idle_ns",
+                static_cast<double>(snap.idle_ns));
 }
 
 } // namespace obs

@@ -7,11 +7,42 @@
  * publishThreadPoolMetrics() at a natural boundary — end of a training
  * run, end of a bench — rather than paying registry traffic per
  * dispatch.
+ *
+ * The pool's counters are cumulative since construction, so
+ * attributing dispatch activity to one region used to require manual
+ * before/after subtraction at every call site. The snapshot/delta API
+ * does that once: snapshotThreadPool() before the region,
+ * poolDelta(before, snapshotThreadPool()) after, and
+ * publishThreadPoolMetrics(prefix, delta) to publish the region's own
+ * jobs/tasks/idle time under its own gauge names.
  */
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 namespace recsim {
 namespace obs {
+
+/** Point-in-time copy of the global pool's cumulative counters. */
+struct PoolSnapshot
+{
+    std::size_t threads = 0;  ///< Configured concurrency.
+    uint64_t jobs = 0;        ///< parallelFor() calls dispatched.
+    uint64_t tasks = 0;       ///< Chunk executions.
+    uint64_t idle_ns = 0;     ///< Cumulative worker time blocked.
+};
+
+/** Current counters of util::globalThreadPool(). */
+PoolSnapshot snapshotThreadPool();
+
+/**
+ * Counter movement between two snapshots of the same pool:
+ * fieldwise after - before (threads is taken from @p after).
+ * @pre @p after was taken later than @p before (checked).
+ */
+PoolSnapshot poolDelta(const PoolSnapshot& before,
+                       const PoolSnapshot& after);
 
 /**
  * Snapshot util::globalThreadPool() counters into the global registry:
@@ -19,10 +50,18 @@ namespace obs {
  *  - "pool.jobs"     (gauge)   parallelFor() calls dispatched so far
  *  - "pool.tasks"    (gauge)   chunk executions so far
  *  - "pool.idle_ns"  (gauge)   cumulative worker time spent blocked
- * Values are cumulative since pool construction; call before and after
- * a region to attribute dispatch activity to it.
+ * Values are cumulative since pool construction; for per-region
+ * attribution use the snapshot/delta overload below.
  */
 void publishThreadPoolMetrics();
+
+/**
+ * Publish a region's pool-counter movement as gauges
+ * "<prefix>.threads" / ".jobs" / ".tasks" / ".idle_ns" — e.g.
+ * publishThreadPoolMetrics("train.pool", poolDelta(before, after)).
+ */
+void publishThreadPoolMetrics(const std::string& prefix,
+                              const PoolSnapshot& delta);
 
 } // namespace obs
 } // namespace recsim

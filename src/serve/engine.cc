@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stats/log_histogram.h"
 #include "util/logging.h"
 
 namespace recsim {
@@ -57,10 +59,19 @@ InferenceEngine::replay(const std::vector<Query>& queries,
 
     BatchScheduler sched(config.batching);
     auto& metrics = obs::MetricsRegistry::global();
-    // Completions are recorded through a thread-safe recorder: today
-    // one driver thread retires batches, but the contract (and the
-    // TSan test over it) lets future multi-engine drivers share it.
-    stats::ConcurrentSampleSet latencies;
+    // Completions land in a windowed log-bucketed histogram: wait-free
+    // adds on the batch-retire path (today one driver thread retires
+    // batches, but the histogram lets future multi-engine drivers
+    // share it without a lock), windows keyed on the virtual clock so
+    // rolling percentiles line up with the replayed timeline.
+    stats::WindowedHistogram latencies(config.latency_window_s,
+                                       /*max_windows=*/4096,
+                                       config.latency_relative_error);
+    auto& recorder = obs::FlightRecorder::global();
+    const uint32_t batch_channel =
+        recorder.internChannel("serve.batch_s");
+    const uint32_t queue_channel =
+        recorder.internChannel("serve.queue_depth");
 
     std::size_t next = 0;  // Next arrival to admit.
     std::size_t late = 0;
@@ -117,9 +128,15 @@ InferenceEngine::replay(const std::vector<Query>& queries,
         metrics.observe("serve.service_s", service);
         metrics.observe("serve.batch_items",
                         static_cast<double>(rows));
+        if (obs::recorderEnabled()) {
+            recorder.record(batch_channel, report.batches, service,
+                            static_cast<uint32_t>(rows));
+            recorder.record(queue_channel, report.batches,
+                            static_cast<double>(sched.pendingQueries()));
+        }
         for (const Query& q : batch.queries) {
             const double lat = done - q.arrival_s;
-            latencies.add(lat);
+            latencies.add(done, lat);
             metrics.observe("serve.latency_s", lat);
             if (done > q.deadline_s)
                 ++late;
@@ -138,6 +155,7 @@ InferenceEngine::replay(const std::vector<Query>& queries,
         ? static_cast<double>(report.served) / report.makespan_s
         : 0.0;
     report.latency = latencies.tail();
+    report.windows = latencies.windows();
     report.sla_violation_rate =
         static_cast<double>(report.evicted + late) /
         static_cast<double>(report.offered);

@@ -26,6 +26,7 @@
 #include "graph/step_graph.h"
 #include "model/dlrm.h"
 #include "serve/scheduler.h"
+#include "stats/log_histogram.h"
 #include "stats/sample_set.h"
 #include "train/step_runner.h"
 #include "util/thread_pool.h"
@@ -39,6 +40,11 @@ struct ReplayConfig
     BatchingConfig batching;
     /** Seed of the synthetic feature stream backing the queries. */
     uint64_t data_seed = 42;
+    /** Width (virtual seconds) of the rolling latency windows. */
+    double latency_window_s = 1.0;
+    /** Relative error bound of the latency log-histogram — the p50/
+     *  p95/p99 in the report are within this of an exact sample. */
+    double latency_relative_error = 0.01;
 };
 
 /** What one replay run observed. */
@@ -61,8 +67,15 @@ struct ServeReport
 
     /** Completion latency (arrival -> batch completion), seconds.
      *  Evicted queries never complete and are excluded here; they
-     *  count toward sla_violation_rate instead. */
+     *  count toward sla_violation_rate instead. Percentiles come from
+     *  the wait-free log-bucketed histogram (relative error
+     *  latency_relative_error), not an exact sample sort. */
     stats::TailSummary latency;
+
+    /** Rolling latency windows over the virtual clock
+     *  (latency_window_s wide), each with its own percentiles —
+     *  the time-resolved view behind the summary above. */
+    std::vector<stats::WindowSummary> windows;
 
     /** (evicted + served-late) / offered. */
     double sla_violation_rate = 0.0;
@@ -110,8 +123,13 @@ class InferenceEngine
      * Replay an arrival trace through a batching policy in virtual
      * time, executing every batch for real. @p queries must be in
      * nondecreasing arrival order (LoadGenerator output is). Records
-     * per-query completion latencies into a thread-safe recorder and
-     * the obs MetricsRegistry ("serve.*" counters and timings).
+     * per-query completion latencies into a wait-free windowed
+     * log-histogram (rolling percentiles keyed on the *virtual*
+     * completion clock) and the obs MetricsRegistry ("serve.*"
+     * counters and timings). When the flight recorder is enabled,
+     * each retired batch records its measured service time
+     * ("serve.batch_s") and the queue depth at retire
+     * ("serve.queue_depth").
      */
     ServeReport replay(const std::vector<Query>& queries,
                        const ReplayConfig& config);

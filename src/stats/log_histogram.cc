@@ -1,0 +1,372 @@
+#include "stats/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace recsim {
+namespace stats {
+
+namespace {
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** CAS-accumulate @p delta into an atomic double bit pattern. */
+void
+atomicAddDouble(std::atomic<uint64_t>& bits, double delta)
+{
+    uint64_t old_bits = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        const uint64_t new_bits =
+            doubleBits(bitsDouble(old_bits) + delta);
+        if (bits.compare_exchange_weak(old_bits, new_bits,
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+/** CAS @p v into @p bits if cmp(v, current) holds. */
+template <typename Cmp>
+void
+atomicExtremeDouble(std::atomic<uint64_t>& bits, double v, Cmp cmp)
+{
+    uint64_t old_bits = bits.load(std::memory_order_relaxed);
+    while (cmp(v, bitsDouble(old_bits))) {
+        if (bits.compare_exchange_weak(old_bits, doubleBits(v),
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// LogHistogramSnapshot
+// ---------------------------------------------------------------------
+
+double
+LogHistogramSnapshot::binUpperEdge(std::size_t i) const
+{
+    return std::pow(gamma,
+                    static_cast<double>(index_offset +
+                                        static_cast<int>(i)));
+}
+
+double
+LogHistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Nearest-rank position over [0, count-1], mirroring the
+    // interpolation anchor stats::percentile uses so the two agree to
+    // within one order statistic.
+    const uint64_t rank = static_cast<uint64_t>(
+        std::llround(q * static_cast<double>(count - 1)));
+    // The exact extremes are tracked outside the buckets; substituting
+    // them at the extreme ranks makes quantile(0)/quantile(1) exact.
+    if (rank == 0)
+        return min;
+    if (rank == count - 1)
+        return max;
+    uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (seen > rank) {
+            // Harmonic midpoint of (gamma^(k-1), gamma^k]: within
+            // relative_error of every value in the bucket.
+            const double upper = binUpperEdge(i);
+            double est = 2.0 * upper / (gamma + 1.0);
+            // The exact extremes are known, so never report beyond
+            // them (also makes quantile(0)/quantile(1) exact).
+            est = std::min(std::max(est, min), max);
+            return est;
+        }
+    }
+    return max;
+}
+
+TailSummary
+LogHistogramSnapshot::tail() const
+{
+    TailSummary t;
+    t.count = static_cast<std::size_t>(count);
+    if (count == 0)
+        return t;
+    t.mean = mean();
+    t.p50 = quantile(0.50);
+    t.p95 = quantile(0.95);
+    t.p99 = quantile(0.99);
+    t.max = max;
+    return t;
+}
+
+void
+LogHistogramSnapshot::mergeFrom(const LogHistogramSnapshot& other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    RECSIM_ASSERT(bins.size() == other.bins.size() &&
+                      index_offset == other.index_offset &&
+                      gamma == other.gamma,
+                  "merging LogHistograms with different bucketing");
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        bins[i] += other.bins[i];
+    count += other.count;
+    sum += other.sum;
+}
+
+// ---------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------
+
+LogHistogram::LogHistogram(double relative_error, double min_value,
+                           double max_value)
+    : rel_err_(relative_error),
+      min_value_(min_value),
+      max_value_(max_value),
+      sum_bits_(doubleBits(0.0)),
+      min_bits_(doubleBits(0.0)),
+      max_bits_(doubleBits(0.0))
+{
+    RECSIM_ASSERT(relative_error > 0.0 && relative_error < 1.0,
+                  "relative_error must be in (0, 1)");
+    RECSIM_ASSERT(min_value > 0.0 && max_value > min_value,
+                  "need 0 < min_value < max_value");
+    gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+    // Bucket k covers (gamma^(k-1), gamma^k]; cover indices
+    // ceil(log_g(min)) .. ceil(log_g(max)).
+    index_offset_ = static_cast<int>(
+        std::ceil(std::log(min_value_) * inv_log_gamma_));
+    const int hi = static_cast<int>(
+        std::ceil(std::log(max_value_) * inv_log_gamma_));
+    const std::size_t n = static_cast<std::size_t>(hi - index_offset_) + 1;
+    bins_ = std::vector<std::atomic<uint64_t>>(n);
+    for (auto& bin : bins_)
+        bin.store(0, std::memory_order_relaxed);
+    const double inf = std::numeric_limits<double>::infinity();
+    min_bits_.store(doubleBits(inf), std::memory_order_relaxed);
+    max_bits_.store(doubleBits(-inf), std::memory_order_relaxed);
+}
+
+std::size_t
+LogHistogram::binIndex(double v) const
+{
+    if (!(v > min_value_))
+        return 0;
+    if (v >= max_value_)
+        return bins_.size() - 1;
+    const int k = static_cast<int>(
+        std::ceil(std::log(v) * inv_log_gamma_));
+    const int i = k - index_offset_;
+    if (i < 0)
+        return 0;
+    if (static_cast<std::size_t>(i) >= bins_.size())
+        return bins_.size() - 1;
+    return static_cast<std::size_t>(i);
+}
+
+void
+LogHistogram::add(double v)
+{
+    // Extremes and sum update before the bin/count increments, so any
+    // snapshot that observes n completed adds also observes their
+    // extreme updates (min/max start at +/-inf and are mapped to 0
+    // while count == 0).
+    atomicExtremeDouble(min_bits_, v, std::less<double>());
+    atomicExtremeDouble(max_bits_, v, std::greater<double>());
+    atomicAddDouble(sum_bits_, v);
+    bins_[binIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LogHistogramSnapshot
+LogHistogram::snapshot() const
+{
+    LogHistogramSnapshot s;
+    s.relative_error = rel_err_;
+    s.gamma = gamma_;
+    s.min_value = min_value_;
+    s.index_offset = index_offset_;
+    s.bins.resize(bins_.size());
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        s.bins[i] = bins_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = bitsDouble(sum_bits_.load(std::memory_order_relaxed));
+    s.min = bitsDouble(min_bits_.load(std::memory_order_relaxed));
+    s.max = bitsDouble(max_bits_.load(std::memory_order_relaxed));
+    // A concurrent add may have bumped count between the bin loads and
+    // the count load; clamp so quantile ranks stay inside the bins.
+    uint64_t bin_total = 0;
+    for (const uint64_t b : s.bins)
+        bin_total += b;
+    s.count = std::min(s.count, bin_total);
+    if (s.count == 0) {
+        s.min = 0.0;
+        s.max = 0.0;
+    }
+    return s;
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    RECSIM_ASSERT(bins_.size() == other.bins_.size() &&
+                      index_offset_ == other.index_offset_ &&
+                      gamma_ == other.gamma_,
+                  "merging LogHistograms with different bucketing");
+    const LogHistogramSnapshot o = other.snapshot();
+    if (o.count == 0)
+        return;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (o.bins[i])
+            bins_[i].fetch_add(o.bins[i], std::memory_order_relaxed);
+    }
+    count_.fetch_add(o.count, std::memory_order_relaxed);
+    atomicAddDouble(sum_bits_, o.sum);
+    atomicExtremeDouble(min_bits_, o.min, std::less<double>());
+    atomicExtremeDouble(max_bits_, o.max, std::greater<double>());
+}
+
+// ---------------------------------------------------------------------
+// WindowedHistogram
+// ---------------------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(double window_seconds,
+                                     std::size_t max_windows,
+                                     double relative_error,
+                                     double min_value, double max_value)
+    : window_s_(window_seconds),
+      rel_err_(relative_error),
+      min_value_(min_value),
+      max_value_(max_value),
+      slots_(max_windows)
+{
+    RECSIM_ASSERT(window_seconds > 0.0 && max_windows > 0,
+                  "need window_seconds > 0 and max_windows > 0");
+    for (auto& slot : slots_)
+        slot.store(nullptr, std::memory_order_relaxed);
+}
+
+WindowedHistogram::~WindowedHistogram()
+{
+    for (auto& slot : slots_)
+        delete slot.load(std::memory_order_acquire);
+}
+
+void
+WindowedHistogram::add(double t_seconds, double value)
+{
+    std::size_t idx = 0;
+    if (t_seconds > 0.0)
+        idx = static_cast<std::size_t>(t_seconds / window_s_);
+    if (idx >= slots_.size()) {
+        idx = slots_.size() - 1;
+        clamped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    LogHistogram* hist = slots_[idx].load(std::memory_order_acquire);
+    if (hist == nullptr) {
+        std::lock_guard<std::mutex> lock(create_mutex_);
+        hist = slots_[idx].load(std::memory_order_relaxed);
+        if (hist == nullptr) {
+            hist = new LogHistogram(rel_err_, min_value_, max_value_);
+            slots_[idx].store(hist, std::memory_order_release);
+        }
+    }
+    hist->add(value);
+}
+
+uint64_t
+WindowedHistogram::count() const
+{
+    uint64_t total = 0;
+    for (const auto& slot : slots_) {
+        if (const LogHistogram* hist =
+                slot.load(std::memory_order_acquire))
+            total += hist->count();
+    }
+    return total;
+}
+
+std::vector<WindowSummary>
+WindowedHistogram::windows() const
+{
+    std::vector<WindowSummary> out;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const LogHistogram* hist =
+            slots_[i].load(std::memory_order_acquire);
+        if (hist == nullptr)
+            continue;
+        const LogHistogramSnapshot snap = hist->snapshot();
+        if (snap.count == 0)
+            continue;
+        WindowSummary w;
+        w.index = i;
+        w.start_s = static_cast<double>(i) * window_s_;
+        w.end_s = w.start_s + window_s_;
+        w.tail = snap.tail();
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+LogHistogramSnapshot
+WindowedHistogram::snapshot() const
+{
+    LogHistogramSnapshot merged;
+    bool seeded = false;
+    for (const auto& slot : slots_) {
+        const LogHistogram* hist =
+            slot.load(std::memory_order_acquire);
+        if (hist == nullptr)
+            continue;
+        if (!seeded) {
+            merged = hist->snapshot();
+            seeded = true;
+        } else {
+            merged.mergeFrom(hist->snapshot());
+        }
+    }
+    if (!seeded) {
+        // No window ever recorded: an empty snapshot with the
+        // configured bucketing.
+        merged = LogHistogram(rel_err_, min_value_, max_value_)
+                     .snapshot();
+    }
+    return merged;
+}
+
+TailSummary
+WindowedHistogram::tail() const
+{
+    return snapshot().tail();
+}
+
+} // namespace stats
+} // namespace recsim

@@ -1,7 +1,9 @@
 #include "train/step_runner.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -55,6 +57,103 @@ class MlpSpanGroup
     bool traced_ = false;
 };
 
+/**
+ * RAII flight-recorder sample around one node dispatch: when the
+ * recorder is enabled, times the enclosed work and records it on the
+ * node's channel (one sample per visit — the forward and backward
+ * halves record separately under the same id). Inactive construction
+ * costs one relaxed atomic load, honoring the recorder's
+ * disabled-path contract.
+ */
+class NodeSample
+{
+  public:
+    /** Channel already interned (GraphExecutor's cached ids). */
+    NodeSample(uint32_t channel, uint64_t step, uint32_t rows)
+    {
+        if (obs::recorderEnabled())
+            arm(channel, step, rows);
+    }
+
+    /** Channel known but the site may be inactive (the serial walk's
+     *  non-executable nodes, or recording off). */
+    NodeSample(bool active, uint32_t channel, uint64_t step,
+               uint32_t rows)
+    {
+        if (active)
+            arm(channel, step, rows);
+    }
+
+    ~NodeSample()
+    {
+        if (recorder_ != nullptr)
+            recorder_->record(
+                channel_, step_,
+                static_cast<double>(recorder_->nowNs() - start_ns_) *
+                    1e-9,
+                rows_);
+    }
+
+    NodeSample(const NodeSample&) = delete;
+    NodeSample& operator=(const NodeSample&) = delete;
+
+  private:
+    void arm(uint32_t channel, uint64_t step, uint32_t rows)
+    {
+        recorder_ = &obs::FlightRecorder::global();
+        channel_ = channel;
+        step_ = step;
+        rows_ = rows;
+        start_ns_ = recorder_->nowNs();
+    }
+
+    obs::FlightRecorder* recorder_ = nullptr;
+    uint32_t channel_ = 0;
+    uint32_t rows_ = 0;
+    uint64_t step_ = 0;
+    uint64_t start_ns_ = 0;
+};
+
+/** Step tags for serial runGraphStep() samples (no executor state). */
+std::atomic<uint64_t> g_serial_steps{0};
+
+/**
+ * Channel ids for a graph's nodes, interned once and memoized: the
+ * serial walk asks per step, and paying the recorder's intern mutex
+ * per node visit is what the telemetry overhead budget cannot afford.
+ * Keyed on identity (address + node count + last node id) so a rebuilt
+ * graph re-interns; thread_local because several driver threads may
+ * walk different graphs concurrently.
+ */
+const std::vector<uint32_t>&
+graphNodeChannels(const graph::StepGraph& graph)
+{
+    struct Cache
+    {
+        const graph::StepGraph* graph = nullptr;
+        std::string last_id;
+        std::vector<uint32_t> channels;
+    };
+    thread_local Cache cache;
+    const bool hit = cache.graph == &graph &&
+        cache.channels.size() == graph.nodes.size() &&
+        (graph.nodes.empty() ||
+         cache.last_id == graph.nodes.back().id);
+    if (!hit) {
+        auto& recorder = obs::FlightRecorder::global();
+        cache.channels.clear();
+        cache.channels.reserve(graph.nodes.size());
+        for (const auto& node : graph.nodes)
+            cache.channels.push_back(recorder.internChannel(node.id));
+        cache.graph = &graph;
+        cache.last_id =
+            graph.nodes.empty() ? std::string() : graph.nodes.back().id;
+    }
+    return cache.channels;
+}
+
+const std::vector<uint32_t> kNoChannels;
+
 } // namespace
 
 double
@@ -65,11 +164,22 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
                   graph.num_dense == model.config().num_dense,
                   "StepGraph was built for a different model config");
 
+    const bool recording = obs::recorderEnabled();
+    const uint64_t step = recording
+        ? g_serial_steps.fetch_add(1, std::memory_order_relaxed)
+        : 0;
+    const uint32_t rows = static_cast<uint32_t>(batch.batchSize());
+    const std::vector<uint32_t>& channels =
+        recording ? graphNodeChannels(graph) : kNoChannels;
+
     double loss = 0.0;
     {
         RECSIM_TRACE_SPAN("model.fwd");
         MlpSpanGroup mlp;
-        for (const auto& node : graph.nodes) {
+        for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+            const auto& node = graph.nodes[i];
+            NodeSample sample(recording && executableNode(node),
+                              recording ? channels[i] : 0, step, rows);
             switch (node.kind) {
               case graph::NodeKind::Gemm:
                 if (node.role == graph::GemmRole::Projection) {
@@ -127,6 +237,8 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
         MlpSpanGroup mlp;
         for (std::size_t i = graph.nodes.size(); i-- > 0;) {
             const auto& node = graph.nodes[i];
+            NodeSample sample(recording && executableNode(node),
+                              recording ? channels[i] : 0, step, rows);
             switch (node.kind) {
               case graph::NodeKind::Gemm:
                 if (node.role == graph::GemmRole::Projection) {
@@ -235,17 +347,27 @@ GraphExecutor::GraphExecutor(const graph::StepGraph& graph,
         if (exec[i])
             bwd_waves_[blevel[i]].push_back(i);
     }
+
+    // Intern one recorder channel per node up front: the record path
+    // then never touches the intern mutex, only the per-thread stripe.
+    node_channels_.reserve(n);
+    auto& recorder = obs::FlightRecorder::global();
+    for (const auto& node : graph.nodes)
+        node_channels_.push_back(recorder.internChannel(node.id));
 }
 
 void
 GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
-                        const data::MiniBatch& batch,
-                        bool forward) const
+                        const data::MiniBatch& batch, bool forward,
+                        uint64_t step) const
 {
     const graph::Node& node = graph_->nodes[node_index];
     // The span opens on the executing thread, so concurrent nodes land
     // on their worker's track under the same node-id names the serial
-    // walk, the cost model and the DES report.
+    // walk, the cost model and the DES report. The recorder sample
+    // lands on the worker's stripe under the same id.
+    NodeSample sample(node_channels_[node_index], step,
+                      static_cast<uint32_t>(batch.batchSize()));
     obs::TraceSpan span(node.id.c_str());
     switch (node.kind) {
       case graph::NodeKind::Gemm:
@@ -304,12 +426,12 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
 void
 GraphExecutor::runWave(const std::vector<std::size_t>& wave,
                        model::Dlrm& model, const data::MiniBatch& batch,
-                       bool forward) const
+                       bool forward, uint64_t step) const
 {
     if (wave.empty())
         return;
     if (wave.size() == 1) {
-        dispatch(wave[0], model, batch, forward);
+        dispatch(wave[0], model, batch, forward, step);
         return;
     }
     // Grain 1: one node per pool task. Each node writes only its own
@@ -319,7 +441,7 @@ GraphExecutor::runWave(const std::vector<std::size_t>& wave,
     pool_->parallelFor(
         0, wave.size(), 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t k = lo; k < hi; ++k)
-                dispatch(wave[k], model, batch, forward);
+                dispatch(wave[k], model, batch, forward, step);
         });
 }
 
@@ -330,9 +452,12 @@ GraphExecutor::runForward(model::Dlrm& model,
     RECSIM_ASSERT(graph_->emb_dim == model.config().emb_dim &&
                   graph_->num_dense == model.config().num_dense,
                   "StepGraph was built for a different model config");
+    const uint64_t step = obs::recorderEnabled()
+        ? steps_issued_.fetch_add(1, std::memory_order_relaxed)
+        : 0;
     RECSIM_TRACE_SPAN("model.fwd");
     for (const auto& wave : fwd_waves_)
-        runWave(wave, model, batch, /*forward=*/true);
+        runWave(wave, model, batch, /*forward=*/true, step);
 }
 
 double
@@ -343,11 +468,14 @@ GraphExecutor::runStep(model::Dlrm& model,
                   graph_->num_dense == model.config().num_dense,
                   "StepGraph was built for a different model config");
 
+    const uint64_t step = obs::recorderEnabled()
+        ? steps_issued_.fetch_add(1, std::memory_order_relaxed)
+        : 0;
     double loss = 0.0;
     {
         RECSIM_TRACE_SPAN("model.fwd");
         for (const auto& wave : fwd_waves_)
-            runWave(wave, model, batch, /*forward=*/true);
+            runWave(wave, model, batch, /*forward=*/true, step);
     }
     {
         obs::TraceSpan span("loss");
@@ -356,7 +484,7 @@ GraphExecutor::runStep(model::Dlrm& model,
     {
         RECSIM_TRACE_SPAN("model.bwd");
         for (const auto& wave : bwd_waves_)
-            runWave(wave, model, batch, /*forward=*/false);
+            runWave(wave, model, batch, /*forward=*/false, step);
     }
     return loss;
 }

@@ -11,6 +11,8 @@
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "data/dataset.h"
@@ -67,6 +69,13 @@ double runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
  * thread exactly as in runGraphStep(); per-node spans open on
  * whichever worker runs the node, landing on that thread's track
  * (the Tracer is thread-safe for concurrent begin/end).
+ *
+ * Flight recorder: when obs::recorderEnabled(), every dispatched node
+ * records one sample per visit on a channel named by the node id
+ * (interned once at construction), tagged with the executor's step
+ * counter and the batch row count — the measured side the
+ * obs::DriftMonitor folds against cost::IterationModel predictions.
+ * Disabled cost is one relaxed atomic load per node.
  */
 class GraphExecutor
 {
@@ -121,14 +130,19 @@ class GraphExecutor
   private:
     void runWave(const std::vector<std::size_t>& wave,
                  model::Dlrm& model, const data::MiniBatch& batch,
-                 bool forward) const;
+                 bool forward, uint64_t step) const;
     void dispatch(std::size_t node_index, model::Dlrm& model,
-                  const data::MiniBatch& batch, bool forward) const;
+                  const data::MiniBatch& batch, bool forward,
+                  uint64_t step) const;
 
     const graph::StepGraph* graph_;
     util::ThreadPool* pool_;
     std::vector<std::vector<std::size_t>> fwd_waves_;
     std::vector<std::vector<std::size_t>> bwd_waves_;
+    /** Flight-recorder channel per node, interned at construction. */
+    std::vector<uint32_t> node_channels_;
+    /** Steps/forwards issued, tagging recorder samples. */
+    mutable std::atomic<uint64_t> steps_issued_{0};
 };
 
 } // namespace train

@@ -2,6 +2,7 @@
 
 #include "graph/step_graph.h"
 #include "nn/loss.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/pool_metrics.h"
 #include "obs/trace.h"
@@ -77,6 +78,14 @@ trainSingleThread(const model::DlrmConfig& model_config,
     nn::Sgd sgd(config.learning_rate);
     nn::Adagrad adagrad(config.learning_rate);
 
+    // Flight-recorder channels for the per-step series, interned once
+    // outside the loop; the loop body itself only pays the enabled()
+    // load when recording is off.
+    auto& recorder = obs::FlightRecorder::global();
+    const uint32_t step_channel = recorder.internChannel("train.step_s");
+    const uint32_t loss_channel = recorder.internChannel("train.loss");
+    const obs::PoolSnapshot pool_before = obs::snapshotThreadPool();
+
     TrainResult result;
     const std::size_t steps_per_epoch =
         train_examples / config.batch_size;
@@ -113,10 +122,15 @@ trainSingleThread(const model::DlrmConfig& model_config,
             }
             auto& metrics = obs::MetricsRegistry::global();
             metrics.incr("train.iterations");
-            metrics.observe("train.iteration_seconds",
-                            static_cast<double>(
-                                obs::Tracer::global().nowNs() -
-                                iter_start) * 1e-9);
+            const double iter_s = static_cast<double>(
+                obs::Tracer::global().nowNs() - iter_start) * 1e-9;
+            metrics.observe("train.iteration_seconds", iter_s);
+            if (obs::recorderEnabled()) {
+                const uint32_t rows =
+                    static_cast<uint32_t>(batch.batchSize());
+                recorder.record(step_channel, step, iter_s, rows);
+                recorder.record(loss_channel, step, loss, rows);
+            }
             if (step >= tail_start) {
                 tail_loss += loss;
                 ++tail_count;
@@ -130,6 +144,11 @@ trainSingleThread(const model::DlrmConfig& model_config,
         tail_count ? tail_loss / static_cast<double>(tail_count) : 0.0;
     evaluateModel(model, dataset, eval_examples, result);
     obs::publishThreadPoolMetrics();
+    // The run's own pool consumption (jobs/tasks/idle attributable to
+    // this training loop, not the process lifetime).
+    obs::publishThreadPoolMetrics(
+        "train.pool", obs::poolDelta(pool_before,
+                                     obs::snapshotThreadPool()));
     return result;
 }
 

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/load_gen.h"
@@ -385,6 +386,92 @@ TEST(InferenceEngine, ReplayAccountsForEveryQuery)
     EXPECT_LE(report.mean_batch_queries,
               static_cast<double>(rc.batching.max_batch_queries));
 }
+
+TEST(InferenceEngine, ReplayWindowedLatencyHistogramIsConsistent)
+{
+    const auto cfg = model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+    InferenceEngine engine(cfg, 1);
+    LoadGenConfig load = steadyConfig(2000.0, 7);
+    load.mean_candidates = 16.0;
+    load.max_candidates = 64;
+    load.sla_s = 0.5;
+    LoadGenerator gen(load);
+    const auto queries = gen.generate(0.4);
+    ASSERT_GT(queries.size(), 100u);
+
+    ReplayConfig rc;
+    rc.batching.max_batch_queries = 8;
+    rc.batching.max_batch_items = 256;
+    rc.batching.max_wait_s = 0.001;
+    rc.latency_window_s = 0.05;
+    const ServeReport report = engine.replay(queries, rc);
+    ASSERT_GT(report.served, 0u);
+    ASSERT_FALSE(report.windows.empty());
+
+    std::size_t windowed = 0;
+    std::size_t prev_index = 0;
+    bool first = true;
+    for (const auto& w : report.windows) {
+        if (!first) {
+            EXPECT_GT(w.index, prev_index);  // strictly increasing
+        }
+        first = false;
+        prev_index = w.index;
+        // Windows are keyed on the virtual completion clock.
+        EXPECT_DOUBLE_EQ(w.start_s, static_cast<double>(w.index) *
+                                        rc.latency_window_s);
+        EXPECT_DOUBLE_EQ(w.end_s, w.start_s + rc.latency_window_s);
+        ASSERT_GT(w.tail.count, 0u);
+        windowed += w.tail.count;
+        EXPECT_GT(w.tail.p50, 0.0);
+        EXPECT_LE(w.tail.p50, w.tail.p95);
+        EXPECT_LE(w.tail.p95, w.tail.p99);
+        EXPECT_LE(w.tail.p99, w.tail.max + 1e-12);
+    }
+    // Every served query lands in exactly one window, and the merged
+    // whole-run tail covers the same population.
+    EXPECT_EQ(windowed, report.served);
+    EXPECT_EQ(report.latency.count, report.served);
+}
+
+#ifndef RECSIM_OBS_DISABLED
+TEST(InferenceEngine, ReplayRecordsBatchChannelsInFlightRecorder)
+{
+    auto& rec = obs::FlightRecorder::global();
+    rec.configure(1 << 14);
+    rec.setEnabled(true);
+
+    const auto cfg = model::DlrmConfig::tinyReplica(4, 8, 500, 8);
+    InferenceEngine engine(cfg, 1);
+    LoadGenConfig load = steadyConfig(2000.0, 5);
+    load.sla_s = 0.5;
+    LoadGenerator gen(load);
+    const auto queries = gen.generate(0.1);
+    ReplayConfig rc;
+    rc.batching.max_batch_queries = 8;
+    rc.batching.max_wait_s = 0.001;
+    const ServeReport report = engine.replay(queries, rc);
+
+    rec.setEnabled(false);
+    const uint32_t batch_ch = rec.internChannel("serve.batch_s");
+    const uint32_t queue_ch = rec.internChannel("serve.queue_depth");
+    std::size_t batch_samples = 0, queue_samples = 0;
+    for (const auto& sample : rec.snapshot()) {
+        if (sample.channel == batch_ch) {
+            ++batch_samples;
+            EXPECT_GE(sample.value, 0.0);  // service seconds
+            EXPECT_GT(sample.rows, 0u);    // batch items
+        } else if (sample.channel == queue_ch) {
+            ++queue_samples;
+        }
+    }
+    // One sample per retired batch on each channel (capacity is far
+    // above the batch count, so nothing wrapped).
+    EXPECT_EQ(batch_samples, report.batches);
+    EXPECT_EQ(queue_samples, report.batches);
+    rec.reset();
+}
+#endif  // RECSIM_OBS_DISABLED
 
 TEST(InferenceEngine, ServesForwardOnlyGraph)
 {

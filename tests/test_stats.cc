@@ -5,11 +5,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "stats/histogram.h"
 #include "stats/kde.h"
+#include "stats/log_histogram.h"
 #include "stats/running_stat.h"
 #include "stats/sample_set.h"
 #include "util/random.h"
@@ -337,6 +340,246 @@ TEST(Correlation, ConstantSeriesGivesZero)
     const std::vector<double> x = {1, 1, 1};
     const std::vector<double> y = {1, 2, 3};
     EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// LogHistogram: the documented relative error bound against the exact
+// order statistics, merging, clamping, concurrency.
+// ---------------------------------------------------------------------
+
+TEST(LogHistogram, EmptySnapshotIsAllZero)
+{
+    LogHistogram h;
+    const LogHistogramSnapshot snap = h.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_EQ(snap.tail().count, 0u);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST(LogHistogram, QuantileWithinDocumentedBoundOfNearestRank)
+{
+    // The documented contract: quantile(q) is within relative_error of
+    // the actual sample at nearest-rank round(q * (count - 1)).
+    const double a = 0.01;
+    LogHistogram h(a);
+    util::Rng rng(7);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = std::exp(rng.normal() * 2.0 - 3.0);
+        values.push_back(v);
+        h.add(v);
+    }
+    std::sort(values.begin(), values.end());
+    const LogHistogramSnapshot snap = h.snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        const auto rank = static_cast<std::size_t>(std::llround(
+            q * static_cast<double>(values.size() - 1)));
+        const double exact = values[rank];
+        const double est = snap.quantile(q);
+        EXPECT_NEAR(est, exact, a * exact + 1e-12)
+            << "q=" << q << " rank=" << rank;
+    }
+}
+
+TEST(LogHistogram, AgreesWithExactPercentileOracle)
+{
+    // Against the interpolating stats::percentile: the interpolated
+    // value lies between adjacent order statistics, so the histogram
+    // estimate is within relative_error of one of them plus the gap
+    // between the two.
+    const double a = 0.01;
+    LogHistogram h(a);
+    util::Rng rng(13);
+    std::vector<double> values;
+    for (int i = 0; i < 4000; ++i) {
+        const double v = 0.5 + rng.uniform();  // Dense in [0.5, 1.5].
+        values.push_back(v);
+        h.add(v);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const LogHistogramSnapshot snap = h.snapshot();
+    for (const double pct : {50.0, 90.0, 95.0, 99.0}) {
+        const double exact = percentile(values, pct);
+        const double est = snap.quantile(pct / 100.0);
+        const double pos =
+            pct / 100.0 * static_cast<double>(sorted.size() - 1);
+        const double gap =
+            sorted[static_cast<std::size_t>(std::ceil(pos))] -
+            sorted[static_cast<std::size_t>(std::floor(pos))];
+        EXPECT_NEAR(est, exact, a * exact + gap + 1e-12)
+            << "pct=" << pct;
+    }
+}
+
+TEST(LogHistogram, ExtremeQuantilesAreExact)
+{
+    LogHistogram h;
+    for (const double v : {0.37, 1.91, 0.0042, 12.5, 0.9})
+        h.add(v);
+    const LogHistogramSnapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0042);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 12.5);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0042);
+    EXPECT_DOUBLE_EQ(snap.max, 12.5);
+    EXPECT_NEAR(snap.sum, 0.37 + 1.91 + 0.0042 + 12.5 + 0.9, 1e-12);
+}
+
+TEST(LogHistogram, QuantileIsMonotoneInQ)
+{
+    LogHistogram h;
+    util::Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        h.add(std::exp(rng.normal()));
+    const LogHistogramSnapshot snap = h.snapshot();
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double est = snap.quantile(q);
+        EXPECT_GE(est, prev) << "q=" << q;
+        prev = est;
+    }
+}
+
+TEST(LogHistogram, MergeMatchesCombinedAdds)
+{
+    LogHistogram a, b, all;
+    util::Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const double v = std::exp(rng.normal());
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    const LogHistogramSnapshot merged = a.snapshot();
+    const LogHistogramSnapshot direct = all.snapshot();
+    EXPECT_EQ(merged.count, direct.count);
+    EXPECT_EQ(merged.bins, direct.bins);
+    EXPECT_DOUBLE_EQ(merged.min, direct.min);
+    EXPECT_DOUBLE_EQ(merged.max, direct.max);
+    EXPECT_NEAR(merged.sum, direct.sum, 1e-9);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampIntoEdgeBuckets)
+{
+    LogHistogram h(0.01, 1e-3, 1e3);
+    h.add(1e-9);   // Below min_value.
+    h.add(1e9);    // Above max_value.
+    h.add(-5.0);   // Nonpositive.
+    h.add(1.0);
+    const LogHistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    // Exact extremes are tracked outside the buckets.
+    EXPECT_DOUBLE_EQ(snap.min, -5.0);
+    EXPECT_DOUBLE_EQ(snap.max, 1e9);
+}
+
+TEST(LogHistogram, ConcurrentAddsLoseNothing)
+{
+    LogHistogram h;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            util::Rng rng(static_cast<uint64_t>(t) + 1);
+            for (int i = 0; i < kPerThread; ++i)
+                h.add(std::exp(rng.normal()));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    const LogHistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count,
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    uint64_t bin_total = 0;
+    for (const uint64_t b : snap.bins)
+        bin_total += b;
+    EXPECT_EQ(bin_total, snap.count);
+    EXPECT_GT(snap.min, 0.0);
+    EXPECT_GE(snap.max, snap.min);
+}
+
+// ---------------------------------------------------------------------
+// WindowedHistogram: time routing, merged tail, clamping.
+// ---------------------------------------------------------------------
+
+TEST(WindowedHistogram, RoutesObservationsByTime)
+{
+    WindowedHistogram w(1.0);
+    w.add(0.5, 10.0);
+    w.add(0.9, 20.0);
+    w.add(1.5, 30.0);
+    w.add(5.2, 40.0);
+    const auto windows = w.windows();
+    ASSERT_EQ(windows.size(), 3u);
+    EXPECT_EQ(windows[0].index, 0u);
+    EXPECT_EQ(windows[0].tail.count, 2u);
+    EXPECT_DOUBLE_EQ(windows[0].start_s, 0.0);
+    EXPECT_DOUBLE_EQ(windows[0].end_s, 1.0);
+    EXPECT_EQ(windows[1].index, 1u);
+    EXPECT_EQ(windows[1].tail.count, 1u);
+    EXPECT_EQ(windows[2].index, 5u);
+    EXPECT_DOUBLE_EQ(windows[2].start_s, 5.0);
+    EXPECT_EQ(w.count(), 4u);
+}
+
+TEST(WindowedHistogram, TailMergesAllWindows)
+{
+    WindowedHistogram w(0.5);
+    std::vector<double> values;
+    util::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = std::exp(rng.normal() - 2.0);
+        values.push_back(v);
+        w.add(static_cast<double>(i) * 0.01, v);
+    }
+    const TailSummary tail = w.tail();
+    EXPECT_EQ(tail.count, values.size());
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(std::llround(
+        0.95 * static_cast<double>(values.size() - 1)));
+    EXPECT_NEAR(tail.p95, values[rank],
+                w.relativeError() * values[rank] + 1e-12);
+    EXPECT_DOUBLE_EQ(tail.max, values.back());
+}
+
+TEST(WindowedHistogram, ClampsBeyondMaxWindows)
+{
+    WindowedHistogram w(1.0, /*max_windows=*/4);
+    w.add(0.5, 1.0);
+    w.add(100.0, 2.0);  // Far past the last window.
+    EXPECT_EQ(w.clamped(), 1u);
+    const auto windows = w.windows();
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[1].index, 3u);  // Landed in the last slot.
+    EXPECT_EQ(w.count(), 2u);
+}
+
+TEST(WindowedHistogram, ConcurrentAddsAcrossWindows)
+{
+    WindowedHistogram w(0.1, 64);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&w, t] {
+            util::Rng rng(static_cast<uint64_t>(t) + 99);
+            for (int i = 0; i < kPerThread; ++i)
+                w.add(rng.uniform() * 6.0, std::exp(rng.normal()));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(w.count(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    uint64_t window_total = 0;
+    for (const auto& win : w.windows())
+        window_total += win.tail.count;
+    EXPECT_EQ(window_total, w.count());
 }
 
 } // namespace
