@@ -20,6 +20,7 @@
  * Usage: validation_graph_breakdown [--json PATH] [--trace out.json]
  * Emits BENCH_graph_breakdown.json for the CI artifact.
  */
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -32,6 +33,7 @@
 #include "graph/step_graph.h"
 #include "obs/drift.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/dist_sim.h"
 #include "train/trainer.h"
@@ -77,11 +79,38 @@ struct Variant
     std::vector<obs::Sample> rec_samples;
     /** Measured-vs-predicted verdicts from those samples. */
     obs::DriftReport drift;
+    /** Hot-tier hit rates (cached variant only; -1 = not applicable). */
+    double predicted_hit_rate = -1.0;
+    double measured_hit_rate = -1.0;
 };
+
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** Aggregate hot-tier hit rate from the CachedBackend obs counters. */
+double
+measuredHitRate()
+{
+    uint64_t hot = 0, cold = 0;
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::global().counters()) {
+        if (endsWith(name, ".cache.hot_lookups"))
+            hot += value;
+        else if (endsWith(name, ".cache.cold_lookups"))
+            cold += value;
+    }
+    const uint64_t n = hot + cold;
+    return n ? static_cast<double>(hot) / static_cast<double>(n) : -1.0;
+}
 
 Variant
 runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
-           const cost::CostParams& params, bool fuse, bool own_tracing)
+           const cost::CostParams& params, bool fuse, bool own_tracing,
+           double hot_tier_bytes = 0.0)
 {
     Variant v{cost::IterationModel(m, sys, params),
               {}, {}, {}, {}, 0.0, 0, {}, {}};
@@ -111,6 +140,16 @@ runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
     train_cfg.batch_size = kBatch;
     train_cfg.epochs = 1;
     train_cfg.fuse_graph = fuse;
+    if (hot_tier_bytes > 0.0) {
+        train_cfg.embedding_backend =
+            train::EmbeddingBackendKind::Cached;
+        train_cfg.hot_tier_bytes = hot_tier_bytes;
+        // Refresh the hot set every batch so only the very first batch
+        // gathers cold from an empty set.
+        train_cfg.hot_tier_refresh_every = 1;
+        v.predicted_hit_rate = v.analytical.hotTierHitFraction();
+        obs::MetricsRegistry::global().reset();
+    }
 
     obs::Tracer& tracer = obs::Tracer::global();
     if (own_tracing) {
@@ -124,6 +163,8 @@ runVariant(const model::DlrmConfig& m, const cost::SystemConfig& sys,
     recorder.configure(1 << 15);
     recorder.setEnabled(true);
     train::trainSingleThread(m, dataset, train_cfg, kEval);
+    if (hot_tier_bytes > 0.0)
+        v.measured_hit_rate = measuredHitRate();
     recorder.setEnabled(false);
     v.rec_samples = recorder.snapshot();
     recorder.reset();
@@ -289,6 +330,8 @@ emitNodes(std::ofstream& out, const Variant& v)
         }
         out << ", \"drift_flagged\": "
             << (drift != nullptr && drift->flagged ? "true" : "false")
+            << ", \"hot_tier_bytes\": " << node.hot_tier_bytes
+            << ", \"hot_hit_fraction\": " << node.hot_hit_fraction
             << "}" << (i + 1 < nodes.size() ? "," : "") << "\n";
     }
 }
@@ -336,14 +379,39 @@ main(int argc, char** argv)
     cost::CostParams fused_params = params;
     fused_params.fuse_step_graph = true;
 
+    // Tiered variant: a hot-tier budget covering ~30% of the planner's
+    // table bytes (2 whole tables plus per-table row caches on the
+    // rest), priced by the cost model/DES through
+    // cost::tieredGatherBandwidth and executed by nn::CachedBackend,
+    // whose measured hit rate validates the analytic prediction.
+    cost::SystemConfig cached_sys = sys;
+    const double hot_tier_budget = 0.3 * 1.25 * m.embeddingBytes();
+    cached_sys.emb_hot_tier_bytes = hot_tier_budget;
+
     const bool own_tracing = !trace_session.active();
     const Variant unfused =
         runVariant(m, sys, params, false, own_tracing);
     const Variant fused =
         runVariant(m, sys, fused_params, true, own_tracing);
+    const Variant cached = runVariant(m, cached_sys, params, false,
+                                      own_tracing, hot_tier_budget);
 
     printVariantTable("unfused graph:", unfused);
     printVariantTable("fused graph (fusePass):", fused);
+    printVariantTable("cached embedding backend (hot tier):", cached);
+
+    const double hit_drift = std::abs(cached.predicted_hit_rate -
+                                      cached.measured_hit_rate);
+    std::cout << "hot tier: budget "
+              << util::bytesToString(hot_tier_budget)
+              << ", plan packs "
+              << util::bytesToString(cached.analytical.plan().hot_tier_bytes)
+              << "\n  hit rate: predicted "
+              << bench::pct(cached.predicted_hit_rate) << " (analytic, "
+              << "placement + zipfTopMass), measured "
+              << bench::pct(cached.measured_hit_rate)
+              << " (CachedBackend counters), drift "
+              << util::fixed(hit_drift, 3) << "\n\n";
 
     util::TextTable cmp;
     cmp.header({"iteration", "unfused", "fused", "speedup"});
@@ -397,10 +465,24 @@ main(int argc, char** argv)
     emitIterationSeconds(out, unfused);
     out << ",\n  \"fused_iteration_seconds\": ";
     emitIterationSeconds(out, fused);
-    out << ",\n  \"nodes\": [\n";
+    out << ",\n  \"cached\": {\"hot_tier_budget_bytes\": "
+        << hot_tier_budget << ", \"plan_hot_tier_bytes\": "
+        << cached.analytical.plan().hot_tier_bytes
+        << ", \"summary_hot_tier_bytes\": "
+        << cached.analytical.workSummary().emb_hot_tier_bytes
+        << ", \"summary_hot_hit_fraction\": "
+        << cached.analytical.workSummary().emb_hot_hit_fraction
+        << ", \"predicted_hit_rate\": " << cached.predicted_hit_rate
+        << ", \"measured_hit_rate\": " << cached.measured_hit_rate
+        << ", \"hit_rate_drift\": " << hit_drift
+        << ",\n    \"iteration_seconds\": ";
+    emitIterationSeconds(out, cached);
+    out << "},\n  \"nodes\": [\n";
     emitNodes(out, unfused);
     out << "  ],\n  \"fused_nodes\": [\n";
     emitNodes(out, fused);
+    out << "  ],\n  \"cached_nodes\": [\n";
+    emitNodes(out, cached);
     out << "  ]\n}\n";
     std::cout << "wrote " << json_path << "\n\n";
 

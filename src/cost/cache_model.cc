@@ -8,19 +8,47 @@ namespace recsim {
 namespace cost {
 
 double
+cacheTrafficHitFraction(double resident_bytes, double cache_bytes)
+{
+    if (resident_bytes <= cache_bytes || resident_bytes <= 0.0)
+        return 1.0;
+    // Hit fraction under Zipf-skewed access: the cache holds the hottest
+    // rows, serving roughly cache/resident of *capacity* but a larger
+    // share of *traffic*; the sqrt soft-skew captures that.
+    const double hit = std::min(1.0, cache_bytes / resident_bytes);
+    return std::min(1.0, 1.8 * hit + 0.2 * hit * hit);
+}
+
+double
 gatherEfficiency(double resident_bytes, double cache_bytes,
                  double random_eff, double cached_eff)
 {
     RECSIM_ASSERT(random_eff > 0.0 && cached_eff >= random_eff,
                   "inconsistent gather efficiencies");
+    // Early-out keeps the fully-resident result exactly cached_eff
+    // (the interpolation below would perturb it in the last ulp).
     if (resident_bytes <= cache_bytes || resident_bytes <= 0.0)
         return cached_eff;
-    // Hit fraction under Zipf-skewed access: the cache holds the hottest
-    // rows, serving roughly cache/resident of *capacity* but a larger
-    // share of *traffic*; the sqrt soft-skew captures that.
-    const double hit = std::min(1.0, cache_bytes / resident_bytes);
-    const double traffic_hit = std::min(1.0, 1.8 * hit + 0.2 * hit * hit);
+    const double traffic_hit =
+        cacheTrafficHitFraction(resident_bytes, cache_bytes);
     return random_eff + (cached_eff - random_eff) * traffic_hit;
+}
+
+double
+tieredGatherBandwidth(double cold_bw, double hot_bw, double hot_hit,
+                      double resident_bytes, double cache_bytes,
+                      double random_eff, double cached_eff)
+{
+    const double cold_rate = cold_bw *
+        gatherEfficiency(resident_bytes, cache_bytes, random_eff,
+                         cached_eff);
+    if (hot_hit <= 0.0)
+        return cold_rate;  // bit-identical single-tier fast path
+    RECSIM_ASSERT(hot_hit <= 1.0 && hot_bw > 0.0,
+                  "inconsistent hot-tier parameters");
+    const double hot_rate = hot_bw * cached_eff;
+    return 1.0 /
+        ((1.0 - hot_hit) / cold_rate + hot_hit / hot_rate);
 }
 
 } // namespace cost

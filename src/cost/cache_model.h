@@ -16,6 +16,20 @@ inline constexpr double kGpuL2Bytes = 6.0e6;     ///< V100 L2.
 inline constexpr double kCpuLlcBytesPerSocket = 27.5e6;  ///< SKL 20c LLC.
 
 /**
+ * Fraction of gather *traffic* a cache of @p cache_bytes serves for a
+ * working set of @p resident_bytes, under Zipf-skewed access: the
+ * cache holds the hottest rows, serving roughly cache/resident of
+ * *capacity* but a larger share of traffic (the soft-skew quadratic
+ * captures that). 1.0 when the working set fits entirely.
+ *
+ * This is the same curve gatherEfficiency interpolates with, exposed
+ * so tier-aware cost terms and the CachedBackend validation can
+ * consume the hit fraction directly.
+ */
+double cacheTrafficHitFraction(double resident_bytes,
+                               double cache_bytes);
+
+/**
  * Effective gather efficiency (fraction of streaming bandwidth) for a
  * working set of @p resident_bytes against a cache of @p cache_bytes.
  *
@@ -26,6 +40,21 @@ inline constexpr double kCpuLlcBytesPerSocket = 27.5e6;  ///< SKL 20c LLC.
  */
 double gatherEfficiency(double resident_bytes, double cache_bytes,
                         double random_eff, double cached_eff = 0.9);
+
+/**
+ * Effective gather bandwidth of a two-tier embedding store: the
+ * @p hot_hit fraction of traffic is served by an explicitly managed
+ * hot tier at @p hot_bw * @p cached_eff (a managed tier gathers near
+ * streaming rate — no random-access derating), the remainder by the
+ * cold tier at @p cold_bw * gatherEfficiency(resident, cache, ...).
+ * Harmonic blend: time adds, bandwidth doesn't. With @p hot_hit == 0
+ * this is exactly the single-tier rate every existing call site used,
+ * so configurations without a hot tier are untouched to the last bit.
+ */
+double tieredGatherBandwidth(double cold_bw, double hot_bw,
+                             double hot_hit, double resident_bytes,
+                             double cache_bytes, double random_eff,
+                             double cached_eff = 0.9);
 
 } // namespace cost
 } // namespace recsim

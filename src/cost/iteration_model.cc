@@ -54,6 +54,8 @@ IterationModel::IterationModel(model::DlrmConfig model_config,
         std::max<std::size_t>(system_.num_sparse_ps, 1);
     system_.placement_options.emb_bytes_per_element =
         system_.emb_bytes_per_element;
+    system_.placement_options.hot_tier_bytes =
+        system_.emb_hot_tier_bytes;
     if (system_.platform.num_gpus > 0) {
         system_.placement_options.num_nodes =
             std::max<std::size_t>(system_.num_trainers, 1);
@@ -102,11 +104,16 @@ IterationModel::sparsePsCapacity() const
     const double n = static_cast<double>(system_.num_sparse_ps);
 
     const double resident_per_ps = plan_.resident_bytes / n;
-    const double gather_bw = ps.host.mem_bandwidth *
-        gatherEfficiency(resident_per_ps,
-                         kCpuLlcBytesPerSocket * ps.num_cpu_sockets,
-                         ps.host.random_access_efficiency,
-                         params_.cached_gather_efficiency);
+    // Hot-tier-aware gather rate: the placement's traffic-weighted hit
+    // fraction routes that share of bytes to the managed hot tier
+    // (DRAM-speed unless the device declares a faster one); identical
+    // to the single-tier rate when no hot budget is configured.
+    const double gather_bw = tieredGatherBandwidth(
+        ps.host.mem_bandwidth, ps.host.hotTierBandwidth(),
+        plan_.hot_hit_fraction, resident_per_ps,
+        kCpuLlcBytesPerSocket * ps.num_cpu_sockets,
+        ps.host.random_access_efficiency,
+        params_.cached_gather_efficiency);
     // Trainer-side cache hits never reach the PS: only the cold share
     // of forward pulls plus the (write-through) gradient pushes remain.
     const double hit = remoteCacheHitFraction();
@@ -380,12 +387,12 @@ IterationModel::estimateGpu() const
         // Replicated tables: every GPU gathers only its local batch
         // from its own (small, cache-friendly) copy; the only
         // communication is an allreduce-style sync of the touched rows.
-        const double eff = gatherEfficiency(
-            plan_.resident_bytes, kGpuL2Bytes,
+        const double rate = tieredGatherBandwidth(
+            p.gpu.mem_bandwidth, p.gpu.hotTierBandwidth(),
+            plan_.hot_hit_fraction, plan_.resident_bytes, kGpuL2Bytes,
             p.gpu.random_access_efficiency,
             params_.cached_gather_efficiency);
-        t_gather_gpu = bg * emb_train_bytes * frac_gpu /
-            (g * p.gpu.mem_bandwidth * eff);
+        t_gather_gpu = bg * emb_train_bytes * frac_gpu / (g * rate);
         const double touched_bytes = std::min(
             plan_.resident_bytes,
             bg * summary_.embedding_lookups * d * sizeof(float));
@@ -401,13 +408,15 @@ IterationModel::estimateGpu() const
             max_shard = std::max(max_shard,
                                  plan_.partition.shard_bytes[s]);
         }
-        const double eff = gatherEfficiency(
-            max_shard, kGpuL2Bytes, p.gpu.random_access_efficiency,
+        const double rate = tieredGatherBandwidth(
+            p.gpu.mem_bandwidth, p.gpu.hotTierBandwidth(),
+            plan_.hot_hit_fraction, max_shard, kGpuL2Bytes,
+            p.gpu.random_access_efficiency,
             params_.cached_gather_efficiency);
         const double imbalance = std::max(plan_.access_imbalance, 1.0);
         // Owner shards serve the *global* batch.
         t_gather_gpu = bg_global * emb_train_bytes * frac_gpu *
-            imbalance / (shards * p.gpu.mem_bandwidth * eff);
+            imbalance / (shards * rate);
         // Pooled embeddings all-to-all: senders are the table-owning
         // GPUs, consumers are all data-parallel GPUs. Raw indices must
         // also be routed to the owners.
@@ -434,12 +443,14 @@ IterationModel::estimateGpu() const
         const double host_resident = plan_.resident_bytes *
             (plan_.placement == placement::EmbeddingPlacement::Hybrid
                  ? frac_host : 1.0);
-        const double eff = gatherEfficiency(
-            host_resident, kCpuLlcBytesPerSocket * p.num_cpu_sockets,
+        const double rate = tieredGatherBandwidth(
+            p.host.mem_bandwidth, p.host.hotTierBandwidth(),
+            plan_.hot_hit_fraction, host_resident,
+            kCpuLlcBytesPerSocket * p.num_cpu_sockets,
             p.host.random_access_efficiency,
             params_.cached_gather_efficiency);
         const double t_bw = bg_global * emb_train_bytes * frac_host /
-            (n_nodes * p.host.mem_bandwidth * eff);
+            (n_nodes * rate);
         const double pool_flops = bg_global * summary_.embedding_lookups *
             frac_host * d * 2.0 * 2.0;
         const double t_pool = pool_flops /
@@ -656,11 +667,12 @@ IterationModel::nodeBreakdownCpu() const
     const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
     const double n_ps = static_cast<double>(
         std::max<std::size_t>(system_.num_sparse_ps, 1));
-    const double gather_rate = ps_hw.host.mem_bandwidth *
-        gatherEfficiency(plan_.resident_bytes / n_ps,
-                         kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
-                         ps_hw.host.random_access_efficiency,
-                         params_.cached_gather_efficiency);
+    const double gather_rate = tieredGatherBandwidth(
+        ps_hw.host.mem_bandwidth, ps_hw.host.hotTierBandwidth(),
+        plan_.hot_hit_fraction, plan_.resident_bytes / n_ps,
+        kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+        ps_hw.host.random_access_efficiency,
+        params_.cached_gather_efficiency);
     const double pool_rate = ps_hw.host.peak_flops *
         params_.cpu_mlp_efficiency * params_.ps_pooling_flops_fraction;
     const double ps_nic_rate = ps_hw.network.bandwidth *
@@ -771,11 +783,12 @@ IterationModel::nodeBreakdownGpu() const
     const hw::Platform ps_hw = hw::Platform::dualSocketCpu();
     const double n_ps = static_cast<double>(
         std::max<std::size_t>(system_.num_sparse_ps, 1));
-    const double gather_rate = ps_hw.host.mem_bandwidth *
-        gatherEfficiency(plan_.resident_bytes / n_ps,
-                         kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
-                         ps_hw.host.random_access_efficiency,
-                         params_.cached_gather_efficiency);
+    const double gather_rate = tieredGatherBandwidth(
+        ps_hw.host.mem_bandwidth, ps_hw.host.hotTierBandwidth(),
+        plan_.hot_hit_fraction, plan_.resident_bytes / n_ps,
+        kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+        ps_hw.host.random_access_efficiency,
+        params_.cached_gather_efficiency);
     const double pool_rate = ps_hw.host.peak_flops *
         params_.cpu_mlp_efficiency * params_.ps_pooling_flops_fraction;
     const double ps_nic_rate = ps_hw.network.bandwidth *

@@ -254,6 +254,17 @@ class IterationModel
      */
     double remoteCacheHitFraction() const;
 
+    /**
+     * Traffic-weighted fraction of embedding gather traffic the
+     * placement routes to the managed hot tier
+     * (SystemConfig::emb_hot_tier_bytes budget, packed by
+     * placement::planPlacement). 0 when no hot tier is configured.
+     * This is the analytic prediction the executable
+     * nn::CachedBackend's measured hit rate is validated against
+     * (bench/validation_graph_breakdown, bench/ext_caching).
+     */
+    double hotTierHitFraction() const { return plan_.hot_hit_fraction; }
+
   private:
     IterationEstimate estimateCpu() const;
     IterationEstimate estimateGpu() const;

@@ -81,6 +81,16 @@ struct SystemConfig
      */
     double remote_cache_bytes = 0.0;
 
+    /**
+     * Embedding hot-tier capacity on the device holding the tables,
+     * bytes — the tiered-memory extension (MTrainS-style). The
+     * placement planner packs hot tables / hot rows into this budget,
+     * per-tier gather terms engage in the cost model and the DES, and
+     * the executable counterpart is nn::CachedBackend with the same
+     * budget. 0 = flat single-tier memory (all existing setups).
+     */
+    double emb_hot_tier_bytes = 0.0;
+
     placement::PlacementOptions placement_options;
 
     /** Global examples per iteration across the whole system. */

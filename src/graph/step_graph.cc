@@ -441,6 +441,9 @@ summarize(const StepGraph& graph)
             s.embedding_lookups += node.lookups_per_example;
             s.embedding_bytes += node.bytes_per_example;
             s.pooled_bytes += node.pooled_bytes_per_example;
+            s.emb_hot_tier_bytes += node.hot_tier_bytes;
+            s.emb_hot_hit_fraction +=
+                node.hot_hit_fraction * node.bytes_per_example;
             ++s.embedding_tables;
             break;
           case NodeKind::Interaction:
@@ -465,6 +468,10 @@ summarize(const StepGraph& graph)
 
     s.dense_input_bytes =
         static_cast<double>(graph.num_dense) * sizeof(float);
+    // Normalize the traffic-weighted hot hit fraction accumulated per
+    // lookup node above (weight = lookup bytes per example).
+    s.emb_hot_hit_fraction = s.embedding_bytes > 0.0
+        ? s.emb_hot_hit_fraction / s.embedding_bytes : 0.0;
     return s;
 }
 
@@ -557,6 +564,11 @@ fusePass(StepGraph& g)
         // meaning and stay at their zero defaults — consumers that
         // need them (cost::remoteCacheHitFraction) read the model
         // config, not the graph.
+        // Tier split: bytes sum; the hit fraction is the traffic-
+        // weighted mean over members (weight = lookup bytes per
+        // example), so the grouped node charges the same per-tier
+        // byte split as its members did individually.
+        double hot_weighted = 0.0;
         for (std::size_t j : mem) {
             const Node& mn = g.nodes[j];
             grouped.lookups_per_example += mn.lookups_per_example;
@@ -564,6 +576,8 @@ fusePass(StepGraph& g)
             grouped.pooled_bytes_per_example +=
                 mn.pooled_bytes_per_example;
             grouped.param_bytes += mn.param_bytes;
+            grouped.hot_tier_bytes += mn.hot_tier_bytes;
+            hot_weighted += mn.hot_hit_fraction * mn.bytes_per_example;
             if (mn.fused_tables.empty()) {
                 grouped.fused_tables.push_back(mn.table);
             } else {
@@ -575,6 +589,9 @@ fusePass(StepGraph& g)
             for (std::size_t d : mn.deps)
                 grouped.deps.push_back(d);
         }
+        if (grouped.bytes_per_example > 0.0)
+            grouped.hot_hit_fraction =
+                hot_weighted / grouped.bytes_per_example;
         out.push_back(std::move(grouped));
     }
     for (std::size_t i = 0; i < n; ++i) {

@@ -129,6 +129,17 @@ struct Node
     double zipf_exponent = 0.0;
 
     /**
+     * EmbeddingLookup nodes: hot-tier bytes the placement planner
+     * allocated to this table (placement::bindStepGraph), and the
+     * predicted fraction of this node's lookup traffic the hot tier
+     * serves. Zero when no hot-tier budget is configured. fusePass
+     * sums the bytes and traffic-weights the hit fraction over member
+     * tables, so grouped nodes keep a meaningful tier split.
+     */
+    double hot_tier_bytes = 0.0;
+    double hot_hit_fraction = 0.0;
+
+    /**
      * Gemm nodes: activation bytes per example the *unfused* bias +
      * activation epilogue re-reads and re-writes as separate passes
      * over the layer output (2 * out_width * 4 per pass). Set by
@@ -192,6 +203,12 @@ struct WorkSummary
     double epilogue_traffic_bytes = 0.0;
     /** Total dense parameters; == double(DlrmConfig::mlpParams()). */
     double dense_param_count = 0.0;
+
+    /** Hot-tier bytes allocated across EmbeddingLookup nodes. */
+    double emb_hot_tier_bytes = 0.0;
+    /** Traffic-weighted (by bytes_per_example) hot hit fraction over
+     *  all lookup traffic; 0 without a hot tier. */
+    double emb_hot_hit_fraction = 0.0;
 
     std::size_t mlp_layers = 0;        ///< Bottom + top Gemm nodes.
     std::size_t embedding_tables = 0;  ///< EmbeddingLookup nodes.

@@ -32,6 +32,19 @@ struct ComputeDevice
     double random_access_efficiency = 0.3;
     /** Fixed per-kernel dispatch overhead, seconds (GPUs only). */
     double kernel_launch_overhead = 0.0;
+    /**
+     * Embedding hot-tier capacity, bytes (HBM partition, on-package
+     * SRAM, or a pinned-DRAM cache in front of slower storage). 0 =
+     * flat single-tier memory; the tiered gather terms in cost/ and
+     * sim/ only engage when this is set.
+     */
+    double hot_tier_bytes = 0.0;
+    /**
+     * Hot-tier streaming bandwidth, B/s. 0 defaults to mem_bandwidth
+     * (a pinned partition of the same DRAM: capacity tiering without a
+     * bandwidth step — hits then only skip the random-access derating).
+     */
+    double hot_tier_bandwidth = 0.0;
 
     /** Effective GEMM rate, FLOP/s. */
     double effectiveFlops() const { return peak_flops * mlp_efficiency; }
@@ -40,6 +53,13 @@ struct ComputeDevice
     double gatherBandwidth() const
     {
         return mem_bandwidth * random_access_efficiency;
+    }
+
+    /** Hot-tier bandwidth with the same-DRAM default applied. */
+    double hotTierBandwidth() const
+    {
+        return hot_tier_bandwidth > 0.0 ? hot_tier_bandwidth
+                                        : mem_bandwidth;
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/embedding_backend.h"
 #include "nn/loss.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -111,6 +112,89 @@ Dlrm::forwardEmbeddingGroup(const std::vector<int>& group,
                                              unit.e0, unit.e1);
             }
         });
+    // Close the batch on every member table's backend, serially —
+    // exactly what each table's own forward() would have done.
+    for (int fi : group) {
+        const auto f = static_cast<std::size_t>(fi);
+        tables_[f].endForwardBatch(batch.sparse[f]);
+    }
+}
+
+void
+Dlrm::setEmbeddingBackend(std::size_t f,
+                          std::shared_ptr<nn::EmbeddingBackend> backend)
+{
+    RECSIM_ASSERT(f < tables_.size(), "no embedding table {}", f);
+    tables_[f].setBackend(std::move(backend));
+}
+
+void
+Dlrm::installCachedEmbeddingBackends(double hot_tier_bytes,
+                                     std::size_t refresh_every)
+{
+    RECSIM_ASSERT(hot_tier_bytes >= 0.0, "negative hot-tier budget");
+    const std::size_t n = tables_.size();
+    // Mirror placement's hot-tier allocator (allocateHotTier in
+    // placement.cc) byte for byte so the rows installed here are the
+    // rows the analytic hit fraction
+    // (cost::IterationModel::hotTierHitFraction) was computed for:
+    // same overhead-inflated table bytes, same densest-first
+    // whole-table packing, same traffic-share split of the leftover.
+    constexpr double kOverhead = 1.25;  // PlacementOptions default.
+    std::vector<double> bytes(n), access(n);
+    for (std::size_t f = 0; f < n; ++f) {
+        const auto& spec = config_.sparse[f];
+        const double dim = static_cast<double>(tables_[f].dim());
+        bytes[f] = static_cast<double>(spec.hash_size) * dim *
+            sizeof(float) * kOverhead;
+        access[f] = spec.effectiveMeanLength() * dim * sizeof(float);
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t f = 0; f < n; ++f)
+        order[f] = f;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return access[a] / bytes[a] >
+                             access[b] / bytes[b];
+                     });
+
+    std::vector<std::size_t> hot_rows(n, 0);
+    double remaining = hot_tier_bytes;
+    std::vector<std::size_t> partial;
+    double partial_access = 0.0;
+    for (std::size_t f : order) {
+        if (bytes[f] <= remaining) {
+            hot_rows[f] = config_.sparse[f].hash_size;
+            remaining -= bytes[f];
+        } else {
+            partial.push_back(f);
+            partial_access += access[f];
+        }
+    }
+    if (remaining > 0.0 && partial_access > 0.0) {
+        for (std::size_t f : partial) {
+            const double share = access[f] / partial_access;
+            const double hot = std::min(remaining * share, bytes[f]);
+            hot_rows[f] = static_cast<std::size_t>(
+                static_cast<double>(config_.sparse[f].hash_size) *
+                hot / bytes[f]);
+        }
+    }
+
+    for (std::size_t f = 0; f < n; ++f) {
+        nn::CachedBackendConfig cfg;
+        cfg.hot_rows = hot_rows[f];
+        cfg.refresh_every = refresh_every;
+        cfg.label = "emb.t" + std::to_string(f);
+        tables_[f].setBackend(nn::makeCachedBackend(std::move(cfg)));
+    }
+}
+
+void
+Dlrm::installDramEmbeddingBackends()
+{
+    for (auto& table : tables_)
+        table.setBackend(nn::makeDramBackend());
 }
 
 void

@@ -104,6 +104,32 @@ class Dlrm
         return projections_[f] != nullptr;
     }
 
+    // --- Embedding storage backends -------------------------------
+    // Tables default to per-instance DramBackends (the historical flat
+    // table). Backends only change byte accounting, never results:
+    // lookups stay bitwise-identical across backends.
+
+    /** Install @p backend on table @p f (nn/embedding_backend.h). */
+    void setEmbeddingBackend(
+        std::size_t f, std::shared_ptr<nn::EmbeddingBackend> backend);
+
+    /**
+     * Install a CachedBackend on every table, splitting a hot-tier
+     * budget of @p hot_tier_bytes across tables with the same
+     * allocator placement::planPlacement uses (densest whole tables
+     * first, leftover as per-table row caches by traffic share) — so
+     * the rows installed here are exactly the rows
+     * cost::IterationModel::hotTierHitFraction priced, and measured
+     * hit rates validate the analytic prediction. Labels are
+     * "emb.t{f}", matching the StepGraph node ids, so obs channels
+     * line up with the per-node telemetry.
+     */
+    void installCachedEmbeddingBackends(double hot_tier_bytes,
+                                        std::size_t refresh_every = 8);
+
+    /** Reset every table to a fresh DramBackend. */
+    void installDramEmbeddingBackends();
+
     /** Zero dense grads and drop stored sparse grads. */
     void zeroGrad();
 

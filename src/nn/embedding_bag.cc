@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/embedding_backend.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -34,12 +35,20 @@ EmbeddingBag::forwardChunkGrain(const SparseBatch& batch, std::size_t dim)
 EmbeddingBag::EmbeddingBag(uint64_t hash_size, std::size_t dim,
                            util::Rng& rng, Pooling pooling)
     : table(static_cast<std::size_t>(hash_size), dim),
-      hash_size_(hash_size), dim_(dim), pooling_(pooling)
+      hash_size_(hash_size), dim_(dim), pooling_(pooling),
+      backend_(makeDramBackend())
 {
     RECSIM_ASSERT(hash_size > 0 && dim > 0,
                   "degenerate embedding table [{} x {}]", hash_size, dim);
     const float bound = 1.0f / std::sqrt(static_cast<float>(dim));
     table.fillUniform(rng, -bound, bound);
+}
+
+void
+EmbeddingBag::setBackend(std::shared_ptr<EmbeddingBackend> backend)
+{
+    RECSIM_ASSERT(backend != nullptr, "null embedding backend");
+    backend_ = std::move(backend);
 }
 
 void
@@ -62,33 +71,88 @@ EmbeddingBag::forward(const SparseBatch& batch, tensor::Tensor& out) const
         [this, &batch, &out](std::size_t e0, std::size_t e1) {
             forwardRange(batch, out, e0, e1);
         });
+    backend_->endForwardBatch(batch, hash_size_, dim_);
 }
 
 void
 EmbeddingBag::forwardRange(const SparseBatch& batch, tensor::Tensor& out,
                            std::size_t e0, std::size_t e1) const
 {
-    const std::size_t dim = dim_;
-    const uint64_t hash = hash_size_;
-    const float* table_data = table.data();
-    float* out_data = out.data();
-    for (std::size_t ex = e0; ex < e1; ++ex) {
-        const std::size_t begin = batch.offsets[ex];
-        const std::size_t end = batch.offsets[ex + 1];
-        RECSIM_ASSERT(begin <= end, "corrupt SparseBatch offsets");
-        float* orow = out_data + ex * dim;
-        for (std::size_t k = begin; k < end; ++k) {
-            const auto row_id =
-                static_cast<std::size_t>(batch.indices[k] % hash);
-            const float* erow = table_data + row_id * dim;
-            for (std::size_t j = 0; j < dim; ++j)
-                orow[j] += erow[j];
+    backend_->forwardRange(table, hash_size_, dim_, pooling_, batch, out,
+                           e0, e1);
+}
+
+void
+EmbeddingBag::endForwardBatch(const SparseBatch& batch) const
+{
+    backend_->endForwardBatch(batch, hash_size_, dim_);
+}
+
+void
+EmbeddingBag::applySgd(const SparseGrad& grad, float lr)
+{
+    backend_->applySgd(table, dim_, grad, lr);
+}
+
+void
+EmbeddingBag::applyAdagrad(const SparseGrad& grad,
+                           std::vector<float>& acc, float lr, float eps)
+{
+    RECSIM_ASSERT(acc.size() == hash_size_,
+                  "Adagrad accumulator size {} vs hash size {}",
+                  acc.size(), hash_size_);
+    backend_->applyAdagrad(table, dim_, grad, acc, lr, eps);
+}
+
+namespace {
+
+/** splitmix64 finalizer: avalanches row ids onto the table slots. */
+inline uint64_t
+mixKey(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+EmbeddingBag::FlatSlotMap::beginBatch(std::size_t n)
+{
+    // Load factor <= 0.5: capacity is the next power of two >= 2n.
+    std::size_t want = 16;
+    while (want < n * 2)
+        want <<= 1;
+    if (keys.size() < want) {
+        keys.assign(want, 0);
+        slots.assign(want, 0);
+        stamps.assign(want, 0);
+        mask = want - 1;
+        epoch = 0;
+    }
+    if (++epoch == 0) {
+        // Epoch wrapped: stamps from 2^32 batches ago could collide,
+        // so wipe them once and restart at 1.
+        std::fill(stamps.begin(), stamps.end(), 0u);
+        epoch = 1;
+    }
+}
+
+std::pair<std::size_t&, bool>
+EmbeddingBag::FlatSlotMap::insert(uint64_t key)
+{
+    std::size_t i = static_cast<std::size_t>(mixKey(key)) & mask;
+    while (true) {
+        if (stamps[i] != epoch) {
+            stamps[i] = epoch;
+            keys[i] = key;
+            return {slots[i], true};
         }
-        if (pooling_ == Pooling::Mean && end > begin) {
-            const float inv = 1.0f / static_cast<float>(end - begin);
-            for (std::size_t j = 0; j < dim; ++j)
-                orow[j] *= inv;
-        }
+        if (keys[i] == key)
+            return {slots[i], false};
+        i = (i + 1) & mask;
     }
 }
 
@@ -103,18 +167,21 @@ EmbeddingBag::backward(const SparseBatch& batch, const tensor::Tensor& dy,
 
     // Phase 1 (serial): assign each touched row a slot in first-touch
     // order — the same slot order the old single-pass kernel produced —
-    // and remember every lookup's slot so phase 2 never hashes.
+    // and remember every lookup's slot so phase 2 never hashes. The
+    // flat map is sized once per batch shape; steady-state batches
+    // allocate nothing.
     BackwardScratch& ws = scratch_;
-    ws.slot_of.clear();
+    ws.slot_of.beginBatch(batch.indices.size());
     ws.rows.clear();
     ws.slot_per_k.resize(batch.indices.size());
     for (std::size_t k = 0; k < batch.indices.size(); ++k) {
         const uint64_t row_id = batch.indices[k] % hash_size_;
-        auto [it, inserted] = ws.slot_of.try_emplace(row_id,
-                                                     ws.rows.size());
-        if (inserted)
+        auto [slot, inserted] = ws.slot_of.insert(row_id);
+        if (inserted) {
+            slot = ws.rows.size();
             ws.rows.push_back(row_id);
-        ws.slot_per_k[k] = it->second;
+        }
+        ws.slot_per_k[k] = slot;
     }
 
     const std::size_t nrows = ws.rows.size();
@@ -159,6 +226,7 @@ EmbeddingBag::backward(const SparseBatch& batch, const tensor::Tensor& dy,
                 }
             }
         });
+    backend_->noteBackward(grad, dim_);
 }
 
 } // namespace nn

@@ -5,11 +5,17 @@
  * size) is applied inside the table, so collisions behave as they do in
  * production: semantically distinct IDs share rows when the hash size is
  * small, degrading accuracy but shrinking the table.
+ *
+ * Storage is pluggable (nn/embedding_backend.h): the bag owns the
+ * parameter tensor, batch-parallel orchestration, and the backward
+ * kernel; the installed EmbeddingBackend owns how lookups and sparse
+ * updates touch memory and what each access is charged. The default
+ * DramBackend reproduces the historical flat-table behavior exactly.
  */
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -20,6 +26,8 @@ class Rng;
 } // namespace util
 
 namespace nn {
+
+class EmbeddingBackend;
 
 /** How the looked-up vectors of one example are combined. */
 enum class Pooling { Sum, Mean };
@@ -82,7 +90,8 @@ class EmbeddingBag
     /**
      * Pooled lookup: out [B, dim] where row b aggregates the embeddings
      * of batch.indices in example b's range. Examples with no indices
-     * produce a zero row.
+     * produce a zero row. Ends the batch on the backend
+     * (endForwardBatch) after the parallel gather completes.
      */
     void forward(const SparseBatch& batch, tensor::Tensor& out) const;
 
@@ -94,9 +103,18 @@ class EmbeddingBag
      * parallelFor and dispatches each unit here with the same chunk
      * boundaries forward() would use (forwardChunkGrain) — hence
      * bit-identical results with one pool job instead of one per table.
+     * Callers that bypass forward() must call endForwardBatch() once
+     * per batch after every chunk has completed.
      */
     void forwardRange(const SparseBatch& batch, tensor::Tensor& out,
                       std::size_t e0, std::size_t e1) const;
+
+    /**
+     * Close one forward batch on the backend: hot-set maintenance and
+     * hit-rate export. forward() calls this itself; only direct
+     * forwardRange() drivers (the grouped-lookup path) need it.
+     */
+    void endForwardBatch(const SparseBatch& batch) const;
 
     /** Examples per forward() chunk for @p batch at width @p dim —
      *  the exact grain forward() hands parallelFor. */
@@ -111,6 +129,33 @@ class EmbeddingBag
      */
     void backward(const SparseBatch& batch, const tensor::Tensor& dy,
                   SparseGrad& grad) const;
+
+    /** Sparse SGD row update via the backend: row -= lr * g. */
+    void applySgd(const SparseGrad& grad, float lr);
+
+    /**
+     * Row-wise Adagrad update via the backend. @p acc is the
+     * optimizer-owned per-row accumulator (hashSize() entries).
+     */
+    void applyAdagrad(const SparseGrad& grad, std::vector<float>& acc,
+                      float lr, float eps);
+
+    /**
+     * Install a storage backend (nn/embedding_backend.h). The default
+     * is a per-instance DramBackend; CachedBackend adds a hot tier.
+     * Results must stay bitwise-identical across backends — only the
+     * accounting differs.
+     */
+    void setBackend(std::shared_ptr<EmbeddingBackend> backend);
+
+    /** The installed backend (never null). */
+    EmbeddingBackend& backend() const { return *backend_; }
+
+    /** The installed backend, shared (never null). */
+    const std::shared_ptr<EmbeddingBackend>& backendPtr() const
+    {
+        return backend_;
+    }
 
     uint64_t hashSize() const { return hash_size_; }
     std::size_t dim() const { return dim_; }
@@ -128,12 +173,39 @@ class EmbeddingBag
     uint64_t hash_size_;
     std::size_t dim_;
     Pooling pooling_;
+    std::shared_ptr<EmbeddingBackend> backend_;
+
+    /**
+     * Open-addressed row-id -> slot map for backward()'s dedup pass.
+     * Power-of-two capacity, linear probing, epoch-stamped slots so
+     * clearing is O(1) instead of O(capacity); no buckets, no
+     * per-insert allocation, and steady-state batches never touch the
+     * allocator (capacity only grows, load factor <= 0.5).
+     */
+    struct FlatSlotMap
+    {
+        std::vector<uint64_t> keys;
+        std::vector<std::size_t> slots;
+        std::vector<uint32_t> stamps;
+        uint32_t epoch = 0;
+        std::size_t mask = 0;
+
+        /** Start a batch expected to touch <= @p n distinct keys. */
+        void beginBatch(std::size_t n);
+
+        /**
+         * Find-or-insert @p key. Returns the slot reference and
+         * whether the key was newly inserted (the caller fills the
+         * slot on insertion).
+         */
+        std::pair<std::size_t&, bool> insert(uint64_t key);
+    };
 
     /** Reusable backward() workspace (zero steady-state allocation). */
     struct BackwardScratch
     {
         /** Hashed row id -> slot in the dense gradient block. */
-        std::unordered_map<uint64_t, std::size_t> slot_of;
+        FlatSlotMap slot_of;
         /** Touched row ids in first-touch order. */
         std::vector<uint64_t> rows;
         /** Slot of each batch lookup, indexed like batch.indices. */

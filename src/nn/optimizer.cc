@@ -42,14 +42,9 @@ Sgd::step(Mlp& mlp) const
 void
 Sgd::stepSparse(EmbeddingBag& bag, const SparseGrad& grad) const
 {
-    const std::size_t d = bag.dim();
-    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
-        float* row = bag.table.row(
-            static_cast<std::size_t>(grad.rows[r]));
-        const float* g = grad.values.row(r);
-        for (std::size_t j = 0; j < d; ++j)
-            row[j] -= lr_ * g[j];
-    }
+    // The row arithmetic lives behind the bag's storage backend so
+    // tiered backends can charge write-through bytes per tier.
+    bag.applySgd(grad, lr_);
 }
 
 Adagrad::Adagrad(float lr, float eps)
@@ -93,21 +88,10 @@ Adagrad::stepSparse(EmbeddingBag& bag, const SparseGrad& grad)
     auto& acc = row_state_[bag.table.data()];
     if (acc.size() != bag.hashSize())
         acc.assign(bag.hashSize(), 0.0f);
-    const std::size_t d = bag.dim();
-    for (std::size_t r = 0; r < grad.rows.size(); ++r) {
-        const auto row_id = static_cast<std::size_t>(grad.rows[r]);
-        const float* g = grad.values.row(r);
-        // Row-wise Adagrad: a single accumulator per row holding the
-        // mean squared gradient across the row's elements.
-        float sq = 0.0f;
-        for (std::size_t j = 0; j < d; ++j)
-            sq += g[j] * g[j];
-        acc[row_id] += sq / static_cast<float>(d);
-        const float denom = std::sqrt(acc[row_id]) + eps_;
-        float* row = bag.table.row(row_id);
-        for (std::size_t j = 0; j < d; ++j)
-            row[j] -= lr_ * g[j] / denom;
-    }
+    // The optimizer owns the accumulator (checkpointable via
+    // rowState); the bag's storage backend owns the row arithmetic
+    // and the per-tier write accounting.
+    bag.applyAdagrad(grad, acc, lr_, eps_);
 }
 
 std::vector<float>

@@ -5,6 +5,7 @@
 
 #include "graph/step_graph.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace recsim {
 namespace placement {
@@ -233,6 +234,109 @@ planHybrid(const model::DlrmConfig& config, const hw::Platform& platform,
     return plan;
 }
 
+/**
+ * Choose a tier per table under the hot-tier capacity budget. Whole
+ * tables are packed hottest-first by access density (the same order
+ * planHybrid uses for scarce GPU memory — scarce hot bytes should buy
+ * the most traffic); the leftover budget is spread over the remaining
+ * tables by traffic share as per-table hot-row caches, whose hit
+ * fraction is the Zipf top-mass of the rows they hold. This is the
+ * analytic twin of nn::CachedBackend's frequency top-K hot set, so the
+ * predicted fractions are directly comparable to measured hit rates.
+ */
+/**
+ * Traffic mass of a table's @p rows hottest rows when raw ids are
+ * Zipf-distributed over spec.rawSpace() and folded into hash_size rows
+ * by modulo: row r aggregates the mass of every alias r + i*hash_size,
+ * so the hottest rows carry the head of each fold segment. Reduces to
+ * plain zipfTopMass when rawSpace == hash_size. This is the
+ * distribution nn::CachedBackend's frequency-ranked hot set sees on
+ * the synthetic trace, so predicted and measured hit rates compare.
+ */
+double
+hotRowsTrafficMass(const data::SparseFeatureSpec& spec, uint64_t rows)
+{
+    const uint64_t raw = spec.rawSpace();
+    const uint64_t n = spec.hash_size;
+    if (n == 0 || rows >= n)
+        return 1.0;
+    double mass = 0.0;
+    for (uint64_t base = 0; base < raw; base += n) {
+        const uint64_t hi = std::min(base + rows, raw);
+        mass += util::zipfTopMass(raw, spec.zipf_exponent, hi) -
+            util::zipfTopMass(raw, spec.zipf_exponent, base);
+    }
+    return std::min(mass, 1.0);
+}
+
+void
+allocateHotTier(PlacementPlan& plan, const model::DlrmConfig& config,
+                const PlacementOptions& options)
+{
+    const std::size_t n = config.numSparse();
+    plan.table_hot_bytes.assign(n, 0.0);
+    plan.table_hot_hit_fraction.assign(n, 0.0);
+    plan.hot_tier_bytes = 0.0;
+    plan.hot_hit_fraction = 0.0;
+    if (options.hot_tier_bytes <= 0.0 || n == 0)
+        return;
+    const TableCosts costs = makeCosts(config, options);
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return costs.access_bytes[a] / costs.bytes[a] >
+                             costs.access_bytes[b] / costs.bytes[b];
+                     });
+
+    // Phase 1: whole tables, densest first, while they fit.
+    double remaining = options.hot_tier_bytes;
+    std::vector<std::size_t> partial;
+    double partial_access = 0.0;
+    for (std::size_t t : order) {
+        if (costs.bytes[t] <= remaining) {
+            plan.table_hot_bytes[t] = costs.bytes[t];
+            plan.table_hot_hit_fraction[t] = 1.0;
+            remaining -= costs.bytes[t];
+        } else {
+            partial.push_back(t);
+            partial_access += costs.access_bytes[t];
+        }
+    }
+
+    // Phase 2: leftover budget as hot-row caches by traffic share.
+    if (remaining > 0.0 && partial_access > 0.0) {
+        for (std::size_t t : partial) {
+            const double share =
+                costs.access_bytes[t] / partial_access;
+            const double hot =
+                std::min(remaining * share, costs.bytes[t]);
+            if (hot <= 0.0)
+                continue;
+            const auto& spec = config.sparse[t];
+            // costs.bytes already folds element width and overhead, so
+            // the row count is just the resident fraction of the table.
+            const auto rows = static_cast<uint64_t>(
+                static_cast<double>(spec.hash_size) * hot /
+                costs.bytes[t]);
+            plan.table_hot_bytes[t] = hot;
+            plan.table_hot_hit_fraction[t] =
+                hotRowsTrafficMass(spec, rows);
+        }
+    }
+
+    double total_access = 0.0, hit_access = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        total_access += costs.access_bytes[t];
+        hit_access +=
+            costs.access_bytes[t] * plan.table_hot_hit_fraction[t];
+        plan.hot_tier_bytes += plan.table_hot_bytes[t];
+    }
+    plan.hot_hit_fraction =
+        total_access > 0.0 ? hit_access / total_access : 0.0;
+}
+
 } // namespace
 
 PlacementPlan
@@ -241,18 +345,23 @@ planPlacement(EmbeddingPlacement strategy,
               const hw::Platform& platform,
               const PlacementOptions& options)
 {
-    switch (strategy) {
-      case EmbeddingPlacement::GpuMemory:
-        return planGpuMemory(config, platform, options);
-      case EmbeddingPlacement::HostMemory:
-        return planHostMemory(config, platform, options);
-      case EmbeddingPlacement::RemotePs:
-      case EmbeddingPlacement::CpuLocal:
-        return planRemotePs(strategy, config, options);
-      case EmbeddingPlacement::Hybrid:
-        return planHybrid(config, platform, options);
-    }
-    util::panic("unknown placement enum value");
+    PlacementPlan plan = [&] {
+        switch (strategy) {
+          case EmbeddingPlacement::GpuMemory:
+            return planGpuMemory(config, platform, options);
+          case EmbeddingPlacement::HostMemory:
+            return planHostMemory(config, platform, options);
+          case EmbeddingPlacement::RemotePs:
+          case EmbeddingPlacement::CpuLocal:
+            return planRemotePs(strategy, config, options);
+          case EmbeddingPlacement::Hybrid:
+            return planHybrid(config, platform, options);
+        }
+        util::panic("unknown placement enum value");
+    }();
+    if (options.hot_tier_bytes > 0.0)
+        allocateHotTier(plan, config, options);
+    return plan;
 }
 
 PlacementPlan
@@ -375,6 +484,15 @@ bindStepGraph(graph::StepGraph& g, const PlacementPlan& plan,
         if (table_shards) {
             node.shard = plan.partition.shard_of[
                 static_cast<std::size_t>(node.table)];
+        }
+        // Tier split chosen by the planner (allocateHotTier). The
+        // guard keeps graphs for plans without a hot tier untouched.
+        if (node.table >= 0 &&
+            static_cast<std::size_t>(node.table) <
+                plan.table_hot_bytes.size()) {
+            const auto t = static_cast<std::size_t>(node.table);
+            node.hot_tier_bytes = plan.table_hot_bytes[t];
+            node.hot_hit_fraction = plan.table_hot_hit_fraction[t];
         }
     }
 

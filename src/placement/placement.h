@@ -63,6 +63,24 @@ struct PlacementPlan
 
     /** max/mean lookup traffic across hosting shards. */
     double access_imbalance = 1.0;
+
+    // ---- Hot-tier allocation (PlacementOptions::hot_tier_bytes) ----
+    // Empty / zero unless a hot-tier budget was set. Fully-packed
+    // tables get their whole residency and hit fraction 1; the
+    // leftover budget acts as a per-table hot-row cache whose hit
+    // fraction follows the Zipf top-mass of the rows it holds.
+
+    /** Hot-tier bytes allocated to each table (config.sparse order). */
+    std::vector<double> table_hot_bytes;
+
+    /** Predicted hot-tier traffic hit fraction per table. */
+    std::vector<double> table_hot_hit_fraction;
+
+    /** Total hot-tier bytes allocated across tables. */
+    double hot_tier_bytes = 0.0;
+
+    /** Traffic-weighted mean hot hit fraction over all lookups. */
+    double hot_hit_fraction = 0.0;
 };
 
 /** Knobs for planPlacement(). */
@@ -97,6 +115,14 @@ struct PlacementOptions
     /** Fraction of one GPU's usable memory a full replica may occupy
      *  before the planner falls back to sharding. */
     double replication_budget_fraction = 0.05;
+    /**
+     * Embedding hot-tier capacity budget on the hosting device, bytes
+     * (the tiered-memory extension). When positive, the planner
+     * chooses a tier per table: whole tables are packed hottest-first
+     * by access density, and the leftover budget becomes per-table
+     * hot-row caches sized by traffic share. 0 disables tiering.
+     */
+    double hot_tier_bytes = 0.0;
 };
 
 /**

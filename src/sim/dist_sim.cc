@@ -250,12 +250,16 @@ Simulation::run()
         for (std::size_t i = 0; i < sys.num_sparse_ps; ++i) {
             SparsePs ps;
             const double resident = plan.resident_bytes / n_ps;
-            const double gather_rate = ps_hw.host.mem_bandwidth *
-                cost::gatherEfficiency(
-                    resident,
-                    cost::kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
-                    ps_hw.host.random_access_efficiency,
-                    params.cached_gather_efficiency);
+            // Mirrors cost::IterationModel::sparsePsCapacity: the
+            // placement's hot-tier hit share gathers at the managed
+            // tier's rate; exact single-tier rate when no hot budget.
+            const double gather_rate = cost::tieredGatherBandwidth(
+                ps_hw.host.mem_bandwidth,
+                ps_hw.host.hotTierBandwidth(), plan.hot_hit_fraction,
+                resident,
+                cost::kCpuLlcBytesPerSocket * ps_hw.num_cpu_sockets,
+                ps_hw.host.random_access_efficiency,
+                params.cached_gather_efficiency);
             const std::string name = "sparse_ps" + std::to_string(i);
             ps.mem = std::make_unique<Resource>(eq_, name + ".mem",
                                                 gather_rate);
@@ -403,19 +407,22 @@ Simulation::run()
             max_shard = std::max(max_shard,
                                  plan.partition.shard_bytes[s]);
         }
-        const double gather_eff = cost::gatherEfficiency(
-            max_shard, cost::kGpuL2Bytes,
+        const double gather_rate = cost::tieredGatherBandwidth(
+            p.gpu.mem_bandwidth, p.gpu.hotTierBandwidth(),
+            plan.hot_hit_fraction, max_shard, cost::kGpuL2Bytes,
             p.gpu.random_access_efficiency,
             params.cached_gather_efficiency);
         gpu_mem_ = std::make_unique<Resource>(
-            eq_, "gpu.mem", shards * p.gpu.mem_bandwidth * gather_eff);
+            eq_, "gpu.mem", shards * gather_rate);
         interconnect_ = std::make_unique<LinkModel>(
             eq_, "gpu.interconnect",
             shards * std::max(p.gpu_interconnect.bandwidth, 1.0),
             secondsToTicks(p.gpu_interconnect.latency));
         host_mem_ = std::make_unique<Resource>(
             eq_, "host.mem",
-            p.host.mem_bandwidth * cost::gatherEfficiency(
+            cost::tieredGatherBandwidth(
+                p.host.mem_bandwidth, p.host.hotTierBandwidth(),
+                plan.hot_hit_fraction,
                 plan.resident_bytes *
                     (1.0 - plan.gpu_lookup_fraction -
                      plan.remote_lookup_fraction),

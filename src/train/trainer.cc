@@ -66,6 +66,9 @@ trainSingleThread(const model::DlrmConfig& model_config,
                   config.batch_size, train_examples);
 
     model::Dlrm model(model_config, config.model_seed);
+    if (config.embedding_backend == EmbeddingBackendKind::Cached)
+        model.installCachedEmbeddingBackends(
+            config.hot_tier_bytes, config.hot_tier_refresh_every);
     // The same per-step operator graph the cost model and the DES
     // consume drives the real training loop (train/step_runner.h).
     // The executor dispatches independent nodes (per-table lookups,

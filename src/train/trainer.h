@@ -19,6 +19,9 @@ namespace train {
 /** Which optimizer a trainer uses. */
 enum class OptimizerKind { Sgd, Adagrad };
 
+/** Which embedding storage backend the trainer installs. */
+enum class EmbeddingBackendKind { Dram, Cached };
+
 /** Training hyper-parameters. */
 struct TrainConfig
 {
@@ -37,6 +40,18 @@ struct TrainConfig
      * unfused walk; only the per-step wall time changes.
      */
     bool fuse_graph = false;
+    /**
+     * Embedding storage backend (nn/embedding_backend.h). Cached
+     * splits @p hot_tier_bytes across tables with the placement
+     * hot-tier allocator (densest whole tables first, leftover by
+     * traffic share) and measures per-tier hit rates; results are
+     * bitwise-identical to Dram either way.
+     */
+    EmbeddingBackendKind embedding_backend = EmbeddingBackendKind::Dram;
+    /** Hot-tier capacity budget for the Cached backend, in bytes. */
+    double hot_tier_bytes = 0.0;
+    /** Batches between hot-set refreshes for the Cached backend. */
+    std::size_t hot_tier_refresh_every = 8;
 };
 
 /** Outcome of a training run. */
