@@ -17,6 +17,7 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -28,6 +29,7 @@
 #include "data/dataset.h"
 #include "model/dlrm.h"
 #include "nn/embedding_bag.h"
+#include "nn/interaction.h"
 #include "nn/quantized_embedding.h"
 #include "obs/metrics.h"
 #include "obs/pool_metrics.h"
@@ -221,6 +223,71 @@ main(int argc, char** argv)
                   tensor::matmul(a, b, out);
                   tensor::addBiasRows(out, bias);
                   tensor::reluInPlace(out);
+              });
+
+        // Backward fusion: one layer's full grad step. Fused row: the
+        // bias grad rides the dW GEMM sweep and the dReLU mask the dx
+        // GEMM store; unfused row: the same work as four passes. Both
+        // rows count the two GEMMs' FLOPs so the delta is, again, the
+        // saved epilogue memory traffic.
+        tensor::Tensor xin(n, n), dy(n, n), mask(n, n);
+        xin.fillNormal(rng, 1.0f);
+        dy.fillNormal(rng, 1.0f);
+        mask.fillNormal(rng, 1.0f);
+        tensor::Tensor dw, db, dx;
+        const double bwd_flops = 2.0 * flops;
+        h.run(util::format("gemm_dgrad_fused_{}", n), "GFLOP/s",
+              bwd_flops, [&] {
+                  tensor::matmulTransABiasGrad(xin, dy, dw, db);
+                  tensor::matmulTransBMask(dy, b, &mask, dx);
+              });
+        h.run(util::format("gemm_dgrad_unfused_{}", n), "GFLOP/s",
+              bwd_flops, [&] {
+                  tensor::matmulTransA(xin, dy, dw);
+                  tensor::sumRows(dy, db);
+                  tensor::matmulTransB(dy, b, dx);
+                  tensor::reluBackward(mask, dx, dx);
+              });
+    }
+
+    // --- Interaction backward: flatten fusion --------------------------
+    // The top-MLP layer-0 input-grad GEMM writing the interaction
+    // backward's destinations directly (segmented outputs) vs the
+    // monolithic GEMM into a flatten buffer that a second pass splits.
+    {
+        const std::size_t batch = quick ? 128 : 512;
+        const std::size_t d = 64, sparse = 8;
+        const std::size_t width =
+            nn::DotInteraction::outWidth(sparse, d);
+        const std::size_t hidden = 256;
+        tensor::Tensor grad(batch, hidden), w(hidden, width);
+        grad.fillNormal(rng, 1.0f);
+        w.fillNormal(rng, 1.0f);
+        const double flops = 2.0 * static_cast<double>(batch) *
+            hidden * width;
+        tensor::Tensor wt(width, hidden);
+        for (std::size_t i = 0; i < hidden; ++i)
+            for (std::size_t j = 0; j < width; ++j)
+                wt.at(j, i) = w.at(i, j);
+        tensor::Tensor d_dense, d_pairs, flat;
+        h.run("interaction_bwd_flatten_fused", "GFLOP/s", flops, [&] {
+            std::vector<tensor::GemmOutSegment> segs = {
+                {&d_dense, d, /*zero_bias=*/true},
+                {&d_pairs, width - d, false}};
+            tensor::matmulTransBSegmented(grad, wt, segs);
+        });
+        h.run("interaction_bwd_flatten_unfused", "GFLOP/s", flops,
+              [&] {
+                  tensor::matmulTransB(grad, wt, flat);
+                  d_dense.resize(batch, d);
+                  d_pairs.resize(batch, width - d);
+                  for (std::size_t ex = 0; ex < batch; ++ex) {
+                      const float* frow = flat.row(ex);
+                      std::memcpy(d_dense.row(ex), frow,
+                                  d * sizeof(float));
+                      std::memcpy(d_pairs.row(ex), frow + d,
+                                  (width - d) * sizeof(float));
+                  }
               });
     }
 

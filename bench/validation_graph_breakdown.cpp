@@ -12,7 +12,9 @@
  * (queueing in the DES, malloc/dispatch noise in the measurement).
  *
  * The whole pipeline runs twice, unfused and fused (graph::fusePass:
- * GEMM epilogue fusion + per-device embedding-lookup grouping), so the
+ * forward GEMM epilogue fusion, backward grad-GEMM fusion with the
+ * bias grad and dReLU mask riding the GEMM sweeps, the interaction
+ * flatten fusion, and per-device embedding-lookup grouping), so the
  * fusion win appears in all three columns at once — the same pass that
  * rewrites the executor's graph rewrites the cost model's and the
  * DES's.
@@ -493,7 +495,9 @@ main(int argc, char** argv)
         "rows run the real pooled lookups, which the cost model\nfolds "
         "into its per-lookup trainer overhead. In the fused table the "
         "per-table\nemb.* rows collapse into one emb.grouped.* row per "
-        "device and the gemm rows\nlose their epilogue traffic, so the "
-        "fused iteration is faster in all three\ncolumns.\n";
+        "device and the gemm and\ninteraction rows lose their forward "
+        "and backward epilogue traffic (bias +\nReLU stores, bias-grad "
+        "sumRows, dReLU mask, the interaction flatten buffer),\nso the "
+        "fused iteration is faster in all three columns.\n";
     return 0;
 }

@@ -204,11 +204,14 @@ IterationModel::estimateCpu() const
     const double host_flops =
         p.host.peak_flops * params_.cpu_mlp_efficiency * cache_factor;
 
-    // Unfused GEMM epilogues (bias + ReLU passes over the activations)
-    // are extra streaming memory traffic; fusePass zeroes the summary
-    // term, which is the analytical fusion win.
+    // Unfused GEMM epilogues (bias + ReLU passes over the activations
+    // forward; dReLU mask, bias-grad sumRows and the interaction
+    // flatten/scatter buffers backward) are extra streaming memory
+    // traffic; fusePass zeroes both summary terms, which is the
+    // analytical fusion win.
     const double epilogue_s_pe =
-        summary_.epilogue_traffic_bytes / p.host.mem_bandwidth;
+        (summary_.epilogue_traffic_bytes +
+         summary_.bwd_epilogue_traffic_bytes) / p.host.mem_bandwidth;
     const double compute_s_pe = train_flops / host_flops +
         epilogue_s_pe + params_.cpu_per_example_overhead +
         summary_.embedding_lookups * params_.cpu_per_lookup_overhead;
@@ -689,7 +692,9 @@ IterationModel::nodeBreakdownCpu() const
           case graph::NodeKind::Gemm:
           case graph::NodeKind::Interaction:
             s = b * node.fwd_flops * bwd / host_flops +
-                b * node.epilogue_traffic_bytes / p.host.mem_bandwidth;
+                b * (node.epilogue_traffic_bytes +
+                     node.bwd_epilogue_traffic_bytes) /
+                    p.host.mem_bandwidth;
             break;
           case graph::NodeKind::EmbeddingLookup:
             // Trainer-side id marshalling + pooled-vector handling (the

@@ -216,6 +216,14 @@ buildModelStepGraph(const model::DlrmConfig& config)
         // (hidden layers only — the last layer of each MLP has none).
         node.epilogue_traffic_bytes = (relu ? 4.0 : 2.0) *
             static_cast<double>(out) * sizeof(float);
+        // Unfused backward-epilogue traffic: the bias-grad sumRows
+        // re-reads dy [B, out]; hidden layers (layer > 0 — the mask is
+        // the *previous* layer's activation) also pay reluBackward's
+        // read+write of the input gradient [B, in].
+        node.bwd_epilogue_traffic_bytes =
+            (static_cast<double>(out) +
+             (layer > 0 ? 2.0 * static_cast<double>(in) : 0.0)) *
+            sizeof(float);
         node.deps = std::move(deps);
         g.nodes.push_back(std::move(node));
         return g.nodes.size() - 1;
@@ -283,6 +291,10 @@ buildModelStepGraph(const model::DlrmConfig& config)
             proj.epilogue_traffic_bytes =
                 2.0 * static_cast<double>(config.emb_dim) *
                 sizeof(float);
+            // Backward: only the bias-grad sumRows re-read of dy
+            // (projections have no ReLU, so no mask pass to save).
+            proj.bwd_epilogue_traffic_bytes =
+                static_cast<double>(config.emb_dim) * sizeof(float);
             proj.deps = {emb_index};
             g.nodes.push_back(std::move(proj));
             producer = g.nodes.size() - 1;
@@ -303,6 +315,19 @@ buildModelStepGraph(const model::DlrmConfig& config)
             node.fwd_flops = f * (f - 1.0) / 2.0 * 2.0 *
                 static_cast<double>(config.emb_dim);
         }
+        // Flatten-buffer traffic the interaction-flatten fusion
+        // removes. Concat: the whole [B, W] flatten buffer is written
+        // by the top-MLP layer-0 input-grad GEMM and re-read by the
+        // memcpy split (one round trip, 2 * W * 4). Dot: the dense
+        // pass-through's zero + read-modify-write of d_dense
+        // (~4 * emb_dim * 4) — the pairs stay a compact read either
+        // way.
+        node.bwd_epilogue_traffic_bytes =
+            (config.interaction == nn::InteractionKind::DotProduct
+                 ? 4.0 * static_cast<double>(config.emb_dim)
+                 : 2.0 * static_cast<double>(
+                       config.interactionWidth())) *
+            sizeof(float);
         if (last_bottom != StepGraph::npos)
             node.deps.push_back(last_bottom);
         for (std::size_t p : pooled_producers)
@@ -434,6 +459,8 @@ summarize(const StepGraph& graph)
           case NodeKind::Gemm:
             s.dense_param_count += node.param_count;
             s.epilogue_traffic_bytes += node.epilogue_traffic_bytes;
+            s.bwd_epilogue_traffic_bytes +=
+                node.bwd_epilogue_traffic_bytes;
             if (node.role == GemmRole::Projection)
                 s.mlp_flops += node.fwd_flops;
             break;
@@ -448,6 +475,8 @@ summarize(const StepGraph& graph)
             break;
           case NodeKind::Interaction:
             s.interaction_flops = node.fwd_flops;
+            s.bwd_epilogue_traffic_bytes +=
+                node.bwd_epilogue_traffic_bytes;
             act_bytes +=
                 static_cast<double>(node.out_width) * sizeof(float);
             break;
@@ -481,18 +510,30 @@ fusePass(StepGraph& g)
     const std::string problem = g.validate();
     RECSIM_ASSERT(problem.empty(), "invalid StepGraph: {}", problem);
 
-    // 1. GEMM epilogue fusion. Annotation-level: the node keeps its id
-    // and FLOPs (the arithmetic is unchanged — the bias/activation ops
-    // just move into the GEMM store), only the extra epilogue memory
-    // passes disappear.
+    // 1. GEMM epilogue fusion, forward + backward. Annotation-level:
+    // the node keeps its id and FLOPs (the arithmetic is unchanged —
+    // the bias/activation/grad-epilogue ops just move into the GEMM
+    // stores), only the extra epilogue memory passes disappear.
+    // 2. Interaction-flatten fusion: marked on both ends of the pair —
+    // the top-MLP layer-0 Gemm (its input-grad GEMM writes the
+    // interaction backward's destinations directly) and the
+    // Interaction node (its backward consumes them there); the flatten
+    // round trip the Interaction node was annotated with disappears.
     for (auto& node : g.nodes) {
         if (node.kind == NodeKind::Gemm) {
             node.fused_epilogue = true;
             node.epilogue_traffic_bytes = 0.0;
+            node.fused_backward = true;
+            node.bwd_epilogue_traffic_bytes = 0.0;
+            if (node.role == GemmRole::TopMlp && node.layer == 0)
+                node.fused_flatten = true;
+        } else if (node.kind == NodeKind::Interaction) {
+            node.fused_flatten = true;
+            node.bwd_epilogue_traffic_bytes = 0.0;
         }
     }
 
-    // 2. Batch EmbeddingLookup nodes into per-device grouped nodes.
+    // 3. Batch EmbeddingLookup nodes into per-device grouped nodes.
     // Grouping by device only (never by shard) keeps the grouped id
     // identical between a bound graph (tables spread over PS shards)
     // and the trainer's unbound graph, so the three columns of

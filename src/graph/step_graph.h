@@ -155,6 +155,35 @@ struct Node
      */
     bool fused_epilogue = false;
     /**
+     * Backward-pass twin of epilogue_traffic_bytes: bytes per example
+     * the *unfused* backward epilogues move as separate passes — the
+     * bias-grad sumRows re-read of dy (out_width * 4) plus, for hidden
+     * layers, reluBackward's read+write of the input gradient
+     * (2 * in_width * 4). On the Interaction node it is instead the
+     * flatten-buffer traffic the interaction-flatten fusion removes
+     * (the d_interact round trip). Set by buildModelStepGraph(),
+     * zeroed by fusePass() alongside the flags below.
+     */
+    double bwd_epilogue_traffic_bytes = 0.0;
+    /**
+     * Gemm nodes: the backward epilogues run inside the grad GEMMs —
+     * bias grad accumulated in the weight-grad sweep
+     * (tensor::matmulTransABiasGrad) and the dReLU mask applied in the
+     * input-grad GEMM store (tensor::matmulTransBMask). Set by
+     * fusePass(); the trainer dispatches on it.
+     */
+    bool fused_backward = false;
+    /**
+     * Interaction-flatten fusion: on the top-MLP layer-0 Gemm node,
+     * its input-grad GEMM writes the interaction backward's scattered
+     * destinations directly (tensor::matmulTransBSegmented), skipping
+     * the intermediate flatten buffer; on the Interaction node, its
+     * backward consumes those segment outputs instead of the flatten
+     * buffer. Set by fusePass() on both nodes of the pair; the trainer
+     * dispatches on it.
+     */
+    bool fused_flatten = false;
+    /**
      * Grouped-lookup nodes (fusePass): the member tables, in merge
      * order. Empty for ordinary nodes. The trainer dispatches a
      * grouped node to Dlrm::forwardEmbeddingGroup over these tables;
@@ -201,6 +230,10 @@ struct WorkSummary
     /** Unfused-epilogue traffic per example, summed over Gemm nodes in
      *  node order; zero after fusePass(). */
     double epilogue_traffic_bytes = 0.0;
+    /** Unfused *backward*-epilogue + flatten traffic per example,
+     *  summed over Gemm and Interaction nodes in node order; zero
+     *  after fusePass(). */
+    double bwd_epilogue_traffic_bytes = 0.0;
     /** Total dense parameters; == double(DlrmConfig::mlpParams()). */
     double dense_param_count = 0.0;
 
@@ -322,16 +355,30 @@ StepGraph buildModelStepGraph(const model::DlrmConfig& config);
 StepGraph forwardSubgraph(const StepGraph& graph);
 
 /**
- * Operator-fusion rewrite of the IR, in place. Two rewrites:
+ * Operator-fusion rewrite of the IR, in place. Three rewrites:
  *
- *  1. GEMM epilogue fusion: every Gemm node's bias + activation
- *     epilogue is folded into the GEMM store pass — the node keeps its
- *     id (predicted / simulated / measured columns keep lining up),
- *     gains fused_epilogue = true and drops epilogue_traffic_bytes to
- *     zero. Execution via tensor::matmulBiasAct is bitwise identical
- *     to the unfused passes; only memory traffic changes.
+ *  1. GEMM epilogue fusion, forward and backward: every Gemm node's
+ *     bias + activation epilogue is folded into the GEMM store pass —
+ *     the node keeps its id (predicted / simulated / measured columns
+ *     keep lining up), gains fused_epilogue = true and drops
+ *     epilogue_traffic_bytes to zero. The backward stage does the same
+ *     for the grad epilogues: fused_backward = true marks that the
+ *     bias gradient is accumulated inside the weight-grad GEMM sweep
+ *     (tensor::matmulTransABiasGrad) and the dReLU mask is applied
+ *     inside the input-grad GEMM store (tensor::matmulTransBMask);
+ *     bwd_epilogue_traffic_bytes drops to zero. Execution is bitwise
+ *     identical to the unfused passes; only memory traffic changes.
  *
- *  2. Embedding-lookup batching: EmbeddingLookup nodes on the same
+ *  2. Interaction-flatten fusion: the top-MLP layer-0 node and the
+ *     Interaction node both gain fused_flatten = true — the layer-0
+ *     input-grad GEMM writes the interaction backward's scattered
+ *     dense/embedding-grad destinations directly
+ *     (tensor::matmulTransBSegmented) and the interaction backward
+ *     consumes them there, eliminating the intermediate flatten buffer
+ *     and its write + re-read; the Interaction node's
+ *     bwd_epilogue_traffic_bytes (that round trip) drops to zero.
+ *
+ *  3. Embedding-lookup batching: EmbeddingLookup nodes on the same
  *     device are merged (in node order) into one grouped node
  *     "emb.grouped.g{ordinal}" placed at the first member's position,
  *     with fused_tables listing the member tables, annotations summed

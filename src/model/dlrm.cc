@@ -5,6 +5,7 @@
 #include "nn/embedding_backend.h"
 #include "nn/loss.h"
 #include "obs/trace.h"
+#include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_utils.h"
@@ -230,14 +231,61 @@ Dlrm::lossBackward(const data::MiniBatch& batch)
 }
 
 void
-Dlrm::backwardTopLayer(std::size_t i)
+Dlrm::backwardTopLayer(std::size_t i, bool fused, bool flatten)
 {
-    top_->backwardLayer(i, interact_out_, d_logits_, d_interact_);
+    if (flatten && i == 0) {
+        // Interaction-flatten fusion: run layer 0's backward by hand —
+        // parameter grads as usual, but the input-grad GEMM writes the
+        // interaction backward's destinations directly (segmented over
+        // the product's columns) instead of the d_interact_ flatten
+        // buffer. Each segment element carries the exact fma chain of
+        // the unsegmented GEMM, and the dot pass-through's zero-bias
+        // segment reproduces its zero + += bits, so the fused walk
+        // stays bitwise equal (d_interact_ is simply never written).
+        const tensor::Tensor& grad = top_->gradInto(0, d_logits_);
+        nn::Linear& l0 = top_->layers()[0];
+        if (fused)
+            l0.backwardNoInputGradFused(interact_out_, grad);
+        else
+            l0.backwardNoInputGrad(interact_out_, grad);
+        std::vector<tensor::GemmOutSegment> segs;
+        if (config_.interaction == nn::InteractionKind::DotProduct) {
+            const std::size_t f = pooled_.size() + 1;
+            const std::size_t pairs = f * (f - 1) / 2;
+            segs.push_back({&d_bottom_out_, bottom_out_.cols(),
+                            /*zero_bias=*/true});
+            if (pairs > 0)
+                segs.push_back({&d_interact_pairs_, pairs, false});
+        } else {
+            // Ordinarily CatInteraction::backward sizes this vector.
+            d_pooled_.resize(pooled_.size());
+            segs.push_back({&d_bottom_out_, bottom_out_.cols(), false});
+            for (std::size_t s = 0; s < pooled_.size(); ++s)
+                segs.push_back({&d_pooled_[s], pooled_[s].cols(),
+                                false});
+        }
+        tensor::matmulTransBSegmented(grad, l0.weight, segs);
+        return;
+    }
+    if (fused)
+        top_->backwardLayerFused(i, interact_out_, d_logits_,
+                                 d_interact_);
+    else
+        top_->backwardLayer(i, interact_out_, d_logits_, d_interact_);
 }
 
 void
-Dlrm::backwardInteraction()
+Dlrm::backwardInteraction(bool flatten)
 {
+    if (flatten) {
+        // The flatten-fused top-MLP layer 0 already wrote d_bottom_out_
+        // (and, for concat, every d_pooled_) — only the dot pairwise
+        // scatter remains.
+        if (config_.interaction == nn::InteractionKind::DotProduct)
+            dot_.backwardFused(bottom_out_, pooled_, d_interact_pairs_,
+                               d_bottom_out_, d_pooled_);
+        return;
+    }
     if (config_.interaction == nn::InteractionKind::DotProduct)
         dot_.backward(bottom_out_, pooled_, d_interact_, d_bottom_out_,
                       d_pooled_);
@@ -247,16 +295,26 @@ Dlrm::backwardInteraction()
 }
 
 void
-Dlrm::backwardBottomLayer(std::size_t i, const data::MiniBatch& batch)
+Dlrm::backwardBottomLayer(std::size_t i, const data::MiniBatch& batch,
+                          bool fused)
 {
-    bottom_->backwardLayer(i, batch.dense, d_bottom_out_, d_dense_in_);
+    if (fused)
+        bottom_->backwardLayerFused(i, batch.dense, d_bottom_out_,
+                                    d_dense_in_);
+    else
+        bottom_->backwardLayer(i, batch.dense, d_bottom_out_,
+                               d_dense_in_);
 }
 
 void
-Dlrm::backwardProjection(std::size_t f)
+Dlrm::backwardProjection(std::size_t f, bool fused)
 {
-    projections_[f]->backward(pooled_raw_[f], d_pooled_[f],
-                              d_pooled_raw_[f]);
+    if (fused)
+        projections_[f]->backwardFused(pooled_raw_[f], d_pooled_[f],
+                                       d_pooled_raw_[f], nullptr);
+    else
+        projections_[f]->backward(pooled_raw_[f], d_pooled_[f],
+                                  d_pooled_raw_[f]);
 }
 
 void

@@ -85,10 +85,25 @@ class Dlrm
     void forwardTopLayer(std::size_t i, bool fused = false);
     /** Loss + dLoss/dLogits; run between the two graph halves. */
     double lossBackward(const data::MiniBatch& batch);
-    void backwardTopLayer(std::size_t i);
-    void backwardInteraction();
-    void backwardBottomLayer(std::size_t i, const data::MiniBatch& batch);
-    void backwardProjection(std::size_t f);
+    /**
+     * The backward MLP/projection primitives take @p fused from the
+     * node's fused_backward flag: the bias gradient rides the
+     * weight-grad GEMM sweep and the dReLU mask is applied inside the
+     * input-grad GEMM store (Linear::backwardFused). @p flatten (the
+     * node's fused_flatten flag, top-MLP layer 0 + Interaction only)
+     * additionally routes layer 0's input-grad GEMM straight into the
+     * interaction backward's destinations
+     * (tensor::matmulTransBSegmented), skipping the intermediate
+     * flatten buffer; backwardInteraction(flatten) then consumes those
+     * segment outputs. All paths are bitwise identical to the unfused
+     * walk.
+     */
+    void backwardTopLayer(std::size_t i, bool fused = false,
+                          bool flatten = false);
+    void backwardInteraction(bool flatten = false);
+    void backwardBottomLayer(std::size_t i, const data::MiniBatch& batch,
+                             bool fused = false);
+    void backwardProjection(std::size_t f, bool fused = false);
     void backwardEmbedding(std::size_t f, const data::MiniBatch& batch);
     /**
      * Backward of a fused EmbeddingLookup node: runs each member's
@@ -201,6 +216,10 @@ class Dlrm
     std::vector<tensor::Tensor> d_pooled_raw_;
     tensor::Tensor d_logits_;
     tensor::Tensor d_interact_;
+    /** Flatten-fused dot backward: the pairwise-slot columns of the
+     *  interaction gradient, written compactly by the top-MLP layer-0
+     *  segmented input-grad GEMM (d_interact_ stays unwritten then). */
+    tensor::Tensor d_interact_pairs_;
     tensor::Tensor d_bottom_out_;
     std::vector<tensor::Tensor> d_pooled_;
     tensor::Tensor d_dense_in_;

@@ -163,5 +163,57 @@ DotInteraction::backward(const tensor::Tensor& dense,
     }
 }
 
+void
+DotInteraction::backwardFused(const tensor::Tensor& dense,
+                              const std::vector<tensor::Tensor>& embs,
+                              const tensor::Tensor& d_pairs,
+                              tensor::Tensor& d_dense,
+                              std::vector<tensor::Tensor>& d_embs) const
+{
+    RECSIM_TRACE_SPAN("nn.dot.bwd");
+    const std::size_t b = dense.rows();
+    const std::size_t d = dense.cols();
+    const std::size_t f = embs.size() + 1;
+    RECSIM_ASSERT(d_pairs.rows() == b &&
+                  d_pairs.cols() == f * (f - 1) / 2,
+                  "dot fused backward d_pairs {}", d_pairs.shapeString());
+    // d_dense was written by the GEMM's zero-bias segment and is only
+    // accumulated into here; the pairwise g values arrive compacted in
+    // d_pairs with the same bits the flatten buffer's tail columns
+    // would carry, so the g == 0 skip and every += match backward().
+    RECSIM_ASSERT(d_dense.sameShape(dense),
+                  "dot fused backward d_dense {}", d_dense.shapeString());
+    d_embs.resize(embs.size());
+    for (std::size_t s = 0; s < embs.size(); ++s) {
+        if (!d_embs[s].sameShape(embs[s]))
+            d_embs[s] = tensor::Tensor(b, d);
+        d_embs[s].zero();
+    }
+
+    std::vector<const float*> vec(f);
+    std::vector<float*> dvec(f);
+    for (std::size_t ex = 0; ex < b; ++ex) {
+        vec[0] = dense.row(ex);
+        dvec[0] = d_dense.row(ex);
+        for (std::size_t s = 0; s < embs.size(); ++s) {
+            vec[s + 1] = embs[s].row(ex);
+            dvec[s + 1] = d_embs[s].row(ex);
+        }
+        const float* dyrow = d_pairs.row(ex);
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < f; ++i) {
+            for (std::size_t j = i + 1; j < f; ++j) {
+                const float g = dyrow[off++];
+                if (g == 0.0f)
+                    continue;
+                for (std::size_t k = 0; k < d; ++k) {
+                    dvec[i][k] += g * vec[j][k];
+                    dvec[j][k] += g * vec[i][k];
+                }
+            }
+        }
+    }
+}
+
 } // namespace nn
 } // namespace recsim

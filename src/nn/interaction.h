@@ -71,6 +71,23 @@ class DotInteraction
                   const std::vector<tensor::Tensor>& embs,
                   const tensor::Tensor& dy, tensor::Tensor& d_dense,
                   std::vector<tensor::Tensor>& d_embs) const;
+
+    /**
+     * Flatten-fused backward: consumes the two segment outputs the
+     * top-MLP layer-0 input-grad GEMM wrote directly
+     * (tensor::matmulTransBSegmented) instead of one flatten buffer.
+     * @p d_dense already holds the pass-through columns (the GEMM's
+     * zero-bias segment, bit-for-bit the zero + += of backward()) and
+     * is accumulated into, not zeroed; @p d_pairs [B, F*(F-1)/2] holds
+     * the pairwise-slot columns compactly. The pairwise scatter is the
+     * exact loop of backward() reading the same bits, so the results
+     * are bitwise identical.
+     */
+    void backwardFused(const tensor::Tensor& dense,
+                       const std::vector<tensor::Tensor>& embs,
+                       const tensor::Tensor& d_pairs,
+                       tensor::Tensor& d_dense,
+                       std::vector<tensor::Tensor>& d_embs) const;
 };
 
 } // namespace nn

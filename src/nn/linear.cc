@@ -65,6 +65,31 @@ Linear::backwardNoInputGrad(const tensor::Tensor& x,
 }
 
 void
+Linear::backwardFused(const tensor::Tensor& x, const tensor::Tensor& dy,
+                      tensor::Tensor& dx,
+                      const tensor::Tensor* relu_mask)
+{
+    RECSIM_TRACE_SPAN("nn.linear.bwd");
+    backwardNoInputGradFused(x, dy);
+    tensor::matmulTransBMask(dy, weight, relu_mask, dx);
+}
+
+void
+Linear::backwardNoInputGradFused(const tensor::Tensor& x,
+                                 const tensor::Tensor& dy)
+{
+    RECSIM_ASSERT(dy.cols() == out_ && dy.rows() == x.rows(),
+                  "Linear backward dy {} vs x {}", dy.shapeString(),
+                  x.shapeString());
+    // Same grads as backwardNoInputGrad — the scratch-then-axpy shape
+    // is kept (accumulating into gradWeight directly would change the
+    // rounding order); only the sumRows pass folds into the GEMM.
+    tensor::matmulTransABiasGrad(x, dy, dw_scratch_, db_scratch_);
+    tensor::axpy(1.0f, dw_scratch_, gradWeight);
+    tensor::axpy(1.0f, db_scratch_, gradBias);
+}
+
+void
 Linear::zeroGrad()
 {
     gradWeight.zero();

@@ -59,6 +59,26 @@ class Linear
     void backwardNoInputGrad(const tensor::Tensor& x,
                              const tensor::Tensor& dy);
 
+    /**
+     * Fused-backward-epilogue backward: the bias gradient is
+     * accumulated inside the weight-grad GEMM's k-panel sweep
+     * (tensor::matmulTransABiasGrad) and, when @p relu_mask is
+     * non-null (the *post-activation* forward output the layer's input
+     * gradient flows through, same shape as dx), the dReLU mask is
+     * applied inside the input-grad GEMM's store
+     * (tensor::matmulTransBMask). Bitwise identical to backward()
+     * (+ reluBackward(*relu_mask, dx, dx)); the fused path only saves
+     * the separate passes' memory traffic. The trainer takes this path
+     * for StepGraph nodes with fused_backward set (graph::fusePass).
+     */
+    void backwardFused(const tensor::Tensor& x, const tensor::Tensor& dy,
+                       tensor::Tensor& dx,
+                       const tensor::Tensor* relu_mask);
+
+    /** As backwardFused() but skips dx (first layer of a stack). */
+    void backwardNoInputGradFused(const tensor::Tensor& x,
+                                  const tensor::Tensor& dy);
+
     void zeroGrad();
 
     std::size_t inFeatures() const { return in_; }

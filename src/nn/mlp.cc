@@ -70,6 +70,17 @@ Mlp::backwardLayer(std::size_t i, const tensor::Tensor& x,
 }
 
 void
+Mlp::backwardLayerFused(std::size_t i, const tensor::Tensor& x,
+                        const tensor::Tensor& dy, tensor::Tensor& dx)
+{
+    const tensor::Tensor& grad = gradInto(i, dy);
+    const tensor::Tensor& input = i == 0 ? x : acts_[i - 1];
+    tensor::Tensor& dxi = i == 0 ? dx : grad_scratch_[i - 1];
+    layers_[i].backwardFused(input, grad, dxi,
+                             i > 0 ? &acts_[i - 1] : nullptr);
+}
+
+void
 Mlp::forward(const tensor::Tensor& x, tensor::Tensor& y)
 {
     RECSIM_TRACE_SPAN("nn.mlp.fwd");

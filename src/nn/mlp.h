@@ -78,6 +78,31 @@ class Mlp
     void backwardLayer(std::size_t i, const tensor::Tensor& x,
                        const tensor::Tensor& dy, tensor::Tensor& dx);
 
+    /**
+     * As backwardLayer() but with the backward epilogues fused into
+     * the grad GEMMs (Linear::backwardFused): the bias gradient rides
+     * the weight-grad sweep and, for i > 0, the dReLU mask (layer
+     * i-1's cached post-activation) is applied inside the input-grad
+     * GEMM store instead of by a separate reluBackward pass. Bitwise
+     * identical to backwardLayer(). The trainer takes this path for
+     * StepGraph nodes with fused_backward set.
+     */
+    void backwardLayerFused(std::size_t i, const tensor::Tensor& x,
+                            const tensor::Tensor& dy,
+                            tensor::Tensor& dx);
+
+    /**
+     * The gradient tensor backwardLayer(i, ...) consumes: @p dy for
+     * the last layer, else the scratch layer i+1's backward filled.
+     * Exposed so the interaction-flatten fusion (model::Dlrm) can run
+     * layer 0's input-grad GEMM itself with segmented outputs.
+     */
+    const tensor::Tensor& gradInto(std::size_t i,
+                                   const tensor::Tensor& dy) const
+    {
+        return i + 1 == layers_.size() ? dy : grad_scratch_[i];
+    }
+
     void zeroGrad();
 
     std::size_t inFeatures() const { return in_; }

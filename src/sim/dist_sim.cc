@@ -324,7 +324,8 @@ Simulation::run()
         // compute interval, so fusePass shrinks the simulated column
         // exactly as it shrinks the analytical one.
         compute_seconds_iter_ = b * (train_flops / host_flops +
-            sum.epilogue_traffic_bytes / p.host.mem_bandwidth +
+            (sum.epilogue_traffic_bytes +
+             sum.bwd_epilogue_traffic_bytes) / p.host.mem_bandwidth +
             params.cpu_per_example_overhead +
             sum.embedding_lookups * params.cpu_per_lookup_overhead) +
             static_cast<double>(sum.embedding_tables) *
@@ -347,7 +348,8 @@ Simulation::run()
                     c = b * node.fwd_flops *
                         (1.0 + params.backward_flops_multiplier) /
                         host_flops +
-                        b * node.epilogue_traffic_bytes /
+                        b * (node.epilogue_traffic_bytes +
+                             node.bwd_epilogue_traffic_bytes) /
                             p.host.mem_bandwidth;
                     break;
                   case graph::NodeKind::EmbeddingLookup:

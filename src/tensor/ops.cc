@@ -72,6 +72,10 @@ constexpr std::size_t kMr = 6;
  * k-panel. When @p bias is non-null and this is the last k-panel, the
  * epilogue adds bias[j] (one plain add) and, if @p relu, clamps at
  * zero — exactly the per-element ops of addBiasRows + reluInPlace.
+ * When @p mask is non-null (a [*, n] tensor addressed like od), the
+ * final k-panel store keeps acc where mask[i, j] > 0 and writes +0.0f
+ * otherwise — the exact ternary reluBackward would apply to the stored
+ * value, so masking here instead of in a second pass changes no bits.
  */
 void
 gemmBlockScalar(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
@@ -80,13 +84,17 @@ gemmBlockScalar(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                 std::size_t i0, std::size_t i1, std::size_t jj,
                 std::size_t jn, std::size_t pp, std::size_t pk,
                 std::size_t k, const float* RECSIM_RESTRICT bias,
-                bool relu)
+                bool relu, const float* RECSIM_RESTRICT mask)
 {
-    const bool epilogue = bias != nullptr && pp + pk == k;
+    const bool last = pp + pk == k;
+    const bool epilogue = bias != nullptr && last;
+    const bool masked = mask != nullptr && last;
     for (std::size_t i = i0; i < i1; ++i) {
         const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
         const float* RECSIM_RESTRICT bpan = bd + pp * n + jj;
         float* RECSIM_RESTRICT orow = od + i * n + jj;
+        const float* RECSIM_RESTRICT mrow =
+            masked ? mask + i * n + jj : nullptr;
         for (std::size_t jt = 0; jt < jn; jt += 8) {
             const std::size_t w = std::min<std::size_t>(8, jn - jt);
             float acc[8];
@@ -105,6 +113,10 @@ gemmBlockScalar(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                         acc[u] = std::max(acc[u], 0.0f);
                 }
             }
+            if (masked) {
+                for (std::size_t u = 0; u < w; ++u)
+                    acc[u] = mrow[jt + u] > 0.0f ? acc[u] : 0.0f;
+            }
             for (std::size_t u = 0; u < w; ++u)
                 orow[jt + u] = acc[u];
         }
@@ -118,7 +130,9 @@ gemmBlockScalar(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
  * two b loads shared across the 6 rows per k step) inside the same
  * kKc x kNc cache block, with 8-wide and scalar column tails and a
  * 1-row tail; every path follows the same per-element contract as
- * gemmBlockScalar, so the two are bitwise interchangeable.
+ * gemmBlockScalar, so the two are bitwise interchangeable. The dReLU
+ * mask is applied as a > 0 compare ANDed into the accumulator (dy's
+ * exact bits or +0.0f per lane — what the scalar ternary stores).
  */
 __attribute__((target("avx2,fma"))) void
 gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
@@ -126,9 +140,12 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
               float* RECSIM_RESTRICT od, std::size_t n, std::size_t i0,
               std::size_t i1, std::size_t jj, std::size_t jn,
               std::size_t pp, std::size_t pk, std::size_t k,
-              const float* RECSIM_RESTRICT bias, bool relu)
+              const float* RECSIM_RESTRICT bias, bool relu,
+              const float* RECSIM_RESTRICT mask)
 {
-    const bool epilogue = bias != nullptr && pp + pk == k;
+    const bool last = pp + pk == k;
+    const bool epilogue = bias != nullptr && last;
+    const bool masked = mask != nullptr && last;
     const float* RECSIM_RESTRICT bpan = bd + pp * n + jj;
     const __m256 zero = _mm256_setzero_ps();
 
@@ -136,6 +153,8 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
     for (; i + kMr <= i1; i += kMr) {
         const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
         float* RECSIM_RESTRICT obase = od + i * n + jj;
+        const float* RECSIM_RESTRICT mbase =
+            masked ? mask + i * n + jj : nullptr;
         std::size_t jt = 0;
         for (; jt + 16 <= jn; jt += 16) {
             __m256 acc[kMr][2];
@@ -166,6 +185,20 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                     }
                 }
             }
+            if (masked) {
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    const float* RECSIM_RESTRICT mrow =
+                        mbase + r * n + jt;
+                    acc[r][0] = _mm256_and_ps(
+                        _mm256_cmp_ps(_mm256_loadu_ps(mrow), zero,
+                                      _CMP_GT_OQ),
+                        acc[r][0]);
+                    acc[r][1] = _mm256_and_ps(
+                        _mm256_cmp_ps(_mm256_loadu_ps(mrow + 8), zero,
+                                      _CMP_GT_OQ),
+                        acc[r][1]);
+                }
+            }
             for (std::size_t r = 0; r < kMr; ++r) {
                 _mm256_storeu_ps(obase + r * n + jt, acc[r][0]);
                 _mm256_storeu_ps(obase + r * n + jt + 8, acc[r][1]);
@@ -191,16 +224,27 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                         acc[r] = _mm256_max_ps(acc[r], zero);
                 }
             }
+            if (masked) {
+                for (std::size_t r = 0; r < kMr; ++r)
+                    acc[r] = _mm256_and_ps(
+                        _mm256_cmp_ps(
+                            _mm256_loadu_ps(mbase + r * n + jt), zero,
+                            _CMP_GT_OQ),
+                        acc[r]);
+            }
             for (std::size_t r = 0; r < kMr; ++r)
                 _mm256_storeu_ps(obase + r * n + jt, acc[r]);
         }
         if (jt < jn)
             gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i, i + kMr,
-                            jj + jt, jn - jt, pp, pk, k, bias, relu);
+                            jj + jt, jn - jt, pp, pk, k, bias, relu,
+                            mask);
     }
     for (; i < i1; ++i) {
         const float* RECSIM_RESTRICT ab = ad + i * a_rs + pp * a_cs;
         float* RECSIM_RESTRICT orow = od + i * n + jj;
+        const float* RECSIM_RESTRICT mrow =
+            masked ? mask + i * n + jj : nullptr;
         std::size_t jt = 0;
         for (; jt + 16 <= jn; jt += 16) {
             __m256 a0 = _mm256_loadu_ps(orow + jt);
@@ -222,16 +266,109 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                     a1 = _mm256_max_ps(a1, zero);
                 }
             }
+            if (masked) {
+                a0 = _mm256_and_ps(
+                    _mm256_cmp_ps(_mm256_loadu_ps(mrow + jt), zero,
+                                  _CMP_GT_OQ),
+                    a0);
+                a1 = _mm256_and_ps(
+                    _mm256_cmp_ps(_mm256_loadu_ps(mrow + jt + 8), zero,
+                                  _CMP_GT_OQ),
+                    a1);
+            }
             _mm256_storeu_ps(orow + jt, a0);
             _mm256_storeu_ps(orow + jt + 8, a1);
         }
         if (jt < jn)
             gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i, i + 1,
-                            jj + jt, jn - jt, pp, pk, k, bias, relu);
+                            jj + jt, jn - jt, pp, pk, k, bias, relu,
+                            mask);
     }
 }
 
 #endif // RECSIM_SIMD_X86
+
+#if defined(RECSIM_SIMD_X86)
+
+/**
+ * Column-tiled row reduction: 32-column register tiles accumulated
+ * across all rows before one store, instead of a read-modify-write of
+ * od per (row, column). Each column still adds its rows in increasing
+ * i with plain float adds — the exact per-element ops of the scalar
+ * loop — so the paths are bitwise interchangeable. Shared by sumRows
+ * (full matrix, column-parallel) and the fused bias-grad reduction in
+ * gemmBlocked (one k-panel at a time, rows still increasing overall).
+ */
+__attribute__((target("avx2"))) void
+sumRowsAvx2(const float* RECSIM_RESTRICT xd, float* RECSIM_RESTRICT od,
+            std::size_t rows, std::size_t cols, std::size_t j0,
+            std::size_t j1)
+{
+    std::size_t j = j0;
+    for (; j + 32 <= j1; j += 32) {
+        __m256 acc0 = _mm256_loadu_ps(od + j);
+        __m256 acc1 = _mm256_loadu_ps(od + j + 8);
+        __m256 acc2 = _mm256_loadu_ps(od + j + 16);
+        __m256 acc3 = _mm256_loadu_ps(od + j + 24);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const float* RECSIM_RESTRICT row = xd + i * cols + j;
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(row));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(row + 8));
+            acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(row + 16));
+            acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(row + 24));
+        }
+        _mm256_storeu_ps(od + j, acc0);
+        _mm256_storeu_ps(od + j + 8, acc1);
+        _mm256_storeu_ps(od + j + 16, acc2);
+        _mm256_storeu_ps(od + j + 24, acc3);
+    }
+    for (; j + 8 <= j1; j += 8) {
+        __m256 acc = _mm256_loadu_ps(od + j);
+        for (std::size_t i = 0; i < rows; ++i)
+            acc = _mm256_add_ps(acc,
+                                _mm256_loadu_ps(xd + i * cols + j));
+        _mm256_storeu_ps(od + j, acc);
+    }
+    for (; j < j1; ++j) {
+        float acc = od[j];
+        for (std::size_t i = 0; i < rows; ++i)
+            acc += xd[i * cols + j];
+        od[j] = acc;
+    }
+}
+
+#endif // RECSIM_SIMD_X86
+
+/**
+ * Scalar twin of sumRowsAvx2: od[j] += sum over rows of xd[i, j],
+ * rows added in increasing i per column.
+ */
+void
+sumRowsScalar(const float* RECSIM_RESTRICT xd,
+              float* RECSIM_RESTRICT od, std::size_t rows,
+              std::size_t cols, std::size_t j0, std::size_t j1)
+{
+    for (std::size_t i = 0; i < rows; ++i) {
+        const float* RECSIM_RESTRICT row = xd + i * cols;
+        for (std::size_t j = j0; j < j1; ++j)
+            od[j] += row[j];
+    }
+}
+
+/** Dispatching panel column-sum: od[j0..j1) += column sums of xd. */
+void
+colSumPanel(const float* RECSIM_RESTRICT xd, float* RECSIM_RESTRICT od,
+            std::size_t rows, std::size_t cols, std::size_t j0,
+            std::size_t j1)
+{
+#if defined(RECSIM_SIMD_X86)
+    if (simd::enabled()) {
+        sumRowsAvx2(xd, od, rows, cols, j0, j1);
+        return;
+    }
+#endif
+    sumRowsScalar(xd, od, rows, cols, j0, j1);
+}
 
 /**
  * The shared GEMM core: od[m, n] (+)= A[m, k] * bd[k, n], blocked
@@ -239,17 +376,29 @@ gemmBlockAvx2(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
  * the same core serves matmul (a_rs = k, a_cs = 1) and matmulTransA
  * (a_rs = 1, a_cs = m). od must be zeroed (or hold the value being
  * accumulated into). When @p bias is non-null the bias(+relu) epilogue
- * runs inside the final k-panel store. Per output element the k terms
- * are added in increasing p, one fma each (see ops.h contract), so
+ * runs inside the final k-panel store; when @p mask is non-null the
+ * dReLU mask is applied there too. Per output element the k terms are
+ * added in increasing p, one fma each (see ops.h contract), so
  * blocking, register tiling, vector width and threading change nothing
  * bitwise.
+ *
+ * When @p col_sum is non-null it receives, on top of its current
+ * value, the column sums of bd (the fused bias gradient: bd is dy in
+ * the grad GEMM). The chunk that owns row 0 performs the whole
+ * reduction while its k-panels stream through bd anyway: for each jj
+ * column block, panels arrive in increasing pp, and within a panel
+ * rows are added in increasing order — per column exactly sumRows'
+ * serial add sequence, hence bitwise identical to a separate
+ * sumRows(dy, db), at any thread count.
  */
 void
 gemmBlocked(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
             std::size_t a_cs, const float* RECSIM_RESTRICT bd,
             float* RECSIM_RESTRICT od, std::size_t m, std::size_t k,
             std::size_t n, const float* RECSIM_RESTRICT bias = nullptr,
-            bool relu = false)
+            bool relu = false,
+            const float* RECSIM_RESTRICT mask = nullptr,
+            float* RECSIM_RESTRICT col_sum = nullptr)
 {
     // At least kMr rows per chunk so the register tile stays full;
     // grain only changes which rows share a chunk, never the result.
@@ -261,16 +410,20 @@ gemmBlocked(const float* RECSIM_RESTRICT ad, std::size_t a_rs,
                 const std::size_t jn = std::min(kNc, n - jj);
                 for (std::size_t pp = 0; pp < k; pp += kKc) {
                     const std::size_t pk = std::min(kKc, k - pp);
+                    if (col_sum != nullptr && i0 == 0)
+                        colSumPanel(bd + pp * n, col_sum, pk, n, jj,
+                                    jj + jn);
 #if defined(RECSIM_SIMD_X86)
                     if (simd::enabled()) {
                         gemmBlockAvx2(ad, a_rs, a_cs, bd, od, n, i0,
                                       i1, jj, jn, pp, pk, k, bias,
-                                      relu);
+                                      relu, mask);
                         continue;
                     }
 #endif
                     gemmBlockScalar(ad, a_rs, a_cs, bd, od, n, i0, i1,
-                                    jj, jn, pp, pk, k, bias, relu);
+                                    jj, jn, pp, pk, k, bias, relu,
+                                    mask);
                 }
             }
         });
@@ -328,33 +481,114 @@ matmulTransA(const Tensor& a, const Tensor& b, Tensor& out)
     gemmBlocked(a.data(), 1, m, b.data(), out.data(), m, k, n);
 }
 
+namespace {
+
+/**
+ * Transpose rows [c0, c0 + w) of row-major @p b (each of length k)
+ * into the per-thread scratch as a [k, w] row-major panel, ready to be
+ * the right operand of the row-major GEMM core. The dot-product form
+ * of out = a (*) b^T keeps a serial dependence chain per element that
+ * cannot auto-vectorize without reassociation; transposing once and
+ * running the vectorized core adds its k terms in the same increasing
+ * p order, so the result is bitwise identical to the dot-product loop.
+ */
+const float*
+transposePanel(const Tensor& b, std::size_t c0, std::size_t w)
+{
+    const std::size_t k = b.cols();
+    Tensor& bt = tl_transpose_scratch;
+    bt.resize(k, w);
+    const float* RECSIM_RESTRICT bd = b.data() + c0 * k;
+    float* RECSIM_RESTRICT btd = bt.data();
+    util::globalThreadPool().parallelFor(
+        0, k, rowGrain(w),
+        [=](std::size_t p0, std::size_t p1) {
+            for (std::size_t p = p0; p < p1; ++p)
+                for (std::size_t j = 0; j < w; ++j)
+                    btd[p * w + j] = bd[j * k + p];
+        });
+    return btd;
+}
+
+} // namespace
+
 void
 matmulTransB(const Tensor& a, const Tensor& b, Tensor& out)
 {
-    requireRank2(a, "matmulTransB");
-    requireRank2(b, "matmulTransB");
-    RECSIM_ASSERT(a.cols() == b.cols(), "matmulTransB {} x {}",
+    matmulTransBMask(a, b, nullptr, out);
+}
+
+void
+matmulTransBMask(const Tensor& a, const Tensor& b, const Tensor* mask,
+                 Tensor& out)
+{
+    requireRank2(a, "matmulTransBMask");
+    requireRank2(b, "matmulTransBMask");
+    RECSIM_ASSERT(a.cols() == b.cols(), "matmulTransBMask {} x {}",
                   a.shapeString(), b.shapeString());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    if (mask != nullptr)
+        RECSIM_ASSERT(mask->rows() == m && mask->cols() == n,
+                      "matmulTransBMask mask {} for [{} x {}] output",
+                      mask->shapeString(), m, n);
     out.resize(m, n);
-    // Dot-product form (out[i][j] = arow . brow) keeps a serial
-    // dependence chain per element that cannot auto-vectorize without
-    // reassociation. Instead transpose b once into a per-thread
-    // persistent scratch and run the vectorized row-major core. Each
-    // output element still accumulates its k terms in increasing p, so
-    // the result is bitwise identical to the dot-product loop.
-    Tensor& bt = tl_transpose_scratch;
-    bt.resize(k, n);
-    const float* RECSIM_RESTRICT bd = b.data();
-    float* RECSIM_RESTRICT btd = bt.data();
-    util::globalThreadPool().parallelFor(
-        0, k, rowGrain(n),
-        [=](std::size_t p0, std::size_t p1) {
-            for (std::size_t p = p0; p < p1; ++p)
-                for (std::size_t j = 0; j < n; ++j)
-                    btd[p * n + j] = bd[j * k + p];
-        });
-    gemmBlocked(a.data(), k, 1, btd, out.data(), m, k, n);
+    const float* btd = transposePanel(b, 0, n);
+    gemmBlocked(a.data(), k, 1, btd, out.data(), m, k, n,
+                /*bias=*/nullptr, /*relu=*/false,
+                mask != nullptr ? mask->data() : nullptr);
+}
+
+void
+matmulTransABiasGrad(const Tensor& x, const Tensor& dy, Tensor& dw,
+                     Tensor& db)
+{
+    requireRank2(x, "matmulTransABiasGrad");
+    requireRank2(dy, "matmulTransABiasGrad");
+    RECSIM_ASSERT(x.rows() == dy.rows(), "matmulTransABiasGrad {} x {}",
+                  x.shapeString(), dy.shapeString());
+    const std::size_t k = x.rows(), m = x.cols(), n = dy.cols();
+    dw.resize(m, n);
+    if (db.size() != n || db.rank() != 1)
+        db.resize(n);
+    else
+        db.zero();
+    gemmBlocked(x.data(), 1, m, dy.data(), dw.data(), m, k, n,
+                /*bias=*/nullptr, /*relu=*/false, /*mask=*/nullptr,
+                db.data());
+}
+
+void
+matmulTransBSegmented(const Tensor& a, const Tensor& b,
+                      std::vector<GemmOutSegment>& segments)
+{
+    requireRank2(a, "matmulTransBSegmented");
+    requireRank2(b, "matmulTransBSegmented");
+    RECSIM_ASSERT(a.cols() == b.cols(), "matmulTransBSegmented {} x {}",
+                  a.shapeString(), b.shapeString());
+    const std::size_t m = a.rows(), k = a.cols();
+    std::size_t total = 0;
+    for (const GemmOutSegment& seg : segments)
+        total += seg.width;
+    RECSIM_ASSERT(total == b.rows(),
+                  "matmulTransBSegmented widths sum to {}, b has {} "
+                  "rows", total, b.rows());
+    // The zero bias reproduces a consumer that zero-initializes its
+    // buffer and then += the GEMM result: acc + 0.0f == 0.0f + acc
+    // bitwise (both give +0.0f when acc is -0.0f).
+    thread_local Tensor tl_zero_bias;
+    std::size_t c0 = 0;
+    for (GemmOutSegment& seg : segments) {
+        const std::size_t w = seg.width;
+        seg.out->resize(m, w);
+        const float* btd = transposePanel(b, c0, w);
+        const float* zb = nullptr;
+        if (seg.zero_bias) {
+            tl_zero_bias.resize(w);
+            zb = tl_zero_bias.data();
+        }
+        gemmBlocked(a.data(), k, 1, btd, seg.out->data(), m, k, w, zb);
+        c0 += w;
+    }
 }
 
 void
@@ -377,59 +611,6 @@ addBiasRows(Tensor& x, const Tensor& bias)
         });
 }
 
-namespace {
-
-#if defined(RECSIM_SIMD_X86)
-
-/**
- * Column-tiled row reduction: 32-column register tiles accumulated
- * across all rows before one store, instead of a read-modify-write of
- * od per (row, column). Each column still adds its rows in increasing
- * i with plain float adds — the exact per-element ops of the scalar
- * loop — so the paths are bitwise interchangeable.
- */
-__attribute__((target("avx2"))) void
-sumRowsAvx2(const float* RECSIM_RESTRICT xd, float* RECSIM_RESTRICT od,
-            std::size_t rows, std::size_t cols, std::size_t j0,
-            std::size_t j1)
-{
-    std::size_t j = j0;
-    for (; j + 32 <= j1; j += 32) {
-        __m256 acc0 = _mm256_loadu_ps(od + j);
-        __m256 acc1 = _mm256_loadu_ps(od + j + 8);
-        __m256 acc2 = _mm256_loadu_ps(od + j + 16);
-        __m256 acc3 = _mm256_loadu_ps(od + j + 24);
-        for (std::size_t i = 0; i < rows; ++i) {
-            const float* RECSIM_RESTRICT row = xd + i * cols + j;
-            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(row));
-            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(row + 8));
-            acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(row + 16));
-            acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(row + 24));
-        }
-        _mm256_storeu_ps(od + j, acc0);
-        _mm256_storeu_ps(od + j + 8, acc1);
-        _mm256_storeu_ps(od + j + 16, acc2);
-        _mm256_storeu_ps(od + j + 24, acc3);
-    }
-    for (; j + 8 <= j1; j += 8) {
-        __m256 acc = _mm256_loadu_ps(od + j);
-        for (std::size_t i = 0; i < rows; ++i)
-            acc = _mm256_add_ps(acc,
-                                _mm256_loadu_ps(xd + i * cols + j));
-        _mm256_storeu_ps(od + j, acc);
-    }
-    for (; j < j1; ++j) {
-        float acc = od[j];
-        for (std::size_t i = 0; i < rows; ++i)
-            acc += xd[i * cols + j];
-        od[j] = acc;
-    }
-}
-
-#endif // RECSIM_SIMD_X86
-
-} // namespace
-
 void
 sumRows(const Tensor& x, Tensor& out)
 {
@@ -446,17 +627,7 @@ sumRows(const Tensor& x, Tensor& out)
     util::globalThreadPool().parallelFor(
         0, cols, rowGrain(rows),
         [=](std::size_t j0, std::size_t j1) {
-#if defined(RECSIM_SIMD_X86)
-            if (simd::enabled()) {
-                sumRowsAvx2(xd, od, rows, cols, j0, j1);
-                return;
-            }
-#endif
-            for (std::size_t i = 0; i < rows; ++i) {
-                const float* RECSIM_RESTRICT row = xd + i * cols;
-                for (std::size_t j = j0; j < j1; ++j)
-                    od[j] += row[j];
-            }
+            colSumPanel(xd, od, rows, cols, j0, j1);
         });
 }
 
@@ -515,8 +686,7 @@ reluBackward(const Tensor& y, const Tensor& dy, Tensor& dx)
     util::globalThreadPool().parallelFor(
         0, y.size(), kElemGrain,
         [=](std::size_t i0, std::size_t i1) {
-            for (std::size_t i = i0; i < i1; ++i)
-                dxd[i] = yd[i] > 0.0f ? dyd[i] : 0.0f;
+            simd::reluMaskSpan(yd + i0, dyd + i0, dxd + i0, i1 - i0);
         });
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -45,6 +46,60 @@ void matmulTransB(const Tensor& a, const Tensor& b, Tensor& out);
  */
 void matmulBiasAct(const Tensor& a, const Tensor& b, const Tensor& bias,
                    bool relu, Tensor& out);
+
+/**
+ * Fused weight + bias gradient of a Linear layer in one sweep:
+ * dw = x^T (*) dy and db[j] = column sums of dy, computed together so
+ * the grad GEMM's k-panels (which already stream dy) feed the bias
+ * reduction without a second read pass over dy.
+ * Bitwise identical to matmulTransA(x, dy, dw) + sumRows(dy, db): the
+ * GEMM follows the ops.h accumulation contract unchanged, and db's
+ * per-column adds run in increasing row order — exactly sumRows'
+ * per-element sequence (the k-panels visit rows in increasing blocks,
+ * and one chunk owns the whole reduction).
+ */
+void matmulTransABiasGrad(const Tensor& x, const Tensor& dy, Tensor& dw,
+                          Tensor& db);
+
+/**
+ * dReLU-fused input-grad GEMM: out = a (*) b^T, then — inside the final
+ * k-panel store — out[i, j] is kept where mask[i, j] > 0 and zeroed
+ * otherwise. @p mask is the forward *post-activation* output the
+ * separate reluBackward pass would have read (same shape as out;
+ * nullptr = plain matmulTransB). Bitwise identical to matmulTransB +
+ * reluBackward(mask, out, out): the masked store writes exactly the
+ * bits that pass would have produced, saving its extra read+write of
+ * the gradient.
+ */
+void matmulTransBMask(const Tensor& a, const Tensor& b,
+                      const Tensor* mask, Tensor& out);
+
+/**
+ * One column segment of a matmulTransBSegmented destination: @p width
+ * consecutive rows of b (= columns of the product) land in @p out
+ * [a.rows(), width]. With @p zero_bias the segment's final k-panel
+ * store adds +0.0f to each element — reproducing bit-for-bit a
+ * consumer that zero-initializes and then += the segment (the -0.0
+ * case makes a raw store observable).
+ */
+struct GemmOutSegment
+{
+    Tensor* out = nullptr;
+    std::size_t width = 0;
+    bool zero_bias = false;
+};
+
+/**
+ * Segmented out = a (*) b^T: the product's columns are split into
+ * consecutive segments written directly into separate destination
+ * tensors, instead of one [m, n] buffer a consumer would immediately
+ * re-split (the interaction-flatten fusion). Segment widths must sum
+ * to b.rows(). Each destination element carries the exact fma chain of
+ * the unsegmented GEMM (same k terms, increasing p), so the bytes
+ * written equal the corresponding slice of matmulTransB's output.
+ */
+void matmulTransBSegmented(const Tensor& a, const Tensor& b,
+                           std::vector<GemmOutSegment>& segments);
 
 /** Add row-vector @p bias [n] to every row of @p x [m, n], in place. */
 void addBiasRows(Tensor& x, const Tensor& bias);

@@ -115,6 +115,24 @@ sigmoidSpanAvx2(float* x, std::size_t n)
         x[i] = 1.0f / (1.0f + fastExpLane(-x[i]));
 }
 
+__attribute__((target("avx2,fma"))) void
+reluMaskSpanAvx2(const float* y, const float* dy, float* dx,
+                 std::size_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // (y > 0) ? all-ones : all-zeros, ANDed with dy: passes dy's
+        // exact bits or +0.0f — the bits the scalar ternary stores.
+        const __m256 mask =
+            _mm256_cmp_ps(_mm256_loadu_ps(y + i), zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(
+            dx + i, _mm256_and_ps(mask, _mm256_loadu_ps(dy + i)));
+    }
+    for (; i < n; ++i)
+        dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+}
+
 #endif // RECSIM_SIMD_X86
 
 bool
@@ -178,6 +196,19 @@ sigmoidSpan(float* x, std::size_t n)
 #endif
     for (std::size_t i = 0; i < n; ++i)
         x[i] = 1.0f / (1.0f + fastExpLane(-x[i]));
+}
+
+void
+reluMaskSpan(const float* y, const float* dy, float* dx, std::size_t n)
+{
+#if defined(RECSIM_SIMD_X86)
+    if (enabled()) {
+        reluMaskSpanAvx2(y, dy, dx, n);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i)
+        dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
 }
 
 } // namespace simd

@@ -59,6 +59,19 @@ float fastExp(float x);
  */
 void sigmoidSpan(float* x, std::size_t n);
 
+/**
+ * ReLU-backward mask over a span: dx[i] = y[i] > 0 ? dy[i] : 0, where
+ * @p y is the forward *post-activation* output. The AVX2 path selects
+ * dy's bits through an all-ones/all-zeros compare mask (a > 0 compare
+ * ANDed with dy), which yields exactly dy or +0.0f per lane — the same
+ * bits the scalar ternary produces — so the paths are bit-identical,
+ * including for -0.0 and NaN inputs in y. dy and dx may alias (the
+ * in-place case); y must not alias dx. No threading — callers chunk
+ * via parallelFor.
+ */
+void reluMaskSpan(const float* y, const float* dy, float* dx,
+                  std::size_t n);
+
 } // namespace simd
 } // namespace tensor
 } // namespace recsim

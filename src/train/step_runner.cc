@@ -245,16 +245,19 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
                     mlp.close();
                     obs::TraceSpan span(node.id.c_str());
                     model.backwardProjection(
-                        static_cast<std::size_t>(node.table));
+                        static_cast<std::size_t>(node.table),
+                        node.fused_backward);
                 } else {
                     mlp.open("nn.mlp.bwd");
                     obs::TraceSpan span(node.id.c_str());
                     if (node.role == graph::GemmRole::BottomMlp)
                         model.backwardBottomLayer(
-                            static_cast<std::size_t>(node.layer), batch);
+                            static_cast<std::size_t>(node.layer), batch,
+                            node.fused_backward);
                     else
                         model.backwardTopLayer(
-                            static_cast<std::size_t>(node.layer));
+                            static_cast<std::size_t>(node.layer),
+                            node.fused_backward, node.fused_flatten);
                 }
                 break;
               case graph::NodeKind::EmbeddingLookup: {
@@ -271,7 +274,7 @@ runGraphStep(model::Dlrm& model, const data::MiniBatch& batch,
               case graph::NodeKind::Interaction: {
                 mlp.close();
                 obs::TraceSpan span(node.id.c_str());
-                model.backwardInteraction();
+                model.backwardInteraction(node.fused_flatten);
                 break;
               }
               default:
@@ -378,7 +381,8 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
                     node.fused_epilogue);
             else
                 model.backwardProjection(
-                    static_cast<std::size_t>(node.table));
+                    static_cast<std::size_t>(node.table),
+                    node.fused_backward);
         } else if (node.role == graph::GemmRole::BottomMlp) {
             if (forward)
                 model.forwardBottomLayer(
@@ -386,7 +390,8 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
                     node.fused_epilogue);
             else
                 model.backwardBottomLayer(
-                    static_cast<std::size_t>(node.layer), batch);
+                    static_cast<std::size_t>(node.layer), batch,
+                    node.fused_backward);
         } else {
             if (forward)
                 model.forwardTopLayer(
@@ -394,7 +399,8 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
                     node.fused_epilogue);
             else
                 model.backwardTopLayer(
-                    static_cast<std::size_t>(node.layer));
+                    static_cast<std::size_t>(node.layer),
+                    node.fused_backward, node.fused_flatten);
         }
         break;
       case graph::NodeKind::EmbeddingLookup:
@@ -416,7 +422,7 @@ GraphExecutor::dispatch(std::size_t node_index, model::Dlrm& model,
         if (forward)
             model.forwardInteraction();
         else
-            model.backwardInteraction();
+            model.backwardInteraction(node.fused_flatten);
         break;
       default:
         util::panic("GraphExecutor dispatched a non-executable node");

@@ -18,6 +18,8 @@
 #include "data/dataset.h"
 #include "graph/step_graph.h"
 #include "model/dlrm.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "train/step_runner.h"
 #include "util/thread_pool.h"
@@ -113,6 +115,85 @@ TEST(GraphExecutor, BitwiseEqualToSerialWalkAcrossThreadCounts)
         const GraphExecutor executor(graph);
         for (const std::size_t threads : {1u, 2u, 8u})
             checkSerialEquivalence(cfg, graph, executor, threads);
+    }
+}
+
+/**
+ * Bitwise comparison of accumulated gradients: every MLP layer's
+ * dW/db plus the per-table sparse grads (rows and values).
+ */
+void
+expectGradsBitwiseEqual(model::Dlrm& a, model::Dlrm& b,
+                        const std::string& context)
+{
+    auto cmp_mlp = [&](nn::Mlp& ma, nn::Mlp& mb, const char* which) {
+        ASSERT_EQ(ma.layers().size(), mb.layers().size()) << context;
+        for (std::size_t l = 0; l < ma.layers().size(); ++l) {
+            nn::Linear& x = ma.layers()[l];
+            nn::Linear& y = mb.layers()[l];
+            ASSERT_EQ(x.gradWeight.size(), y.gradWeight.size());
+            EXPECT_EQ(std::memcmp(x.gradWeight.data(),
+                                  y.gradWeight.data(),
+                                  x.gradWeight.size() * sizeof(float)),
+                      0)
+                << context << " " << which << " l" << l << " dW";
+            EXPECT_EQ(std::memcmp(x.gradBias.data(), y.gradBias.data(),
+                                  x.gradBias.size() * sizeof(float)),
+                      0)
+                << context << " " << which << " l" << l << " db";
+        }
+    };
+    cmp_mlp(a.bottomMlp(), b.bottomMlp(), "bottom");
+    cmp_mlp(a.topMlp(), b.topMlp(), "top");
+
+    const auto& sa = a.sparseGrads();
+    const auto& sb = b.sparseGrads();
+    ASSERT_EQ(sa.size(), sb.size()) << context;
+    for (std::size_t t = 0; t < sa.size(); ++t) {
+        ASSERT_EQ(sa[t].rows, sb[t].rows) << context << " table " << t;
+        ASSERT_EQ(sa[t].values.size(), sb[t].values.size());
+        EXPECT_EQ(std::memcmp(sa[t].values.data(), sb[t].values.data(),
+                              sa[t].values.size() * sizeof(float)),
+                  0)
+            << context << " table " << t << " values";
+    }
+}
+
+TEST(GraphExecutor, FusedBackwardGradsBitwiseEqualToUnfused)
+{
+    // Pre-optimizer gradient state after one fused step — dense dW/db
+    // and sparse grads alike — must carry the exact bits of the
+    // unfused serial walk at every thread count. Stricter than the
+    // post-SGD parameter check: nothing can hide in the update.
+    auto& pool = util::globalThreadPool();
+    for (const auto& cfg : modelZoo()) {
+        const auto unfused = graph::buildModelStepGraph(cfg);
+        auto fused_graph = graph::buildModelStepGraph(cfg);
+        graph::fusePass(fused_graph);
+        const GraphExecutor executor(fused_graph);
+
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            pool.resize(threads);
+            const std::string context = cfg.name + " grads @" +
+                std::to_string(threads) + "t";
+            model::Dlrm unfused_model(cfg, 3);
+            model::Dlrm fused_serial(cfg, 3);
+            model::Dlrm fused_exec(cfg, 3);
+            data::SyntheticCtrDataset ds(datasetFor(cfg));
+            const auto batch = ds.nextBatch(32);
+            const double a =
+                runGraphStep(unfused_model, batch, unfused);
+            const double b =
+                runGraphStep(fused_serial, batch, fused_graph);
+            const double c = executor.runStep(fused_exec, batch);
+            EXPECT_TRUE(bitwiseEqual(a, b)) << context << " serial";
+            EXPECT_TRUE(bitwiseEqual(a, c)) << context << " executor";
+            expectGradsBitwiseEqual(unfused_model, fused_serial,
+                                    context + " serial");
+            expectGradsBitwiseEqual(unfused_model, fused_exec,
+                                    context + " executor");
+            pool.resize(1);
+        }
     }
 }
 

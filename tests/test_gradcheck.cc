@@ -652,6 +652,84 @@ TEST(GradCheck, FusedGraphGradientsMatchForwardBackward)
     }
 }
 
+// Central differences straight through the fully fused graph: the
+// analytic gradients below come from the fused executor (backward-fused
+// GEMMs, flatten-fused interaction, grouped lookups), probed against
+// numeric differences of the loss. Complements the bitwise suites —
+// this one would catch a fused backward that is merely self-consistent
+// with an equally wrong unfused reference.
+TEST(GradCheck, FusedGraphEndToEndCentralDifference)
+{
+    const auto cfg = model::DlrmConfig::tinyReplica(3, 4, 50, 4);
+    data::DatasetConfig ds_cfg;
+    ds_cfg.num_dense = cfg.num_dense;
+    ds_cfg.sparse = cfg.sparse;
+    ds_cfg.seed = 71;
+    data::SyntheticCtrDataset ds(ds_cfg);
+    ds.materialize(64);
+    const data::MiniBatch batch = ds.epochBatch(0, 4);
+
+    auto graph = graph::buildModelStepGraph(cfg);
+    graph::fusePass(graph);
+    const train::GraphExecutor executor(graph);
+
+    model::Dlrm dlrm(cfg, 7);
+    const LossFn loss = [&] { return dlrm.evalLoss(batch); };
+    dlrm.zeroGrad();
+    executor.runStep(dlrm, batch);
+
+    // Same piecewise-smoothness caveat as DlrmEndToEndDenseParams: the
+    // stacked ReLU kinks bias a thin tail of the central differences,
+    // so the error distribution is held to quantile bounds.
+    std::vector<double> errors;
+    auto check_entry = [&](float& p, double analytic,
+                           const std::string& tag) {
+        const double numeric = numericGradAt(p, loss, kStep / 2.0);
+        errors.push_back(relErr(analytic, numeric));
+        EXPECT_LT(errors.back(), 0.2) << tag;
+    };
+    auto check_layer = [&](Linear& layer, const std::string& tag) {
+        for (std::size_t i = 0; i < layer.weight.size(); i += 3)
+            check_entry(layer.weight.data()[i],
+                        layer.gradWeight.data()[i],
+                        tag + ".weight[" + std::to_string(i) + "]");
+        for (std::size_t i = 0; i < layer.bias.size(); i += 2)
+            check_entry(layer.bias.data()[i], layer.gradBias.data()[i],
+                        tag + ".bias[" + std::to_string(i) + "]");
+    };
+    for (std::size_t l = 0; l < dlrm.bottomMlp().layers().size(); ++l)
+        check_layer(dlrm.bottomMlp().layers()[l],
+                    "fused.bottom" + std::to_string(l));
+    for (std::size_t l = 0; l < dlrm.topMlp().layers().size(); ++l)
+        check_layer(dlrm.topMlp().layers()[l],
+                    "fused.top" + std::to_string(l));
+
+    for (std::size_t t = 0; t < dlrm.tables().size(); ++t) {
+        EmbeddingBag& bag = dlrm.tables()[t];
+        const SparseGrad& grad = dlrm.sparseGrads()[t];
+        for (std::size_t r = 0; r < grad.rows.size(); ++r) {
+            const std::size_t row =
+                static_cast<std::size_t>(grad.rows[r]);
+            const std::size_t j = r % bag.dim();
+            check_entry(bag.table.data()[row * bag.dim() + j],
+                        grad.values.at(r, j),
+                        "fused.table" + std::to_string(t) + "[" +
+                            std::to_string(row) + "," +
+                            std::to_string(j) + "]");
+        }
+    }
+
+    ASSERT_GT(errors.size(), 200u);
+    std::sort(errors.begin(), errors.end());
+    const auto quantile = [&](double q) {
+        return errors[static_cast<std::size_t>(
+            q * static_cast<double>(errors.size() - 1))];
+    };
+    EXPECT_LT(quantile(0.5), 1e-3);
+    EXPECT_LT(quantile(0.9), 2e-3);
+    EXPECT_LT(quantile(0.99), 5e-2);
+}
+
 // ---------------------------------------------------------------------
 // Mutation spot-check: a corrupted analytic gradient must be rejected,
 // proving the checker has teeth (a backward bug cannot pass silently).

@@ -595,6 +595,75 @@ TEST(FusePass, MarksEveryGemmEpilogueFused)
     EXPECT_EQ(graph::summarize(g).epilogue_traffic_bytes, 0.0);
 }
 
+TEST(FusePass, MarksBackwardFusionAndFlatten)
+{
+    auto g = graph::buildModelStepGraph(fusionConfig());
+    const auto before = graph::summarize(g);
+    EXPECT_GT(before.bwd_epilogue_traffic_bytes, 0.0);
+
+    graph::fusePass(g);
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm) {
+            EXPECT_TRUE(node.fused_backward) << node.id;
+            EXPECT_EQ(node.bwd_epilogue_traffic_bytes, 0.0) << node.id;
+            // The flatten rewrite claims exactly the top-MLP entry
+            // layer on the GEMM side.
+            EXPECT_EQ(node.fused_flatten,
+                      node.role == graph::GemmRole::TopMlp &&
+                          node.layer == 0)
+                << node.id;
+        } else if (node.kind == NodeKind::Interaction) {
+            EXPECT_TRUE(node.fused_flatten);
+            EXPECT_EQ(node.bwd_epilogue_traffic_bytes, 0.0);
+        } else {
+            EXPECT_FALSE(node.fused_backward) << node.id;
+            EXPECT_FALSE(node.fused_flatten) << node.id;
+        }
+    }
+    EXPECT_EQ(graph::summarize(g).bwd_epilogue_traffic_bytes, 0.0);
+}
+
+TEST(FusePass, BuilderBwdEpilogueBytesFollowTheTrafficFormula)
+{
+    // Unfused backward: every GEMM pays the bias-grad sumRows re-read
+    // of dy [B, out]; hidden layers (mask = previous activation) also
+    // pay reluBackward's read+write of the input grad [B, in];
+    // projections pay bias-grad only. The Interaction node carries the
+    // flatten-buffer round trip the flatten rewrite removes.
+    const auto cfg = fusionConfig();
+    const auto g = graph::buildModelStepGraph(cfg);
+    const auto dims = cfg.bottomDims();
+    std::size_t in = cfg.num_dense;
+    for (std::size_t l = 0; l < dims.size(); ++l) {
+        const auto* node =
+            g.find("bottom_mlp.l" + std::to_string(l));
+        ASSERT_NE(node, nullptr);
+        const double want = (static_cast<double>(dims[l]) +
+                             (l > 0 ? 2.0 * static_cast<double>(in)
+                                    : 0.0)) *
+            sizeof(float);
+        EXPECT_EQ(node->bwd_epilogue_traffic_bytes, want) << node->id;
+        in = dims[l];
+    }
+    for (const auto& node : g.nodes) {
+        if (node.kind == NodeKind::Gemm &&
+            node.role == graph::GemmRole::Projection) {
+            EXPECT_EQ(node.bwd_epilogue_traffic_bytes,
+                      static_cast<double>(node.out_width) *
+                          sizeof(float))
+                << node.id;
+        }
+    }
+    const auto* ix = g.find("interaction");
+    ASSERT_NE(ix, nullptr);
+    const double want_ix =
+        (cfg.interaction == nn::InteractionKind::DotProduct
+             ? 4.0 * static_cast<double>(cfg.emb_dim)
+             : 2.0 * static_cast<double>(cfg.interactionWidth())) *
+        sizeof(float);
+    EXPECT_EQ(ix->bwd_epilogue_traffic_bytes, want_ix);
+}
+
 TEST(FusePass, BuilderEpilogueBytesFollowTheTrafficFormula)
 {
     // Hidden MLP layers pay a bias pass plus a ReLU pass (4 bytes

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "tensor/ops.h"
@@ -491,6 +492,113 @@ TEST(Ops, SumRowsAccumulatesInRowOrder)
     Tensor out;
     sumRows(x, out);
     EXPECT_EQ(out[0], 0.0f);
+}
+
+// ---- Fused backward kernels ----------------------------------------
+
+TEST(Matmul, TransBMaskBitwiseEqualsUnfusedMaskPipeline)
+{
+    // dx = (dy W) * 1[y > 0]: the mask applied in the GEMM store must
+    // match matmulTransB followed by reluBackward bit for bit. Odd
+    // shapes cross the register-tile and cache-panel edges.
+    const Tensor dy = randomMatrix(13, 131, 31);
+    const Tensor w = randomMatrix(37, 131, 32);
+    Tensor y = randomMatrix(13, 37, 33);
+    // Edge bits the predicate must treat exactly like reluBackward:
+    // -0.0 and NaN both fail y > 0 and zero the element.
+    y.at(0, 0) = -0.0f;
+    y.at(1, 5) = std::numeric_limits<float>::quiet_NaN();
+    y.at(2, 36) = 0.0f;
+
+    Tensor unfused;
+    matmulTransB(dy, w, unfused);
+    reluBackward(y, unfused, unfused);
+    Tensor fused;
+    matmulTransBMask(dy, w, &y, fused);
+    EXPECT_TRUE(bitwiseEqualTensors(fused, unfused));
+    EXPECT_EQ(fused.at(0, 0), 0.0f);
+    EXPECT_EQ(fused.at(1, 5), 0.0f);
+    EXPECT_EQ(fused.at(2, 36), 0.0f);
+}
+
+TEST(Matmul, TransABiasGradBitwiseEqualsUnfusedPair)
+{
+    // dw = x^T dy with db = sumRows(dy) riding the same sweep: both
+    // outputs must match the standalone kernels bit for bit (the
+    // fused column sums fold rows in the same increasing order).
+    const Tensor x = randomMatrix(131, 13, 34);
+    const Tensor dy = randomMatrix(131, 37, 35);
+
+    Tensor dw_ref, db_ref;
+    matmulTransA(x, dy, dw_ref);
+    sumRows(dy, db_ref);
+    Tensor dw, db;
+    matmulTransABiasGrad(x, dy, dw, db);
+    EXPECT_TRUE(bitwiseEqualTensors(dw, dw_ref));
+    EXPECT_TRUE(bitwiseEqualTensors(db, db_ref));
+}
+
+TEST(Matmul, TransBSegmentedBitwiseEqualsColumnSplit)
+{
+    // Splitting the output columns across destination tensors must
+    // not disturb any element's fma chain; a zero-bias segment adds
+    // +0.0f in the epilogue, which only normalizes -0.0 to +0.0 —
+    // exactly what the unfused zero-then-accumulate scatter produces.
+    const Tensor a = randomMatrix(9, 67, 36);
+    const Tensor b = randomMatrix(41, 67, 37);
+    Tensor full;
+    matmulTransB(a, b, full);
+
+    Tensor s0, s1, s2;
+    std::vector<GemmOutSegment> segs = {
+        {&s0, 16, /*zero_bias=*/true}, {&s1, 24, false}, {&s2, 1, false}};
+    matmulTransBSegmented(a, b, segs);
+
+    for (std::size_t i = 0; i < full.rows(); ++i)
+        for (std::size_t j = 0; j < full.cols(); ++j) {
+            const float want = j < 16 ? full.at(i, j) + 0.0f
+                : full.at(i, j);
+            const float got = j < 16 ? s0.at(i, j)
+                : j < 40 ? s1.at(i, j - 16) : s2.at(i, j - 40);
+            EXPECT_EQ(std::memcmp(&got, &want, sizeof(float)), 0)
+                << "element (" << i << ", " << j << ")";
+        }
+}
+
+TEST(Simd, ReluMaskSpanVectorLaneMatchesScalarTail)
+{
+    // 9 lanes: one full 8-wide vector plus a scalar tail. Same y and
+    // dy in every lane, so lane 0 (vector) must equal lane 8 (tail).
+    const float ys[] = {-3.0f, -0.0f, 0.0f, 0.5f,
+                        std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity()};
+    for (float yv : ys) {
+        float y[9], dy[9], dx[9];
+        for (int i = 0; i < 9; ++i) {
+            y[i] = yv;
+            dy[i] = 2.5f;
+        }
+        simd::reluMaskSpan(y, dy, dx, 9);
+        EXPECT_EQ(std::memcmp(&dx[0], &dx[8], sizeof(float)), 0)
+            << "vector lane and scalar tail disagree at y = " << yv;
+        const float want = yv > 0.0f ? 2.5f : 0.0f;
+        EXPECT_EQ(std::memcmp(&dx[0], &want, sizeof(float)), 0)
+            << "wrong mask result at y = " << yv;
+    }
+}
+
+TEST(Simd, ReluMaskSpanInPlaceAlias)
+{
+    // dy and dx may alias (reluBackward's in-place use).
+    float y[11], g[11];
+    for (int i = 0; i < 11; ++i) {
+        y[i] = i % 2 == 0 ? 1.0f : -1.0f;
+        g[i] = static_cast<float>(i) + 0.5f;
+    }
+    simd::reluMaskSpan(y, g, g, 11);
+    for (int i = 0; i < 11; ++i)
+        EXPECT_EQ(g[i],
+                  i % 2 == 0 ? static_cast<float>(i) + 0.5f : 0.0f);
 }
 
 } // namespace
